@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Array Baselines Bechamel Benchmark Dbx Hashtbl List Measure Printf Staged Structures Test Time Toolkit Twoplsf Util

@@ -1,0 +1,1 @@
+bench/figures.ml: Array Baselines Dbx Harness List Printf Stdlib Stm_intf Twoplsf Util

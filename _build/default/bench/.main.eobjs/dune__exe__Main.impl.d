@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bechamel_suite Figures Harness List Printf String Util

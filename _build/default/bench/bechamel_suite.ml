@@ -1,0 +1,108 @@
+(* Per-operation micro-latencies via Bechamel: one Test.make per figure,
+   measuring the figure's characteristic operation single-threaded under
+   2PLSF (and the figure's main optimistic contender where relevant).
+   These complement the multi-thread series printed by Figures.* — they
+   answer "what does one operation cost?" while the series answer "how
+   does it scale?". *)
+
+open Bechamel
+
+module V = struct
+  type t = unit
+end
+
+module Ravl_p = Structures.Ravl.Make (Twoplsf.Stm) (V)
+module List_p = Structures.Linked_list.Make (Twoplsf.Stm) (V)
+module Hash_p = Structures.Hash_map.Make (Twoplsf.Stm) (V)
+module Skip_p = Structures.Skiplist.Make (Twoplsf.Stm) (V)
+module Zip_p = Structures.Ziptree.Make (Twoplsf.Stm) (V)
+module Ravl_tl2 = Structures.Ravl.Make (Baselines.Tl2) (V)
+
+let prefill put n =
+  for k = 0 to n - 1 do
+    if k land 1 = 0 then ignore (put k ())
+  done
+
+let counter = ref 0
+
+let next_key range =
+  counter := (!counter + 7919) land max_int;
+  !counter mod range
+
+let tests () =
+  ignore (Util.Tid.register ());
+  let range = 4096 in
+  let ravl = Ravl_p.create () in
+  prefill (Ravl_p.put ravl) range;
+  let ll = List_p.create () in
+  prefill (List_p.put ll) 512;
+  let hm = Hash_p.create ~buckets:1024 () in
+  prefill (Hash_p.put hm) range;
+  let sk = Skip_p.create () in
+  prefill (Skip_p.put sk) range;
+  let zt = Zip_p.create () in
+  prefill (Zip_p.put zt) range;
+  let rt = Ravl_tl2.create () in
+  prefill (Ravl_tl2.put rt) range;
+  let table = Dbx.Table.create ~num_rows:10_000 in
+  let cc = Dbx.Cc_2plsf.create table in
+  let tid = Util.Tid.get () in
+  let gen = Dbx.Ycsb.make_gen ~num_keys:10_000 ~theta:0.6 ~write_ratio:0.5 () in
+  let counters = Array.init 20 (fun _ -> Twoplsf.Stm.tvar 0) in
+  [
+    Test.make ~name:"fig2/ravl insert+remove (2PLSF)"
+      (Staged.stage (fun () ->
+           let k = next_key range in
+           ignore (Ravl_p.put ravl k ());
+           ignore (Ravl_p.remove ravl k)));
+    Test.make ~name:"fig3/list lookup (2PLSF)"
+      (Staged.stage (fun () -> ignore (List_p.get ll (next_key 512))));
+    Test.make ~name:"fig4/hash insert+remove (2PLSF)"
+      (Staged.stage (fun () ->
+           let k = next_key range in
+           ignore (Hash_p.put hm k ());
+           ignore (Hash_p.remove hm k)));
+    Test.make ~name:"fig5/skiplist lookup (2PLSF)"
+      (Staged.stage (fun () -> ignore (Skip_p.get sk (next_key range))));
+    Test.make ~name:"fig6/ziptree insert+remove (2PLSF)"
+      (Staged.stage (fun () ->
+           let k = next_key range in
+           ignore (Zip_p.put zt k ());
+           ignore (Zip_p.remove zt k)));
+    Test.make ~name:"fig7/ravl lookup (2PLSF)"
+      (Staged.stage (fun () -> ignore (Ravl_p.get ravl (next_key range))));
+    Test.make ~name:"fig7/ravl lookup (TL2)"
+      (Staged.stage (fun () -> ignore (Ravl_tl2.get rt (next_key range))));
+    Test.make ~name:"fig8/ravl record update (2PLSF)"
+      (Staged.stage (fun () ->
+           ignore (Ravl_p.update ravl (next_key range) (fun () -> ()))));
+    Test.make ~name:"fig10/pairwise txn 20 counters (2PLSF)"
+      (Staged.stage (fun () ->
+           Twoplsf.Stm.atomic (fun tx ->
+               Array.iter
+                 (fun c -> Twoplsf.Stm.write tx c (Twoplsf.Stm.read tx c + 1))
+                 counters)));
+    Test.make ~name:"fig11/ycsb txn 16 accesses (2PLSF cc)"
+      (Staged.stage (fun () ->
+           ignore (Dbx.Cc_2plsf.execute cc ~tid (Dbx.Ycsb.next gen))));
+  ]
+
+let run () =
+  print_endline "\n=== Bechamel per-operation suite (single-threaded) ===";
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"per-op" (tests ()) in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some (ns :: _) -> Printf.printf "%-46s %12.0f ns/op\n%!" name ns
+      | Some [] | None -> Printf.printf "%-46s %12s\n%!" name "n/a")
+    (List.sort compare rows)

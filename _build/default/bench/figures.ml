@@ -1,0 +1,299 @@
+(* One function per figure of the paper's evaluation section; each prints
+   the same series the paper plots.  See DESIGN.md §2 for the experiment
+   index and EXPERIMENTS.md for paper-vs-measured notes. *)
+
+type params = {
+  threads : int list;
+  seconds : float;
+  big : bool; (* paper-scale key ranges instead of the scaled defaults *)
+  runs : int; (* mean over N runs per point (the paper uses 5 x 20 s) *)
+}
+
+(* Mean over [p.runs] repetitions of one data point (throughput averaged;
+   counters summed across runs). *)
+let averaged p f =
+  let rows = List.init (Stdlib.max 1 p.runs) (fun _ -> f ()) in
+  match rows with
+  | [] -> assert false
+  | first :: _ ->
+      let n = float_of_int (List.length rows) in
+      {
+        first with
+        Harness.Driver.throughput =
+          List.fold_left (fun a (r : Harness.Driver.row) -> a +. r.throughput) 0. rows /. n;
+        commits = List.fold_left (fun a (r : Harness.Driver.row) -> a + r.commits) 0 rows;
+        aborts = List.fold_left (fun a (r : Harness.Driver.row) -> a + r.aborts) 0 rows;
+        clock_ops = List.fold_left (fun a (r : Harness.Driver.row) -> a + r.clock_ops) 0 rows;
+      }
+
+let set_mixes =
+  [ Harness.Workload.write_heavy; Harness.Workload.read_mostly; Harness.Workload.read_only ]
+
+let run_set_series p ~structure ~range stms =
+  Harness.Report.row_header ();
+  List.iter
+    (fun mix ->
+      List.iter
+        (fun stm ->
+          List.iter
+            (fun threads ->
+              let row =
+                averaged p (fun () ->
+                    Harness.Driver.run_set_bench ~stm ~structure ~mix ~range
+                      ~threads ~seconds:p.seconds)
+              in
+              Harness.Report.row row)
+            p.threads)
+        stms)
+    set_mixes
+
+let tree_range p = if p.big then 100_000 else 10_000
+
+let figure2 p =
+  Harness.Report.figure_header ~id:"Figure 2"
+    ~title:"RAVL tree under 2PL-RW / 2PL-RW-Dist / 2PLSF (3 workloads)";
+  run_set_series p ~structure:Harness.Driver.Ravl_s ~range:(tree_range p)
+    Baselines.Registry.figure2
+
+let figure3 p =
+  Harness.Report.figure_header ~id:"Figure 3"
+    ~title:"Linked-list set, all STMs (3 workloads)";
+  run_set_series p ~structure:Harness.Driver.List_s ~range:512
+    Baselines.Registry.main_set
+
+let figure4 p =
+  Harness.Report.figure_header ~id:"Figure 4"
+    ~title:"Hash-set, all STMs (3 workloads)";
+  run_set_series p ~structure:Harness.Driver.Hash_s ~range:10_000
+    Baselines.Registry.main_set
+
+let figure5 p =
+  Harness.Report.figure_header ~id:"Figure 5"
+    ~title:"Skip list, all STMs (3 workloads)";
+  run_set_series p ~structure:Harness.Driver.Skip_s ~range:(tree_range p)
+    Baselines.Registry.main_set
+
+let figure6 p =
+  Harness.Report.figure_header ~id:"Figure 6"
+    ~title:"Zip tree, all STMs (3 workloads)";
+  run_set_series p ~structure:Harness.Driver.Zip_s ~range:(tree_range p)
+    Baselines.Registry.main_set
+
+let figure7 p =
+  Harness.Report.figure_header ~id:"Figure 7"
+    ~title:"Relaxed AVL tree, all STMs (3 workloads)";
+  run_set_series p ~structure:Harness.Driver.Ravl_s ~range:(tree_range p)
+    Baselines.Registry.main_set
+
+let figure8 p =
+  Harness.Report.figure_header ~id:"Figure 8"
+    ~title:"Key/value maps, 1%i/1%r/98%u on 100-byte records";
+  Harness.Report.row_header ();
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun stm ->
+          List.iter
+            (fun threads ->
+              let row =
+                averaged p (fun () ->
+                    Harness.Driver.run_map_bench ~stm ~structure
+                      ~range:(tree_range p) ~threads ~seconds:p.seconds)
+              in
+              Harness.Report.row row)
+            p.threads)
+        Baselines.Registry.main_set)
+    [ Harness.Driver.Skip_s; Harness.Driver.Zip_s; Harness.Driver.Ravl_s ]
+
+(* ---- Figure 10: pair-wise conflict latency (Figure 9 scheme) ---- *)
+
+let latency_stms : (module Stm_intf.STM) list =
+  [
+    (module Twoplsf.Stm);
+    (module Baselines.Tl2);
+    (module Baselines.Tinystm);
+    (module Baselines.Onefile);
+  ]
+
+let counters_per_pair = 20
+
+let run_latency (module S : Stm_intf.STM) ~threads ~seconds =
+  let pairs = (threads + 1) / 2 in
+  let counters =
+    Array.init (pairs * counters_per_pair) (fun _ -> S.tvar 0)
+  in
+  let lat = Harness.Latency.create ~threads in
+  let worker i should_stop =
+    let base = i / 2 * counters_per_pair in
+    let ascending = i land 1 = 0 in
+    let ops = ref 0 in
+    while not (should_stop ()) do
+      let t0 = Util.Clock.now () in
+      S.atomic (fun tx ->
+          if ascending then
+            for j = 0 to counters_per_pair - 1 do
+              S.write tx counters.(base + j) (S.read tx counters.(base + j) + 1)
+            done
+          else
+            for j = counters_per_pair - 1 downto 0 do
+              S.write tx counters.(base + j) (S.read tx counters.(base + j) + 1)
+            done);
+      Harness.Latency.record lat i (Util.Clock.now () -. t0);
+      incr ops
+    done;
+    !ops
+  in
+  let res = Harness.Exec.run_timed ~threads ~seconds worker in
+  let ps = Harness.Latency.percentiles lat [ 50.; 90.; 99. ] in
+  let p50 = List.assoc 50. ps
+  and p90 = List.assoc 90. ps
+  and p99 = List.assoc 99. ps in
+  Harness.Report.latency_row ~stm:S.name ~threads ~throughput:res.throughput
+    ~p50 ~p90 ~p99 ~max:(Harness.Latency.max_latency lat)
+
+let figure10 p =
+  Harness.Report.figure_header ~id:"Figure 10"
+    ~title:"Pair-wise conflicting counters: throughput and latency";
+  Harness.Report.latency_header ();
+  let thread_points =
+    List.filter (fun t -> t >= 2) (List.map (fun t -> t / 2 * 2) p.threads)
+    |> List.sort_uniq compare
+  in
+  let thread_points = if thread_points = [] then [ 2 ] else thread_points in
+  List.iter
+    (fun stm ->
+      List.iter (fun threads -> run_latency stm ~threads ~seconds:p.seconds)
+        thread_points)
+    latency_stms
+
+(* ---- Figure 11: YCSB in DBx1000 ---- *)
+
+let figure11 p =
+  Harness.Report.figure_header ~id:"Figure 11"
+    ~title:"YCSB (DBx1000): high / medium / low contention";
+  let num_rows = if p.big then 1_000_000 else 100_000 in
+  Printf.printf "%-12s %8s %8s %14s %12s %10s\n%!" "cc" "theta" "threads"
+    "txn/s" "commits" "aborts";
+  List.iter
+    (fun level ->
+      let theta = Dbx.Ycsb.contention_theta level in
+      let table = Dbx.Table.create ~num_rows in
+      List.iter
+        (fun (_, cc) ->
+          List.iter
+            (fun threads ->
+              let r =
+                Dbx.Runner.run ~cc ~table ~theta ~write_ratio:0.5 ~threads
+                  ~seconds:p.seconds
+              in
+              Printf.printf "%-12s %8.2f %8d %14.0f %12d %10d\n%!" r.cc r.theta
+                r.threads r.throughput r.commits r.aborts)
+            p.threads)
+        Dbx.Runner.ccs)
+    [ `High; `Medium; `Low ]
+
+(* ---- Ablation A1: on-conflict clock vs per-transaction clock ---- *)
+
+let figure12 p =
+  Harness.Report.figure_header ~id:"Ablation A1"
+    ~title:"2PLSF (clock on conflict) vs 2PL Wait-Or-Die (clock per txn)";
+  Harness.Report.row_header ();
+  let stms : (module Stm_intf.STM) list =
+    [ (module Twoplsf.Stm); (module Baselines.Wait_or_die) ]
+  in
+  List.iter
+    (fun stm ->
+      List.iter
+        (fun threads ->
+          let row =
+            Harness.Driver.run_map_bench ~stm ~structure:Harness.Driver.Ravl_s
+              ~range:(tree_range p) ~threads ~seconds:p.seconds
+          in
+          Harness.Report.row row)
+        p.threads)
+    stms
+
+(* ---- Ablation A3: write-through (undo) vs write-back (redo) 2PLSF ---- *)
+
+let figure13 p =
+  Harness.Report.figure_header ~id:"Ablation A3"
+    ~title:"2PLSF write-through (undo) vs write-back eager (WB) vs deferred (WBD)";
+  Harness.Report.row_header ();
+  let stms : (module Stm_intf.STM) list =
+    [ (module Twoplsf.Stm); (module Twoplsf.Stm_wb); (module Twoplsf.Stm_wbd) ]
+  in
+  List.iter
+    (fun stm ->
+      List.iter
+        (fun threads ->
+          Harness.Report.row
+            (Harness.Driver.run_set_bench ~stm ~structure:Harness.Driver.Ravl_s
+               ~mix:Harness.Workload.write_heavy ~range:(tree_range p) ~threads
+               ~seconds:p.seconds);
+          Harness.Report.row
+            (Harness.Driver.run_map_bench ~stm ~structure:Harness.Driver.Ravl_s
+               ~range:(tree_range p) ~threads ~seconds:p.seconds))
+        p.threads)
+    stms
+
+(* ---- Ablation A5: YCSB tail latency (§5's low-tail-latency claim) ---- *)
+
+let figure15 p =
+  Harness.Report.figure_header ~id:"Ablation A5"
+    ~title:"YCSB tail latency under high contention (theta = 0.9)";
+  Harness.Report.latency_header ();
+  let num_rows = if p.big then 1_000_000 else 100_000 in
+  let table = Dbx.Table.create ~num_rows in
+  List.iter
+    (fun (_, cc) ->
+      List.iter
+        (fun threads ->
+          let r =
+            Dbx.Runner.run_with_latency ~cc ~table ~theta:0.9 ~write_ratio:0.5
+              ~threads ~seconds:p.seconds
+          in
+          Harness.Report.latency_row ~stm:r.base.cc ~threads
+            ~throughput:r.base.throughput ~p50:r.p50 ~p90:r.p90 ~p99:r.p99
+            ~max:r.max_latency)
+        p.threads)
+    Dbx.Runner.ccs
+
+(* ---- Ablation A4: the price of opacity (§3.5) ---- *)
+
+let figure14 p =
+  Harness.Report.figure_header ~id:"Ablation A4"
+    ~title:"Price of opacity: 2PLSF / TL2 (opaque) vs TicToc-STM (serializable only)";
+  Harness.Report.row_header ();
+  let stms : (module Stm_intf.STM) list =
+    [ (module Twoplsf.Stm); (module Baselines.Tl2); (module Baselines.Tictoc_stm) ]
+  in
+  List.iter
+    (fun mix ->
+      List.iter
+        (fun stm ->
+          List.iter
+            (fun threads ->
+              Harness.Report.row
+                (Harness.Driver.run_set_bench ~stm
+                   ~structure:Harness.Driver.Hash_s ~mix ~range:10_000 ~threads
+                   ~seconds:p.seconds))
+            p.threads)
+        stms)
+    [ Harness.Workload.write_heavy; Harness.Workload.read_mostly ]
+
+let all : (int * string * (params -> unit)) list =
+  [
+    (2, "RAVL under three 2PL variants", figure2);
+    (3, "linked-list set", figure3);
+    (4, "hash set", figure4);
+    (5, "skip list", figure5);
+    (6, "zip tree", figure6);
+    (7, "relaxed AVL tree", figure7);
+    (8, "map update workload", figure8);
+    (10, "pairwise-conflict latency", figure10);
+    (11, "YCSB / DBx1000", figure11);
+    (12, "ablation: conflict clock", figure12);
+    (13, "ablation: undo vs redo log", figure13);
+    (14, "ablation: price of opacity", figure14);
+    (15, "ablation: YCSB tail latency", figure15);
+  ]

@@ -1,0 +1,76 @@
+(* Benchmark entry point: regenerates every figure of the paper's
+   evaluation (Figures 2-8, 10, 11 plus the DESIGN.md ablation) and runs
+   the Bechamel per-operation suite.
+
+     dune exec bench/main.exe                 # everything, default params
+     dune exec bench/main.exe -- --figure 11  # one figure
+     dune exec bench/main.exe -- --quick      # fast smoke pass
+     dune exec bench/main.exe -- --threads 1,2,4,8 --seconds 1.0 --big
+
+   This host has a single hardware core: thread sweeps measure
+   concurrency-control behaviour under OS interleaving, not parallel
+   speedup (DESIGN.md §3.1). *)
+
+let parse_threads s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+  |> List.map int_of_string
+
+let () =
+  let figure = ref 0 in
+  let threads = ref [ 1; 2; 4 ] in
+  let seconds = ref 0.4 in
+  let big = ref false in
+  let quick = ref false in
+  let no_bechamel = ref false in
+  let csv = ref "" in
+  let runs = ref 1 in
+  let spec =
+    [
+      ("--figure", Arg.Set_int figure, "N  run only figure N (2-8, 10-12)");
+      ( "--threads",
+        Arg.String (fun s -> threads := parse_threads s),
+        "LIST  comma-separated thread counts (default 1,2,4)" );
+      ( "--seconds",
+        Arg.Set_float seconds,
+        "S  measured seconds per data point (default 0.4)" );
+      ("--big", Arg.Set big, " paper-scale key ranges (10x larger)");
+      ("--quick", Arg.Set quick, " fast smoke pass (threads 1,2; 0.15s)");
+      ("--no-bechamel", Arg.Set no_bechamel, " skip the per-op suite");
+      ("--csv", Arg.Set_string csv, "FILE  also write data rows as CSV");
+      ( "--runs",
+        Arg.Set_int runs,
+        "N  average each set/map data point over N runs (default 1; paper: 5)"
+      );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "2PLSF benchmark harness — regenerates the paper's figures";
+  if !quick then begin
+    threads := [ 1; 2 ];
+    seconds := 0.15
+  end;
+  ignore (Util.Tid.register ());
+  if !csv <> "" then Harness.Report.set_csv !csv;
+  let p =
+    { Figures.threads = !threads; seconds = !seconds; big = !big; runs = !runs }
+  in
+  Printf.printf
+    "2PLSF reproduction benchmarks | threads=%s seconds=%.2f big=%b\n%!"
+    (String.concat "," (List.map string_of_int p.threads))
+    p.seconds p.big;
+  if not !no_bechamel then Bechamel_suite.run ();
+  let selected =
+    if !figure = 0 then Figures.all
+    else
+      List.filter (fun (n, _, _) -> n = !figure) Figures.all
+  in
+  if selected = [] then begin
+    Printf.eprintf "unknown figure %d\n" !figure;
+    exit 1
+  end;
+  List.iter (fun (_, _, f) -> f p) selected;
+  Harness.Report.close_csv ();
+  print_endline "\nDone. See EXPERIMENTS.md for paper-vs-measured notes."

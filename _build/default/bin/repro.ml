@@ -1,0 +1,186 @@
+(* repro — run a single experiment with full parameter control.
+
+     dune exec bin/repro.exe -- set --structure ravl --stm 2PLSF \
+       --mix 10,10,80 --keys 10000 --threads 4 --seconds 1
+     dune exec bin/repro.exe -- map --structure skiplist --stm TinySTM
+     dune exec bin/repro.exe -- ycsb --cc TicToc --theta 0.9 --threads 8
+     dune exec bin/repro.exe -- latency --stm 2PLSF --threads 4
+
+   The figure-by-figure reproduction lives in bench/main.exe; this tool is
+   for exploring the parameter space. *)
+
+open Cmdliner
+
+let structure_conv =
+  let parse = function
+    | "list" -> Ok Harness.Driver.List_s
+    | "hash" -> Ok Harness.Driver.Hash_s
+    | "skiplist" -> Ok Harness.Driver.Skip_s
+    | "ziptree" -> Ok Harness.Driver.Zip_s
+    | "ravl" -> Ok Harness.Driver.Ravl_s
+    | s -> Error (`Msg ("unknown structure: " ^ s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Harness.Driver.structure_label s))
+
+let stm_conv =
+  let parse s =
+    match Baselines.Registry.find s with
+    | m -> Ok m
+    | exception Not_found ->
+        let names =
+          List.map (fun (module S : Stm_intf.STM) -> S.name) Baselines.Registry.all
+        in
+        Error (`Msg (Printf.sprintf "unknown stm %s (one of: %s)" s (String.concat ", " names)))
+  in
+  Arg.conv (parse, fun fmt (module S : Stm_intf.STM) -> Format.pp_print_string fmt S.name)
+
+let mix_conv =
+  let parse s =
+    match List.map int_of_string (String.split_on_char ',' s) with
+    | [ i; r; l ] when i + r + l = 100 ->
+        Ok { Harness.Workload.insert = i; remove = r; lookup = l; update = 0 }
+    | [ i; r; l; u ] when i + r + l + u = 100 ->
+        Ok { Harness.Workload.insert = i; remove = r; lookup = l; update = u }
+    | _ -> Error (`Msg "mix must be i,r,l or i,r,l,u percentages summing to 100")
+    | exception _ -> Error (`Msg "mix must be comma-separated integers")
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Harness.Workload.mix_label m))
+
+let structure =
+  Arg.(value & opt structure_conv Harness.Driver.Ravl_s
+       & info [ "structure" ] ~doc:"Data structure: list, hash, skiplist, ziptree, ravl.")
+
+let stm =
+  Arg.(value & opt stm_conv Baselines.Registry.twoplsf
+       & info [ "stm" ] ~doc:"Concurrency control (2PLSF, TL2, TinySTM, TLRW, OREC-Z, OFWF, 2PL-RW, 2PL-RW-Dist, 2PL-WaitDie).")
+
+let mix =
+  Arg.(value & opt mix_conv Harness.Workload.read_mostly
+       & info [ "mix" ] ~doc:"Operation mix as i,r,l[,u] percentages.")
+
+let keys = Arg.(value & opt int 10_000 & info [ "keys" ] ~doc:"Key range.")
+let threads = Arg.(value & opt int 2 & info [ "threads" ] ~doc:"Worker domains.")
+let seconds = Arg.(value & opt float 1.0 & info [ "seconds" ] ~doc:"Run duration.")
+
+let set_cmd =
+  let run structure stm mix keys threads seconds =
+    ignore (Util.Tid.register ());
+    Harness.Report.row_header ();
+    Harness.Report.row
+      (Harness.Driver.run_set_bench ~stm ~structure ~mix ~range:keys ~threads
+         ~seconds)
+  in
+  Cmd.v (Cmd.info "set" ~doc:"Integer-set microbenchmark (Figures 2-7).")
+    Term.(const run $ structure $ stm $ mix $ keys $ threads $ seconds)
+
+let map_cmd =
+  let run structure stm keys threads seconds =
+    ignore (Util.Tid.register ());
+    Harness.Report.row_header ();
+    Harness.Report.row
+      (Harness.Driver.run_map_bench ~stm ~structure ~range:keys ~threads
+         ~seconds)
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Key/value map benchmark, 1%i/1%r/98%u on 100-byte records (Figure 8).")
+    Term.(const run $ structure $ stm $ keys $ threads $ seconds)
+
+let cc_conv =
+  let parse s =
+    match List.assoc_opt s Dbx.Runner.ccs with
+    | Some m -> Ok (s, m)
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown cc %s (one of: %s)" s
+                       (String.concat ", " (List.map fst Dbx.Runner.ccs))))
+  in
+  Arg.conv (parse, fun fmt (s, _) -> Format.pp_print_string fmt s)
+
+let ycsb_cmd =
+  let cc =
+    Arg.(value & opt cc_conv (List.hd Dbx.Runner.ccs |> fun (n, m) -> (n, m))
+         & info [ "cc" ] ~doc:"Concurrency control: 2PLSF, TicToc, NO_WAIT, WAIT_DIE, DL_DETECT.")
+  in
+  let theta = Arg.(value & opt float 0.6 & info [ "theta" ] ~doc:"Zipfian skew (0 = uniform).") in
+  let write_ratio = Arg.(value & opt float 0.5 & info [ "write-ratio" ] ~doc:"Writes per access.") in
+  let rows = Arg.(value & opt int 100_000 & info [ "rows" ] ~doc:"Table size.") in
+  let run (_, cc) theta write_ratio rows threads seconds =
+    ignore (Util.Tid.register ());
+    let table = Dbx.Table.create ~num_rows:rows in
+    let r = Dbx.Runner.run ~cc ~table ~theta ~write_ratio ~threads ~seconds in
+    Printf.printf "%-12s theta=%.2f threads=%d  %.0f txn/s  (%d commits, %d aborts)\n"
+      r.cc r.theta r.threads r.throughput r.commits r.aborts
+  in
+  Cmd.v (Cmd.info "ycsb" ~doc:"YCSB over the DBx1000-style row store (Figure 11).")
+    Term.(const run $ cc $ theta $ write_ratio $ rows $ threads $ seconds)
+
+let latency_cmd =
+  let run stm threads seconds =
+    ignore (Util.Tid.register ());
+    let (module S : Stm_intf.STM) = stm in
+    let threads = Stdlib.max 2 (threads / 2 * 2) in
+    let pairs = threads / 2 in
+    let counters = Array.init (pairs * 20) (fun _ -> S.tvar 0) in
+    let lat = Harness.Latency.create ~threads in
+    let worker i should_stop =
+      let base = i / 2 * 20 in
+      let up = i land 1 = 0 in
+      let n = ref 0 in
+      while not (should_stop ()) do
+        let t0 = Util.Clock.now () in
+        S.atomic (fun tx ->
+            if up then
+              for j = 0 to 19 do
+                S.write tx counters.(base + j) (S.read tx counters.(base + j) + 1)
+              done
+            else
+              for j = 19 downto 0 do
+                S.write tx counters.(base + j) (S.read tx counters.(base + j) + 1)
+              done);
+        Harness.Latency.record lat i (Util.Clock.now () -. t0);
+        incr n
+      done;
+      !n
+    in
+    let res = Harness.Exec.run_timed ~threads ~seconds worker in
+    Harness.Report.latency_header ();
+    let ps = Harness.Latency.percentiles lat [ 50.; 90.; 99. ] in
+    Harness.Report.latency_row ~stm:S.name ~threads ~throughput:res.throughput
+      ~p50:(List.assoc 50. ps) ~p90:(List.assoc 90. ps)
+      ~p99:(List.assoc 99. ps)
+      ~max:(Harness.Latency.max_latency lat)
+  in
+  Cmd.v (Cmd.info "latency" ~doc:"Pair-wise conflict latency benchmark (Figure 10).")
+    Term.(const run $ stm $ threads $ seconds)
+
+let ycsb_latency_cmd =
+  let cc =
+    Arg.(value & opt cc_conv (List.hd Dbx.Runner.ccs |> fun (n, m) -> (n, m))
+         & info [ "cc" ] ~doc:"Concurrency control: 2PLSF, TicToc, NO_WAIT, WAIT_DIE, DL_DETECT.")
+  in
+  let theta = Arg.(value & opt float 0.9 & info [ "theta" ] ~doc:"Zipfian skew.") in
+  let rows = Arg.(value & opt int 100_000 & info [ "rows" ] ~doc:"Table size.") in
+  let run (_, cc) theta rows threads seconds =
+    ignore (Util.Tid.register ());
+    let table = Dbx.Table.create ~num_rows:rows in
+    let r =
+      Dbx.Runner.run_with_latency ~cc ~table ~theta ~write_ratio:0.5 ~threads
+        ~seconds
+    in
+    Harness.Report.latency_header ();
+    Harness.Report.latency_row ~stm:r.base.cc ~threads
+      ~throughput:r.base.throughput ~p50:r.p50 ~p90:r.p90 ~p99:r.p99
+      ~max:r.max_latency
+  in
+  Cmd.v
+    (Cmd.info "ycsb-latency"
+       ~doc:"Per-transaction latency percentiles on the YCSB workload (ablation A5).")
+    Term.(const run $ cc $ theta $ rows $ threads $ seconds)
+
+let () =
+  let doc = "2PLSF reproduction: single-experiment runner" in
+  let info = Cmd.info "repro" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ set_cmd; map_cmd; ycsb_cmd; ycsb_latency_cmd; latency_cmd ]))

@@ -1,0 +1,1 @@
+examples/debug_view.ml: Atomic Baselines Domain Printf Stm_intf Twoplsf Unix Util

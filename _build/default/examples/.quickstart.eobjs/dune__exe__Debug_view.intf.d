@@ -1,0 +1,1 @@
+examples/debug_view.mli:

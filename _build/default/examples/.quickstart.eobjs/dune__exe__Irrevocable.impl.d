@@ -1,0 +1,1 @@
+examples/irrevocable.ml: Array Atomic Domain List Printf Twoplsf Util

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Atomic Harness Option Printf Structures Twoplsf Util

@@ -1,0 +1,1 @@
+examples/pairwise_latency.ml: Array Baselines Harness List Printf Stm_intf Twoplsf Util

@@ -1,0 +1,1 @@
+examples/pairwise_latency.mli:

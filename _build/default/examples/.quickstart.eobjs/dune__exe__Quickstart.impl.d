@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Atomic Harness Printf Twoplsf Util

@@ -1,0 +1,1 @@
+lib/baselines/nowait_2pl.ml: Domain Rwlock Stm_intf Tvar Util Wset

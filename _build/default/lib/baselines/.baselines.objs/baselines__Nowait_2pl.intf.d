@@ -1,0 +1,1 @@
+lib/baselines/nowait_2pl.mli: Rwlock Stm_intf

@@ -1,0 +1,1 @@
+lib/baselines/onefile.ml: Domain Rwlock Stm_intf Tvar Util Wset

@@ -1,0 +1,1 @@
+lib/baselines/onefile.mli: Stm_intf

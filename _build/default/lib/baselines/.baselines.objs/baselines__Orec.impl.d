@@ -1,0 +1,1 @@
+lib/baselines/orec.ml: Array Atomic

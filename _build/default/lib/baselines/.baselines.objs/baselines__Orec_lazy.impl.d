@@ -1,0 +1,1 @@
+lib/baselines/orec_lazy.ml: Atomic Domain Orec Stm_intf Tvar Util Wset

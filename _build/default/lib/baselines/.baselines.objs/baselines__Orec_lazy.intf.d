@@ -1,0 +1,1 @@
+lib/baselines/orec_lazy.mli: Stm_intf

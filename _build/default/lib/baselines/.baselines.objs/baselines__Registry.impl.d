@@ -1,0 +1,1 @@
+lib/baselines/registry.ml: List Onefile Orec_lazy Stm_intf String Tinystm Tl2 Tlrw Twopl_rw Twopl_rw_dist Twoplsf Wait_or_die Wound_wait

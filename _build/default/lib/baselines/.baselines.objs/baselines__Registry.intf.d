@@ -1,0 +1,1 @@
+lib/baselines/registry.mli: Stm_intf

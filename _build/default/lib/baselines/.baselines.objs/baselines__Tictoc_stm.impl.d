@@ -1,0 +1,1 @@
+lib/baselines/tictoc_stm.ml: Array Atomic Domain Stdlib Stm_intf Tvar Util Wset

@@ -1,0 +1,1 @@
+lib/baselines/tictoc_stm.mli: Stm_intf

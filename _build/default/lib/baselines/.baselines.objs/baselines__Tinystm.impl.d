@@ -1,0 +1,1 @@
+lib/baselines/tinystm.ml: Atomic Domain Orec Stm_intf Tvar Util Wset

@@ -1,0 +1,1 @@
+lib/baselines/tl2.ml: Atomic Domain Orec Stm_intf Tvar Util Wset

@@ -1,0 +1,1 @@
+lib/baselines/tl2.mli: Stm_intf

@@ -1,0 +1,1 @@
+lib/baselines/tlrw.ml: Nowait_2pl Rwlock

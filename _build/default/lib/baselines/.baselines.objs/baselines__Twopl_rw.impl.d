@@ -1,0 +1,1 @@
+lib/baselines/twopl_rw.ml: Nowait_2pl Rwlock

@@ -1,0 +1,1 @@
+lib/baselines/twopl_rw_dist.ml: Nowait_2pl Rwlock

@@ -1,0 +1,1 @@
+lib/baselines/wait_or_die.ml: Domain Stm_intf Tvar Twoplsf Util Wset

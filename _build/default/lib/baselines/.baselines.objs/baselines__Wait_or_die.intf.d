@@ -1,0 +1,1 @@
+lib/baselines/wait_or_die.mli: Stm_intf

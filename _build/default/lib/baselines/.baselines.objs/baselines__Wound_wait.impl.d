@@ -1,0 +1,1 @@
+lib/baselines/wound_wait.ml: Array Atomic Domain Rwlock Stm_intf Tvar Util Wset

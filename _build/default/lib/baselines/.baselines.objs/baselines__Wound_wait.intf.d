@@ -1,0 +1,1 @@
+lib/baselines/wound_wait.mli: Stm_intf

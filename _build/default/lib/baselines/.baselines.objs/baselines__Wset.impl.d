@@ -1,0 +1,1 @@
+lib/baselines/wset.ml: Obj Tvar Util

@@ -1,0 +1,121 @@
+module Make (L : Rwlock.Trylock_rw.S) () = struct
+  let name = L.name
+
+  exception Restart
+
+  open Tvar (* brings the { id; v } field labels into scope *)
+
+  type 'a tvar = 'a Tvar.t
+
+  let tvar = Tvar.make
+
+  type tx = {
+    tid : int;
+    rset : int Util.Vec.t; (* read-locked lock indices *)
+    wlocks : int Util.Vec.t; (* write-locked lock indices *)
+    undo : Wset.t;
+    mutable depth : int;
+    mutable restarts : int;
+    mutable finished_restarts : int;
+  }
+
+  let requested_num_locks = ref 65536
+  let built = ref false
+
+  let locks =
+    Util.Once.create (fun () ->
+        built := true;
+        L.create ~num_locks:!requested_num_locks)
+
+  let configure ?(num_locks = 65536) () =
+    if !built then failwith (name ^ ".configure: lock table already built");
+    requested_num_locks := num_locks
+
+  let stats = Stm_intf.Stats.create ()
+
+  let tx_key =
+    Domain.DLS.new_key (fun () ->
+        {
+          tid = Util.Tid.get ();
+          rset = Util.Vec.create ~dummy:(-1) ();
+          wlocks = Util.Vec.create ~dummy:(-1) ();
+          undo = Wset.create ();
+          depth = 0;
+          restarts = 0;
+          finished_restarts = 0;
+        })
+
+  let get_tx () = Domain.DLS.get tx_key
+
+  let read tx (tv : 'a tvar) : 'a =
+    let l = Util.Once.get locks in
+    let w = L.lock_index l tv.id in
+    if L.holds_write l ~tid:tx.tid w || L.holds_read l ~tid:tx.tid w then tv.v
+    else if L.try_read_lock l ~tid:tx.tid w then begin
+      Util.Vec.push tx.rset w;
+      tv.v
+    end
+    else raise Restart
+
+  let write tx tv nv =
+    let l = Util.Once.get locks in
+    let w = L.lock_index l tv.id in
+    let held = L.holds_write l ~tid:tx.tid w in
+    if held || L.try_write_lock l ~tid:tx.tid w then begin
+      if not held then Util.Vec.push tx.wlocks w;
+      Wset.log_old_once tx.undo tv tv.v;
+      tv.v <- nv
+    end
+    else raise Restart
+
+  let release tx =
+    let l = Util.Once.get locks in
+    Util.Vec.iter (fun w -> L.write_unlock l ~tid:tx.tid w) tx.wlocks;
+    Util.Vec.iter (fun w -> L.read_unlock l ~tid:tx.tid w) tx.rset
+
+  let rollback tx =
+    Wset.rollback tx.undo;
+    release tx
+
+  let begin_attempt tx =
+    Util.Vec.clear tx.rset;
+    Util.Vec.clear tx.wlocks;
+    Wset.clear tx.undo
+
+  let atomic ?read_only f =
+    ignore read_only (* reads always lock, as in every 2PL *);
+    let tx = get_tx () in
+    if tx.depth > 0 then f tx
+    else begin
+      tx.restarts <- 0;
+      let rec attempt n =
+        begin_attempt tx;
+        tx.depth <- 1;
+        match f tx with
+        | v ->
+            tx.depth <- 0;
+            release tx;
+            Stm_intf.Stats.commit stats ~tid:tx.tid;
+            tx.finished_restarts <- tx.restarts;
+            v
+        | exception Restart ->
+            tx.depth <- 0;
+            rollback tx;
+            Stm_intf.Stats.abort stats ~tid:tx.tid;
+            tx.restarts <- tx.restarts + 1;
+            Util.Backoff.exponential ~attempt:n;
+            attempt (n + 1)
+        | exception e ->
+            tx.depth <- 0;
+            rollback tx;
+            raise e
+      in
+      attempt 1
+    end
+
+  let commits () = Stm_intf.Stats.commits stats
+  let aborts () = Stm_intf.Stats.aborts stats
+  let clock_ops () = 0 (* no central clock in the no-wait family *)
+  let reset_stats () = Stm_intf.Stats.reset stats
+  let last_restarts () = (get_tx ()).finished_restarts
+end

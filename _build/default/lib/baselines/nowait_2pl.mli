@@ -1,0 +1,19 @@
+(** The 2PL no-wait STM family of Figure 2, as a functor over the lock.
+
+    One algorithm — encounter-time read and write locking with a
+    write-through undo log, immediate abort on any lock conflict, capped
+    exponential backoff between attempts — instantiated with three
+    reader-writer lock implementations:
+
+    - {!Rwlock.Rwl_single}   → the paper's 2PL-RW;
+    - {!Rwlock.Rwl_dist}     → the paper's 2PL-RW-Dist;
+    - {!Rwlock.Rwl_counter}  → TLRW-Z (reader-counter read indicator).
+
+    Compared against 2PLSF, this family isolates what starvation-free
+    conflict resolution buys over no-wait + backoff (§3.1). *)
+
+module Make (L : Rwlock.Trylock_rw.S) () : sig
+  include Stm_intf.STM
+
+  val configure : ?num_locks:int -> unit -> unit
+end

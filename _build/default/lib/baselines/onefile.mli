@@ -1,0 +1,13 @@
+(** OFWF: the OneFile wait-free STM [Ramalhete et al., DSN 2019] —
+    substituted by a flat-combining sequence-lock STM (DESIGN.md §3.4).
+
+    Write transactions are published to a flat combiner and executed in
+    batches under a global sequence lock: all in-flight writers are
+    aggregated into a single execution, reproducing OneFile's defining
+    behaviours in the paper's evaluation — serialized writers with no
+    read-set validation, fast optimistic read-only transactions, and tail
+    latency that grows with the number of competing threads (Figure 10).
+    The substitute is not wait-free (no helping of half-done operations);
+    no measured series depends on that property. *)
+
+include Stm_intf.STM

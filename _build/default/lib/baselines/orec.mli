@@ -1,0 +1,31 @@
+(** Ownership-record (versioned-lock) table shared by the optimistic
+    baselines (TL2, TinySTM/LSA, OREC-lazy).
+
+    Each orec word is either a version number (even encoding) or a lock
+    holding the owner's thread id (odd encoding).  Tvar ids hash onto orecs
+    exactly as data addresses hash onto locks in the paper. *)
+
+type t
+
+val create : num_orecs:int -> t
+(** [num_orecs] must be a power of two. *)
+
+val index : t -> int -> int
+(** Orec index for a tvar id. *)
+
+val get : t -> int -> int
+(** Raw word; decode with the predicates below. *)
+
+val is_locked : int -> bool
+val owner : int -> int
+(** Owner tid of a locked word (meaningless on unlocked words). *)
+
+val version : int -> int
+(** Version of an unlocked word (meaningless on locked words). *)
+
+val try_lock : t -> tid:int -> int -> int option
+(** CAS the orec from unlocked to locked-by-[tid]; [Some old_version] on
+    success, [None] if it was (or became) locked. *)
+
+val unlock_to : t -> int -> version:int -> unit
+(** Store an unlocked word carrying [version]. *)

@@ -1,0 +1,12 @@
+(** OREC-Z: the lazy ownership-record STM of Zardoshti et al. [PACT 2019].
+
+    Commit-time locking with a redo log, like TL2, but "patient": reads
+    carry per-entry observed versions and a too-new orec triggers a
+    snapshot extension (full read-set revalidation) instead of an abort,
+    and the read set is always revalidated at commit.  The paper reports
+    Orec-eager and Orec-lazy as near-identical and plots the lazy variant;
+    so do we. *)
+
+include Stm_intf.STM
+
+val configure : ?num_orecs:int -> unit -> unit

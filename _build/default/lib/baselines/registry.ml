@@ -1,0 +1,36 @@
+let twoplsf : (module Stm_intf.STM) = (module Twoplsf.Stm)
+
+let figure2 : (module Stm_intf.STM) list =
+  [ (module Twopl_rw); (module Twopl_rw_dist); (module Twoplsf.Stm) ]
+
+let main_set : (module Stm_intf.STM) list =
+  [
+    (module Tl2);
+    (module Tinystm);
+    (module Tlrw);
+    (module Orec_lazy);
+    (module Onefile);
+    (module Twoplsf.Stm);
+  ]
+
+let all : (module Stm_intf.STM) list =
+  [
+    (module Twoplsf.Stm);
+    (module Tl2);
+    (module Tinystm);
+    (module Tlrw);
+    (module Orec_lazy);
+    (module Onefile);
+    (module Twopl_rw);
+    (module Twopl_rw_dist);
+    (module Wait_or_die);
+    (module Wound_wait);
+    (module Twoplsf.Stm_wb);
+    (module Twoplsf.Stm_wbd);
+  ]
+
+let find name =
+  let has (module S : Stm_intf.STM) = String.equal S.name name in
+  match List.find_opt has all with
+  | Some s -> s
+  | None -> raise Not_found

@@ -1,0 +1,24 @@
+(** First-class-module registry of every STM in the repository.
+
+    Benchmarks and the functorized data-structure test-suites iterate this
+    list to run one harness against all concurrency controls. *)
+
+val twoplsf : (module Stm_intf.STM)
+
+val all : (module Stm_intf.STM) list
+(** 2PLSF plus every baseline, in the order the paper's figures list them,
+    then the extensions (wound-wait, 2PLSF write-back).  {!Tictoc_stm} is
+    deliberately *not* here: it is serializable but not opaque, so the
+    opacity-assuming test batteries and benchmarks that iterate this list
+    would (correctly) fail on it — its guarantees are exercised separately
+    in [test/test_opacity.ml] and ablation A4. *)
+
+val figure2 : (module Stm_intf.STM) list
+(** The three 2PL variants of Figure 2: 2PL-RW, 2PL-RW-Dist, 2PLSF. *)
+
+val main_set : (module Stm_intf.STM) list
+(** The STMs plotted in Figures 3–8: TL2, TinySTM, TLRW-Z, OREC-Z, OFWF and
+    2PLSF. *)
+
+val find : string -> (module Stm_intf.STM)
+(** Look an STM up by its [name]; raises [Not_found]. *)

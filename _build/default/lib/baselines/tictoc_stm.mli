@@ -1,0 +1,22 @@
+(** TicToc as a word-based STM — the §3.5 discussion made executable.
+
+    Figure 11 shows TicToc beating 2PLSF under high contention, and the
+    paper explains the price: TicToc is serializable but *not opaque*, so
+    "if we apply TicToc to a transactional data structure, the invariants
+    of the data structure may no longer hold [during execution], resulting
+    in incorrect behavior, such as crashes or infinite loops".  This module
+    applies TicToc to tvars so that claim can be demonstrated (see the
+    zombie-read tests and ablation A4): reads carry no snapshot validation,
+    only commit-time timestamp validation.
+
+    Guard rails for the non-opacity: a per-attempt read budget aborts
+    transactions whose (possibly inconsistent) traversal runs away, which
+    is how a real deployment would contain zombie loops.  Committed state
+    is always serializable. *)
+
+include Stm_intf.STM
+
+val configure : ?num_orecs:int -> unit -> unit
+
+val read_budget : int
+(** Reads allowed per attempt before a precautionary abort. *)

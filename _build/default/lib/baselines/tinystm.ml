@@ -1,0 +1,204 @@
+let name = "TinySTM"
+
+exception Restart
+
+open Tvar (* brings the { id; v } field labels into scope *)
+
+type 'a tvar = 'a Tvar.t
+
+let tvar = Tvar.make
+
+type tx = {
+  tid : int;
+  mutable rv : int;
+  rset : (int * int) Util.Vec.t; (* (orec index, observed version) *)
+  undo : Wset.t;
+  wlocks : (int * int) Util.Vec.t; (* (orec index, pre-lock version) *)
+  mutable ro : bool;
+  mutable depth : int;
+  mutable restarts : int;
+  mutable finished_restarts : int;
+}
+
+let requested_num_orecs = ref 65536
+let built = ref false
+
+let orecs =
+  Util.Once.create (fun () ->
+      built := true;
+      Orec.create ~num_orecs:!requested_num_orecs)
+
+let configure ?(num_orecs = 65536) () =
+  if !built then failwith "Tinystm.configure: orec table already built";
+  requested_num_orecs := num_orecs
+
+let clock = Atomic.make 0
+let stats = Stm_intf.Stats.create ()
+
+let tx_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        tid = Util.Tid.get ();
+        rv = 0;
+        rset = Util.Vec.create ~dummy:(-1, -1) ();
+        undo = Wset.create ();
+        wlocks = Util.Vec.create ~dummy:(-1, -1) ();
+        ro = false;
+        depth = 0;
+        restarts = 0;
+        finished_restarts = 0;
+      })
+
+let get_tx () = Domain.DLS.get tx_key
+
+(* LSA snapshot extension: move [rv] forward to the current clock if every
+   read is still valid at its observed version. *)
+let extend tx =
+  let o = Util.Once.get orecs in
+  let now = Atomic.get clock in
+  let ok = ref true in
+  (try
+     Util.Vec.iter
+       (fun (oi, observed) ->
+         let w = Orec.get o oi in
+         if Orec.is_locked w then begin
+           if Orec.owner w <> tx.tid then raise Exit
+         end
+         else if Orec.version w <> observed then raise Exit)
+       tx.rset
+   with Exit -> ok := false);
+  if !ok then tx.rv <- now;
+  !ok
+
+let read tx (tv : 'a tvar) : 'a =
+  let o = Util.Once.get orecs in
+  let oi = Orec.index o tv.id in
+  let w = Orec.get o oi in
+  if Orec.is_locked w then begin
+    if Orec.owner w = tx.tid then tv.v (* own encounter-time lock *)
+    else raise Restart
+  end
+  else begin
+    let v = tv.v in
+    let w2 = Orec.get o oi in
+    if w2 <> w then raise Restart;
+    let ver = Orec.version w in
+    if ver > tx.rv && not (extend tx) then raise Restart;
+    (* Read-only transactions must log reads too: the snapshot extension
+       above is only sound if it revalidates every prior read. *)
+    Util.Vec.push tx.rset (oi, ver);
+    v
+  end
+
+let write tx tv nv =
+  if tx.ro then invalid_arg "Tinystm.write inside a read-only transaction";
+  let o = Util.Once.get orecs in
+  let oi = Orec.index o tv.id in
+  let w = Orec.get o oi in
+  if Orec.is_locked w then begin
+    if Orec.owner w <> tx.tid then raise Restart;
+    Wset.log_old_once tx.undo tv tv.v;
+    tv.v <- nv
+  end
+  else begin
+    let ver = Orec.version w in
+    if ver > tx.rv && not (extend tx) then raise Restart;
+    match Orec.try_lock o ~tid:tx.tid oi with
+    | None -> raise Restart
+    | Some old_version ->
+        Util.Vec.push tx.wlocks (oi, old_version);
+        Wset.log_old_once tx.undo tv tv.v;
+        tv.v <- nv
+  end
+
+let validate_read_set tx =
+  let o = Util.Once.get orecs in
+  let ok = ref true in
+  (try
+     Util.Vec.iter
+       (fun (oi, observed) ->
+         let w = Orec.get o oi in
+         if Orec.is_locked w then begin
+           if Orec.owner w <> tx.tid then raise Exit
+         end
+         else if Orec.version w <> observed then raise Exit)
+       tx.rset
+   with Exit -> ok := false);
+  !ok
+
+let release_wlocks_to tx version =
+  let o = Util.Once.get orecs in
+  Util.Vec.iter (fun (oi, _) -> Orec.unlock_to o oi ~version) tx.wlocks
+
+let release_wlocks_old tx =
+  let o = Util.Once.get orecs in
+  Util.Vec.iter_rev
+    (fun (oi, old_version) -> Orec.unlock_to o oi ~version:old_version)
+    tx.wlocks
+
+(* Roll back undo-logged values *before* releasing the encounter-time
+   locks, then forget both logs so a later rollback is a no-op (another
+   transaction may lock the released orecs immediately). *)
+let rollback tx =
+  Wset.rollback tx.undo;
+  release_wlocks_old tx;
+  Wset.clear tx.undo;
+  Util.Vec.clear tx.wlocks
+
+let commit tx =
+  if Util.Vec.is_empty tx.wlocks then ()
+  else begin
+    let wv = 1 + Atomic.fetch_and_add clock 1 in
+    Stm_intf.Stats.clock_op stats ~tid:tx.tid;
+    if wv <> tx.rv + 1 && not (validate_read_set tx) then begin
+      rollback tx;
+      raise Restart
+    end;
+    release_wlocks_to tx wv
+  end
+
+let begin_attempt tx ~ro =
+  Util.Vec.clear tx.rset;
+  Wset.clear tx.undo;
+  Util.Vec.clear tx.wlocks;
+  tx.ro <- ro;
+  tx.rv <- Atomic.get clock
+
+let atomic ?(read_only = false) f =
+  let tx = get_tx () in
+  if tx.depth > 0 then f tx
+  else begin
+    tx.restarts <- 0;
+    let rec attempt n =
+      begin_attempt tx ~ro:read_only;
+      tx.depth <- 1;
+      match
+        let v = f tx in
+        commit tx;
+        v
+      with
+      | v ->
+          tx.depth <- 0;
+          Stm_intf.Stats.commit stats ~tid:tx.tid;
+          tx.finished_restarts <- tx.restarts;
+          v
+      | exception Restart ->
+          tx.depth <- 0;
+          rollback tx;
+          Stm_intf.Stats.abort stats ~tid:tx.tid;
+          tx.restarts <- tx.restarts + 1;
+          Util.Backoff.exponential ~attempt:n;
+          attempt (n + 1)
+      | exception e ->
+          tx.depth <- 0;
+          rollback tx;
+          raise e
+    in
+    attempt 1
+  end
+
+let commits () = Stm_intf.Stats.commits stats
+let aborts () = Stm_intf.Stats.aborts stats
+let clock_ops () = Stm_intf.Stats.clock_ops stats
+let reset_stats () = Stm_intf.Stats.reset stats
+let last_restarts () = (get_tx ()).finished_restarts

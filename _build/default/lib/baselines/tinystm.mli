@@ -1,0 +1,13 @@
+(** TinySTM / LSA [Felber, Fetzer, Riegel, PPoPP 2008; TPDS 2010].
+
+    Time-based STM with encounter-time locking: writes acquire the orec
+    immediately and go through a write-through undo log; reads are
+    optimistic and carry per-entry observed versions so the snapshot can be
+    *extended* (revalidated against a newer clock value) instead of
+    aborting when a version newer than the read version is met — the LSA
+    mechanism that makes TinySTM the strongest optimistic contender in the
+    paper's read-mostly workloads (Figures 5–7). *)
+
+include Stm_intf.STM
+
+val configure : ?num_orecs:int -> unit -> unit

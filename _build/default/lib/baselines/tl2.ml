@@ -1,0 +1,195 @@
+let name = "TL2"
+
+exception Restart
+
+open Tvar (* brings the { id; v } field labels into scope *)
+
+type 'a tvar = 'a Tvar.t
+
+let tvar = Tvar.make
+
+type tx = {
+  tid : int;
+  mutable rv : int;
+  rset : int Util.Vec.t; (* orec indices of validated reads *)
+  wset : Wset.t;
+  acquired : (int * int) Util.Vec.t; (* commit-time locks: (orec, old version) *)
+  mutable ro : bool;
+  mutable depth : int;
+  mutable restarts : int;
+  mutable finished_restarts : int;
+}
+
+let requested_num_orecs = ref 65536
+let built = ref false
+
+let orecs =
+  Util.Once.create (fun () ->
+      built := true;
+      Orec.create ~num_orecs:!requested_num_orecs)
+
+let configure ?(num_orecs = 65536) () =
+  if !built then failwith "Tl2.configure: orec table already built";
+  requested_num_orecs := num_orecs
+
+let clock = Atomic.make 0
+let stats = Stm_intf.Stats.create ()
+
+let tx_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        tid = Util.Tid.get ();
+        rv = 0;
+        rset = Util.Vec.create ~dummy:(-1) ();
+        wset = Wset.create ();
+        acquired = Util.Vec.create ~dummy:(-1, -1) ();
+        ro = false;
+        depth = 0;
+        restarts = 0;
+        finished_restarts = 0;
+      })
+
+let get_tx () = Domain.DLS.get tx_key
+
+let read tx (tv : 'a tvar) : 'a =
+  let o = Util.Once.get orecs in
+  if not tx.ro then
+    match Wset.find tx.wset tv with
+    | Some v -> v
+    | None ->
+        let oi = Orec.index o tv.id in
+        let pre = Orec.get o oi in
+        if Orec.is_locked pre || Orec.version pre > tx.rv then raise Restart;
+        let v = tv.v in
+        if Orec.get o oi <> pre then raise Restart;
+        Util.Vec.push tx.rset oi;
+        v
+  else begin
+    let oi = Orec.index o tv.id in
+    let pre = Orec.get o oi in
+    if Orec.is_locked pre || Orec.version pre > tx.rv then raise Restart;
+    let v = tv.v in
+    if Orec.get o oi <> pre then raise Restart;
+    v
+  end
+
+let write tx tv nv =
+  if tx.ro then invalid_arg "Tl2.write inside a read-only transaction";
+  Wset.add tx.wset tv nv
+
+let release_acquired tx =
+  let o = Util.Once.get orecs in
+  Util.Vec.iter_rev
+    (fun (oi, old_version) -> Orec.unlock_to o oi ~version:old_version)
+    tx.acquired
+
+let lock_write_set tx =
+  let o = Util.Once.get orecs in
+  let ok = ref true in
+  (try
+     Wset.iter_ids tx.wset (fun id ->
+         let oi = Orec.index o id in
+         let w = Orec.get o oi in
+         if Orec.is_locked w && Orec.owner w = tx.tid then ()
+           (* another tvar hashing onto an orec we already own *)
+         else
+           match Orec.try_lock o ~tid:tx.tid oi with
+           | Some old_version -> Util.Vec.push tx.acquired (oi, old_version)
+           | None -> raise Exit)
+   with Exit -> ok := false);
+  !ok
+
+(* Version an orec had when this commit locked it (linear scan: commit
+   write sets are small). *)
+let acquired_old_version tx oi =
+  let n = Util.Vec.length tx.acquired in
+  let rec go i =
+    if i >= n then None
+    else
+      let oj, old_version = Util.Vec.get tx.acquired i in
+      if oj = oi then Some old_version else go (i + 1)
+  in
+  go 0
+
+let validate_read_set tx =
+  let o = Util.Once.get orecs in
+  let ok = ref true in
+  (try
+     Util.Vec.iter
+       (fun oi ->
+         let w = Orec.get o oi in
+         if Orec.is_locked w then begin
+           if Orec.owner w <> tx.tid then raise Exit;
+           (* Self-locked: the commit-time CAS may have succeeded from a
+              version newer than rv; the read is valid only if the pre-lock
+              version was within the snapshot. *)
+           match acquired_old_version tx oi with
+           | Some old_version when old_version <= tx.rv -> ()
+           | Some _ | None -> raise Exit
+         end
+         else if Orec.version w > tx.rv then raise Exit)
+       tx.rset
+   with Exit -> ok := false);
+  !ok
+
+let commit tx =
+  if Wset.is_empty tx.wset then ()
+  else begin
+    if not (lock_write_set tx) then begin
+      release_acquired tx;
+      raise Restart
+    end;
+    let wv = 1 + Atomic.fetch_and_add clock 1 in
+    Stm_intf.Stats.clock_op stats ~tid:tx.tid;
+    if wv <> tx.rv + 1 && not (validate_read_set tx) then begin
+      release_acquired tx;
+      raise Restart
+    end;
+    Wset.apply tx.wset;
+    let o = Util.Once.get orecs in
+    Util.Vec.iter (fun (oi, _) -> Orec.unlock_to o oi ~version:wv) tx.acquired
+  end
+
+let begin_attempt tx ~ro =
+  Util.Vec.clear tx.rset;
+  Wset.clear tx.wset;
+  Util.Vec.clear tx.acquired;
+  tx.ro <- ro;
+  tx.rv <- Atomic.get clock
+
+let atomic ?(read_only = false) f =
+  let tx = get_tx () in
+  if tx.depth > 0 then f tx
+  else begin
+    tx.restarts <- 0;
+    let rec attempt n =
+      begin_attempt tx ~ro:read_only;
+      tx.depth <- 1;
+      match
+        let v = f tx in
+        commit tx;
+        v
+      with
+      | v ->
+          tx.depth <- 0;
+          Stm_intf.Stats.commit stats ~tid:tx.tid;
+          tx.finished_restarts <- tx.restarts;
+          v
+      | exception Restart ->
+          tx.depth <- 0;
+          Stm_intf.Stats.abort stats ~tid:tx.tid;
+          tx.restarts <- tx.restarts + 1;
+          Util.Backoff.exponential ~attempt:n;
+          attempt (n + 1)
+      | exception e ->
+          tx.depth <- 0;
+          raise e
+    in
+    attempt 1
+  end
+
+let commits () = Stm_intf.Stats.commits stats
+let aborts () = Stm_intf.Stats.aborts stats
+let clock_ops () = Stm_intf.Stats.clock_ops stats
+let reset_stats () = Stm_intf.Stats.reset stats
+let last_restarts () = (get_tx ()).finished_restarts

@@ -1,0 +1,16 @@
+(** TL2 [Dice, Shalev, Shavit, DISC 2006] — the classic optimistic STM the
+    paper benchmarks against.
+
+    Global version clock, invisible (optimistic) reads validated against a
+    read version sampled at transaction begin, redo-log writes, and
+    commit-time locking of the write set followed by read-set validation.
+    Write transactions increment the global clock on *every* commit — the
+    scalability bottleneck §3.3 contrasts with 2PLSF's on-conflict-only
+    clock.  Read-only transactions ([~read_only:true]) never touch the
+    clock or build logs. *)
+
+include Stm_intf.STM
+
+val configure : ?num_orecs:int -> unit -> unit
+(** Size of the ownership-record table (power of two, default 65536); call
+    before the first transaction. *)

@@ -1,0 +1,4 @@
+(** TLRW-Z [Dice & Shavit, SPAA 2010; Zardoshti et al., PACT 2019]:
+    no-wait 2PL over the reader-counter lock.  See {!Nowait_2pl}. *)
+
+include Nowait_2pl.Make (Rwlock.Rwl_counter) ()

@@ -1,0 +1,3 @@
+type 'a t = { id : int; mutable v : 'a }
+
+let make v = { id = Util.Id_gen.next (); v }

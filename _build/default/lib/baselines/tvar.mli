@@ -1,0 +1,10 @@
+(** The transactional-variable representation shared by all baseline STMs.
+
+    A plain mutable cell plus a unique id that hashes into each STM's
+    lock/orec table (the OCaml substitute for the paper's address hashing,
+    DESIGN.md §3.2).  The 2PLSF core keeps its own tvar type (it carries an
+    undo-log stamp); every baseline uses this one. *)
+
+type 'a t = { id : int; mutable v : 'a }
+
+val make : 'a -> 'a t

@@ -1,0 +1,4 @@
+(** 2PL-RW (Figure 2): no-wait 2PL over the single-word reader-writer
+    lock.  See {!Nowait_2pl}. *)
+
+include Nowait_2pl.Make (Rwlock.Rwl_single) ()

@@ -1,0 +1,4 @@
+(** 2PL-RW-Dist (Figure 2): no-wait 2PL over the distributed
+    read-indicator lock.  See {!Nowait_2pl}. *)
+
+include Nowait_2pl.Make (Rwlock.Rwl_dist) ()

@@ -1,0 +1,152 @@
+module Rwl_sf = Twoplsf.Rwl_sf
+
+let name = "2PL-WaitDie"
+
+exception Restart
+
+open Tvar (* brings the { id; v } field labels into scope *)
+
+type 'a tvar = 'a Tvar.t
+
+let tvar = Tvar.make
+
+type tx = {
+  ctx : Rwl_sf.ctx;
+  rset : int Util.Vec.t;
+  wlocks : int Util.Vec.t;
+  undo : Wset.t;
+  mutable depth : int;
+  mutable restarts : int;
+  mutable finished_restarts : int;
+}
+
+let requested_num_locks = ref 65536
+let built = ref false
+
+let table =
+  Util.Once.create (fun () ->
+      built := true;
+      Rwl_sf.create ~num_locks:!requested_num_locks ())
+
+let configure ?(num_locks = 65536) () =
+  if !built then failwith "Wait_or_die.configure: lock table already built";
+  requested_num_locks := num_locks
+
+let stats = Stm_intf.Stats.create ()
+
+let tx_key =
+  Domain.DLS.new_key (fun () ->
+      let tid = Util.Tid.get () in
+      {
+        ctx = Rwl_sf.make_ctx ~tid;
+        rset = Util.Vec.create ~dummy:(-1) ();
+        wlocks = Util.Vec.create ~dummy:(-1) ();
+        undo = Wset.create ();
+        depth = 0;
+        restarts = 0;
+        finished_restarts = 0;
+      })
+
+let get_tx () = Domain.DLS.get tx_key
+
+let read tx (tv : 'a tvar) : 'a =
+  let t = Util.Once.get table in
+  let w = Rwl_sf.lock_index t tv.id in
+  if Rwl_sf.holds_read t tx.ctx w || Rwl_sf.holds_write t tx.ctx w then tv.v
+  else if Rwl_sf.try_or_wait_read_lock t tx.ctx w then begin
+    Util.Vec.push tx.rset w;
+    tv.v
+  end
+  else raise Restart
+
+let write tx tv nv =
+  let t = Util.Once.get table in
+  let w = Rwl_sf.lock_index t tv.id in
+  let held = Rwl_sf.holds_write t tx.ctx w in
+  if held || Rwl_sf.try_or_wait_write_lock t tx.ctx w then begin
+    if not held then Util.Vec.push tx.wlocks w;
+    Wset.log_old_once tx.undo tv tv.v;
+    tv.v <- nv
+  end
+  else raise Restart
+
+let release tx =
+  let t = Util.Once.get table in
+  Util.Vec.iter (fun w -> Rwl_sf.write_unlock t tx.ctx w) tx.wlocks;
+  Util.Vec.iter (fun w -> Rwl_sf.read_unlock t tx.ctx w) tx.rset
+
+let rollback tx =
+  Wset.rollback tx.undo;
+  release tx
+
+(* After dying, wait until no in-flight transaction has a lower timestamp
+   — even non-conflicting ones (the wait-or-die behaviour §2.1 contrasts
+   with 2PLSF's wait-for-the-specific-conflictor). *)
+let wait_for_all_lower t tx =
+  let b = Util.Backoff.create () in
+  let someone_lower () =
+    let hwm = Util.Tid.high_water () in
+    let rec go tid =
+      if tid >= hwm then false
+      else if tid <> tx.ctx.tid then begin
+        let ts = Rwl_sf.announced t tid in
+        if ts > 0 && ts < tx.ctx.my_ts then true else go (tid + 1)
+      end
+      else go (tid + 1)
+    in
+    go 0
+  in
+  while someone_lower () do
+    Util.Backoff.once b
+  done
+
+let begin_attempt t tx =
+  Util.Vec.clear tx.rset;
+  Util.Vec.clear tx.wlocks;
+  Wset.clear tx.undo;
+  (* The wait-or-die signature: a timestamp on *every* transaction (kept
+     across restarts so progress is guaranteed). *)
+  Rwl_sf.take_timestamp t tx.ctx
+
+let atomic ?read_only f =
+  ignore read_only;
+  let tx = get_tx () in
+  if tx.depth > 0 then f tx
+  else begin
+    tx.restarts <- 0;
+    let t = Util.Once.get table in
+    let rec attempt () =
+      begin_attempt t tx;
+      tx.depth <- 1;
+      match f tx with
+      | v ->
+          tx.depth <- 0;
+          release tx;
+          Rwl_sf.clear_announcement t tx.ctx;
+          Stm_intf.Stats.commit stats ~tid:tx.ctx.tid;
+          tx.finished_restarts <- tx.restarts;
+          v
+      | exception Restart ->
+          tx.depth <- 0;
+          rollback tx;
+          Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
+          tx.restarts <- tx.restarts + 1;
+          wait_for_all_lower t tx;
+          attempt ()
+      | exception e ->
+          tx.depth <- 0;
+          rollback tx;
+          Rwl_sf.clear_announcement t tx.ctx;
+          raise e
+    in
+    attempt ()
+  end
+
+let commits () = Stm_intf.Stats.commits stats
+let aborts () = Stm_intf.Stats.aborts stats
+let clock_ops () = Rwl_sf.clock_increments (Util.Once.get table)
+
+let reset_stats () =
+  Stm_intf.Stats.reset stats;
+  Rwl_sf.reset_clock_increments (Util.Once.get table)
+let last_restarts () = (get_tx ()).finished_restarts

@@ -1,0 +1,18 @@
+(** Classic 2PL Wait-Or-Die [Bernstein et al. 1987] — the §4.1 ablation.
+
+    Same reader-writer lock machinery as 2PLSF, but with the two behaviours
+    the paper identifies as wait-or-die's weaknesses:
+
+    - every transaction draws a timestamp from the central clock at begin
+      (one atomic increment per transaction, the §3.3 bottleneck), instead
+      of 2PLSF's increment-on-first-conflict;
+    - an aborted ("died") transaction waits for *all* in-flight
+      transactions with a lower timestamp — conflicting or not — before
+      retrying, instead of 2PLSF's wait-for-the-specific-conflictor.
+
+    Starvation-free for the same reason 2PLSF is (timestamps are kept
+    across restarts).  Benchmarked as ablation A1 in DESIGN.md. *)
+
+include Stm_intf.STM
+
+val configure : ?num_locks:int -> unit -> unit

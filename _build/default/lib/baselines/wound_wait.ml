@@ -1,0 +1,233 @@
+open Tvar (* brings the { id; v } field labels into scope *)
+
+let name = "2PL-WoundWait"
+
+exception Restart
+
+type 'a tvar = 'a Tvar.t
+
+let tvar = Tvar.make
+
+type ctx = { tid : int; mutable my_ts : int }
+
+type tx = {
+  ctx : ctx;
+  rset : int Util.Vec.t;
+  wlocks : int Util.Vec.t;
+  undo : Wset.t;
+  mutable depth : int;
+  mutable restarts : int;
+  mutable finished_restarts : int;
+}
+
+type table = {
+  mask : int;
+  wlocks : int Atomic.t array; (* 0 = free, tid+1 = writer *)
+  ri : Rwlock.Read_indicator.t;
+  announce : int Atomic.t array; (* per-txn timestamps; 0 = idle *)
+  wounded : bool Atomic.t array;
+  clock : int Atomic.t;
+}
+
+let requested_num_locks = ref 65536
+let built = ref false
+
+let table =
+  Util.Once.create (fun () ->
+      built := true;
+      let num_locks = !requested_num_locks in
+      if num_locks land (num_locks - 1) <> 0 || num_locks < 32 then
+        invalid_arg "Wound_wait: num_locks must be a power of two >= 32";
+      {
+        mask = num_locks - 1;
+        wlocks = Array.init num_locks (fun _ -> Atomic.make 0);
+        ri = Rwlock.Read_indicator.create ~num_locks;
+        announce = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
+        wounded = Array.init Util.Tid.max_threads (fun _ -> Atomic.make false);
+        clock = Atomic.make 1;
+      })
+
+let configure ?(num_locks = 65536) () =
+  if !built then failwith "Wound_wait.configure: lock table already built";
+  requested_num_locks := num_locks
+
+let stats = Stm_intf.Stats.create ()
+
+let tx_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        ctx = { tid = Util.Tid.get (); my_ts = 0 };
+        rset = Util.Vec.create ~dummy:(-1) ();
+        wlocks = Util.Vec.create ~dummy:(-1) ();
+        undo = Wset.create ();
+        depth = 0;
+        restarts = 0;
+        finished_restarts = 0;
+      })
+
+let get_tx () = Domain.DLS.get tx_key
+
+let ts_of t tid =
+  let v = Atomic.get t.announce.(tid) in
+  if v = 0 then max_int else v
+
+let wound t victim = Atomic.set t.wounded.(victim) true
+let am_wounded t ctx = Atomic.get t.wounded.(ctx.tid)
+
+(* Older (lower-ts) requesters wound the conflicting owner(s) and wait;
+   younger ones just wait.  A wounded transaction notices at its next
+   acquisition attempt and restarts. *)
+let acquire_read t ctx w =
+  begin
+    let b = Util.Backoff.create () in
+    let rec loop () =
+      if am_wounded t ctx then false
+      else begin
+        Rwlock.Read_indicator.arrive t.ri ~tid:ctx.tid w;
+        let ws = Atomic.get t.wlocks.(w) in
+        if ws = 0 || ws = ctx.tid + 1 then true
+        else begin
+          (* Conflicting writer: back off the indicator so the writer can
+             finish, wound it if we are older, and retry. *)
+          Rwlock.Read_indicator.depart t.ri ~tid:ctx.tid w;
+          let holder = ws - 1 in
+          if ctx.my_ts < ts_of t holder then wound t holder;
+          Util.Backoff.once b;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  end
+
+let acquire_write t ctx w =
+  let me = ctx.tid + 1 in
+  if Atomic.get t.wlocks.(w) = me then true
+  else begin
+    let b = Util.Backoff.create () in
+    let rec loop () =
+      if am_wounded t ctx then begin
+        if Atomic.get t.wlocks.(w) = me then Atomic.set t.wlocks.(w) 0;
+        false
+      end
+      else begin
+        (if Atomic.get t.wlocks.(w) = 0 then
+           ignore (Atomic.compare_and_set t.wlocks.(w) 0 me));
+        let ws = Atomic.get t.wlocks.(w) in
+        if ws = me then begin
+          if Rwlock.Read_indicator.is_empty t.ri ~self:ctx.tid w then true
+          else begin
+            (* Wound younger readers; they depart when they notice. *)
+            Rwlock.Read_indicator.iter_readers t.ri ~self:ctx.tid w
+              (fun reader ->
+                if ctx.my_ts < ts_of t reader then wound t reader);
+            Util.Backoff.once b;
+            loop ()
+          end
+        end
+        else begin
+          let holder = ws - 1 in
+          if ctx.my_ts < ts_of t holder then wound t holder;
+          Util.Backoff.once b;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  end
+
+let read tx (tv : 'a tvar) : 'a =
+  let t = Util.Once.get table in
+  let w = tv.id land t.mask in
+  if
+    Rwlock.Read_indicator.holds t.ri ~tid:tx.ctx.tid w
+    || Atomic.get t.wlocks.(w) = tx.ctx.tid + 1
+  then tv.v (* re-read under a lock we already hold *)
+  else if acquire_read t tx.ctx w then begin
+    Util.Vec.push tx.rset w;
+    tv.v
+  end
+  else raise Restart
+
+let write tx tv nv =
+  let t = Util.Once.get table in
+  let w = tv.id land t.mask in
+  let held = Atomic.get t.wlocks.(w) = tx.ctx.tid + 1 in
+  if held || acquire_write t tx.ctx w then begin
+    if not held then Util.Vec.push tx.wlocks w;
+    Wset.log_old_once tx.undo tv tv.v;
+    tv.v <- nv
+  end
+  else raise Restart
+
+let release t tx =
+  Util.Vec.iter
+    (fun w -> if Atomic.get t.wlocks.(w) = tx.ctx.tid + 1 then Atomic.set t.wlocks.(w) 0)
+    tx.wlocks;
+  Util.Vec.iter
+    (fun w -> Rwlock.Read_indicator.depart t.ri ~tid:tx.ctx.tid w)
+    tx.rset
+
+let rollback t tx =
+  Wset.rollback tx.undo;
+  release t tx
+
+let begin_attempt t tx =
+  Util.Vec.clear tx.rset;
+  Util.Vec.clear tx.wlocks;
+  Wset.clear tx.undo;
+  Atomic.set t.wounded.(tx.ctx.tid) false;
+  if tx.ctx.my_ts = 0 then begin
+    tx.ctx.my_ts <- Atomic.fetch_and_add t.clock 1;
+    Stm_intf.Stats.clock_op stats ~tid:tx.ctx.tid;
+    Atomic.set t.announce.(tx.ctx.tid) tx.ctx.my_ts
+  end
+
+let finish t tx =
+  tx.ctx.my_ts <- 0;
+  Atomic.set t.announce.(tx.ctx.tid) 0;
+  Atomic.set t.wounded.(tx.ctx.tid) false
+
+let atomic ?read_only f =
+  ignore read_only;
+  let tx = get_tx () in
+  if tx.depth > 0 then f tx
+  else begin
+    tx.restarts <- 0;
+    let t = Util.Once.get table in
+    let rec attempt () =
+      begin_attempt t tx;
+      tx.depth <- 1;
+      match f tx with
+      | v ->
+          tx.depth <- 0;
+          (* A wound that arrives after the last acquisition is too late:
+             the transaction has all its locks and commits (standard
+             wound-wait: finished transactions are not aborted). *)
+          release t tx;
+          finish t tx;
+          Stm_intf.Stats.commit stats ~tid:tx.ctx.tid;
+          tx.finished_restarts <- tx.restarts;
+          v
+      | exception Restart ->
+          tx.depth <- 0;
+          rollback t tx;
+          Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
+          tx.restarts <- tx.restarts + 1;
+          (* Keep the timestamp: the restarted transaction ages toward
+             oldest, which is the starvation-freedom argument. *)
+          attempt ()
+      | exception e ->
+          tx.depth <- 0;
+          rollback t tx;
+          finish t tx;
+          raise e
+    in
+    attempt ()
+  end
+
+let commits () = Stm_intf.Stats.commits stats
+let aborts () = Stm_intf.Stats.aborts stats
+let clock_ops () = Stm_intf.Stats.clock_ops stats
+let reset_stats () = Stm_intf.Stats.reset stats
+let last_restarts () = (get_tx ()).finished_restarts

@@ -1,0 +1,18 @@
+(** 2PL Wound-Wait [Rosenkrantz et al. 1978], the preemptive sibling of
+    wait-or-die the paper mentions in §1 (the strategy PLOR builds on).
+
+    Every transaction draws a timestamp at begin.  On a lock conflict an
+    *older* (lower-timestamp) requester "wounds" the younger lock holder —
+    sets its wound flag — and waits; a younger requester simply waits.
+    Wounds are deferred-checked: a wounded transaction notices the flag at
+    its next lock acquisition or at commit and restarts itself (a thread
+    cannot be aborted from outside in OCaml; the deferred check preserves
+    the protocol's deadlock-freedom because a wounded holder always reaches
+    a check point in finite time).
+
+    Starvation-free for the same reason as wait-die: timestamps are kept
+    across restarts, so every transaction eventually becomes the oldest. *)
+
+include Stm_intf.STM
+
+val configure : ?num_locks:int -> unit -> unit

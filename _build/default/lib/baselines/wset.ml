@@ -1,0 +1,61 @@
+type entry = E : { tv : 'a Tvar.t; mutable value : 'a } -> entry
+
+type t = { entries : entry Util.Vec.t; mutable bloom : int }
+
+let dummy = E { tv = { Tvar.id = -1; v = () }; value = () }
+
+let create () = { entries = Util.Vec.create ~dummy (); bloom = 0 }
+
+let clear t =
+  Util.Vec.clear t.entries;
+  t.bloom <- 0
+
+let is_empty t = Util.Vec.is_empty t.entries
+let length t = Util.Vec.length t.entries
+
+let bloom_bit id = 1 lsl (id land 62)
+let maybe_mem t (tv : _ Tvar.t) = t.bloom land bloom_bit tv.id <> 0
+
+(* Entries are matched by tvar id; ids are globally unique, so an id match
+   means the entry's tvar *is* the queried tvar and their value types are
+   equal — which makes the [Obj.magic] below safe.  This is the standard
+   heterogeneous-log trick; it is confined to this module. *)
+let find_entry t (tv : _ Tvar.t) =
+  if not (maybe_mem t tv) then None
+  else begin
+    let n = Util.Vec.length t.entries in
+    let rec go i =
+      if i >= n then None
+      else
+        match Util.Vec.get t.entries i with
+        | E e when e.tv.id = tv.id -> Some (Util.Vec.get t.entries i)
+        | E _ -> go (i + 1)
+    in
+    go 0
+  end
+
+let add t tv value =
+  match find_entry t tv with
+  | Some (E e) -> e.value <- Obj.magic value
+  | None ->
+      Util.Vec.push t.entries (E { tv; value });
+      t.bloom <- t.bloom lor bloom_bit tv.id
+
+let find : type a. t -> a Tvar.t -> a option =
+ fun t tv ->
+  match find_entry t tv with
+  | Some (E e) -> Some (Obj.magic e.value)
+  | None -> None
+
+let log_old_once t tv old =
+  match find_entry t tv with
+  | Some _ -> ()
+  | None ->
+      Util.Vec.push t.entries (E { tv; value = old });
+      t.bloom <- t.bloom lor bloom_bit tv.id
+
+let mem t tv = find_entry t tv <> None
+
+let apply t = Util.Vec.iter (fun (E e) -> e.tv.v <- e.value) t.entries
+let rollback t = Util.Vec.iter_rev (fun (E e) -> e.tv.v <- e.value) t.entries
+let iter_ids t f = Util.Vec.iter (fun (E e) -> f e.tv.id) t.entries

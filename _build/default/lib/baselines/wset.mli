@@ -1,0 +1,37 @@
+(** Transaction write set over heterogeneous tvars.
+
+    Serves two roles: redo log (buffered new values with read-own-write
+    lookup) for the commit-time-locking STMs (TL2, OREC-lazy) and undo log
+    (captured old values) for the encounter-time-locking ones (TinySTM, the
+    2PL no-wait family).  A per-transaction 63-bit Bloom filter over tvar
+    ids makes the common "not in my write set" lookup one mask test, as in
+    the original TL2. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+val is_empty : t -> bool
+val length : t -> int
+
+val add : t -> 'a Tvar.t -> 'a -> unit
+(** Redo-log insert: record that the transaction intends [tv := value],
+    overwriting any previous intent for the same tvar. *)
+
+val find : t -> 'a Tvar.t -> 'a option
+(** Redo-log lookup: the pending value for [tv], if any (read-own-write). *)
+
+val log_old_once : t -> 'a Tvar.t -> 'a -> unit
+(** Undo-log insert: capture [tv]'s pre-transaction value the first time
+    the transaction writes it; later calls for the same tvar are no-ops. *)
+
+val mem : t -> 'a Tvar.t -> bool
+
+val apply : t -> unit
+(** Redo: install every pending value (commit write-back). *)
+
+val rollback : t -> unit
+(** Undo: restore captured old values, newest first. *)
+
+val iter_ids : t -> (int -> unit) -> unit
+(** Tvar ids in insertion order (commit-time lock acquisition). *)

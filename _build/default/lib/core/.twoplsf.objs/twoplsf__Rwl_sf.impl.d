@@ -1,0 +1,1 @@
+lib/core/rwl_sf.ml: Array Atomic Rwlock Util

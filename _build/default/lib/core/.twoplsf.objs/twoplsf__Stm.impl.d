@@ -1,0 +1,1 @@
+lib/core/stm.ml: Array Atomic Domain Rwl_sf Stdlib Stm_intf Util

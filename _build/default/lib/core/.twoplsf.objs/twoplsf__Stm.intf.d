@@ -1,0 +1,1 @@
+lib/core/stm.mli: Rwl_sf Stm_intf

@@ -1,0 +1,1 @@
+lib/core/stm_wb.ml: Wb_protocol

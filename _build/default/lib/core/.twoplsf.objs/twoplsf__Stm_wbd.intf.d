@@ -1,0 +1,1 @@
+lib/core/stm_wbd.mli: Stm_intf

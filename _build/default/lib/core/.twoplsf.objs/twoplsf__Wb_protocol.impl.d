@@ -1,0 +1,1 @@
+lib/core/wb_protocol.ml: Domain Obj Rwl_sf Stm_intf Util

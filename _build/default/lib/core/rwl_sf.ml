@@ -1,0 +1,209 @@
+(* The starvation-free reader-writer lock (paper Algorithms 2 and 3).
+
+   Lock word encoding: 0 = UNLOCKED, otherwise (holder tid + 1).
+   Announced timestamp 0 = NO_TIMESTAMP, compared as +infinity (a
+   never-conflicted transaction has lowest priority; see mli).
+
+   Divergence from the pseudocode, both deliberate:
+   - [try_or_wait_write_lock] returns true immediately when the caller
+     already holds the write lock.  In the pseudocode a re-entrant writer
+     can be wounded at line 96 and then releases the lock at line 101
+     *before* its undo-log rollback runs, letting another writer acquire
+     the lock while stale rollback stores are still pending.  The fast
+     path removes that window; rollback always happens before release.
+   - getTSOfWLock/getLowestTS initialize their fold with +infinity rather
+     than NO_TIMESTAMP = 0 (with 0 the pseudocode's [oTS < lowestTS] can
+     never fire). *)
+
+module Read_indicator = Rwlock.Read_indicator
+
+let infinity_ts = max_int
+
+type t = {
+  mask : int;
+  nlocks : int;
+  wlocks : int Atomic.t array;
+  ri : Read_indicator.t;
+  conflict_clock : int Atomic.t;
+  announce : int Atomic.t array;
+  zero_mutex : bool Atomic.t;
+  clock_count : int Atomic.t array; (* per-tid count of conflict-clock draws *)
+}
+
+type ctx = {
+  tid : int;
+  mutable my_ts : int;
+  mutable o_tid : int;
+  mutable o_ts : int;
+}
+
+let create ?(num_locks = 65536) () =
+  if num_locks land (num_locks - 1) <> 0 || num_locks < 32 then
+    invalid_arg "Rwl_sf.create: num_locks must be a power of two >= 32";
+  {
+    mask = num_locks - 1;
+    nlocks = num_locks;
+    wlocks = Array.init num_locks (fun _ -> Atomic.make 0);
+    ri = Read_indicator.create ~num_locks;
+    conflict_clock = Atomic.make 2 (* 1 is the irrevocable priority *);
+    announce = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
+    zero_mutex = Atomic.make false;
+    clock_count = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
+  }
+
+let make_ctx ~tid = { tid; my_ts = 0; o_tid = -1; o_ts = 0 }
+let num_locks t = t.nlocks
+let lock_index t id = id land t.mask
+let announced t tid = Atomic.get t.announce.(tid)
+
+let effective_ts raw = if raw = 0 then infinity_ts else raw
+
+let take_timestamp t ctx =
+  if ctx.my_ts = 0 then begin
+    ctx.my_ts <- Atomic.fetch_and_add t.conflict_clock 1;
+    Atomic.incr t.clock_count.(ctx.tid);
+    Atomic.set t.announce.(ctx.tid) ctx.my_ts
+  end
+
+let announce_priority t ctx ts =
+  ctx.my_ts <- ts;
+  Atomic.set t.announce.(ctx.tid) ts
+
+let clear_announcement t ctx =
+  ctx.my_ts <- 0;
+  ctx.o_tid <- -1;
+  ctx.o_ts <- 0;
+  Atomic.set t.announce.(ctx.tid) 0
+
+(* Effective timestamp of the current write-lock holder (+inf if the lock
+   is free, held by us, or the holder never conflicted).  Records the
+   holder in [ctx.o_tid] when it is a real candidate. *)
+let ts_of_wlock t ctx w =
+  let ws = Atomic.get t.wlocks.(w) in
+  if ws = 0 || ws = ctx.tid + 1 then infinity_ts
+  else begin
+    let otid = ws - 1 in
+    let ts = effective_ts (Atomic.get t.announce.(otid)) in
+    if ts < infinity_ts then begin
+      ctx.o_tid <- otid;
+      ctx.o_ts <- ts
+    end;
+    ts
+  end
+
+(* Lowest effective timestamp among the write-lock holder and all readers
+   (Algorithm 3, getLowestTS), recording the owning thread in ctx. *)
+let lowest_ts t ctx w =
+  let lowest = ref (ts_of_wlock t ctx w) in
+  Read_indicator.iter_readers t.ri ~self:ctx.tid w (fun itid ->
+      let ts = effective_ts (Atomic.get t.announce.(itid)) in
+      if ts < !lowest then begin
+        lowest := ts;
+        ctx.o_tid <- itid;
+        ctx.o_ts <- ts
+      end);
+  !lowest
+
+let my_effective_ts ctx = effective_ts ctx.my_ts
+
+let try_or_wait_read_lock t ctx w =
+  Read_indicator.arrive t.ri ~tid:ctx.tid w;
+  let ws = Atomic.get t.wlocks.(w) in
+  if ws = 0 || ws = ctx.tid + 1 then true
+  else begin
+    take_timestamp t ctx;
+    let b = Util.Backoff.create () in
+    let rec loop () =
+      if Atomic.get t.wlocks.(w) = 0 then true
+      else begin
+        let ots = ts_of_wlock t ctx w in
+        if ots < my_effective_ts ctx then begin
+          (* A higher-priority writer owns the lock: restart. *)
+          Read_indicator.depart t.ri ~tid:ctx.tid w;
+          false
+        end
+        else begin
+          Util.Backoff.once b;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  end
+
+let try_or_wait_write_lock t ctx w =
+  let me = ctx.tid + 1 in
+  let ws = Atomic.get t.wlocks.(w) in
+  if ws = me then true
+  else if
+    ws = 0
+    && Atomic.compare_and_set t.wlocks.(w) 0 me
+    && Read_indicator.is_empty t.ri ~self:ctx.tid w
+  then true
+  else begin
+    take_timestamp t ctx;
+    (* Arrive as a reader so concurrent lower-priority writers that win the
+       CAS race see a non-empty indicator and defer to our timestamp
+       (§2.5: bounds the number of writers that can overtake us). *)
+    Read_indicator.arrive t.ri ~tid:ctx.tid w;
+    let b = Util.Backoff.create () in
+    let rec loop () =
+      (if Atomic.get t.wlocks.(w) = 0 then
+         ignore (Atomic.compare_and_set t.wlocks.(w) 0 me));
+      if
+        Atomic.get t.wlocks.(w) = me
+        && Read_indicator.is_empty t.ri ~self:ctx.tid w
+      then begin
+        (* Clearing the indicator is fine even if this thread previously
+           held the read lock: the lock is now upgraded. *)
+        Read_indicator.depart t.ri ~tid:ctx.tid w;
+        true
+      end
+      else begin
+        let lowest = lowest_ts t ctx w in
+        if lowest < my_effective_ts ctx then begin
+          Read_indicator.depart t.ri ~tid:ctx.tid w;
+          if Atomic.get t.wlocks.(w) = me then Atomic.set t.wlocks.(w) 0;
+          false
+        end
+        else begin
+          Util.Backoff.once b;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  end
+
+let read_unlock t ctx w = Read_indicator.depart t.ri ~tid:ctx.tid w
+let write_unlock t ctx w =
+  ignore ctx;
+  Atomic.set t.wlocks.(w) 0
+
+let holds_read t ctx w = Read_indicator.holds t.ri ~tid:ctx.tid w
+let holds_write t ctx w = Atomic.get t.wlocks.(w) = ctx.tid + 1
+
+let wait_for_conflictor t ctx =
+  let otid = ctx.o_tid and ots = ctx.o_ts in
+  ctx.o_tid <- -1;
+  ctx.o_ts <- 0;
+  if otid >= 0 && ots > 0 && ots < infinity_ts then begin
+    let b = Util.Backoff.create () in
+    while Atomic.get t.announce.(otid) = ots do
+      Util.Backoff.once b
+    done
+  end
+
+let zero_mutex_lock t =
+  let b = Util.Backoff.create () in
+  while not (Atomic.compare_and_set t.zero_mutex false true) do
+    Util.Backoff.once b
+  done
+
+let zero_mutex_unlock t = Atomic.set t.zero_mutex false
+
+let clock_increments t =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.clock_count
+
+let reset_clock_increments t =
+  Array.iter (fun c -> Atomic.set c 0) t.clock_count

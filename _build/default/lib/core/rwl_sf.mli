@@ -1,0 +1,93 @@
+(** The starvation-free scalable reader-writer lock of the paper
+    (Algorithms 2 and 3).
+
+    A table of [num_locks] reader-writer locks sharing one distributed
+    {!Read_indicator}, one conflict clock and one timestamp-announcement
+    array.  Lock acquisition uses the [tryOrWaitLock] API (§2.3): it may
+    wait, returns [true] on acquisition, and returns [false] — telling the
+    caller to restart its transaction — only when a transaction with a
+    lower timestamp (higher priority) holds or awaits the lock.
+
+    Timestamp convention: announced value 0 is [NO_TIMESTAMP] and compares
+    as +infinity — a transaction that never met a conflict has the lowest
+    priority, so conflicted (timestamped) transactions never restart
+    because of it; they wait for it instead.  (The paper's pseudocode
+    leaves this case implicit; see DESIGN.md.)  Timestamp 1 is reserved as
+    the irrevocable priority (§2.8): the conflict clock starts at 2. *)
+
+type t
+
+type ctx = {
+  tid : int;  (** dense thread id of the owner *)
+  mutable my_ts : int;
+      (** this transaction's timestamp; 0 until the first conflict *)
+  mutable o_tid : int;  (** thread that caused the last conflict, or -1 *)
+  mutable o_ts : int;
+      (** the conflicting thread's announced timestamp at detection time *)
+}
+(** Per-transaction conflict state — the paper's thread-locals [tl_myTS],
+    [tl_otid], [tl_oTS].  Owned by one thread, embedded in its STM
+    transaction descriptor. *)
+
+val create : ?num_locks:int -> unit -> t
+(** Build a lock table.  [num_locks] (default 65536) must be a power of two
+    and a multiple of 32. *)
+
+val make_ctx : tid:int -> ctx
+val num_locks : t -> int
+
+val lock_index : t -> int -> int
+(** Hash a tvar id onto a lock index ([addr2lockIdx]). *)
+
+val try_or_wait_read_lock : t -> ctx -> int -> bool
+(** Acquire the read side of lock [w] (Algorithm 2, lines 51–69).  [false]
+    means: a lower-timestamp writer owns the lock; the caller must restart
+    ([ctx.o_tid]/[ctx.o_ts] identify whom to wait for before retrying). *)
+
+val try_or_wait_write_lock : t -> ctx -> int -> bool
+(** Acquire the write side of lock [w] (lines 76–106), upgrading a read
+    lock held by this thread if any.  Re-entrant: returns [true]
+    immediately if this thread already holds the write lock (callers must
+    not double-log the lock for release).  [false] as for reads. *)
+
+val read_unlock : t -> ctx -> int -> unit
+(** Release the read side (clear this thread's indicator bit). *)
+
+val write_unlock : t -> ctx -> int -> unit
+(** Release the write side (store UNLOCKED). *)
+
+val holds_read : t -> ctx -> int -> bool
+val holds_write : t -> ctx -> int -> bool
+
+val take_timestamp : t -> ctx -> unit
+(** Draw a timestamp from the conflict clock and announce it, if the
+    transaction does not have one yet.  Called internally on first
+    conflict; exposed for the wait-or-die ablation and tests. *)
+
+val announce_priority : t -> ctx -> int -> unit
+(** Force-announce a specific timestamp (used by irrevocable transactions,
+    which announce the reserved priority 1). *)
+
+val clear_announcement : t -> ctx -> unit
+(** Commit-time epilogue: forget the timestamp and clear the announcement
+    slot (lines 31–32), releasing any transaction waiting on it. *)
+
+val wait_for_conflictor : t -> ctx -> unit
+(** Before re-attempting a restarted transaction, wait until the
+    transaction that caused the conflict has committed (line 26: spin while
+    its announcement still equals the timestamp we observed). *)
+
+val announced : t -> int -> int
+(** Raw announced timestamp of a thread (0 = none); for tests. *)
+
+val zero_mutex_lock : t -> unit
+(** The §2.8 "zero mutex": serializes irrevocable write transactions. *)
+
+val zero_mutex_unlock : t -> unit
+
+val clock_increments : t -> int
+(** How many timestamps have been drawn from the conflict clock (= central
+    clock increments): in 2PLSF this happens only on conflicts, which is
+    the paper's §3.3 scalability argument against per-transaction clocks. *)
+
+val reset_clock_increments : t -> unit

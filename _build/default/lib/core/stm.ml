@@ -1,0 +1,219 @@
+let name = "2PLSF"
+
+exception Restart
+(* The OCaml stand-in for the paper's longjmp back to beginTxn. *)
+
+type 'a tvar = { id : int; mutable v : 'a; mutable stamp : int }
+(* [stamp] identifies the transaction attempt that last undo-logged this
+   tvar; written only under the tvar's write lock. *)
+
+type wentry = W : { tv : 'a tvar; old : 'a } -> wentry
+
+type tx = {
+  ctx : Rwl_sf.ctx;
+  rset : int Util.Vec.t; (* read-locked lock indices *)
+  wset : int Util.Vec.t; (* write-locked lock indices *)
+  undo : wentry Util.Vec.t;
+  mutable stamp : int; (* unique per attempt: serial * max_threads + tid *)
+  mutable serial : int;
+  mutable depth : int;
+  mutable restarts : int;
+  mutable finished_restarts : int;
+  mutable irrevocable : bool;
+}
+
+(* ---- global state ---- *)
+
+let requested_num_locks = ref 65536
+let configured = ref false
+
+let table =
+  Util.Once.create (fun () ->
+      configured := true;
+      Rwl_sf.create ~num_locks:!requested_num_locks ())
+
+let configure ?(num_locks = 65536) () =
+  if !configured then failwith "Twoplsf.Stm.configure: lock table already built";
+  requested_num_locks := num_locks
+
+let lock_table () = Util.Once.get table
+
+module Stm_stats = Stm_intf.Stats
+
+let stats = Stm_stats.create ()
+
+let restart_hist_buckets = 128
+
+let restart_hist =
+  Array.init restart_hist_buckets (fun _ -> Atomic.make 0)
+
+let dummy_wentry = W { tv = { id = -1; v = (); stamp = -1 }; old = () }
+
+let tx_key =
+  Domain.DLS.new_key (fun () ->
+      let tid = Util.Tid.get () in
+      {
+        ctx = Rwl_sf.make_ctx ~tid;
+        rset = Util.Vec.create ~dummy:(-1) ();
+        wset = Util.Vec.create ~dummy:(-1) ();
+        undo = Util.Vec.create ~dummy:dummy_wentry ();
+        stamp = tid;
+        serial = 0;
+        depth = 0;
+        restarts = 0;
+        finished_restarts = 0;
+        irrevocable = false;
+      })
+
+let get_tx () = Domain.DLS.get tx_key
+
+(* ---- tvars ---- *)
+
+let tvar v = { id = Util.Id_gen.next (); v; stamp = -1 }
+
+let read tx tv =
+  let t = Util.Once.get table in
+  let w = Rwl_sf.lock_index t tv.id in
+  if Rwl_sf.holds_read t tx.ctx w || Rwl_sf.holds_write t tx.ctx w then tv.v
+  else if Rwl_sf.try_or_wait_read_lock t tx.ctx w then begin
+    Util.Vec.push tx.rset w;
+    tv.v
+  end
+  else raise Restart
+
+let write tx tv nv =
+  let t = Util.Once.get table in
+  let w = Rwl_sf.lock_index t tv.id in
+  let held = Rwl_sf.holds_write t tx.ctx w in
+  if held || Rwl_sf.try_or_wait_write_lock t tx.ctx w then begin
+    if not held then Util.Vec.push tx.wset w;
+    if tv.stamp <> tx.stamp then begin
+      Util.Vec.push tx.undo (W { tv; old = tv.v });
+      tv.stamp <- tx.stamp
+    end;
+    tv.v <- nv
+  end
+  else raise Restart
+
+(* ---- transaction lifecycle ---- *)
+
+let begin_attempt tx =
+  Util.Vec.clear tx.rset;
+  Util.Vec.clear tx.wset;
+  Util.Vec.clear tx.undo;
+  tx.serial <- tx.serial + 1;
+  tx.stamp <- (tx.serial * Util.Tid.max_threads) + tx.ctx.tid
+
+let release_locks t tx =
+  Util.Vec.iter (fun w -> Rwl_sf.write_unlock t tx.ctx w) tx.wset;
+  Util.Vec.iter (fun w -> Rwl_sf.read_unlock t tx.ctx w) tx.rset
+
+(* Bucket 0 is derived as commits - sum(others) at read time so the common
+   no-restart commit path touches no shared counter. *)
+let record_restart_count n =
+  if n > 0 then begin
+    let b = if n >= restart_hist_buckets then restart_hist_buckets - 1 else n in
+    Atomic.incr restart_hist.(b)
+  end
+
+let commit tx =
+  let t = Util.Once.get table in
+  release_locks t tx;
+  Rwl_sf.clear_announcement t tx.ctx;
+  Stm_stats.commit stats ~tid:tx.ctx.tid;
+  tx.finished_restarts <- tx.restarts;
+  record_restart_count tx.restarts
+
+let rollback tx =
+  let t = Util.Once.get table in
+  (* Undo newest-first *before* releasing any write lock. *)
+  Util.Vec.iter_rev (fun (W { tv; old }) -> tv.v <- old) tx.undo;
+  release_locks t tx
+
+let atomic ?read_only f =
+  ignore read_only;
+  (* 2PLSF reads are pessimistic; read-only transactions take the same
+     path (no commit-time validation exists to skip). *)
+  let tx = get_tx () in
+  if tx.depth > 0 then f tx
+  else begin
+    tx.restarts <- 0;
+    let t = Util.Once.get table in
+    let rec attempt () =
+      begin_attempt tx;
+      tx.depth <- 1;
+      match f tx with
+      | v ->
+          tx.depth <- 0;
+          commit tx;
+          v
+      | exception Restart ->
+          tx.depth <- 0;
+          rollback tx;
+          Stm_stats.abort stats ~tid:tx.ctx.tid;
+          tx.restarts <- tx.restarts + 1;
+          Rwl_sf.wait_for_conflictor t tx.ctx;
+          attempt ()
+      | exception e ->
+          tx.depth <- 0;
+          rollback tx;
+          Rwl_sf.clear_announcement t tx.ctx;
+          raise e
+    in
+    attempt ()
+  end
+
+let irrevocable_priority = 1
+
+let atomic_irrevocable_ro f =
+  let tx = get_tx () in
+  if tx.depth > 0 then invalid_arg "atomic_irrevocable_ro: already in a transaction";
+  let t = Util.Once.get table in
+  Rwl_sf.announce_priority t tx.ctx irrevocable_priority;
+  tx.irrevocable <- true;
+  let finish () = tx.irrevocable <- false in
+  match atomic f with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let atomic_irrevocable f =
+  let tx = get_tx () in
+  if tx.depth > 0 then invalid_arg "atomic_irrevocable: already in a transaction";
+  let t = Util.Once.get table in
+  Rwl_sf.zero_mutex_lock t;
+  Rwl_sf.announce_priority t tx.ctx irrevocable_priority;
+  tx.irrevocable <- true;
+  let finish () =
+    tx.irrevocable <- false;
+    Rwl_sf.zero_mutex_unlock t
+  in
+  match atomic f with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+(* ---- statistics ---- *)
+
+let commits () = Stm_stats.commits stats
+let aborts () = Stm_stats.aborts stats
+let clock_ops () = Rwl_sf.clock_increments (Util.Once.get table)
+
+let reset_stats () =
+  Stm_stats.reset stats;
+  Rwl_sf.reset_clock_increments (Util.Once.get table);
+  Array.iter (fun c -> Atomic.set c 0) restart_hist
+
+let last_restarts () = (get_tx ()).finished_restarts
+
+let restart_histogram () =
+  let h = Array.map Atomic.get restart_hist in
+  let restarted = Array.fold_left ( + ) 0 h in
+  h.(0) <- Stdlib.max 0 (commits () - restarted);
+  h

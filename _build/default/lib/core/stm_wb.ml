@@ -1,0 +1,4 @@
+include Wb_protocol.Make (struct
+  let name = "2PLSF-WB"
+  let eager = true
+end)

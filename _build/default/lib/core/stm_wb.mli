@@ -1,0 +1,16 @@
+(** 2PLSF with a write-back (redo-log) protocol and *eager* locking.
+
+    §2 of the paper notes that besides the write-through (undo-log)
+    implementation of Algorithm 1, "a write-back protocol (redo-log) can
+    also be used with either eager locking or deferred locking".  Here
+    writes take the write lock at encounter time exactly like {!Stm}, but
+    buffer the new value and install it only at commit; aborts discard the
+    buffer instead of rolling back memory — cheaper restarts, at the price
+    of a write-set lookup on every read (read-own-write) and a second pass
+    at commit.  Ablation A3 in DESIGN.md compares the protocols.
+    See {!Stm_wbd} for the deferred-locking flavour. *)
+
+include Stm_intf.STM
+
+val configure : ?num_locks:int -> unit -> unit
+(** Size of this variant's lock table (distinct from {!Stm}'s). *)

@@ -1,0 +1,13 @@
+(** 2PLSF with a write-back (redo-log) protocol and *deferred* locking —
+    the other §2 option.
+
+    Writes only buffer; their write locks are taken at commit, still
+    through the starvation-free tryOrWaitWriteLock (the 2PL expanding
+    phase simply extends into the commit), so the N_threads − 1 restart
+    bound is unchanged.  Compared to {!Stm_wb}: shorter lock hold times
+    and no lock traffic for writes that get overwritten, but conflicts
+    surface only at commit.  Ablation A3 in DESIGN.md. *)
+
+include Stm_intf.STM
+
+val configure : ?num_locks:int -> unit -> unit

@@ -1,0 +1,1 @@
+lib/dbx/cc_2pl.ml: Array Atomic Bytes Cc_intf Rwlock Stdlib Table Util Ycsb

@@ -1,0 +1,1 @@
+lib/dbx/cc_2pl.mli: Cc_intf

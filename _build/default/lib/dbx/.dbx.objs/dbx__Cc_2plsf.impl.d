@@ -1,0 +1,1 @@
+lib/dbx/cc_2plsf.ml: Array Bytes Cc_intf Table Twoplsf Util Ycsb

@@ -1,0 +1,1 @@
+lib/dbx/cc_2plsf.mli: Cc_intf

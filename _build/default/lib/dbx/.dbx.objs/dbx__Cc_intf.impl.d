@@ -1,0 +1,1 @@
+lib/dbx/cc_intf.ml: Bytes Char Table Ycsb

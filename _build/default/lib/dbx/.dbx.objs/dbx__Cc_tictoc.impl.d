@@ -1,0 +1,1 @@
+lib/dbx/cc_tictoc.ml: Array Atomic Cc_intf Stdlib Table Util Ycsb

@@ -1,0 +1,1 @@
+lib/dbx/cc_tictoc.mli: Cc_intf

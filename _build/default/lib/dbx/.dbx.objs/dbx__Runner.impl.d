@@ -1,0 +1,1 @@
+lib/dbx/runner.ml: Atomic Bytes Cc_2pl Cc_2plsf Cc_intf Cc_tictoc Char Harness List Table Util Ycsb

@@ -1,0 +1,1 @@
+lib/dbx/runner.mli: Cc_intf Table

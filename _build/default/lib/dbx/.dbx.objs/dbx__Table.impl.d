@@ -1,0 +1,1 @@
+lib/dbx/table.ml: Array Bytes Char

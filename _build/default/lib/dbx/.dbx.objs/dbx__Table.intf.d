@@ -1,0 +1,1 @@
+lib/dbx/table.mli: Bytes

@@ -1,0 +1,1 @@
+lib/dbx/ycsb.mli:

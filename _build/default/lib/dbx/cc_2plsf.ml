@@ -1,0 +1,92 @@
+module Rwl_sf = Twoplsf.Rwl_sf
+
+let name = "2PLSF"
+
+type per_thread = {
+  ctx : Rwl_sf.ctx;
+  rlocks : int Util.Vec.t;
+  wlocks : int Util.Vec.t;
+  undo : (int * Bytes.t) Util.Vec.t; (* (rid, pre-image) *)
+}
+
+type t = { table : Table.t; locks : Rwl_sf.t; threads : per_thread array }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 32
+
+let create table =
+  {
+    table;
+    locks = Rwl_sf.create ~num_locks:(next_pow2 (Table.num_rows table)) ();
+    threads =
+      Array.init Util.Tid.max_threads (fun tid ->
+          {
+            ctx = Rwl_sf.make_ctx ~tid;
+            rlocks = Util.Vec.create ~dummy:(-1) ();
+            wlocks = Util.Vec.create ~dummy:(-1) ();
+            undo = Util.Vec.create ~dummy:(-1, Bytes.empty) ();
+          });
+  }
+
+let release t p =
+  Util.Vec.iter (fun w -> Rwl_sf.write_unlock t.locks p.ctx w) p.wlocks;
+  Util.Vec.iter (fun w -> Rwl_sf.read_unlock t.locks p.ctx w) p.rlocks
+
+let rollback t p =
+  Util.Vec.iter_rev
+    (fun (rid, image) -> Bytes.blit image 0 (Table.payload t.table rid) 0 Table.tuple_size)
+    p.undo;
+  release t p
+
+let attempt t p (txn : Ycsb.txn) =
+  Util.Vec.clear p.rlocks;
+  Util.Vec.clear p.wlocks;
+  Util.Vec.clear p.undo;
+  let n = Array.length txn.keys in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let rid = Table.lookup t.table txn.keys.(!i) in
+    let w = Rwl_sf.lock_index t.locks rid in
+    (match txn.ops.(!i) with
+    | Ycsb.Read ->
+        if
+          Rwl_sf.holds_read t.locks p.ctx w
+          || Rwl_sf.holds_write t.locks p.ctx w
+          || (Rwl_sf.try_or_wait_read_lock t.locks p.ctx w
+             && begin
+                  Util.Vec.push p.rlocks w;
+                  true
+                end)
+        then ignore (Cc_intf.read_work (Table.payload t.table rid))
+        else ok := false
+    | Ycsb.Write ->
+        let held = Rwl_sf.holds_write t.locks p.ctx w in
+        if held || Rwl_sf.try_or_wait_write_lock t.locks p.ctx w then begin
+          if not held then Util.Vec.push p.wlocks w;
+          let payload = Table.payload t.table rid in
+          Util.Vec.push p.undo (rid, Bytes.copy payload);
+          Cc_intf.write_work payload
+        end
+        else ok := false);
+    incr i
+  done;
+  if !ok then begin
+    release t p;
+    Rwl_sf.clear_announcement t.locks p.ctx;
+    true
+  end
+  else begin
+    rollback t p;
+    false
+  end
+
+let execute t ~tid txn =
+  let p = t.threads.(tid) in
+  let aborts = ref 0 in
+  while not (attempt t p txn) do
+    incr aborts;
+    Rwl_sf.wait_for_conflictor t.locks p.ctx
+  done;
+  !aborts

@@ -1,0 +1,6 @@
+(** 2PLSF applied to database records (§3.5): the paper's concurrency
+    control at row granularity, using the same starvation-free
+    reader-writer lock table as the STM, with a write-through undo log of
+    tuple images. *)
+
+include Cc_intf.CC

@@ -1,0 +1,113 @@
+type row = {
+  cc : string;
+  theta : float;
+  threads : int;
+  throughput : float;
+  commits : int;
+  aborts : int;
+}
+
+module No_wait = Cc_2pl.Make (struct
+  let variant = Cc_2pl.No_wait
+end)
+
+module Wait_die = Cc_2pl.Make (struct
+  let variant = Cc_2pl.Wait_die
+end)
+
+module Dl_detect = Cc_2pl.Make (struct
+  let variant = Cc_2pl.Dl_detect
+end)
+
+let ccs : (string * (module Cc_intf.CC)) list =
+  [
+    ("2PLSF", (module Cc_2plsf));
+    ("TicToc", (module Cc_tictoc));
+    ("NO_WAIT", (module No_wait));
+    ("WAIT_DIE", (module Wait_die));
+    ("DL_DETECT", (module Dl_detect));
+  ]
+
+let run ~cc ~table ~theta ~write_ratio ~threads ~seconds =
+  let (module C : Cc_intf.CC) = cc in
+  let state = C.create table in
+  let aborts_total = Atomic.make 0 in
+  let worker i should_stop =
+    let tid = Util.Tid.get () in
+    let gen =
+      Ycsb.make_gen ~seed:(1000 + i) ~num_keys:(Table.num_rows table) ~theta
+        ~write_ratio ()
+    in
+    let commits = ref 0 and aborts = ref 0 in
+    while not (should_stop ()) do
+      let txn = Ycsb.next gen in
+      aborts := !aborts + C.execute state ~tid txn;
+      incr commits
+    done;
+    ignore (Atomic.fetch_and_add aborts_total !aborts);
+    !commits
+  in
+  let res = Harness.Exec.run_timed ~threads ~seconds worker in
+  {
+    cc = C.name;
+    theta;
+    threads;
+    throughput = res.throughput;
+    commits = res.ops;
+    aborts = Atomic.get aborts_total;
+  }
+
+type latency_row = {
+  base : row;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_latency : float;
+}
+
+let run_with_latency ~cc ~table ~theta ~write_ratio ~threads ~seconds =
+  let (module C : Cc_intf.CC) = cc in
+  let state = C.create table in
+  let aborts_total = Atomic.make 0 in
+  let lat = Harness.Latency.create ~threads in
+  let worker i should_stop =
+    let tid = Util.Tid.get () in
+    let gen =
+      Ycsb.make_gen ~seed:(2000 + i) ~num_keys:(Table.num_rows table) ~theta
+        ~write_ratio ()
+    in
+    let commits = ref 0 and aborts = ref 0 in
+    while not (should_stop ()) do
+      let txn = Ycsb.next gen in
+      let t0 = Util.Clock.now () in
+      aborts := !aborts + C.execute state ~tid txn;
+      Harness.Latency.record lat i (Util.Clock.now () -. t0);
+      incr commits
+    done;
+    ignore (Atomic.fetch_and_add aborts_total !aborts);
+    !commits
+  in
+  let res = Harness.Exec.run_timed ~threads ~seconds worker in
+  let ps = Harness.Latency.percentiles lat [ 50.; 90.; 99. ] in
+  {
+    base =
+      {
+        cc = C.name;
+        theta;
+        threads;
+        throughput = res.throughput;
+        commits = res.ops;
+        aborts = Atomic.get aborts_total;
+      };
+    p50 = List.assoc 50. ps;
+    p90 = List.assoc 90. ps;
+    p99 = List.assoc 99. ps;
+    max_latency = Harness.Latency.max_latency lat;
+  }
+
+let check_table table =
+  let acc = ref 0 in
+  for rid = 0 to Table.num_rows table - 1 do
+    acc := !acc + Char.code (Bytes.get (Table.payload table rid) 0)
+  done;
+  !acc

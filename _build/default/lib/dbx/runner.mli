@@ -1,0 +1,48 @@
+(** YCSB benchmark runner: one call produces one Figure 11 data point. *)
+
+type row = {
+  cc : string;
+  theta : float;
+  threads : int;
+  throughput : float;  (** committed transactions per second *)
+  commits : int;
+  aborts : int;
+}
+
+val ccs : (string * (module Cc_intf.CC)) list
+(** The Figure 11 concurrency controls: 2PLSF, TicToc, NO_WAIT, WAIT_DIE,
+    DL_DETECT. *)
+
+val run :
+  cc:(module Cc_intf.CC) ->
+  table:Table.t ->
+  theta:float ->
+  write_ratio:float ->
+  threads:int ->
+  seconds:float ->
+  row
+
+type latency_row = {
+  base : row;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_latency : float;  (** seconds *)
+}
+
+val run_with_latency :
+  cc:(module Cc_intf.CC) ->
+  table:Table.t ->
+  theta:float ->
+  write_ratio:float ->
+  threads:int ->
+  seconds:float ->
+  latency_row
+(** Like {!run} but records every transaction's duration (including its
+    aborted attempts) — the §5 claim that starvation-freedom buys low tail
+    latency, measured on the YCSB workload. *)
+
+val check_table : Table.t -> int
+(** Sum of the first byte of every tuple — a cheap whole-table checksum
+    used by tests to verify update atomicity (every committed transaction
+    bumps exactly 8 bytes per written row). *)

@@ -1,0 +1,47 @@
+let tuple_size = 100
+
+type t = {
+  payloads : Bytes.t array; (* indexed by row id *)
+  buckets : int array; (* open addressing: key's slot holds row id, -1 empty *)
+  bucket_mask : int;
+  keys : int array; (* row id -> key, to verify probe hits *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let hash_key k = (k * 0x2545F4914F6CDD1D) land max_int
+
+let create ~num_rows =
+  let cap = next_pow2 (2 * num_rows) in
+  let t =
+    {
+      payloads = Array.init num_rows (fun i -> Bytes.make tuple_size (Char.chr (i land 0xFF)));
+      buckets = Array.make cap (-1);
+      bucket_mask = cap - 1;
+      keys = Array.init num_rows (fun i -> i);
+    }
+  in
+  for rid = 0 to num_rows - 1 do
+    let key = t.keys.(rid) in
+    let rec place slot =
+      if t.buckets.(slot) = -1 then t.buckets.(slot) <- rid
+      else place ((slot + 1) land t.bucket_mask)
+    in
+    place (hash_key key land t.bucket_mask)
+  done;
+  t
+
+let num_rows t = Array.length t.payloads
+
+let lookup t key =
+  let rec probe slot =
+    match t.buckets.(slot) with
+    | -1 -> raise Not_found
+    | rid when t.keys.(rid) = key -> rid
+    | _ -> probe ((slot + 1) land t.bucket_mask)
+  in
+  probe (hash_key key land t.bucket_mask)
+
+let payload t rid = t.payloads.(rid)

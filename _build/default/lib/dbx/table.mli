@@ -1,0 +1,24 @@
+(** The DBx1000-style row store used by the Figure 11 YCSB reproduction.
+
+    Fixed set of rows with 100-byte tuples, addressed through a sequential
+    open-addressing hash index.  As in the paper's §3.5 setup, the index is
+    *not* protected by the concurrency control: the benchmark only updates
+    pre-inserted records, so the index is immutable during measurement. *)
+
+type t
+
+val tuple_size : int
+(** 100 bytes, as in the paper. *)
+
+val create : num_rows:int -> t
+(** Build and prefill [num_rows] rows keyed 0 .. num_rows-1. *)
+
+val num_rows : t -> int
+
+val lookup : t -> int -> int
+(** Row id for a key (the sequential hash-index probe).
+    @raise Not_found for keys outside the prefilled range. *)
+
+val payload : t -> int -> Bytes.t
+(** The mutable 100-byte tuple of a row id.  Concurrency control is the
+    caller's job. *)

@@ -1,0 +1,41 @@
+type access = Read | Write
+
+type txn = { keys : int array; ops : access array }
+
+let accesses_per_txn = 16
+
+let contention_theta = function `High -> 0.9 | `Medium -> 0.6 | `Low -> 0.
+
+type gen = {
+  zipf : Util.Zipf.t;
+  rng : Util.Sprng.t;
+  write_ratio : float;
+  txn : txn; (* reused across calls; callers consume before next () *)
+}
+
+let make_gen ?(seed = 7) ~num_keys ~theta ~write_ratio () =
+  {
+    zipf = Util.Zipf.create ~seed ~n:num_keys ~theta ();
+    rng = Util.Sprng.create (seed * 31 + 1);
+    write_ratio;
+    txn =
+      {
+        keys = Array.make accesses_per_txn 0;
+        ops = Array.make accesses_per_txn Read;
+      };
+  }
+
+let next g =
+  let t = g.txn in
+  for i = 0 to accesses_per_txn - 1 do
+    (* Reject duplicate keys within the transaction. *)
+    let rec draw attempts =
+      let k = Util.Zipf.next g.zipf in
+      let rec dup j = j < i && (t.keys.(j) = k || dup (j + 1)) in
+      if dup 0 && attempts < 100 then draw (attempts + 1) else k
+    in
+    t.keys.(i) <- draw 0;
+    t.ops.(i) <-
+      (if Util.Sprng.float g.rng < g.write_ratio then Write else Read)
+  done;
+  t

@@ -1,0 +1,24 @@
+(** YCSB transaction generator, following the DBx1000 setup the paper uses
+    for Figure 11: 16 accesses per transaction, a 50/50 read/write ratio,
+    keys drawn from a zipfian distribution whose theta sets the contention
+    level (high = 0.9, medium = 0.6, low = uniform; DESIGN.md §3.8). *)
+
+type access = Read | Write
+
+type txn = { keys : int array; ops : access array }
+
+type gen
+
+val accesses_per_txn : int
+(** 16, the DBx1000 default. *)
+
+val contention_theta : [ `High | `Medium | `Low ] -> float
+
+val make_gen :
+  ?seed:int -> num_keys:int -> theta:float -> write_ratio:float -> unit -> gen
+(** One generator per worker thread (generators are not thread-safe). *)
+
+val next : gen -> txn
+(** Generate the next transaction.  Keys within a transaction are distinct
+    (duplicate zipf draws are rejected) so lock-upgrade behaviour does not
+    differ across concurrency controls. *)

@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Bytes Char Exec Stdlib Stm_intf Structures Util Workload

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Stm_intf Workload

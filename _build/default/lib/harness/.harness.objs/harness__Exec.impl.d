@@ -1,0 +1,1 @@
+lib/harness/exec.ml: Atomic Domain List Unix Util

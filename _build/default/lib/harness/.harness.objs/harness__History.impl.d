@@ -1,0 +1,1 @@
+lib/harness/history.ml: Array Bool Buffer Hashtbl Int List Printf Set String

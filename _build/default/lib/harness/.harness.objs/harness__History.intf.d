@@ -1,0 +1,1 @@
+lib/harness/history.mli:

@@ -1,0 +1,119 @@
+type structure_kind = List_s | Hash_s | Skip_s | Zip_s | Ravl_s
+
+let structure_label = function
+  | List_s -> "linked-list"
+  | Hash_s -> "hash-map"
+  | Skip_s -> "skip-list"
+  | Zip_s -> "zip-tree"
+  | Ravl_s -> "ravl-tree"
+
+type row = {
+  stm : string;
+  structure : string;
+  mix : string;
+  threads : int;
+  throughput : float;
+  commits : int;
+  aborts : int;
+  clock_ops : int;
+}
+
+(* The per-(STM, value) family of structures, seen through one record of
+   closures so the driver can dispatch on [structure_kind] at runtime. *)
+module Ops (S : Stm_intf.STM) (V : Structures.Map_intf.VALUE) = struct
+  module Ll = Structures.Linked_list.Make (S) (V)
+  module Hm = Structures.Hash_map.Make (S) (V)
+  module Sk = Structures.Skiplist.Make (S) (V)
+  module Zt = Structures.Ziptree.Make (S) (V)
+  module Rv = Structures.Ravl.Make (S) (V)
+
+  type ops = {
+    put : int -> V.t -> bool;
+    get : int -> V.t option;
+    remove : int -> bool;
+    update : int -> (V.t -> V.t) -> bool;
+  }
+
+  let make kind ~range =
+    match kind with
+    | List_s ->
+        let t = Ll.create () in
+        { put = Ll.put t; get = Ll.get t; remove = Ll.remove t; update = Ll.update t }
+    | Hash_s ->
+        (* Size buckets for a small constant load factor, as DBx1000 does. *)
+        let buckets = Stdlib.max 64 (range / 4) in
+        let t = Hm.create ~buckets () in
+        { put = Hm.put t; get = Hm.get t; remove = Hm.remove t; update = Hm.update t }
+    | Skip_s ->
+        let t = Sk.create () in
+        { put = Sk.put t; get = Sk.get t; remove = Sk.remove t; update = Sk.update t }
+    | Zip_s ->
+        let t = Zt.create () in
+        { put = Zt.put t; get = Zt.get t; remove = Zt.remove t; update = Zt.update t }
+    | Ravl_s ->
+        let t = Rv.create () in
+        { put = Rv.put t; get = Rv.get t; remove = Rv.remove t; update = Rv.update t }
+end
+
+let run_bench (type v) ~stm ~structure ~mix ~range ~threads ~seconds
+    ~(value_of : Util.Sprng.t -> v) ~(mutate : v -> v) : row =
+  let (module S : Stm_intf.STM) = stm in
+  let module O =
+    Ops
+      (S)
+      (struct
+        type t = v
+      end)
+  in
+  ignore (Util.Tid.register ());
+  let ops = O.make structure ~range in
+  (* Prefill to 50% occupancy so insert/remove mixes run at steady state. *)
+  let prefill_rng = Util.Sprng.create 1234 in
+  for k = 0 to range - 1 do
+    if k land 1 = 0 then ignore (ops.put k (value_of prefill_rng))
+  done;
+  S.reset_stats ();
+  let worker i should_stop =
+    let rng = Util.Sprng.create (0x51ED + i) in
+    let n = ref 0 in
+    while not (should_stop ()) do
+      let k = Workload.key rng ~range in
+      (match Workload.pick mix rng with
+      | Workload.Insert -> ignore (ops.put k (value_of rng))
+      | Workload.Remove -> ignore (ops.remove k)
+      | Workload.Lookup -> ignore (ops.get k)
+      | Workload.Update -> ignore (ops.update k mutate));
+      incr n
+    done;
+    !n
+  in
+  let res = Exec.run_timed ~threads ~seconds worker in
+  {
+    stm = S.name;
+    structure = structure_label structure;
+    mix = Workload.mix_label mix;
+    threads;
+    throughput = res.throughput;
+    commits = S.commits ();
+    aborts = S.aborts ();
+    clock_ops = S.clock_ops ();
+  }
+
+let run_set_bench ~stm ~structure ~mix ~range ~threads ~seconds =
+  run_bench ~stm ~structure ~mix ~range ~threads ~seconds
+    ~value_of:(fun _ -> ())
+    ~mutate:(fun () -> ())
+
+(* Figure 8 records: 100 bytes of user data; an update rewrites part of the
+   payload (a fresh immutable copy, since the record is published through a
+   tvar). *)
+let record_size = 100
+
+let run_map_bench ~stm ~structure ~range ~threads ~seconds =
+  run_bench ~stm ~structure ~mix:Workload.map_update ~range ~threads ~seconds
+    ~value_of:(fun rng ->
+      Bytes.make record_size (Char.chr (Util.Sprng.int rng 256)))
+    ~mutate:(fun b ->
+      let b' = Bytes.copy b in
+      Bytes.set b' 0 (Char.chr ((Char.code (Bytes.get b 0) + 1) land 0xFF));
+      b')

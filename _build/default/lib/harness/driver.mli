@@ -1,0 +1,43 @@
+(** Generic set/map microbenchmark driver.
+
+    Instantiates one of the five transactional data structures over any
+    STM (passed as a first-class module), prefills it to 50% occupancy of
+    the key range, runs the requested operation mix from N worker domains
+    for a fixed duration and reports throughput plus commit/abort counts —
+    one call produces one data point of Figures 2–8. *)
+
+type structure_kind = List_s | Hash_s | Skip_s | Zip_s | Ravl_s
+
+val structure_label : structure_kind -> string
+
+type row = {
+  stm : string;
+  structure : string;
+  mix : string;
+  threads : int;
+  throughput : float;  (** committed operations per second *)
+  commits : int;
+  aborts : int;
+  clock_ops : int;
+      (** central-clock increments during the run (see {!Stm_intf.STM}) *)
+}
+
+val run_set_bench :
+  stm:(module Stm_intf.STM) ->
+  structure:structure_kind ->
+  mix:Workload.mix ->
+  range:int ->
+  threads:int ->
+  seconds:float ->
+  row
+(** Set benchmark (unit values): the Figures 2–7 workloads. *)
+
+val run_map_bench :
+  stm:(module Stm_intf.STM) ->
+  structure:structure_kind ->
+  range:int ->
+  threads:int ->
+  seconds:float ->
+  row
+(** Map benchmark: 100-byte records, 1% insert / 1% remove / 98% update —
+    Figure 8. *)

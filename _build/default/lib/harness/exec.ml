@@ -1,0 +1,44 @@
+type result = { ops : int; seconds : float; throughput : float }
+
+let await_flag flag =
+  let b = Util.Backoff.create () in
+  while not (Atomic.get flag) do
+    Util.Backoff.once b
+  done
+
+let spawn_all threads body =
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let doms =
+    List.init threads (fun i ->
+        Domain.spawn (fun () ->
+            ignore (Util.Tid.register ());
+            Atomic.incr ready;
+            await_flag go;
+            let v = body i in
+            Util.Tid.release ();
+            v))
+  in
+  let b = Util.Backoff.create () in
+  while Atomic.get ready < threads do
+    Util.Backoff.once b
+  done;
+  (go, doms)
+
+let run_each ~threads f =
+  let go, doms = spawn_all threads f in
+  Atomic.set go true;
+  List.map Domain.join doms
+
+let run_timed ~threads ~seconds worker =
+  let stop = Atomic.make false in
+  let should_stop () = Atomic.get stop in
+  let go, doms = spawn_all threads (fun i -> worker i should_stop) in
+  let t0 = Util.Clock.now () in
+  Atomic.set go true;
+  Unix.sleepf seconds;
+  Atomic.set stop true;
+  let t1 = Util.Clock.now () in
+  let ops = List.fold_left (fun acc d -> acc + Domain.join d) 0 doms in
+  let elapsed = t1 -. t0 in
+  { ops; seconds = elapsed; throughput = float_of_int ops /. elapsed }

@@ -1,0 +1,26 @@
+(** Multi-domain benchmark execution.
+
+    Spawns one OCaml domain per worker, registers a dense thread id in
+    each, releases all workers through a start barrier, and measures
+    wall-clock throughput over a fixed duration.  This host has a single
+    hardware core (DESIGN.md §3.1): domains are OS threads time-sliced on
+    it, so throughput numbers measure concurrency-control efficiency under
+    interleaving, not parallel speedup. *)
+
+type result = {
+  ops : int;  (** operations committed across all workers *)
+  seconds : float;  (** measured wall-clock duration *)
+  throughput : float;  (** [ops /. seconds] *)
+}
+
+val run_timed :
+  threads:int -> seconds:float -> (int -> (unit -> bool) -> int) -> result
+(** [run_timed ~threads ~seconds worker]: each worker is called as
+    [worker i should_stop] after the barrier and must loop until
+    [should_stop ()] returns [true], returning its completed-operation
+    count. *)
+
+val run_each : threads:int -> (int -> 'a) -> 'a list
+(** Spawn [threads] domains, register thread ids, release them through the
+    barrier, run [f i] once in each and join all results (test helper for
+    deterministic concurrent scenarios). *)

@@ -1,0 +1,85 @@
+module type MODEL = sig
+  type state
+  type op
+  type result
+
+  val init : state
+  val apply : state -> op -> state * result
+  val state_key : state -> string
+  val result_equal : result -> result -> bool
+end
+
+module Make (M : MODEL) = struct
+  type event = { op : M.op; result : M.result }
+
+  (* DFS over "which prefix of each thread has been serialized", memoizing
+     (frontier, model state): distinct search paths reaching the same
+     frontier with the same state are equivalent. *)
+  let serializable (threads : event list array) =
+    let n = Array.length threads in
+    let arrays = Array.map Array.of_list threads in
+    let pos = Array.make n 0 in
+    let visited = Hashtbl.create 1024 in
+    let frontier_key state =
+      let b = Buffer.create 32 in
+      Array.iter
+        (fun p ->
+          Buffer.add_string b (string_of_int p);
+          Buffer.add_char b ',')
+        pos;
+      Buffer.add_string b (M.state_key state);
+      Buffer.contents b
+    in
+    let rec go state remaining =
+      if remaining = 0 then true
+      else begin
+        let key = frontier_key state in
+        if Hashtbl.mem visited key then false
+        else begin
+          Hashtbl.add visited key ();
+          let rec try_thread t =
+            if t >= n then false
+            else if pos.(t) >= Array.length arrays.(t) then try_thread (t + 1)
+            else begin
+              let ev = arrays.(t).(pos.(t)) in
+              let state', result = M.apply state ev.op in
+              if M.result_equal result ev.result then begin
+                pos.(t) <- pos.(t) + 1;
+                let ok = go state' (remaining - 1) in
+                pos.(t) <- pos.(t) - 1;
+                ok || try_thread (t + 1)
+              end
+              else try_thread (t + 1)
+            end
+          in
+          try_thread 0
+        end
+      end
+    in
+    let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 arrays in
+    go M.init total
+end
+
+module Int_set_model = struct
+  type op = Add of int | Remove of int | Mem of int
+
+  module S = Set.Make (Int)
+
+  type state = S.t
+  type result = bool
+
+  let init = S.empty
+
+  let apply s = function
+    | Add k -> ((if S.mem k s then s else S.add k s), not (S.mem k s))
+    | Remove k -> (S.remove k s, S.mem k s)
+    | Mem k -> (s, S.mem k s)
+
+  let state_key s = String.concat ";" (List.map string_of_int (S.elements s))
+  let result_equal = Bool.equal
+
+  let op_to_string = function
+    | Add k -> Printf.sprintf "add %d" k
+    | Remove k -> Printf.sprintf "remove %d" k
+    | Mem k -> Printf.sprintf "mem %d" k
+end

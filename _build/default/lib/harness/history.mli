@@ -1,0 +1,51 @@
+(** Serializability checking of concurrent operation histories.
+
+    Workers record their completed operations (with results) in program
+    order; {!Make.serializable} then searches for an interleaving — one
+    total order respecting every thread's program order — under which a
+    sequential model produces exactly the recorded results.  Transactions
+    here are single operations, so this is equivalence to a serial
+    execution: what opacity (2PLSF, TL2, ...) and plain serializability
+    (TicToc) both promise for *committed* results.
+
+    The search is exponential in the worst case and meant for the small
+    adversarial histories the test-suite generates (≤ ~60 events); visited
+    (frontier, state) pairs are memoized to prune. *)
+
+module type MODEL = sig
+  type state
+  type op
+  type result
+
+  val init : state
+
+  val apply : state -> op -> state * result
+  (** Pure: next state plus the result the operation yields sequentially. *)
+
+  val state_key : state -> string
+  (** Injective encoding of the state, for memoization. *)
+
+  val result_equal : result -> result -> bool
+end
+
+module Make (M : MODEL) : sig
+  type event = { op : M.op; result : M.result }
+
+  val serializable : event list array -> bool
+  (** [serializable per_thread]: does some interleaving of the per-thread
+      sequences replay exactly on the model? *)
+end
+
+(** Ready-made model: an integer set with add/remove/mem, matching the
+    benchmark data structures' set API. *)
+module Int_set_model : sig
+  type op = Add of int | Remove of int | Mem of int
+  type state
+  type result = bool
+
+  val init : state
+  val apply : state -> op -> state * result
+  val state_key : state -> string
+  val result_equal : result -> result -> bool
+  val op_to_string : op -> string
+end

@@ -1,0 +1,22 @@
+type t = float Util.Vec.t array
+
+let create ~threads = Array.init threads (fun _ -> Util.Vec.create ~dummy:0. ())
+let record t i seconds = Util.Vec.push t.(i) seconds
+let count t = Array.fold_left (fun acc v -> acc + Util.Vec.length v) 0 t
+
+let merged t =
+  let n = count t in
+  let out = Array.make n 0. in
+  let pos = ref 0 in
+  Array.iter
+    (fun v ->
+      Util.Vec.iter
+        (fun x ->
+          out.(!pos) <- x;
+          incr pos)
+        v)
+    t;
+  out
+
+let percentiles t ps = Util.Stats.percentiles_in_place (merged t) ps
+let max_latency t = Util.Stats.max (merged t)

@@ -1,0 +1,18 @@
+(** Per-transaction latency collection (Figure 10).
+
+    Each worker records the duration of its transactions into a private
+    buffer; percentiles are computed after the run. *)
+
+type t
+
+val create : threads:int -> t
+val record : t -> int -> float -> unit
+(** [record t i seconds]: only worker [i] may call this. *)
+
+val count : t -> int
+
+val percentiles : t -> float list -> (float * float) list
+(** Merge all samples and report the requested percentiles.
+    @raise Invalid_argument if nothing was recorded. *)
+
+val max_latency : t -> float

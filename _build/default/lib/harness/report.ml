@@ -1,0 +1,51 @@
+let csv_chan : out_channel option ref = ref None
+let current_figure = ref ""
+
+let set_csv path =
+  let oc = open_out path in
+  output_string oc
+    "figure,stm,structure,workload,threads,throughput,commits,aborts,clock_ops,p50_ms,p90_ms,p99_ms,max_ms\n";
+  csv_chan := Some oc
+
+let close_csv () =
+  match !csv_chan with
+  | Some oc ->
+      close_out oc;
+      csv_chan := None
+  | None -> ()
+
+let csv_line fmt =
+  Printf.ksprintf
+    (fun line ->
+      match !csv_chan with
+      | Some oc ->
+          output_string oc line;
+          output_char oc '\n'
+      | None -> ())
+    fmt
+
+let figure_header ~id ~title =
+  current_figure := id;
+  Printf.printf "\n=== %s: %s ===\n%!" id title
+
+let row_header () =
+  Printf.printf "%-12s %-12s %-12s %8s %14s %12s %10s %10s\n%!" "stm"
+    "structure" "workload" "threads" "ops/s" "commits" "aborts" "clock-ops"
+
+let row (r : Driver.row) =
+  Printf.printf "%-12s %-12s %-12s %8d %14.0f %12d %10d %10d\n%!" r.stm
+    r.structure r.mix r.threads r.throughput r.commits r.aborts r.clock_ops;
+  csv_line "%s,%s,%s,%s,%d,%.0f,%d,%d,%d,,,," !current_figure r.stm r.structure
+    r.mix r.threads r.throughput r.commits r.aborts r.clock_ops
+
+let latency_header () =
+  Printf.printf "%-12s %8s %14s %12s %12s %12s %12s\n%!" "stm" "threads"
+    "ops/s" "p50(ms)" "p90(ms)" "p99(ms)" "max(ms)"
+
+let ms x = 1000. *. x
+
+let latency_row ~stm ~threads ~throughput ~p50 ~p90 ~p99 ~max =
+  Printf.printf "%-12s %8d %14.0f %12.3f %12.3f %12.3f %12.3f\n%!" stm threads
+    throughput (ms p50) (ms p90) (ms p99) (ms max);
+  csv_line "%s,%s,,,%d,%.0f,,,,%.4f,%.4f,%.4f,%.4f" !current_figure stm threads
+    throughput (ms p50) (ms p90) (ms p99) (ms max)

@@ -1,0 +1,26 @@
+(** Aligned-table output for the figure reproductions, with optional CSV
+    teeing for downstream plotting. *)
+
+val set_csv : string -> unit
+(** Also append every data row to this CSV file (created with a header
+    line).  Call once, before the first row. *)
+
+val close_csv : unit -> unit
+
+val figure_header : id:string -> title:string -> unit
+(** Print a banner naming the paper figure being regenerated. *)
+
+val row_header : unit -> unit
+val row : Driver.row -> unit
+
+val latency_header : unit -> unit
+
+val latency_row :
+  stm:string ->
+  threads:int ->
+  throughput:float ->
+  p50:float ->
+  p90:float ->
+  p99:float ->
+  max:float ->
+  unit

@@ -1,0 +1,29 @@
+type op = Insert | Remove | Lookup | Update
+
+type mix = { insert : int; remove : int; lookup : int; update : int }
+
+let check m =
+  assert (m.insert + m.remove + m.lookup + m.update = 100);
+  m
+
+let write_heavy = check { insert = 50; remove = 50; lookup = 0; update = 0 }
+let read_mostly = check { insert = 10; remove = 10; lookup = 80; update = 0 }
+let read_only = check { insert = 0; remove = 0; lookup = 100; update = 0 }
+let map_update = check { insert = 1; remove = 1; lookup = 0; update = 98 }
+
+let mix_label m =
+  if m = write_heavy then "50i/50r"
+  else if m = read_mostly then "10i/10r/80l"
+  else if m = read_only then "100l"
+  else if m = map_update then "1i/1r/98u"
+  else
+    Printf.sprintf "%di/%dr/%dl/%du" m.insert m.remove m.lookup m.update
+
+let pick m rng =
+  let r = Util.Sprng.int rng 100 in
+  if r < m.insert then Insert
+  else if r < m.insert + m.remove then Remove
+  else if r < m.insert + m.remove + m.lookup then Lookup
+  else Update
+
+let key rng ~range = Util.Sprng.int rng range

@@ -1,0 +1,30 @@
+(** The paper's microbenchmark workload mixes.
+
+    §3.2: each set figure has three panels — 50% insert / 50% remove,
+    10% insert / 10% remove / 80% lookup, and 100% lookup.  §3.3 (Figure
+    8): 1% insert / 1% remove / 98% record update on a key/value map. *)
+
+type op = Insert | Remove | Lookup | Update
+
+type mix = { insert : int; remove : int; lookup : int; update : int }
+(** Percentages; must sum to 100. *)
+
+val write_heavy : mix
+(** 50i/50r — the leftmost panels. *)
+
+val read_mostly : mix
+(** 10i/10r/80l — the central panels. *)
+
+val read_only : mix
+(** 100l — the rightmost panels. *)
+
+val map_update : mix
+(** 1i/1r/98u — Figure 8. *)
+
+val mix_label : mix -> string
+
+val pick : mix -> Util.Sprng.t -> op
+(** Draw the next operation. *)
+
+val key : Util.Sprng.t -> range:int -> int
+(** Uniform random key in [0, range). *)

@@ -1,0 +1,1 @@
+lib/rwlock/flat_combiner.ml: Array Atomic Spinlock Util

@@ -1,0 +1,1 @@
+lib/rwlock/flat_combiner.mli:

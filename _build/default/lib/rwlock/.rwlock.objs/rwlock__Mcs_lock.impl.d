@@ -1,0 +1,1 @@
+lib/rwlock/mcs_lock.ml: Atomic Domain Util

@@ -1,0 +1,1 @@
+lib/rwlock/read_indicator.mli:

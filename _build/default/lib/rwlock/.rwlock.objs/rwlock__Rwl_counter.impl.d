@@ -1,0 +1,1 @@
+lib/rwlock/rwl_counter.ml: Array Atomic Hashtbl Util

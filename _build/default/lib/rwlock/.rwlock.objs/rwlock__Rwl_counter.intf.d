@@ -1,0 +1,1 @@
+lib/rwlock/rwl_counter.mli: Trylock_rw

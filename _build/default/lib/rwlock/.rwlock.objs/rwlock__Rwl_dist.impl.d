@@ -1,0 +1,1 @@
+lib/rwlock/rwl_dist.ml: Array Atomic Read_indicator

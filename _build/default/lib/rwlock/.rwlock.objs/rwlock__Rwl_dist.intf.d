@@ -1,0 +1,1 @@
+lib/rwlock/rwl_dist.mli: Trylock_rw

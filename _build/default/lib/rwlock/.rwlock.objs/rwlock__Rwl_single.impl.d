@@ -1,0 +1,1 @@
+lib/rwlock/rwl_single.ml: Array Atomic

@@ -1,0 +1,1 @@
+lib/rwlock/seqlock.ml: Atomic Util

@@ -1,0 +1,1 @@
+lib/rwlock/spinlock.ml: Atomic Util

@@ -1,0 +1,1 @@
+lib/rwlock/spinlock.mli:

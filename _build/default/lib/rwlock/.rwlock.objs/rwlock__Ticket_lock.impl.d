@@ -1,0 +1,1 @@
+lib/rwlock/ticket_lock.ml: Atomic Util

@@ -1,0 +1,1 @@
+lib/rwlock/trylock_rw.ml:

@@ -1,0 +1,65 @@
+type outcome = Pending | Done | Raised of exn
+
+type request = { run : unit -> unit }
+
+type t = {
+  lock : Spinlock.t;
+  slots : request option Atomic.t array;
+  on_batch_start : unit -> unit;
+  on_batch_end : unit -> unit;
+}
+
+let create ?(on_batch_start = fun () -> ()) ?(on_batch_end = fun () -> ()) () =
+  {
+    lock = Spinlock.create ();
+    slots = Array.init Util.Tid.max_threads (fun _ -> Atomic.make None);
+    on_batch_start;
+    on_batch_end;
+  }
+
+let drain t =
+  t.on_batch_start ();
+  let hwm = Util.Tid.high_water () in
+  for i = 0 to hwm - 1 do
+    match Atomic.get t.slots.(i) with
+    | None -> ()
+    | Some req ->
+        req.run ();
+        (* Clearing the slot releases the publisher (it re-reads its
+           result cell only after observing None here). *)
+        Atomic.set t.slots.(i) None
+  done;
+  t.on_batch_end ()
+
+let execute t ~tid f =
+  let result = ref None in
+  let status = ref Pending in
+  let run () =
+    (match f () with
+    | v ->
+        result := Some v;
+        status := Done
+    | exception e -> status := Raised e)
+  in
+  Atomic.set t.slots.(tid) (Some { run });
+  let b = Util.Backoff.create () in
+  let rec wait () =
+    if Atomic.get t.slots.(tid) = None then ()
+    else if Spinlock.try_lock t.lock then begin
+      (match drain t with
+      | () -> Spinlock.unlock t.lock
+      | exception e ->
+          Spinlock.unlock t.lock;
+          raise e);
+      wait ()
+    end
+    else begin
+      Util.Backoff.once b;
+      wait ()
+    end
+  in
+  wait ();
+  match !status with
+  | Done -> ( match !result with Some v -> v | None -> assert false)
+  | Raised e -> raise e
+  | Pending -> assert false

@@ -1,0 +1,20 @@
+(** Flat combining: threads publish operations, one thread executes all
+    pending operations in a batch.
+
+    The substrate for the OneFile (OFWF) substitute (DESIGN.md §3.4):
+    OneFile aggregates all in-flight write transactions into a single
+    execution, which is exactly what a flat combiner does — and what makes
+    its tail latency grow with the number of competing threads in the
+    Figure 10 benchmark. *)
+
+type t
+
+val create : ?on_batch_start:(unit -> unit) -> ?on_batch_end:(unit -> unit) -> unit -> t
+(** The hooks run around every batch in the combiner thread (the OneFile
+    substitute brackets batches with a sequence-lock write section). *)
+
+val execute : t -> tid:int -> (unit -> 'a) -> 'a
+(** Publish the operation and wait for some combiner (possibly this
+    thread) to run it; returns its result.  Exceptions raised by the
+    operation are re-raised in the publishing thread, and do not take the
+    combiner down. *)

@@ -1,0 +1,74 @@
+type node = { locked : bool Atomic.t; next : node option Atomic.t }
+
+(* [Atomic.compare_and_set] is physical equality, so the unlock-time CAS
+   on [tail] must use the *same* [Some node] box that was installed at
+   acquisition; the caller's box is kept in domain-local storage. *)
+type t = {
+  tail : node option Atomic.t;
+  mine : node option ref Domain.DLS.key;
+}
+
+let create () =
+  {
+    tail = Atomic.make None;
+    mine = Domain.DLS.new_key (fun () -> ref None);
+  }
+
+let fresh_boxed () =
+  let n = { locked = Atomic.make true; next = Atomic.make None } in
+  (n, Some n)
+
+let lock t =
+  let n, boxed = fresh_boxed () in
+  Domain.DLS.get t.mine := boxed;
+  match Atomic.exchange t.tail boxed with
+  | None -> () (* uncontended: we hold it *)
+  | Some pred ->
+      Atomic.set pred.next boxed;
+      let b = Util.Backoff.create () in
+      while Atomic.get n.locked do
+        Util.Backoff.once b
+      done
+
+let try_lock t =
+  let _, boxed = fresh_boxed () in
+  if Atomic.get t.tail = None && Atomic.compare_and_set t.tail None boxed
+  then begin
+    Domain.DLS.get t.mine := boxed;
+    true
+  end
+  else false
+
+let unlock t =
+  let mine = Domain.DLS.get t.mine in
+  let boxed = !mine in
+  match boxed with
+  | None -> invalid_arg "Mcs_lock.unlock: caller does not hold the lock"
+  | Some n -> (
+      mine := None;
+      match Atomic.get n.next with
+      | Some succ -> Atomic.set succ.locked false
+      | None ->
+          if Atomic.compare_and_set t.tail boxed None then ()
+          else begin
+            (* A successor is enqueueing: wait for its link. *)
+            let b = Util.Backoff.create () in
+            let rec await () =
+              match Atomic.get n.next with
+              | Some succ -> Atomic.set succ.locked false
+              | None ->
+                  Util.Backoff.once b;
+                  await ()
+            in
+            await ()
+          end)
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception e ->
+      unlock t;
+      raise e

@@ -1,0 +1,26 @@
+(** MCS queue lock [Mellor-Crummey & Scott 1991] — the classic scalable
+    starvation-free mutex the paper cites in §2.3.
+
+    Lock acquirers enqueue a node and spin on their own flag, so handoff is
+    FIFO (starvation-free through [lock]) and each waiter spins locally.
+    §2.3's point, exercised by the tests: this starvation-freedom lives in
+    the blocking [lock] API — a concurrency control acquiring multiple
+    locks cannot use it (deadlock) and must fall back to [try_lock], which
+    no queue lock can make starvation-free; hence 2PLSF's tryOrWaitLock. *)
+
+type t
+
+val create : unit -> t
+
+val lock : t -> unit
+(** FIFO, starvation-free. *)
+
+val try_lock : t -> bool
+(** Succeeds only when the queue is empty; inherently not
+    starvation-free. *)
+
+val unlock : t -> unit
+(** Pass the lock to the queue successor, if any.  Must be called by the
+    current holder. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,69 @@
+let name = "TLRW"
+
+(* Word layout: bits 0-7 = writer tid + 1, bits 8.. = reader count. *)
+
+let writer_mask = 0xFF
+let reader_unit = 0x100
+
+type t = {
+  mask : int;
+  words : int Atomic.t array;
+  held : (int, unit) Hashtbl.t array; (* per-tid set of read-held locks *)
+}
+
+let create ~num_locks =
+  if num_locks land (num_locks - 1) <> 0 || num_locks <= 0 then
+    invalid_arg "Rwl_counter.create: num_locks must be a power of two";
+  {
+    mask = num_locks - 1;
+    words = Array.init num_locks (fun _ -> Atomic.make 0);
+    held = Array.init Util.Tid.max_threads (fun _ -> Hashtbl.create 64);
+  }
+
+let lock_index t id = id land t.mask
+let holds_read t ~tid w = Hashtbl.mem t.held.(tid) w
+let holds_write t ~tid w = Atomic.get t.words.(w) land writer_mask = tid + 1
+
+let try_read_lock t ~tid w =
+  if holds_read t ~tid w || holds_write t ~tid w then true
+  else begin
+    let prev = Atomic.fetch_and_add t.words.(w) reader_unit in
+    if prev land writer_mask = 0 then begin
+      Hashtbl.replace t.held.(tid) w ();
+      true
+    end
+    else begin
+      ignore (Atomic.fetch_and_add t.words.(w) (-reader_unit));
+      false
+    end
+  end
+
+let rec try_write_lock t ~tid w =
+  let cur = Atomic.get t.words.(w) in
+  let writer = cur land writer_mask in
+  if writer = tid + 1 then true
+  else if writer <> 0 then false
+  else begin
+    let self_reads = if holds_read t ~tid w then 1 else 0 in
+    let readers = cur / reader_unit in
+    if readers > self_reads then false
+    else if Atomic.compare_and_set t.words.(w) cur (cur lor (tid + 1)) then
+      (* Upgrade succeeded; the self read count (if any) stays accounted in
+         the word until read_unlock. *)
+      true
+    else try_write_lock t ~tid w
+  end
+
+let read_unlock t ~tid w =
+  if holds_read t ~tid w then begin
+    Hashtbl.remove t.held.(tid) w;
+    ignore (Atomic.fetch_and_add t.words.(w) (-reader_unit))
+  end
+
+let rec write_unlock t ~tid w =
+  let cur = Atomic.get t.words.(w) in
+  if
+    cur land writer_mask = tid + 1
+    && not
+         (Atomic.compare_and_set t.words.(w) cur (cur land lnot writer_mask))
+  then write_unlock t ~tid w

@@ -1,0 +1,10 @@
+(** TLRW-style reader-writer lock: central reader counter per lock.
+
+    Readers announce themselves with a fetch-and-add on a per-lock counter
+    — the classic read-indicator whose contention §1 of the paper blames
+    for 2PL's read-scalability myth, and the behaviour of the TLRW-Z
+    baseline.  A per-thread table of held locks provides the
+    read-after-read idempotence the no-wait STM functor requires (the
+    counter alone cannot answer "do I already hold this?"). *)
+
+include Trylock_rw.S

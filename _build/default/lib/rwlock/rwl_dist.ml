@@ -1,0 +1,50 @@
+let name = "2PL-RW-Dist"
+
+type t = { mask : int; wlocks : int Atomic.t array; ri : Read_indicator.t }
+
+let create ~num_locks =
+  if num_locks land (num_locks - 1) <> 0 || num_locks < 32 then
+    invalid_arg "Rwl_dist.create: num_locks must be a power of two >= 32";
+  {
+    mask = num_locks - 1;
+    wlocks = Array.init num_locks (fun _ -> Atomic.make 0);
+    ri = Read_indicator.create ~num_locks;
+  }
+
+let lock_index t id = id land t.mask
+
+let try_read_lock t ~tid w =
+  Read_indicator.arrive t.ri ~tid w;
+  let ws = Atomic.get t.wlocks.(w) in
+  if ws = 0 || ws = tid + 1 then true
+  else begin
+    Read_indicator.depart t.ri ~tid w;
+    false
+  end
+
+let try_write_lock t ~tid w =
+  let me = tid + 1 in
+  let ws = Atomic.get t.wlocks.(w) in
+  if ws = me then true
+  else if ws <> 0 then false
+  else if Atomic.compare_and_set t.wlocks.(w) 0 me then begin
+    if Read_indicator.is_empty t.ri ~self:tid w then begin
+      (* Upgrade: our own indicator bit (if any) is subsumed by the write
+         lock. *)
+      Read_indicator.depart t.ri ~tid w;
+      true
+    end
+    else begin
+      Atomic.set t.wlocks.(w) 0;
+      false
+    end
+  end
+  else false
+
+let read_unlock t ~tid w = Read_indicator.depart t.ri ~tid w
+
+let write_unlock t ~tid w =
+  if Atomic.get t.wlocks.(w) = tid + 1 then Atomic.set t.wlocks.(w) 0
+
+let holds_read t ~tid w = Read_indicator.holds t.ri ~tid w
+let holds_write t ~tid w = Atomic.get t.wlocks.(w) = tid + 1

@@ -1,0 +1,11 @@
+(** The "2PL-RW-Dist" lock of Figure 2: distributed read-indicator,
+    no-wait conflict handling.
+
+    Same memory layout as the paper's 2PLSF lock (one bit per thread per
+    lock, owner-writes-own-word, {!Read_indicator}) but with trylock
+    acquisition and no timestamps: on conflict the caller simply fails and
+    the enclosing 2PL no-wait STM aborts and backs off.  The Figure 2
+    comparison of this lock against 2PLSF isolates the contribution of the
+    starvation-free conflict resolution from that of the lock layout. *)
+
+include Trylock_rw.S

@@ -1,0 +1,56 @@
+let name = "2PL-RW"
+
+(* Word layout: bits 0-7 = writer tid + 1 (0 = no writer);
+   bit (8 + t) = thread t holds the read lock.  OCaml ints give 63 usable
+   bits, so 54 reader slots. *)
+
+let max_supported_threads = 54
+let writer_mask = 0xFF
+let reader_bit tid = 1 lsl (8 + tid)
+let readers_mask = -1 lxor writer_mask
+
+type t = { mask : int; words : int Atomic.t array }
+
+let create ~num_locks =
+  if num_locks land (num_locks - 1) <> 0 || num_locks <= 0 then
+    invalid_arg "Rwl_single.create: num_locks must be a power of two";
+  { mask = num_locks - 1; words = Array.init num_locks (fun _ -> Atomic.make 0) }
+
+let lock_index t id = id land t.mask
+
+let rec try_read_lock t ~tid w =
+  let cur = Atomic.get t.words.(w) in
+  let writer = cur land writer_mask in
+  if writer <> 0 && writer <> tid + 1 then false
+  else if cur land reader_bit tid <> 0 then true
+  else if Atomic.compare_and_set t.words.(w) cur (cur lor reader_bit tid) then
+    true
+  else try_read_lock t ~tid w
+
+let rec try_write_lock t ~tid w =
+  let cur = Atomic.get t.words.(w) in
+  let writer = cur land writer_mask in
+  if writer = tid + 1 then true
+  else if writer <> 0 then false
+  else begin
+    let others = cur land readers_mask land lnot (reader_bit tid) in
+    if others <> 0 then false
+    else if Atomic.compare_and_set t.words.(w) cur (cur lor (tid + 1)) then true
+    else try_write_lock t ~tid w
+  end
+
+let rec read_unlock t ~tid w =
+  let cur = Atomic.get t.words.(w) in
+  let nw = cur land lnot (reader_bit tid) in
+  if nw <> cur && not (Atomic.compare_and_set t.words.(w) cur nw) then
+    read_unlock t ~tid w
+
+let rec write_unlock t ~tid w =
+  let cur = Atomic.get t.words.(w) in
+  if
+    cur land writer_mask = tid + 1
+    && not (Atomic.compare_and_set t.words.(w) cur (cur land readers_mask))
+  then write_unlock t ~tid w
+
+let holds_read t ~tid w = Atomic.get t.words.(w) land reader_bit tid <> 0
+let holds_write t ~tid w = Atomic.get t.words.(w) land writer_mask = tid + 1

@@ -1,0 +1,12 @@
+(** The "2PL-RW" lock of Figure 2: one word per reader-writer lock.
+
+    A single atomic word holds an 8-bit writer thread id plus one reader
+    bit per thread (paper: 56 reader bits in 64-bit words; here 54 reader
+    bits in OCaml's 63-bit ints, so at most 54 concurrent threads).  Every
+    read-lock acquisition and release is a read-modify-write on the same
+    word, which is precisely the contention the paper blames for 2PL-RW
+    never scaling — reproduced faithfully. *)
+
+include Trylock_rw.S
+
+val max_supported_threads : int

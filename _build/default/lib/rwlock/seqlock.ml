@@ -1,0 +1,31 @@
+type t = int Atomic.t
+
+let create () = Atomic.make 0
+
+let read_begin t =
+  let b = Util.Backoff.create () in
+  let rec go () =
+    let s = Atomic.get t in
+    if s land 1 = 0 then s
+    else begin
+      Util.Backoff.once b;
+      go ()
+    end
+  in
+  go ()
+
+let read_validate t s = Atomic.get t = s
+
+let try_write_lock t =
+  let s = Atomic.get t in
+  s land 1 = 0 && Atomic.compare_and_set t s (s + 1)
+
+let write_lock t =
+  let b = Util.Backoff.create () in
+  while not (try_write_lock t) do
+    Util.Backoff.once b
+  done
+
+let write_unlock t = Atomic.incr t
+
+let sequence t = Atomic.get t

@@ -1,0 +1,24 @@
+(** Sequence lock: optimistic read / exclusive write synchronization.
+
+    The versioning primitive behind optimistic concurrency controls (§1):
+    readers run without writing shared state and validate afterwards that
+    the sequence did not move.  Used by the OneFile substitute and in tests
+    contrasting optimistic reads with 2PL's pessimistic reads. *)
+
+type t
+
+val create : unit -> t
+
+val read_begin : t -> int
+(** Wait until no writer is active and return the (even) sequence. *)
+
+val read_validate : t -> int -> bool
+(** [read_validate t s]: no writer ran since [read_begin] returned [s]. *)
+
+val write_lock : t -> unit
+(** Exclusive: spins until the writer slot is free, leaves the sequence
+    odd. *)
+
+val try_write_lock : t -> bool
+val write_unlock : t -> unit
+val sequence : t -> int

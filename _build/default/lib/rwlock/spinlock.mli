@@ -1,0 +1,14 @@
+(** Test-and-test-and-set spinlock.
+
+    Used as the tiny critical-section guard inside the DBx1000 row-lock
+    state machines and the flat combiner; paced for the single-core host
+    via {!Util.Backoff}. *)
+
+type t
+
+val create : unit -> t
+val lock : t -> unit
+val try_lock : t -> bool
+val unlock : t -> unit
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run the thunk under the lock; always releases, even on exceptions. *)

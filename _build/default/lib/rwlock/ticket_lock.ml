@@ -1,0 +1,26 @@
+type t = { next : int Atomic.t; serving : int Atomic.t }
+
+let create () = { next = Atomic.make 0; serving = Atomic.make 0 }
+
+let lock t =
+  let my = Atomic.fetch_and_add t.next 1 in
+  let b = Util.Backoff.create () in
+  while Atomic.get t.serving <> my do
+    Util.Backoff.once b
+  done
+
+let try_lock t =
+  let cur = Atomic.get t.next in
+  Atomic.get t.serving = cur && Atomic.compare_and_set t.next cur (cur + 1)
+
+let unlock t = Atomic.incr t.serving
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception e ->
+      unlock t;
+      raise e

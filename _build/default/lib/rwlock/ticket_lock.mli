@@ -1,0 +1,17 @@
+(** Ticket lock: a classic FIFO starvation-free mutual-exclusion lock.
+
+    Included as the representative of the "starvation-free locks are not
+    enough" discussion (§2.3): the lock itself is starvation-free through
+    [lock], but a concurrency control needs trylock-style acquisition,
+    which no queue lock can make starvation-free — the motivation for the
+    paper's tryOrWaitLock API.  Used in tests contrasting the two. *)
+
+type t
+
+val create : unit -> t
+val lock : t -> unit
+val try_lock : t -> bool
+(** Succeeds only when the lock is entirely uncontended (no queue). *)
+
+val unlock : t -> unit
+val with_lock : t -> (unit -> 'a) -> 'a

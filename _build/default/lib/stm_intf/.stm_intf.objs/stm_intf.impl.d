@@ -1,0 +1,1 @@
+lib/stm_intf/stm_intf.ml: Stm_stats

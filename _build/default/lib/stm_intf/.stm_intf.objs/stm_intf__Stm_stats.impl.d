@@ -1,0 +1,1 @@
+lib/stm_intf/stm_stats.ml: Array Atomic Util

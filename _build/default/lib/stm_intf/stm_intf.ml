@@ -1,0 +1,66 @@
+(** The unified word-based STM signature.
+
+    Every concurrency control in this repository — the paper's 2PLSF and
+    all the baselines it is evaluated against (TL2, TinySTM/LSA, TLRW,
+    OREC, OneFile, the 2PL no-wait variants of Figure 2, classic 2PL
+    wait-or-die) — implements this one signature.  The transactional data
+    structures of the evaluation (linked list, hash set, skip list, zip
+    tree, relaxed AVL tree) are functors over it, so a single data
+    structure definition runs under eleven concurrency controls. *)
+
+module Stats = Stm_stats
+(** Re-export so dependants reach the stats type through the library's main
+    module ([Stm_intf.Stats]). *)
+
+module type STM = sig
+  val name : string
+  (** Short label used in benchmark output ("2PLSF", "TL2", ...). *)
+
+  type tx
+  (** An in-flight transaction attempt, one per thread. *)
+
+  type 'a tvar
+  (** A transactional variable: the OCaml analogue of a transactionally
+      accessed memory word (see DESIGN.md §3.2 on the address → id
+      substitution). *)
+
+  val tvar : 'a -> 'a tvar
+  (** Allocate a fresh tvar with the given initial value.  Safe to call
+      inside or outside transactions; a tvar published by a transaction
+      becomes visible atomically with the publishing write. *)
+
+  val read : tx -> 'a tvar -> 'a
+  (** Transactional read ([stmRead]).  May internally restart the enclosing
+      {!atomic} by raising the STM's private restart exception: never catch
+      arbitrary exceptions around it inside a transaction. *)
+
+  val write : tx -> 'a tvar -> 'a -> unit
+  (** Transactional write ([stmWrite]); same restart caveat as {!read}. *)
+
+  val atomic : ?read_only:bool -> (tx -> 'a) -> 'a
+  (** Run a transaction to commit, retrying on conflicts.  [read_only] is a
+      hint that lets optimistic STMs skip write-set machinery; it is sound
+      only if the body performs no {!write}.  Nested calls flatten into the
+      outermost transaction.  Exceptions raised by the body abort the
+      transaction (all writes rolled back) and propagate. *)
+
+  val commits : unit -> int
+  (** Committed transactions since the last {!reset_stats}. *)
+
+  val aborts : unit -> int
+  (** Aborted attempts since the last {!reset_stats}. *)
+
+  val clock_ops : unit -> int
+  (** Increments of the STM's central clock since the last {!reset_stats}
+      — the contention §3.3 of the paper identifies as the scalability
+      limiter of TL2/TinySTM (one per write transaction) and of 2PL
+      wait-or-die (one per transaction), versus 2PLSF's one per
+      *conflict*.  0 for STMs with no central clock. *)
+
+  val reset_stats : unit -> unit
+
+  val last_restarts : unit -> int
+  (** Number of times the calling thread's most recently completed
+      top-level transaction was restarted before committing.  Used by the
+      starvation-freedom tests (2PLSF bounds this by [N_threads - 1]). *)
+end

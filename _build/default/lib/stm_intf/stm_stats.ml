@@ -1,0 +1,26 @@
+type t = {
+  commits : int Atomic.t array;
+  aborts : int Atomic.t array;
+  clock : int Atomic.t array;
+}
+
+let create () =
+  {
+    commits = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
+    aborts = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
+    clock = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
+  }
+
+let commit t ~tid = Atomic.incr t.commits.(tid)
+let abort t ~tid = Atomic.incr t.aborts.(tid)
+let clock_op t ~tid = Atomic.incr t.clock.(tid)
+
+let sum a = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 a
+let commits t = sum t.commits
+let aborts t = sum t.aborts
+let clock_ops t = sum t.clock
+
+let reset t =
+  Array.iter (fun c -> Atomic.set c 0) t.commits;
+  Array.iter (fun c -> Atomic.set c 0) t.aborts;
+  Array.iter (fun c -> Atomic.set c 0) t.clock

@@ -1,0 +1,22 @@
+(** Per-STM commit/abort accounting.
+
+    Counters are kept per thread id (no sharing in the hot path) and summed
+    on demand; every STM in the repository owns one instance so benchmark
+    reports can show abort rates next to throughput. *)
+
+type t
+
+val create : unit -> t
+val commit : t -> tid:int -> unit
+val abort : t -> tid:int -> unit
+
+val clock_op : t -> tid:int -> unit
+(** Count one increment of the STM's central clock — the scalability
+    bottleneck §3.3/§4.1 of the paper argues about.  2PLSF pays one per
+    *conflict*, TL2/TinySTM/OREC one per write transaction, wait-or-die one
+    per transaction. *)
+
+val commits : t -> int
+val aborts : t -> int
+val clock_ops : t -> int
+val reset : t -> unit

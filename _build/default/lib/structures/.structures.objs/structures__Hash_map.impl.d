@@ -1,0 +1,1 @@
+lib/structures/hash_map.ml: Array Linked_list List Map_intf Stm_intf

@@ -1,0 +1,1 @@
+lib/structures/hash_map.mli: Map_intf Stm_intf

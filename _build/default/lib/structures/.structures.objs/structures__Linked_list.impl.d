@@ -1,0 +1,1 @@
+lib/structures/linked_list.ml: List Map_intf Stm_intf

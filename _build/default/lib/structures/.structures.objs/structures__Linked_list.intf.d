@@ -1,0 +1,1 @@
+lib/structures/linked_list.mli: Map_intf Stm_intf

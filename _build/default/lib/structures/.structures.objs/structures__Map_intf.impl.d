@@ -1,0 +1,1 @@
+lib/structures/map_intf.ml:

@@ -1,0 +1,1 @@
+lib/structures/ravl.ml: List Map_intf Stdlib Stm_intf

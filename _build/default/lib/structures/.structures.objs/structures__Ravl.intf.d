@@ -1,0 +1,1 @@
+lib/structures/ravl.mli: Map_intf Stm_intf

@@ -1,0 +1,1 @@
+lib/structures/skiplist.ml: Array Domain Int64 List Map_intf Obj Stm_intf Util

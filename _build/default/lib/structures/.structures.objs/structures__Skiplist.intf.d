@@ -1,0 +1,1 @@
+lib/structures/skiplist.mli: Map_intf Stm_intf

@@ -1,0 +1,1 @@
+lib/structures/ziptree.ml: Domain Int64 List Map_intf Stm_intf Util

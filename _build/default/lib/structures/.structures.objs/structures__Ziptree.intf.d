@@ -1,0 +1,1 @@
+lib/structures/ziptree.mli: Map_intf Stm_intf

@@ -1,0 +1,44 @@
+module Make (S : Stm_intf.STM) (V : Map_intf.VALUE) = struct
+  module Bucket = Linked_list.Make (S) (V)
+
+  let name = "hash-map"
+
+  type tx = S.tx
+  type value = V.t
+  type t = { buckets : Bucket.t array }
+
+  let create ?(buckets = 1024) () =
+    if buckets <= 0 then invalid_arg "Hash_map.create";
+    { buckets = Array.init buckets (fun _ -> Bucket.create ()) }
+
+  (* Fibonacci hashing spreads consecutive integer keys across buckets. *)
+  let bucket t k =
+    let h = k * 0x2545F4914F6CDD1D land max_int in
+    t.buckets.(h mod Array.length t.buckets)
+
+  let put_tx tx t k v = Bucket.put_tx tx (bucket t k) k v
+  let get_tx tx t k = Bucket.get_tx tx (bucket t k) k
+  let remove_tx tx t k = Bucket.remove_tx tx (bucket t k) k
+  let update_tx tx t k f = Bucket.update_tx tx (bucket t k) k f
+
+  let put t k v = S.atomic (fun tx -> put_tx tx t k v)
+  let get t k = S.atomic ~read_only:true (fun tx -> get_tx tx t k)
+  let contains t k = get t k <> None
+  let remove t k = S.atomic (fun tx -> remove_tx tx t k)
+  let update t k f = S.atomic (fun tx -> update_tx tx t k f)
+
+  (* One enclosing transaction so the whole-map views are atomic
+     snapshots (the per-bucket calls flatten into it). *)
+  let size t =
+    S.atomic ~read_only:true (fun _ ->
+        Array.fold_left (fun acc b -> acc + Bucket.size b) 0 t.buckets)
+
+  let to_list t =
+    let all =
+      S.atomic ~read_only:true (fun _ ->
+          Array.fold_left
+            (fun acc b -> List.rev_append (Bucket.to_list b) acc)
+            [] t.buckets)
+    in
+    List.sort (fun (a, _) (b, _) -> compare a b) all
+end

@@ -1,0 +1,14 @@
+(** Fixed-capacity chained hash map (Figure 4's hash set).
+
+    An array of sorted-list buckets; operations touch one short bucket, so
+    transactions are tiny and mostly disjoint — the workload where the
+    per-write-transaction global-clock increment of TL2/TinySTM becomes the
+    bottleneck and 2PLSF's conflict-only clock shines (§3.2). *)
+
+module Make (S : Stm_intf.STM) (V : Map_intf.VALUE) : sig
+  include Map_intf.MAP with type tx = S.tx and type value = V.t
+
+  val create : ?buckets:int -> unit -> t
+  (** [buckets] defaults to 1024 and is fixed for the map's lifetime (the
+      paper's benchmark prefills to a known load factor; no resizing). *)
+end

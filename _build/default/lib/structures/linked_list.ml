@@ -1,0 +1,69 @@
+module Make (S : Stm_intf.STM) (V : Map_intf.VALUE) = struct
+  let name = "linked-list"
+
+  type tx = S.tx
+  type value = V.t
+
+  type node = Nil | Node of { key : int; value : value S.tvar; next : node S.tvar }
+
+  type t = { head : node S.tvar }
+
+  let create () = { head = S.tvar Nil }
+
+  (* Walk to the first node with key >= k; returns the tvar holding the
+     link to it plus the node itself (the link is what insert/remove
+     rewrite). *)
+  let rec search tx link k =
+    match S.read tx link with
+    | Nil -> (link, Nil)
+    | Node n as cur -> if n.key >= k then (link, cur) else search tx n.next k
+
+  let get_tx tx t k =
+    match search tx t.head k with
+    | _, Node n when n.key = k -> Some (S.read tx n.value)
+    | _, (Nil | Node _) -> None
+
+  let put_tx tx t k v =
+    match search tx t.head k with
+    | _, Node n when n.key = k ->
+        S.write tx n.value v;
+        false
+    | link, succ ->
+        S.write tx link (Node { key = k; value = S.tvar v; next = S.tvar succ });
+        true
+
+  let remove_tx tx t k =
+    match search tx t.head k with
+    | link, Node n when n.key = k ->
+        S.write tx link (S.read tx n.next);
+        true
+    | _, (Nil | Node _) -> false
+
+  let update_tx tx t k f =
+    match search tx t.head k with
+    | _, Node n when n.key = k ->
+        S.write tx n.value (f (S.read tx n.value));
+        true
+    | _, (Nil | Node _) -> false
+
+  let put t k v = S.atomic (fun tx -> put_tx tx t k v)
+  let get t k = S.atomic ~read_only:true (fun tx -> get_tx tx t k)
+  let contains t k = get t k <> None
+  let remove t k = S.atomic (fun tx -> remove_tx tx t k)
+  let update t k f = S.atomic (fun tx -> update_tx tx t k f)
+
+  let fold_tx tx t f acc =
+    let rec go link acc =
+      match S.read tx link with
+      | Nil -> acc
+      | Node n -> go n.next (f n.key (S.read tx n.value) acc)
+    in
+    go t.head acc
+
+  let size t = S.atomic ~read_only:true (fun tx -> fold_tx tx t (fun _ _ n -> n + 1) 0)
+
+  let to_list t =
+    List.rev
+      (S.atomic ~read_only:true (fun tx ->
+           fold_tx tx t (fun k v acc -> (k, v) :: acc) []))
+end

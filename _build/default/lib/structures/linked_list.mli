@@ -1,0 +1,13 @@
+(** Sorted singly-linked list map (Figure 3's linked-list set).
+
+    The canonical worst case for STM read sets: every operation reads the
+    chain of nodes from the head, so transactions are long and read-heavy
+    and almost all pairs of operations overlap on the head prefix —
+    the workload where the paper shows 2PLSF winning write-intensive mixes
+    but losing read-mostly ones to the optimistic STMs. *)
+
+module Make (S : Stm_intf.STM) (V : Map_intf.VALUE) : sig
+  include Map_intf.MAP with type tx = S.tx and type value = V.t
+
+  val create : unit -> t
+end

@@ -1,0 +1,57 @@
+(** Interface of the transactional set/map data structures used in the
+    paper's evaluation (§3.2 sets, §3.3 maps).
+
+    Every structure is a functor over {!Stm_intf.STM} and a value type, so
+    the same linked list / hash map / skip list / zip tree / relaxed AVL
+    tree definition runs under all eleven concurrency controls.  Keys are
+    integers (as in the paper's integer-set microbenchmarks); a set is a
+    map to [unit].
+
+    Each operation exists in two forms: [*_tx] composes into an enclosing
+    transaction (the "index inside the transaction" use-case of §5), and
+    the plain form wraps itself in [S.atomic]. *)
+
+module type VALUE = sig
+  type t
+end
+
+module type MAP = sig
+  type t
+  type tx
+  type value
+
+  val name : string
+
+  val put_tx : tx -> t -> int -> value -> bool
+  (** [true] if the key was absent (a mapping was created); on an existing
+      key the value is overwritten and the result is [false]. *)
+
+  val get_tx : tx -> t -> int -> value option
+  val remove_tx : tx -> t -> int -> bool
+  val update_tx : tx -> t -> int -> (value -> value) -> bool
+  (** Read-modify-write of an existing key's value (the Figure 8 record
+      update); [false] when the key is absent. *)
+
+  val put : t -> int -> value -> bool
+  val get : t -> int -> value option
+  val contains : t -> int -> bool
+  val remove : t -> int -> bool
+  val update : t -> int -> (value -> value) -> bool
+
+  val size : t -> int
+  (** Number of keys; a full transactional traversal — tests only. *)
+
+  val to_list : t -> (int * value) list
+  (** All bindings in ascending key order; a full transactional traversal
+      — tests only. *)
+end
+
+(** A set is a map to unit; these shorthands keep benchmarks readable. *)
+module Set_ops (M : MAP with type value = unit) = struct
+  let add t k = M.put t k ()
+  let add_tx tx t k = M.put_tx tx t k ()
+  let mem t k = M.contains t k
+  let mem_tx tx t k = M.get_tx tx t k <> None
+  let remove = M.remove
+  let remove_tx = M.remove_tx
+end

@@ -1,0 +1,210 @@
+module Make (S : Stm_intf.STM) (V : Map_intf.VALUE) = struct
+  let name = "ravl-tree"
+
+  type tx = S.tx
+  type value = V.t
+
+  type node = {
+    key : int;
+    value : value S.tvar;
+    left : node option S.tvar;
+    right : node option S.tvar;
+    height : int S.tvar;
+  }
+
+  type t = { root : node option S.tvar }
+
+  let create () = { root = S.tvar None }
+
+  let mk_node k v =
+    { key = k; value = S.tvar v; left = S.tvar None; right = S.tvar None;
+      height = S.tvar 1 }
+
+  let height_of tx = function None -> 0 | Some n -> S.read tx n.height
+
+  (* Write the height only when it changed: the relaxation that keeps
+     writes near the leaves (mli). *)
+  let set_height tx n h = if S.read tx n.height <> h then S.write tx n.height h
+
+  let refresh_height tx n =
+    let h =
+      1 + Stdlib.max (height_of tx (S.read tx n.left)) (height_of tx (S.read tx n.right))
+    in
+    set_height tx n h
+
+  let rotate_right tx n =
+    let l = match S.read tx n.left with Some l -> l | None -> assert false in
+    S.write tx n.left (S.read tx l.right);
+    S.write tx l.right (Some n);
+    refresh_height tx n;
+    refresh_height tx l;
+    l
+
+  let rotate_left tx n =
+    let r = match S.read tx n.right with Some r -> r | None -> assert false in
+    S.write tx n.right (S.read tx r.left);
+    S.write tx r.left (Some n);
+    refresh_height tx n;
+    refresh_height tx r;
+    r
+
+  (* Restore the AVL invariant at [n]; returns the subtree's (possibly
+     new) root. *)
+  let balance tx n =
+    let hl = height_of tx (S.read tx n.left) in
+    let hr = height_of tx (S.read tx n.right) in
+    if hl - hr > 1 then begin
+      let l = match S.read tx n.left with Some l -> l | None -> assert false in
+      if height_of tx (S.read tx l.left) < height_of tx (S.read tx l.right) then
+        S.write tx n.left (Some (rotate_left tx l));
+      rotate_right tx n
+    end
+    else if hr - hl > 1 then begin
+      let r = match S.read tx n.right with Some r -> r | None -> assert false in
+      if height_of tx (S.read tx r.right) < height_of tx (S.read tx r.left) then
+        S.write tx n.right (Some (rotate_right tx r));
+      rotate_left tx n
+    end
+    else begin
+      set_height tx n (1 + Stdlib.max hl hr);
+      n
+    end
+
+  let same_opt a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> x == y
+    | None, Some _ | Some _, None -> false
+
+  let rec find_node tx cur k =
+    match cur with
+    | None -> None
+    | Some c ->
+        if k = c.key then Some c
+        else find_node tx (S.read tx (if k < c.key then c.left else c.right)) k
+
+  let get_tx tx t k =
+    match find_node tx (S.read tx t.root) k with
+    | Some n -> Some (S.read tx n.value)
+    | None -> None
+
+  let put_tx tx t k v =
+    let added = ref false in
+    let rec ins cur =
+      match cur with
+      | None ->
+          added := true;
+          Some (mk_node k v)
+      | Some n ->
+          if k = n.key then begin
+            S.write tx n.value v;
+            cur
+          end
+          else begin
+            let link = if k < n.key then n.left else n.right in
+            let child = S.read tx link in
+            let child' = ins child in
+            if not (same_opt child child') then S.write tx link child';
+            if !added then Some (balance tx n) else cur
+          end
+    in
+    let root = S.read tx t.root in
+    let root' = ins root in
+    if not (same_opt root root') then S.write tx t.root root';
+    !added
+
+  (* Smallest key in a non-empty subtree. *)
+  let rec min_node tx n =
+    match S.read tx n.left with None -> n | Some l -> min_node tx l
+
+  let remove_tx tx t k =
+    let removed = ref false in
+    let rec del k cur =
+      match cur with
+      | None -> None
+      | Some n ->
+          if k < n.key then begin
+            let child = S.read tx n.left in
+            let child' = del k child in
+            if not (same_opt child child') then S.write tx n.left child';
+            if !removed then Some (balance tx n) else cur
+          end
+          else if k > n.key then begin
+            let child = S.read tx n.right in
+            let child' = del k child in
+            if not (same_opt child child') then S.write tx n.right child';
+            if !removed then Some (balance tx n) else cur
+          end
+          else begin
+            removed := true;
+            match (S.read tx n.left, S.read tx n.right) with
+            | None, r -> r
+            | l, None -> l
+            | Some _, Some r ->
+                (* Two children: splice in the in-order successor.  The
+                   replacement reuses [n]'s child/height tvars, so only the
+                   successor's removal path and the parent link change. *)
+                let succ = min_node tx r in
+                let r_child = S.read tx n.right in
+                let r' = del succ.key r_child in
+                if not (same_opt r_child r') then S.write tx n.right r';
+                let m =
+                  { key = succ.key; value = succ.value; left = n.left;
+                    right = n.right; height = n.height }
+                in
+                Some (balance tx m)
+          end
+    in
+    let root = S.read tx t.root in
+    let root' = del k root in
+    if not (same_opt root root') then S.write tx t.root root';
+    !removed
+
+  let update_tx tx t k f =
+    match find_node tx (S.read tx t.root) k with
+    | Some n ->
+        S.write tx n.value (f (S.read tx n.value));
+        true
+    | None -> false
+
+  let put t k v = S.atomic (fun tx -> put_tx tx t k v)
+  let get t k = S.atomic ~read_only:true (fun tx -> get_tx tx t k)
+  let contains t k = get t k <> None
+  let remove t k = S.atomic (fun tx -> remove_tx tx t k)
+  let update t k f = S.atomic (fun tx -> update_tx tx t k f)
+
+  let fold_tx tx t f acc =
+    let rec go cur acc =
+      match cur with
+      | None -> acc
+      | Some c ->
+          let acc = go (S.read tx c.left) acc in
+          let acc = f c.key (S.read tx c.value) acc in
+          go (S.read tx c.right) acc
+    in
+    go (S.read tx t.root) acc
+
+  let size t = S.atomic ~read_only:true (fun tx -> fold_tx tx t (fun _ _ n -> n + 1) 0)
+
+  let to_list t =
+    List.rev
+      (S.atomic ~read_only:true (fun tx ->
+           fold_tx tx t (fun k v acc -> (k, v) :: acc) []))
+
+  let check_balanced t =
+    S.atomic ~read_only:true (fun tx ->
+        let ok = ref true in
+        let rec height cur =
+          match cur with
+          | None -> 0
+          | Some n ->
+              let hl = height (S.read tx n.left) in
+              let hr = height (S.read tx n.right) in
+              if abs (hl - hr) > 1 then ok := false;
+              let h = 1 + Stdlib.max hl hr in
+              if S.read tx n.height <> h then ok := false;
+              h
+        in
+        ignore (height (S.read tx t.root));
+        !ok)
+end

@@ -1,0 +1,23 @@
+(** Transactional relaxed AVL tree (Figures 2 and 7).
+
+    The paper benchmarks Larsen's relaxed AVL tree [IPPS 1994], chosen for
+    disjoint access: rebalancing is decoupled from the update so writes
+    stay near the leaves.  We implement a height-balanced AVL whose
+    relaxation is *update laziness*: heights are rewritten only when they
+    actually change and rotations happen only where the balance factor
+    demands, so the common insert/remove writes a leaf link and at most a
+    short suffix of the path — preserving the disjoint-access behaviour the
+    figures depend on.  (Full Larsen deferred-rebalancing is not
+    implemented; see DESIGN.md §3.)  Unlike the randomized trees, the
+    height bound here is deterministic, which is why the paper's RAVL posts
+    the highest absolute throughput of the three trees. *)
+
+module Make (S : Stm_intf.STM) (V : Map_intf.VALUE) : sig
+  include Map_intf.MAP with type tx = S.tx and type value = V.t
+
+  val create : unit -> t
+
+  val check_balanced : t -> bool
+  (** Every node's balance factor is in [-1, 1] and stored heights are
+      consistent (tests). *)
+end

@@ -1,0 +1,18 @@
+(** Transactional skip list (Figure 5).
+
+    Towers of forward pointers with geometrically distributed heights; an
+    operation reads O(log n) nodes across levels and an insert/remove
+    writes one link per level of the affected tower.  Longer write
+    transactions than the hash map — the regime where a per-commit global
+    clock stops being the bottleneck for TL2/TinySTM (§3.2). *)
+
+module Make (S : Stm_intf.STM) (V : Map_intf.VALUE) : sig
+  include Map_intf.MAP with type tx = S.tx and type value = V.t
+
+  val create : ?max_level:int -> unit -> t
+  (** [max_level] defaults to 20 (supports ~2^20 keys). *)
+
+  val check_invariants : t -> bool
+  (** Strictly ascending keys at every level, and each level's node list is
+      a sublist of the level below (tower consistency); tests. *)
+end

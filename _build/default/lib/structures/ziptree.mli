@@ -1,0 +1,17 @@
+(** Transactional zip tree [Tarjan, Levy, Timmel 2019] (Figure 6).
+
+    A randomized balanced BST: node ranks are geometric, insertion unzips
+    the search path at the rank-determined insertion point, deletion zips
+    the two subtrees back together.  Structural writes touch only the
+    unzipped/zipped spine, so write transactions are short and localized —
+    a similar regime to the skip list in the paper's evaluation. *)
+
+module Make (S : Stm_intf.STM) (V : Map_intf.VALUE) : sig
+  include Map_intf.MAP with type tx = S.tx and type value = V.t
+
+  val create : unit -> t
+
+  val check_invariants : t -> bool
+  (** BST key order plus the zip-tree rank rule (parent rank strictly
+      higher, or equal with smaller key) hold everywhere (tests). *)
+end

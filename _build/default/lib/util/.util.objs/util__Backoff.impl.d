@@ -1,0 +1,1 @@
+lib/util/backoff.ml: Domain Stdlib Unix

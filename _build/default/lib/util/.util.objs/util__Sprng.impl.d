@@ -1,0 +1,1 @@
+lib/util/sprng.ml: Int64

@@ -1,0 +1,23 @@
+type t = { mutable n : int }
+
+let create () = { n = 0 }
+
+let yield () = Unix.sleepf 1e-6
+
+let once t =
+  t.n <- t.n + 1;
+  if t.n <= 6 then Domain.cpu_relax ()
+  else begin
+    (* Cap the sleep so a waiter notices lock release promptly. *)
+    let steps = Stdlib.min (t.n - 6) 20 in
+    Unix.sleepf (1e-6 *. float_of_int steps)
+  end
+
+let reset t = t.n <- 0
+
+let exponential ~attempt =
+  if attempt <= 1 then Domain.cpu_relax ()
+  else begin
+    let e = Stdlib.min attempt 9 in
+    Unix.sleepf (1e-6 *. float_of_int (1 lsl e))
+  end

@@ -1,0 +1,30 @@
+(** Waiting-loop pacing.
+
+    The paper's [pause()] is an x86 PAUSE executed while spinning.  This
+    host has a single hardware core, so a spinning domain that never yields
+    would hold the CPU for a full scheduler timeslice (milliseconds) while
+    the lock holder it waits for cannot run.  {!once} therefore escalates:
+    a few [Domain.cpu_relax] hints, then short [nanosleep]s that return the
+    core to the runnable lock holder.  On a multi-core host the relax phase
+    dominates and behaviour approximates the paper's spin-wait. *)
+
+type t
+
+val create : unit -> t
+(** Fresh pacing state, one per waiting loop. *)
+
+val once : t -> unit
+(** One wait step; call inside the loop body exactly where the paper's
+    pseudocode says [pause()]. *)
+
+val reset : t -> unit
+(** Forget escalation (call after the awaited condition made progress). *)
+
+val yield : unit -> unit
+(** Unconditionally give up the core briefly (used between transaction
+    attempts when waiting for a conflicting transaction to commit). *)
+
+val exponential : attempt:int -> unit
+(** Capped exponential backoff used by the no-wait concurrency controls
+    between aborted attempts ([attempt] = 1, 2, ...).  This is the backoff
+    strategy §2.1 contrasts with 2PLSF's wait-for-conflictor. *)

@@ -1,0 +1,8 @@
+(** Wall-clock timing for throughput and latency measurement. *)
+
+val now : unit -> float
+(** Seconds since the epoch, microsecond resolution
+    ([Unix.gettimeofday]). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed seconds. *)

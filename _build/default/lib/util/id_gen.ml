@@ -1,0 +1,17 @@
+let block_size = 1024
+
+type cache = { mutable next : int; mutable limit : int }
+
+let global = Atomic.make 0
+let key = Domain.DLS.new_key (fun () -> { next = 0; limit = 0 })
+
+let next () =
+  let c = Domain.DLS.get key in
+  if c.next >= c.limit then begin
+    let base = Atomic.fetch_and_add global block_size in
+    c.next <- base;
+    c.limit <- base + block_size
+  end;
+  let id = c.next in
+  c.next <- id + 1;
+  id

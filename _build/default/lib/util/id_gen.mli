@@ -1,0 +1,14 @@
+(** Unique integer ids for transactional variables.
+
+    The paper hashes raw memory addresses into the lock table
+    ([addr2lockIdx], Algorithm 1 line 41).  OCaml's moving GC rules out
+    address hashing, so every tvar gets a unique integer id at creation and
+    the id is hashed instead.  Ids are handed out in per-domain blocks so
+    that tvar allocation inside transactions does not contend on a single
+    atomic counter. *)
+
+val next : unit -> int
+(** A process-wide unique non-negative id. *)
+
+val block_size : int
+(** Ids reserved per domain at a time. *)

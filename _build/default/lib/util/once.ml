@@ -1,0 +1,25 @@
+type 'a t = {
+  mutex : Mutex.t;
+  cell : 'a option Atomic.t;
+  thunk : unit -> 'a;
+}
+
+let create thunk = { mutex = Mutex.create (); cell = Atomic.make None; thunk }
+
+let get t =
+  match Atomic.get t.cell with
+  | Some v -> v
+  | None ->
+      Mutex.lock t.mutex;
+      let v =
+        match Atomic.get t.cell with
+        | Some v -> v
+        | None ->
+            let v = t.thunk () in
+            Atomic.set t.cell (Some v);
+            v
+      in
+      Mutex.unlock t.mutex;
+      v
+
+let is_forced t = Atomic.get t.cell <> None

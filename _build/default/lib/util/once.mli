@@ -1,0 +1,13 @@
+(** Domain-safe once-initialization cell.
+
+    [Lazy.force] raises [CamlinternalLazy.Undefined] when two domains race
+    to force the same thunk; every shared lock/orec table in the repository
+    is created through this cell instead. *)
+
+type 'a t
+
+val create : (unit -> 'a) -> 'a t
+val get : 'a t -> 'a
+(** First caller runs the thunk; concurrent callers wait for it. *)
+
+val is_forced : 'a t -> bool

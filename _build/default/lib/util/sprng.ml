@@ -1,0 +1,21 @@
+type t = { mutable s : int64 }
+
+let create seed = { s = Int64.of_int seed }
+
+let next t =
+  t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+  let z = t.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  assert (n > 0);
+  let v = Int64.to_int (next t) land max_int in
+  v mod n
+
+let float t =
+  let v = Int64.to_int (next t) land max_int in
+  float_of_int v /. float_of_int max_int
+
+let bool t = Int64.logand (next t) 1L = 1L

@@ -1,0 +1,24 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A small, fast, statistically solid PRNG used by every workload
+    generator in the repository.  Each worker thread owns its own state, so
+    random-number generation never synchronizes between threads (exactly as
+    in the paper's C++ harness). *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed.  Distinct seeds
+    give independent streams for practical purposes. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0, n).  Requires [n > 0]. *)
+
+val float : t -> float
+(** Uniform draw from [0, 1). *)
+
+val bool : t -> bool
+(** Fair coin. *)

@@ -1,0 +1,32 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (acc /. float_of_int n)
+  end
+
+let nearest_rank sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+  sorted.(idx)
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  nearest_rank sorted p
+
+let percentiles_in_place xs ps =
+  if Array.length xs = 0 then invalid_arg "Stats.percentiles_in_place: empty sample";
+  Array.sort compare xs;
+  List.map (fun p -> (p, nearest_rank xs p)) ps
+
+let max xs = Array.fold_left Stdlib.max 0. xs

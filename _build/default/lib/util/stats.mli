@@ -1,0 +1,24 @@
+(** Summary statistics for benchmark results.
+
+    Used by the latency benchmark (Figure 10) to compute P90/P99/max of
+    per-transaction durations and by every throughput harness to aggregate
+    run results. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 for arrays shorter than 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100]: nearest-rank percentile of the
+    sample.  The input need not be sorted (a sorted copy is made).
+    @raise Invalid_argument on an empty array. *)
+
+val percentiles_in_place : float array -> float list -> (float * float) list
+(** Sort [xs] in place once, then report each requested percentile as a
+    [(p, value)] pair.  Cheaper than repeated {!percentile} calls on large
+    latency samples. *)
+
+val max : float array -> float
+(** Largest sample; 0 for the empty array. *)

@@ -1,0 +1,36 @@
+let max_threads = 64
+
+let slots = Array.init max_threads (fun _ -> Atomic.make false)
+let hwm = Atomic.make 0
+
+let key = Domain.DLS.new_key (fun () -> -1)
+
+let rec bump_hwm n =
+  let cur = Atomic.get hwm in
+  if n > cur && not (Atomic.compare_and_set hwm cur n) then bump_hwm n
+
+let register () =
+  let cur = Domain.DLS.get key in
+  if cur >= 0 then cur
+  else begin
+    let rec claim i =
+      if i >= max_threads then failwith "Tid.register: all thread slots in use"
+      else if Atomic.compare_and_set slots.(i) false true then i
+      else claim (i + 1)
+    in
+    let tid = claim 0 in
+    Domain.DLS.set key tid;
+    bump_hwm (tid + 1);
+    tid
+  end
+
+let release () =
+  let tid = Domain.DLS.get key in
+  if tid >= 0 then begin
+    Domain.DLS.set key (-1);
+    Atomic.set slots.(tid) false
+  end
+
+let get () = register ()
+
+let high_water () = Atomic.get hwm

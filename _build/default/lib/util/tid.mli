@@ -1,0 +1,34 @@
+(** Dense thread-identifier registry.
+
+    The 2PLSF reader-writer lock (and every baseline lock in this
+    repository) identifies threads by a small dense integer so that one bit
+    per thread can be reserved in the read-indicators and one slot per
+    thread in the timestamp-announcement array.  The paper supports up to
+    2^16 threads; we default to {!max_threads} = 64, which is ample for a
+    single machine and keeps read-indicator scans short.
+
+    Identifiers are stored in domain-local storage: the common pattern is
+    for a benchmark worker to call {!register} on entry and {!release} on
+    exit so that slots are recycled across spawned domains. *)
+
+val max_threads : int
+(** Capacity of the registry.  Lock tables size their per-thread state
+    (announce arrays, read-indicator regions) with this constant. *)
+
+val register : unit -> int
+(** Claim a free slot for the calling domain and remember it in
+    domain-local storage.  Idempotent: a domain that already holds a slot
+    gets the same identifier back.
+    @raise Failure if all {!max_threads} slots are taken. *)
+
+val release : unit -> unit
+(** Return the calling domain's slot to the free pool.  No-op when the
+    domain holds no slot. *)
+
+val get : unit -> int
+(** The calling domain's identifier, registering it on first use. *)
+
+val high_water : unit -> int
+(** An upper bound on every identifier handed out so far, monotonically
+    non-decreasing.  Read-indicator scans iterate tids [0 .. high_water-1]
+    instead of [0 .. max_threads-1]. *)

@@ -1,0 +1,30 @@
+(** Growable array used for transaction read/write sets and latency logs.
+
+    Transaction logs are cleared and refilled on every attempt, so the
+    structure reuses its backing store across attempts instead of
+    allocating — the OCaml analogue of the paper's preallocated log
+    arrays. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty vector.  [dummy] fills unused backing
+    slots (it is never observable through the API). *)
+
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+
+val clear : 'a t -> unit
+(** Logical clear: O(1), keeps the backing store. *)
+
+val is_empty : 'a t -> bool
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate in push order. *)
+
+val iter_rev : ('a -> unit) -> 'a t -> unit
+(** Iterate in reverse push order (undo logs roll back newest-first). *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+val to_array : 'a t -> 'a array

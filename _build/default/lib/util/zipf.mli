@@ -1,0 +1,20 @@
+(** Zipfian key-distribution generator in the YCSB / DBx1000 style.
+
+    Used by the Figure 11 YCSB reproduction: the DBx1000 benchmark draws
+    record keys from a zipfian distribution whose skew parameter [theta]
+    sets the contention level (0 = uniform, 0.6 = medium, 0.9 = high).
+    The generator follows Gray et al.'s "Quickly generating billion-record
+    synthetic databases" construction, the same one YCSB uses. *)
+
+type t
+
+val create : ?seed:int -> n:int -> theta:float -> unit -> t
+(** [create ~n ~theta ()] prepares a generator over keys [0, n).
+    [theta = 0.] degrades to the uniform distribution.  Preparation is
+    O(n) (computes the zeta normalizer once). *)
+
+val next : t -> int
+(** Draw a key in [0, n). *)
+
+val theta : t -> float
+(** The skew parameter the generator was built with. *)

@@ -1,0 +1,1 @@
+test/test_baseline_internals.ml: Alcotest Array Baselines Gen Hashtbl List QCheck QCheck_alcotest Stm_intf Util

@@ -1,0 +1,1 @@
+test/test_dbx.ml: Alcotest Array Bytes Char Dbx Hashtbl List Util

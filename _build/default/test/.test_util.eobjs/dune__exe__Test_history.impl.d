@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array Baselines Harness List Printf QCheck QCheck_alcotest Stm_intf String Structures Twoplsf Util

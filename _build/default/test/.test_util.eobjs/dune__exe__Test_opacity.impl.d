@@ -1,0 +1,1 @@
+test/test_opacity.ml: Alcotest Array Atomic Baselines Domain Harness Hashtbl List Stm_intf Structures Util

@@ -1,0 +1,1 @@
+test/test_rwl_sf.ml: Alcotest Array Atomic Domain Harness Twoplsf Unix Util

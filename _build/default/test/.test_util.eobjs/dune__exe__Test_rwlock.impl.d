@@ -1,0 +1,1 @@
+test/test_rwlock.ml: Alcotest Atomic Domain Gen Harness Hashtbl List QCheck QCheck_alcotest Rwlock Twoplsf Unix Util

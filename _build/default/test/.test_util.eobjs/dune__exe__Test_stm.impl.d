@@ -1,0 +1,1 @@
+test/test_stm.ml: Alcotest Array Baselines List Stm_intf Twoplsf Util

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Baselines Harness Int List Map Printf QCheck QCheck_alcotest Stm_intf String Structures Twoplsf Util

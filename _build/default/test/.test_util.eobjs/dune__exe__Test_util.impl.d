@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Atomic Gen Harness Hashtbl List QCheck QCheck_alcotest Unix Util

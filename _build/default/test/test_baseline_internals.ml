@@ -1,0 +1,179 @@
+(* White-box tests for the baseline STM substrate: the heterogeneous
+   write-set (redo/undo log) and the ownership-record table — plus
+   exception-injection property tests: a transaction body that raises at a
+   random point must leave no trace, under every STM. *)
+
+let check = Alcotest.check
+
+(* ---- Wset ---- *)
+
+let test_wset_redo_add_find () =
+  let w = Baselines.Wset.create () in
+  let a = Baselines.Tvar.make 1 and b = Baselines.Tvar.make "x" in
+  check Alcotest.bool "empty" true (Baselines.Wset.is_empty w);
+  check (Alcotest.option Alcotest.int) "miss" None (Baselines.Wset.find w a);
+  Baselines.Wset.add w a 10;
+  Baselines.Wset.add w b "y";
+  check (Alcotest.option Alcotest.int) "hit int" (Some 10)
+    (Baselines.Wset.find w a);
+  check (Alcotest.option Alcotest.string) "hit string" (Some "y")
+    (Baselines.Wset.find w b);
+  Baselines.Wset.add w a 11;
+  check (Alcotest.option Alcotest.int) "overwrite" (Some 11)
+    (Baselines.Wset.find w a);
+  check Alcotest.int "no duplicate entry" 2 (Baselines.Wset.length w)
+
+let test_wset_apply () =
+  let w = Baselines.Wset.create () in
+  let a = Baselines.Tvar.make 1 and b = Baselines.Tvar.make 2 in
+  Baselines.Wset.add w a 10;
+  Baselines.Wset.add w b 20;
+  check Alcotest.int "not yet" 1 a.Baselines.Tvar.v;
+  Baselines.Wset.apply w;
+  check Alcotest.int "a written" 10 a.Baselines.Tvar.v;
+  check Alcotest.int "b written" 20 b.Baselines.Tvar.v
+
+let test_wset_undo_rollback () =
+  let w = Baselines.Wset.create () in
+  let a = Baselines.Tvar.make 1 in
+  Baselines.Wset.log_old_once w a a.Baselines.Tvar.v;
+  a.Baselines.Tvar.v <- 99;
+  Baselines.Wset.log_old_once w a a.Baselines.Tvar.v (* must NOT re-log 99 *);
+  a.Baselines.Tvar.v <- 100;
+  Baselines.Wset.rollback w;
+  check Alcotest.int "restored to first image" 1 a.Baselines.Tvar.v
+
+let test_wset_clear () =
+  let w = Baselines.Wset.create () in
+  let a = Baselines.Tvar.make 1 in
+  Baselines.Wset.add w a 2;
+  Baselines.Wset.clear w;
+  check Alcotest.bool "empty" true (Baselines.Wset.is_empty w);
+  check (Alcotest.option Alcotest.int) "bloom reset works" None
+    (Baselines.Wset.find w a)
+
+let test_wset_many_entries () =
+  (* Exceed the 63-bit bloom: every lookup must still be exact. *)
+  let w = Baselines.Wset.create () in
+  let tvs = Array.init 200 (fun i -> Baselines.Tvar.make i) in
+  Array.iteri (fun i tv -> Baselines.Wset.add w tv (i * 2)) tvs;
+  Array.iteri
+    (fun i tv ->
+      check (Alcotest.option Alcotest.int) "exact" (Some (i * 2))
+        (Baselines.Wset.find w tv))
+    tvs;
+  let ids = ref [] in
+  Baselines.Wset.iter_ids w (fun id -> ids := id :: !ids);
+  check Alcotest.int "iter_ids count" 200 (List.length !ids)
+
+let qcheck_wset_model =
+  QCheck.Test.make ~name:"wset redo log vs assoc model" ~count:200
+    QCheck.(list (pair (int_range 0 20) small_int))
+    (fun ops ->
+      let tvs = Array.init 21 (fun i -> Baselines.Tvar.make (-i)) in
+      let w = Baselines.Wset.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Baselines.Wset.add w tvs.(k) v;
+          Hashtbl.replace model k v)
+        ops;
+      Array.for_all
+        (fun i ->
+          Baselines.Wset.find w tvs.(i) = Hashtbl.find_opt model i)
+        (Array.init 21 (fun i -> i)))
+
+(* ---- Orec ---- *)
+
+let test_orec_lock_cycle () =
+  let o = Baselines.Orec.create ~num_orecs:64 in
+  let i = Baselines.Orec.index o 123 in
+  let w = Baselines.Orec.get o i in
+  check Alcotest.bool "initially unlocked" false (Baselines.Orec.is_locked w);
+  check Alcotest.int "version 0" 0 (Baselines.Orec.version w);
+  (match Baselines.Orec.try_lock o ~tid:5 i with
+  | Some 0 -> ()
+  | Some v -> Alcotest.failf "old version %d" v
+  | None -> Alcotest.fail "lock failed");
+  let w = Baselines.Orec.get o i in
+  check Alcotest.bool "locked" true (Baselines.Orec.is_locked w);
+  check Alcotest.int "owner" 5 (Baselines.Orec.owner w);
+  check (Alcotest.option Alcotest.int) "second lock fails" None
+    (Baselines.Orec.try_lock o ~tid:6 i);
+  Baselines.Orec.unlock_to o i ~version:7;
+  let w = Baselines.Orec.get o i in
+  check Alcotest.bool "unlocked" false (Baselines.Orec.is_locked w);
+  check Alcotest.int "new version" 7 (Baselines.Orec.version w)
+
+let test_orec_index_masks () =
+  let o = Baselines.Orec.create ~num_orecs:64 in
+  check Alcotest.int "wrap" (Baselines.Orec.index o 0) (Baselines.Orec.index o 64)
+
+(* ---- exception injection, per STM ---- *)
+
+exception Injected
+
+module Inject (S : Stm_intf.STM) = struct
+  (* Apply a batch of writes, possibly raising midway; the tvars must
+     afterwards reflect either none of the batch (raise) or all of it. *)
+  let qcheck =
+    QCheck.Test.make
+      ~name:(S.name ^ " exception injection leaves no trace")
+      ~count:60
+      QCheck.(pair (list_of_size Gen.(int_range 1 12) (int_range 0 7)) (int_range 0 12))
+      (fun (writes, raise_at) ->
+        let tvs = Array.init 8 (fun i -> S.tvar i) in
+        let snapshot () =
+          S.atomic ~read_only:true (fun tx ->
+              Array.map (fun tv -> S.read tx tv) tvs)
+        in
+        let before = snapshot () in
+        let raised = ref false in
+        (try
+           S.atomic (fun tx ->
+               List.iteri
+                 (fun i k ->
+                   if i = raise_at then raise Injected;
+                   S.write tx tvs.(k) (S.read tx tvs.(k) + 100))
+                 writes;
+               if List.length writes = raise_at then raise Injected)
+         with Injected -> raised := true);
+        let after = snapshot () in
+        if !raised then after = before
+        else
+          (* committed: each write bumped its tvar by 100 *)
+          let expect = Array.copy before in
+          List.iter (fun k -> expect.(k) <- expect.(k) + 100) writes;
+          after = expect)
+end
+
+let injection_tests =
+  List.map
+    (fun (module S : Stm_intf.STM) ->
+      let module I = Inject (S) in
+      QCheck_alcotest.to_alcotest I.qcheck)
+    Baselines.Registry.all
+
+let () =
+  ignore (Util.Tid.register ());
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "baseline_internals"
+    [
+      ( "wset",
+        [
+          Alcotest.test_case "redo add/find" `Quick test_wset_redo_add_find;
+          Alcotest.test_case "apply" `Quick test_wset_apply;
+          Alcotest.test_case "undo rollback logs once" `Quick
+            test_wset_undo_rollback;
+          Alcotest.test_case "clear" `Quick test_wset_clear;
+          Alcotest.test_case "many entries (bloom overflow)" `Quick
+            test_wset_many_entries;
+          q qcheck_wset_model;
+        ] );
+      ( "orec",
+        [
+          Alcotest.test_case "lock cycle" `Quick test_orec_lock_cycle;
+          Alcotest.test_case "index masks" `Quick test_orec_index_masks;
+        ] );
+      ("exception injection", injection_tests);
+    ]

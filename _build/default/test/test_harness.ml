@@ -1,0 +1,150 @@
+(* Tests for the benchmark harness itself: execution, workload mixes,
+   latency collection, and a smoke pass of the set/map drivers for every
+   structure kind. *)
+
+let check = Alcotest.check
+
+(* ---- Exec ---- *)
+
+let test_run_each_results_in_order () =
+  let rs = Harness.Exec.run_each ~threads:4 (fun i -> i * i) in
+  check (Alcotest.list Alcotest.int) "ordered results" [ 0; 1; 4; 9 ] rs
+
+let test_run_timed_counts_ops () =
+  let r =
+    Harness.Exec.run_timed ~threads:2 ~seconds:0.1 (fun _ should_stop ->
+        let n = ref 0 in
+        while not (should_stop ()) do
+          incr n
+        done;
+        !n)
+  in
+  if r.ops <= 0 then Alcotest.fail "no ops";
+  if r.seconds < 0.05 then Alcotest.failf "too short: %f" r.seconds;
+  let tp = float_of_int r.ops /. r.seconds in
+  if abs_float (tp -. r.throughput) > 1. then Alcotest.fail "throughput math"
+
+let test_run_timed_stops () =
+  let (_ : Harness.Exec.result) =
+    Harness.Exec.run_timed ~threads:1 ~seconds:0.05 (fun _ should_stop ->
+        let n = ref 0 in
+        while not (should_stop ()) do
+          incr n
+        done;
+        !n)
+  in
+  (* reaching here is the assertion: the stop flag terminated the loop *)
+  ()
+
+(* ---- Workload ---- *)
+
+let test_mix_labels () =
+  check Alcotest.string "wh" "50i/50r"
+    (Harness.Workload.mix_label Harness.Workload.write_heavy);
+  check Alcotest.string "rm" "10i/10r/80l"
+    (Harness.Workload.mix_label Harness.Workload.read_mostly);
+  check Alcotest.string "ro" "100l"
+    (Harness.Workload.mix_label Harness.Workload.read_only);
+  check Alcotest.string "mu" "1i/1r/98u"
+    (Harness.Workload.mix_label Harness.Workload.map_update)
+
+let count_ops mix n =
+  let rng = Util.Sprng.create 5 in
+  let i = ref 0 and r = ref 0 and l = ref 0 and u = ref 0 in
+  for _ = 1 to n do
+    match Harness.Workload.pick mix rng with
+    | Harness.Workload.Insert -> incr i
+    | Harness.Workload.Remove -> incr r
+    | Harness.Workload.Lookup -> incr l
+    | Harness.Workload.Update -> incr u
+  done;
+  (!i, !r, !l, !u)
+
+let test_mix_proportions () =
+  let n = 20_000 in
+  let i, r, l, u = count_ops Harness.Workload.read_mostly n in
+  check Alcotest.int "sums" n (i + r + l + u);
+  let pct x = 100 * x / n in
+  if abs (pct i - 10) > 3 then Alcotest.failf "insert pct %d" (pct i);
+  if abs (pct r - 10) > 3 then Alcotest.failf "remove pct %d" (pct r);
+  if abs (pct l - 80) > 3 then Alcotest.failf "lookup pct %d" (pct l);
+  check Alcotest.int "no updates" 0 u
+
+let test_mix_read_only_pure () =
+  let i, r, l, u = count_ops Harness.Workload.read_only 1_000 in
+  check Alcotest.int "all lookups" 1_000 l;
+  check Alcotest.int "none else" 0 (i + r + u)
+
+(* ---- Latency ---- *)
+
+let test_latency_percentiles () =
+  let lat = Harness.Latency.create ~threads:2 in
+  for i = 1 to 50 do
+    Harness.Latency.record lat 0 (float_of_int i)
+  done;
+  for i = 51 to 100 do
+    Harness.Latency.record lat 1 (float_of_int i)
+  done;
+  check Alcotest.int "count" 100 (Harness.Latency.count lat);
+  let ps = Harness.Latency.percentiles lat [ 50.; 99. ] in
+  check (Alcotest.float 1e-9) "p50" 50. (List.assoc 50. ps);
+  check (Alcotest.float 1e-9) "p99" 99. (List.assoc 99. ps);
+  check (Alcotest.float 1e-9) "max" 100. (Harness.Latency.max_latency lat)
+
+let test_latency_empty_raises () =
+  let lat = Harness.Latency.create ~threads:1 in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentiles_in_place: empty sample") (fun () ->
+      ignore (Harness.Latency.percentiles lat [ 50. ]))
+
+(* ---- Driver smoke: every structure kind produces sane rows ---- *)
+
+let driver_smoke kind =
+  let test () =
+    let row =
+      Harness.Driver.run_set_bench ~stm:Baselines.Registry.twoplsf
+        ~structure:kind ~mix:Harness.Workload.read_mostly ~range:256 ~threads:2
+        ~seconds:0.1
+    in
+    check Alcotest.string "label" (Harness.Driver.structure_label kind)
+      row.structure;
+    if row.throughput <= 0. then Alcotest.fail "no throughput";
+    if row.commits <= 0 then Alcotest.fail "no commits"
+  in
+  Alcotest.test_case (Harness.Driver.structure_label kind) `Quick test
+
+let test_map_driver_smoke () =
+  let row =
+    Harness.Driver.run_map_bench ~stm:Baselines.Registry.twoplsf
+      ~structure:Harness.Driver.Ravl_s ~range:256 ~threads:2 ~seconds:0.1
+  in
+  check Alcotest.string "mix" "1i/1r/98u" row.mix;
+  if row.commits <= 0 then Alcotest.fail "no commits"
+
+let () =
+  ignore (Util.Tid.register ());
+  Alcotest.run "harness"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "run_each order" `Quick
+            test_run_each_results_in_order;
+          Alcotest.test_case "run_timed counts" `Quick test_run_timed_counts_ops;
+          Alcotest.test_case "run_timed stops" `Quick test_run_timed_stops;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "labels" `Quick test_mix_labels;
+          Alcotest.test_case "proportions" `Quick test_mix_proportions;
+          Alcotest.test_case "read-only pure" `Quick test_mix_read_only_pure;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "percentiles" `Quick test_latency_percentiles;
+          Alcotest.test_case "empty raises" `Quick test_latency_empty_raises;
+        ] );
+      ( "driver",
+        List.map driver_smoke
+          Harness.Driver.[ List_s; Hash_s; Skip_s; Zip_s; Ravl_s ]
+        @ [ Alcotest.test_case "map bench" `Quick test_map_driver_smoke ] );
+    ]

@@ -1,0 +1,199 @@
+(* Opacity vs serializability (§3.5 of the paper).
+
+   The paper's justification for paying 2PLSF's pessimistic reads is that
+   TicToc — faster under high contention — is serializable but NOT opaque:
+   an in-flight transaction can observe a state no serial execution
+   produces (a "zombie read"), which is fatal when the concurrency control
+   guards a data structure's invariants during traversal.
+
+   Here the claim is made executable: an orchestrated interleaving where a
+   reader transaction straddles a writer's commit.  Every opaque STM makes
+   the reader restart (or wait) and never exposes the torn pair; the
+   TicToc STM exposes exactly (old x, new y). *)
+
+let check = Alcotest.check
+
+exception Done
+
+(* Thread A reads x, then blocks until B commits {x := 1; y := 1}, then
+   reads y.  Returns what A's *first* attempt observed. *)
+let straddle (module S : Stm_intf.STM) =
+  let x = S.tvar 0 and y = S.tvar 0 in
+  let stage = Atomic.make 0 in
+  let observed = ref None in
+  let reader =
+    Domain.spawn (fun () ->
+        ignore (Util.Tid.register ());
+        let first = ref true in
+        (try
+           S.atomic (fun tx ->
+               let a = S.read tx x in
+               if !first then begin
+                 first := false;
+                 Atomic.set stage 1;
+                 let b = Util.Backoff.create () in
+                 while Atomic.get stage < 2 do
+                   Util.Backoff.once b
+                 done
+               end;
+               let b = S.read tx y in
+               if !observed = None then observed := Some (a, b);
+               raise Done)
+         with Done -> ());
+        Util.Tid.release ())
+  in
+  let b = Util.Backoff.create () in
+  while Atomic.get stage < 1 do
+    Util.Backoff.once b
+  done;
+  S.atomic (fun tx ->
+      S.write tx x 1;
+      S.write tx y 1);
+  Atomic.set stage 2;
+  Domain.join reader;
+  !observed
+
+let opaque_stms : (module Stm_intf.STM) list =
+  [
+    (module Baselines.Tl2);
+    (module Baselines.Tinystm);
+    (module Baselines.Orec_lazy);
+  ]
+
+let test_opaque_never_torn (module S : Stm_intf.STM) =
+  Alcotest.test_case (S.name ^ " straddled read stays consistent") `Quick
+    (fun () ->
+      match straddle (module S) with
+      | Some (a, b) ->
+          check Alcotest.int (S.name ^ " consistent pair") a b
+      | None -> Alcotest.fail "reader never completed an observation")
+
+let test_tictoc_zombie_read () =
+  match straddle (module Baselines.Tictoc_stm) with
+  | Some (0, 1) -> () (* the torn pair: old x with new y *)
+  | Some (a, b) ->
+      Alcotest.failf
+        "expected the zombie pair (0,1); TicToc observed (%d,%d)" a b
+  | None -> Alcotest.fail "reader never completed an observation"
+
+(* Even without opacity, *committed* state must be serializable. *)
+module T = Baselines.Tictoc_stm
+
+let test_tictoc_committed_state_serializable () =
+  let cells = Array.init 8 (fun _ -> T.tvar 100) in
+  ignore
+    (Harness.Exec.run_each ~threads:4 (fun i ->
+         let rng = Util.Sprng.create (900 + i) in
+         for _ = 1 to 300 do
+           let a = Util.Sprng.int rng 8 in
+           let b = (a + 1 + Util.Sprng.int rng 7) mod 8 in
+           T.atomic (fun tx ->
+               T.write tx cells.(a) (T.read tx cells.(a) - 3);
+               T.write tx cells.(b) (T.read tx cells.(b) + 3))
+         done));
+  let total =
+    T.atomic (fun tx ->
+        Array.fold_left (fun acc c -> acc + T.read tx c) 0 cells)
+  in
+  check Alcotest.int "money conserved at commit" 800 total
+
+let test_tictoc_no_lost_updates () =
+  let c = T.tvar 0 in
+  ignore
+    (Harness.Exec.run_each ~threads:4 (fun _ ->
+         for _ = 1 to 300 do
+           T.atomic (fun tx -> T.write tx c (T.read tx c + 1))
+         done));
+  check Alcotest.int "exact" 1200 (T.atomic (fun tx -> T.read tx c))
+
+let test_tictoc_sequential_semantics () =
+  let x = T.tvar 1 in
+  let seen =
+    T.atomic (fun tx ->
+        T.write tx x 2;
+        let a = T.read tx x in
+        T.write tx x 3;
+        (a, T.read tx x))
+  in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "read own writes" (2, 3) seen;
+  check Alcotest.int "committed" 3 (T.atomic (fun tx -> T.read tx x));
+  (try
+     T.atomic (fun tx ->
+         T.write tx x 99;
+         failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "exception discards buffer" 3
+    (T.atomic (fun tx -> T.read tx x))
+
+(* TicToc under a transactional structure: single-threaded it is exact;
+   concurrently its committed state stays a valid set (model per disjoint
+   slice), zombies notwithstanding — the read budget contains them. *)
+module H =
+  Structures.Hash_map.Make
+    (T)
+    (struct
+      type t = int
+    end)
+
+let test_tictoc_structure_model () =
+  let h = H.create ~buckets:16 () in
+  let model = Hashtbl.create 64 in
+  let rng = Util.Sprng.create 3 in
+  for _ = 1 to 2000 do
+    let k = Util.Sprng.int rng 48 in
+    if Util.Sprng.bool rng then begin
+      let fresh = not (Hashtbl.mem model k) in
+      Hashtbl.replace model k k;
+      check Alcotest.bool "put agrees" fresh (H.put h k k)
+    end
+    else begin
+      let present = Hashtbl.mem model k in
+      Hashtbl.remove model k;
+      check Alcotest.bool "remove agrees" present (H.remove h k)
+    end
+  done;
+  Hashtbl.iter
+    (fun k v ->
+      check (Alcotest.option Alcotest.int) "present" (Some v) (H.get h k))
+    model
+
+let test_tictoc_concurrent_structure () =
+  let h = H.create ~buckets:32 () in
+  ignore
+    (Harness.Exec.run_each ~threads:4 (fun i ->
+         let base = i * 50 in
+         for k = base to base + 49 do
+           ignore (H.put h k k)
+         done;
+         for k = base to base + 49 do
+           if k land 1 = 0 then ignore (H.remove h k)
+         done));
+  for k = 0 to 199 do
+    let expect = if k land 1 = 1 then Some k else None in
+    if H.get h k <> expect then Alcotest.failf "key %d wrong" k
+  done
+
+let () =
+  ignore (Util.Tid.register ());
+  Alcotest.run "opacity"
+    [
+      ( "straddled reads",
+        List.map test_opaque_never_torn opaque_stms
+        @ [
+            Alcotest.test_case "TicToc-STM observes the zombie pair" `Quick
+              test_tictoc_zombie_read;
+          ] );
+      ( "tictoc-stm correctness",
+        [
+          Alcotest.test_case "sequential semantics" `Quick
+            test_tictoc_sequential_semantics;
+          Alcotest.test_case "no lost updates" `Quick
+            test_tictoc_no_lost_updates;
+          Alcotest.test_case "committed state serializable" `Quick
+            test_tictoc_committed_state_serializable;
+          Alcotest.test_case "structure vs model (sequential)" `Quick
+            test_tictoc_structure_model;
+          Alcotest.test_case "structure disjoint concurrent" `Quick
+            test_tictoc_concurrent_structure;
+        ] );
+    ]

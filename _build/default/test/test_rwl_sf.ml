@@ -1,0 +1,355 @@
+(* Tests for the paper's starvation-free reader-writer lock (Algorithm 2/3).
+
+   Deterministic single-thread tests cover the fast paths and every
+   restart (return-false) path by pre-announcing timestamps; two-domain
+   tests cover the waiting paths. *)
+
+module L = Twoplsf.Rwl_sf
+
+let check = Alcotest.check
+
+(* Reserve a few dense tids so read-indicator scans cover the ctx tids the
+   tests fabricate. *)
+let () =
+  ignore (Util.Tid.register ());
+  ignore (Harness.Exec.run_each ~threads:4 (fun _ -> ()))
+
+let fresh () = L.create ~num_locks:64 ()
+
+let test_read_fast_path () =
+  let t = fresh () in
+  let c = L.make_ctx ~tid:0 in
+  check Alcotest.bool "acquired" true (L.try_or_wait_read_lock t c 5);
+  check Alcotest.bool "holds" true (L.holds_read t c 5);
+  check Alcotest.int "no timestamp taken" 0 c.my_ts;
+  L.read_unlock t c 5;
+  check Alcotest.bool "released" false (L.holds_read t c 5)
+
+let test_write_fast_path () =
+  let t = fresh () in
+  let c = L.make_ctx ~tid:0 in
+  check Alcotest.bool "acquired" true (L.try_or_wait_write_lock t c 5);
+  check Alcotest.bool "holds" true (L.holds_write t c 5);
+  check Alcotest.int "no timestamp taken" 0 c.my_ts;
+  L.write_unlock t c 5;
+  check Alcotest.bool "released" false (L.holds_write t c 5)
+
+let test_read_reentrant () =
+  let t = fresh () in
+  let c = L.make_ctx ~tid:0 in
+  ignore (L.try_or_wait_read_lock t c 5);
+  check Alcotest.bool "again" true (L.try_or_wait_read_lock t c 5);
+  L.read_unlock t c 5
+
+let test_write_reentrant () =
+  let t = fresh () in
+  let c = L.make_ctx ~tid:0 in
+  ignore (L.try_or_wait_write_lock t c 5);
+  check Alcotest.bool "again" true (L.try_or_wait_write_lock t c 5);
+  check Alcotest.bool "still held" true (L.holds_write t c 5);
+  L.write_unlock t c 5
+
+let test_read_then_write_upgrade () =
+  let t = fresh () in
+  let c = L.make_ctx ~tid:0 in
+  ignore (L.try_or_wait_read_lock t c 5);
+  check Alcotest.bool "upgrade" true (L.try_or_wait_write_lock t c 5);
+  check Alcotest.bool "write held" true (L.holds_write t c 5);
+  L.read_unlock t c 5;
+  L.write_unlock t c 5
+
+let test_write_lock_while_holding_write () =
+  let t = fresh () in
+  let c = L.make_ctx ~tid:0 in
+  ignore (L.try_or_wait_write_lock t c 5);
+  check Alcotest.bool "read under own write" true
+    (L.try_or_wait_read_lock t c 5);
+  L.read_unlock t c 5;
+  L.write_unlock t c 5
+
+let test_reader_restarts_on_lower_ts_writer () =
+  let t = fresh () in
+  let holder = L.make_ctx ~tid:0 in
+  let reader = L.make_ctx ~tid:1 in
+  ignore (L.try_or_wait_write_lock t holder 5);
+  L.announce_priority t holder 3;
+  L.announce_priority t reader 7;
+  check Alcotest.bool "reader restarts" false
+    (L.try_or_wait_read_lock t reader 5);
+  check Alcotest.bool "indicator cleared" false (L.holds_read t reader 5);
+  check Alcotest.int "conflictor recorded" 0 reader.o_tid;
+  check Alcotest.int "conflictor ts" 3 reader.o_ts;
+  L.write_unlock t holder 5
+
+let test_writer_restarts_on_lower_ts_writer () =
+  let t = fresh () in
+  let holder = L.make_ctx ~tid:0 in
+  let writer = L.make_ctx ~tid:1 in
+  ignore (L.try_or_wait_write_lock t holder 5);
+  L.announce_priority t holder 3;
+  L.announce_priority t writer 7;
+  check Alcotest.bool "writer restarts" false
+    (L.try_or_wait_write_lock t writer 5);
+  check Alcotest.bool "holder keeps lock" true (L.holds_write t holder 5);
+  check Alcotest.bool "loser's indicator cleared" false
+    (L.holds_read t writer 5);
+  L.write_unlock t holder 5
+
+let test_writer_restarts_on_lower_ts_reader () =
+  let t = fresh () in
+  let reader = L.make_ctx ~tid:0 in
+  let writer = L.make_ctx ~tid:1 in
+  ignore (L.try_or_wait_read_lock t reader 5);
+  L.announce_priority t reader 3;
+  L.announce_priority t writer 7;
+  check Alcotest.bool "writer restarts" false
+    (L.try_or_wait_write_lock t writer 5);
+  check Alcotest.bool "reader undisturbed" true (L.holds_read t reader 5);
+  check Alcotest.bool "write lock free again" false (L.holds_write t writer 5);
+  check Alcotest.int "conflictor recorded" 0 writer.o_tid;
+  L.read_unlock t reader 5
+
+let test_conflict_takes_timestamp_once () =
+  let t = fresh () in
+  let holder = L.make_ctx ~tid:0 in
+  let loser = L.make_ctx ~tid:1 in
+  ignore (L.try_or_wait_write_lock t holder 5);
+  ignore (L.try_or_wait_write_lock t holder 6);
+  (* priority 1 is below anything the conflict clock can hand out, so the
+     loser restarts instead of waiting *)
+  L.announce_priority t holder 1;
+  check Alcotest.bool "restart 1" false (L.try_or_wait_write_lock t loser 5);
+  let ts1 = loser.my_ts in
+  check Alcotest.bool "got a timestamp" true (ts1 > 0);
+  check Alcotest.bool "restart 2" false (L.try_or_wait_write_lock t loser 6);
+  check Alcotest.int "timestamp kept" ts1 loser.my_ts;
+  check Alcotest.int "announced" ts1 (L.announced t 1);
+  L.write_unlock t holder 5;
+  L.write_unlock t holder 6
+
+let test_unconflicted_holder_is_waited_for () =
+  (* A holder that never conflicted announces nothing (= +inf priority):
+     a timestamped contender must wait, not restart (DESIGN.md note on the
+     NO_TIMESTAMP convention). *)
+  let t = fresh () in
+  let holder = L.make_ctx ~tid:0 in
+  ignore (L.try_or_wait_write_lock t holder 5);
+  let waited = ref false in
+  let d =
+    Domain.spawn (fun () ->
+        ignore (Util.Tid.register ());
+        let contender = L.make_ctx ~tid:1 in
+        L.announce_priority t contender 9;
+        let ok = L.try_or_wait_write_lock t contender 5 in
+        L.write_unlock t contender 5;
+        Util.Tid.release ();
+        ok)
+  in
+  Unix.sleepf 0.05;
+  waited := true;
+  L.write_unlock t holder 5;
+  check Alcotest.bool "acquired after wait" true (Domain.join d);
+  check Alcotest.bool "really waited" true !waited
+
+let test_clear_announcement () =
+  let t = fresh () in
+  let c = L.make_ctx ~tid:0 in
+  L.announce_priority t c 5;
+  c.o_tid <- 3;
+  c.o_ts <- 9;
+  L.clear_announcement t c;
+  check Alcotest.int "my_ts" 0 c.my_ts;
+  check Alcotest.int "o_tid" (-1) c.o_tid;
+  check Alcotest.int "announce slot" 0 (L.announced t 0)
+
+let test_wait_for_conflictor_returns_when_cleared () =
+  let t = fresh () in
+  let c = L.make_ctx ~tid:0 in
+  (* Conflictor already moved on: returns immediately. *)
+  c.o_tid <- 1;
+  c.o_ts <- 42 (* announce slot of tid 1 is 0 <> 42 *);
+  L.wait_for_conflictor t c;
+  check Alcotest.int "cleared o_tid" (-1) c.o_tid
+
+let test_wait_for_conflictor_blocks_until_commit () =
+  let t = fresh () in
+  let other = L.make_ctx ~tid:1 in
+  L.announce_priority t other 17;
+  let d =
+    Domain.spawn (fun () ->
+        ignore (Util.Tid.register ());
+        let c = L.make_ctx ~tid:2 in
+        c.o_tid <- 1;
+        c.o_ts <- 17;
+        let t0 = Util.Clock.now () in
+        L.wait_for_conflictor t c;
+        Util.Tid.release ();
+        Util.Clock.now () -. t0)
+  in
+  Unix.sleepf 0.05;
+  L.clear_announcement t other;
+  let waited = Domain.join d in
+  check Alcotest.bool "blocked for the announcement" true (waited >= 0.03)
+
+let test_writer_waits_for_reader_release () =
+  let t = fresh () in
+  let reader_done = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        ignore (Util.Tid.register ());
+        let c = L.make_ctx ~tid:(Util.Tid.get ()) in
+        ignore (L.try_or_wait_read_lock t c 5);
+        Unix.sleepf 0.05;
+        L.read_unlock t c 5;
+        Atomic.set reader_done true;
+        Util.Tid.release ())
+  in
+  Unix.sleepf 0.01;
+  let writer =
+    Domain.spawn (fun () ->
+        ignore (Util.Tid.register ());
+        let c = L.make_ctx ~tid:(Util.Tid.get ()) in
+        let ok = L.try_or_wait_write_lock t c 5 in
+        let after = Atomic.get reader_done in
+        L.write_unlock t c 5;
+        Util.Tid.release ();
+        (ok, after))
+  in
+  Domain.join reader;
+  let ok, after = Domain.join writer in
+  check Alcotest.bool "writer acquired" true ok;
+  check Alcotest.bool "only after reader left" true after
+
+let test_zero_mutex () =
+  let t = fresh () in
+  L.zero_mutex_lock t;
+  let d =
+    Domain.spawn (fun () ->
+        let t0 = Util.Clock.now () in
+        L.zero_mutex_lock t;
+        L.zero_mutex_unlock t;
+        Util.Clock.now () -. t0)
+  in
+  Unix.sleepf 0.05;
+  L.zero_mutex_unlock t;
+  let waited = Domain.join d in
+  check Alcotest.bool "serialized" true (waited >= 0.03)
+
+let test_mutual_exclusion_stress () =
+  (* 4 domains hammer 4 locks with random read/write acquisitions following
+     the full protocol (restart + wait-for-conflictor on a refusal).  A
+     per-lock occupancy word (readers + 1000 * writers) catches any
+     mutual-exclusion violation. *)
+  let t = fresh () in
+  let occupancy = Array.init 4 (fun _ -> Atomic.make 0) in
+  let violations = Atomic.make 0 in
+  ignore
+    (Harness.Exec.run_each ~threads:4 (fun i ->
+         let c = L.make_ctx ~tid:(Util.Tid.get ()) in
+         let rng = Util.Sprng.create (500 + i) in
+         for _ = 1 to 400 do
+           let w = Util.Sprng.int rng 4 in
+           let is_write = Util.Sprng.int rng 100 < 30 in
+           let rec txn () =
+             if is_write then begin
+               if L.try_or_wait_write_lock t c w then begin
+                 let prev = Atomic.fetch_and_add occupancy.(w) 1000 in
+                 if prev <> 0 then Atomic.incr violations;
+                 Domain.cpu_relax ();
+                 ignore (Atomic.fetch_and_add occupancy.(w) (-1000));
+                 L.write_unlock t c w
+               end
+               else begin
+                 L.wait_for_conflictor t c;
+                 txn ()
+               end
+             end
+             else if L.try_or_wait_read_lock t c w then begin
+               let prev = Atomic.fetch_and_add occupancy.(w) 1 in
+               if prev >= 1000 then Atomic.incr violations;
+               Domain.cpu_relax ();
+               ignore (Atomic.fetch_and_add occupancy.(w) (-1));
+               L.read_unlock t c w
+             end
+             else begin
+               L.wait_for_conflictor t c;
+               txn ()
+             end
+           in
+           txn ();
+           L.clear_announcement t c
+         done));
+  check Alcotest.int "no mutual-exclusion violations" 0
+    (Atomic.get violations);
+  (* all locks quiescent *)
+  Array.iter
+    (fun o -> check Alcotest.int "occupancy drained" 0 (Atomic.get o))
+    occupancy
+
+let test_lock_index_masks () =
+  let t = fresh () in
+  check Alcotest.int "num locks" 64 (L.num_locks t);
+  check Alcotest.int "id 0" 0 (L.lock_index t 0);
+  check Alcotest.int "id 64 wraps" 0 (L.lock_index t 64);
+  check Alcotest.int "id 65" 1 (L.lock_index t 65)
+
+let test_take_timestamp_monotone () =
+  let t = fresh () in
+  let a = L.make_ctx ~tid:0 and b = L.make_ctx ~tid:1 in
+  L.take_timestamp t a;
+  L.take_timestamp t b;
+  check Alcotest.bool "distinct, increasing" true (b.my_ts > a.my_ts);
+  let before = a.my_ts in
+  L.take_timestamp t a;
+  check Alcotest.int "idempotent" before a.my_ts
+
+let () =
+  Alcotest.run "rwl_sf"
+    [
+      ( "fast paths",
+        [
+          Alcotest.test_case "read" `Quick test_read_fast_path;
+          Alcotest.test_case "write" `Quick test_write_fast_path;
+          Alcotest.test_case "read reentrant" `Quick test_read_reentrant;
+          Alcotest.test_case "write reentrant" `Quick test_write_reentrant;
+          Alcotest.test_case "read->write upgrade" `Quick
+            test_read_then_write_upgrade;
+          Alcotest.test_case "read under own write" `Quick
+            test_write_lock_while_holding_write;
+          Alcotest.test_case "lock_index" `Quick test_lock_index_masks;
+        ] );
+      ( "conflict resolution",
+        [
+          Alcotest.test_case "reader loses to lower-ts writer" `Quick
+            test_reader_restarts_on_lower_ts_writer;
+          Alcotest.test_case "writer loses to lower-ts writer" `Quick
+            test_writer_restarts_on_lower_ts_writer;
+          Alcotest.test_case "writer loses to lower-ts reader" `Quick
+            test_writer_restarts_on_lower_ts_reader;
+          Alcotest.test_case "timestamp taken once, kept" `Quick
+            test_conflict_takes_timestamp_once;
+          Alcotest.test_case "timestamps monotone" `Quick
+            test_take_timestamp_monotone;
+        ] );
+      ( "waiting",
+        [
+          Alcotest.test_case "unconflicted holder is waited for" `Quick
+            test_unconflicted_holder_is_waited_for;
+          Alcotest.test_case "writer waits for reader" `Quick
+            test_writer_waits_for_reader_release;
+          Alcotest.test_case "wait_for_conflictor immediate" `Quick
+            test_wait_for_conflictor_returns_when_cleared;
+          Alcotest.test_case "wait_for_conflictor blocks" `Quick
+            test_wait_for_conflictor_blocks_until_commit;
+        ] );
+      ( "announcements",
+        [
+          Alcotest.test_case "clear" `Quick test_clear_announcement;
+          Alcotest.test_case "zero mutex" `Quick test_zero_mutex;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "mutual exclusion under churn" `Quick
+            test_mutual_exclusion_stress;
+        ] );
+    ]

@@ -1,0 +1,313 @@
+(* Correctness of the five transactional data structures, functorized over
+   the STM so one battery runs under all eleven concurrency controls:
+   deterministic unit tests plus a qcheck model test against Stdlib.Map. *)
+
+let check = Alcotest.check
+
+module IntMap = Map.Make (Int)
+
+type ops = {
+  sname : string;
+  put : int -> int -> bool;
+  get : int -> int option;
+  remove : int -> bool;
+  update : int -> (int -> int) -> bool;
+  size : unit -> int;
+  to_list : unit -> (int * int) list;
+}
+
+module Makers (S : Stm_intf.STM) = struct
+  module V = struct
+    type t = int
+  end
+
+  module Ll = Structures.Linked_list.Make (S) (V)
+  module Hm = Structures.Hash_map.Make (S) (V)
+  module Sk = Structures.Skiplist.Make (S) (V)
+  module Zt = Structures.Ziptree.Make (S) (V)
+  module Rv = Structures.Ravl.Make (S) (V)
+
+  let ll () =
+    let t = Ll.create () in
+    { sname = "linked-list"; put = Ll.put t; get = Ll.get t;
+      remove = Ll.remove t; update = Ll.update t;
+      size = (fun () -> Ll.size t); to_list = (fun () -> Ll.to_list t) }
+
+  let hm () =
+    let t = Hm.create ~buckets:16 () in
+    { sname = "hash-map"; put = Hm.put t; get = Hm.get t;
+      remove = Hm.remove t; update = Hm.update t;
+      size = (fun () -> Hm.size t); to_list = (fun () -> Hm.to_list t) }
+
+  let sk () =
+    let t = Sk.create ~max_level:8 () in
+    { sname = "skip-list"; put = Sk.put t; get = Sk.get t;
+      remove = Sk.remove t; update = Sk.update t;
+      size = (fun () -> Sk.size t); to_list = (fun () -> Sk.to_list t) }
+
+  let zt () =
+    let t = Zt.create () in
+    { sname = "zip-tree"; put = Zt.put t; get = Zt.get t;
+      remove = Zt.remove t; update = Zt.update t;
+      size = (fun () -> Zt.size t); to_list = (fun () -> Zt.to_list t) }
+
+  let rv () =
+    let t = Rv.create () in
+    { sname = "ravl-tree"; put = Rv.put t; get = Rv.get t;
+      remove = Rv.remove t; update = Rv.update t;
+      size = (fun () -> Rv.size t); to_list = (fun () -> Rv.to_list t) }
+
+  let all = [ ll; hm; sk; zt; rv ]
+end
+
+let unit_battery stm_name (mk : unit -> ops) =
+  let name s = Printf.sprintf "%s/%s %s" stm_name (mk ()).sname s in
+  let t_empty () =
+    let o = mk () in
+    check (Alcotest.option Alcotest.int) "get absent" None (o.get 5);
+    check Alcotest.bool "remove absent" false (o.remove 5);
+    check Alcotest.int "size" 0 (o.size ());
+    check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "to_list"
+      [] (o.to_list ())
+  in
+  let t_put_get () =
+    let o = mk () in
+    check Alcotest.bool "new key" true (o.put 3 30);
+    check (Alcotest.option Alcotest.int) "found" (Some 30) (o.get 3);
+    check Alcotest.bool "existing key" false (o.put 3 31);
+    check (Alcotest.option Alcotest.int) "overwritten" (Some 31) (o.get 3)
+  in
+  let t_remove () =
+    let o = mk () in
+    ignore (o.put 1 10);
+    ignore (o.put 2 20);
+    check Alcotest.bool "removed" true (o.remove 1);
+    check (Alcotest.option Alcotest.int) "gone" None (o.get 1);
+    check (Alcotest.option Alcotest.int) "other survives" (Some 20) (o.get 2);
+    check Alcotest.bool "again" false (o.remove 1)
+  in
+  let t_update () =
+    let o = mk () in
+    ignore (o.put 7 1);
+    check Alcotest.bool "update hit" true (o.update 7 (fun v -> v + 100));
+    check (Alcotest.option Alcotest.int) "updated" (Some 101) (o.get 7);
+    check Alcotest.bool "update miss" false (o.update 8 (fun v -> v))
+  in
+  let t_ordered () =
+    let o = mk () in
+    List.iter (fun k -> ignore (o.put k (k * 10))) [ 5; 1; 9; 3; 7 ];
+    check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "sorted"
+      [ (1, 10); (3, 30); (5, 50); (7, 70); (9, 90) ]
+      (o.to_list ());
+    check Alcotest.int "size" 5 (o.size ())
+  in
+  let t_extreme_keys () =
+    (* Negative and near-extreme keys must work (the skip-list head
+       sentinel reserves only min_int itself). *)
+    let o = mk () in
+    let keys = [ -1_000_000; -1; 0; 1; max_int - 1; min_int + 1 ] in
+    List.iter (fun k -> ignore (o.put k k)) keys;
+    List.iter
+      (fun k ->
+        check (Alcotest.option Alcotest.int) "extreme present" (Some k)
+          (o.get k))
+      keys;
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+      "sorted extremes"
+      (List.map (fun k -> (k, k)) (List.sort compare keys))
+      (o.to_list ())
+  in
+  let t_ascending_descending () =
+    let o = mk () in
+    for k = 0 to 63 do
+      ignore (o.put k k)
+    done;
+    for k = 63 downto 0 do
+      check (Alcotest.option Alcotest.int) "present" (Some k) (o.get k)
+    done;
+    for k = 0 to 63 do
+      if k land 1 = 0 then ignore (o.remove k)
+    done;
+    check Alcotest.int "half left" 32 (o.size ());
+    for k = 0 to 63 do
+      check (Alcotest.option Alcotest.int) "parity"
+        (if k land 1 = 1 then Some k else None)
+        (o.get k)
+    done
+  in
+  [
+    Alcotest.test_case (name "empty") `Quick t_empty;
+    Alcotest.test_case (name "put/get") `Quick t_put_get;
+    Alcotest.test_case (name "remove") `Quick t_remove;
+    Alcotest.test_case (name "update") `Quick t_update;
+    Alcotest.test_case (name "ordered to_list") `Quick t_ordered;
+    Alcotest.test_case (name "extreme keys") `Quick t_extreme_keys;
+    Alcotest.test_case (name "asc/desc sweep") `Quick t_ascending_descending;
+  ]
+
+(* qcheck: random op sequences vs Stdlib.Map. *)
+type mop = Put of int * int | Del of int | Get of int | Upd of int
+
+let mop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> Put (k, v)) (int_range 0 31) (int_range 0 999));
+        (3, map (fun k -> Del k) (int_range 0 31));
+        (2, map (fun k -> Get k) (int_range 0 31));
+        (1, map (fun k -> Upd k) (int_range 0 31));
+      ])
+
+let mop_print = function
+  | Put (k, v) -> Printf.sprintf "Put(%d,%d)" k v
+  | Del k -> Printf.sprintf "Del %d" k
+  | Get k -> Printf.sprintf "Get %d" k
+  | Upd k -> Printf.sprintf "Upd %d" k
+
+let mop_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map mop_print l))
+    QCheck.Gen.(list_size (int_range 0 120) mop_gen)
+
+let model_test stm_name (mk : unit -> ops) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s/%s vs model" stm_name (mk ()).sname)
+    ~count:40 mop_arb
+    (fun opl ->
+      let o = mk () in
+      let model = ref IntMap.empty in
+      List.for_all
+        (fun op ->
+          match op with
+          | Put (k, v) ->
+              let expect_new = not (IntMap.mem k !model) in
+              model := IntMap.add k v !model;
+              o.put k v = expect_new
+          | Del k ->
+              let expect = IntMap.mem k !model in
+              model := IntMap.remove k !model;
+              o.remove k = expect
+          | Get k -> o.get k = IntMap.find_opt k !model
+          | Upd k ->
+              let expect = IntMap.mem k !model in
+              (match IntMap.find_opt k !model with
+              | Some v -> model := IntMap.add k (v + 1) !model
+              | None -> ());
+              o.update k (fun v -> v + 1) = expect)
+        opl
+      && o.to_list () = IntMap.bindings !model)
+
+(* Structure-specific invariants hold through random churn. *)
+module ZipCheck = struct
+  module Zt = Structures.Ziptree.Make (Twoplsf.Stm) (struct type t = int end)
+
+  let test () =
+    let t = Zt.create () in
+    let rng = Util.Sprng.create 123 in
+    for _ = 1 to 2_000 do
+      let k = Util.Sprng.int rng 256 in
+      if Util.Sprng.bool rng then ignore (Zt.put t k k)
+      else ignore (Zt.remove t k);
+      ()
+    done;
+    check Alcotest.bool "rank + BST order" true (Zt.check_invariants t)
+
+  let test_concurrent_churn () =
+    let t = Zt.create () in
+    ignore
+      (Harness.Exec.run_each ~threads:4 (fun i ->
+           let rng = Util.Sprng.create (200 + i) in
+           for _ = 1 to 500 do
+             let k = Util.Sprng.int rng 128 in
+             if Util.Sprng.bool rng then ignore (Zt.put t k k)
+             else ignore (Zt.remove t k)
+           done));
+    check Alcotest.bool "invariants after concurrent churn" true
+      (Zt.check_invariants t)
+end
+
+module SkipCheck = struct
+  module Sk = Structures.Skiplist.Make (Twoplsf.Stm) (struct type t = int end)
+
+  let test () =
+    let t = Sk.create ~max_level:8 () in
+    let rng = Util.Sprng.create 321 in
+    for _ = 1 to 2_000 do
+      let k = Util.Sprng.int rng 256 in
+      if Util.Sprng.bool rng then ignore (Sk.put t k k)
+      else ignore (Sk.remove t k)
+    done;
+    check Alcotest.bool "levels + towers" true (Sk.check_invariants t)
+
+  let test_concurrent_churn () =
+    let t = Sk.create ~max_level:8 () in
+    ignore
+      (Harness.Exec.run_each ~threads:4 (fun i ->
+           let rng = Util.Sprng.create (300 + i) in
+           for _ = 1 to 500 do
+             let k = Util.Sprng.int rng 128 in
+             if Util.Sprng.bool rng then ignore (Sk.put t k k)
+             else ignore (Sk.remove t k)
+           done));
+    check Alcotest.bool "invariants after concurrent churn" true
+      (Sk.check_invariants t)
+end
+
+(* Ravl-specific: the AVL invariant holds through random churn. *)
+module RavlCheck = struct
+  module Rv = Structures.Ravl.Make (Twoplsf.Stm) (struct type t = int end)
+
+  let test () =
+    let t = Rv.create () in
+    let rng = Util.Sprng.create 99 in
+    for _ = 1 to 2_000 do
+      let k = Util.Sprng.int rng 256 in
+      if Util.Sprng.bool rng then ignore (Rv.put t k k)
+      else ignore (Rv.remove t k)
+    done;
+    check Alcotest.bool "balanced" true (Rv.check_balanced t)
+
+  let test_sequential_insert () =
+    let t = Rv.create () in
+    for k = 0 to 511 do
+      ignore (Rv.put t k k)
+    done;
+    check Alcotest.bool "balanced after ascending inserts" true
+      (Rv.check_balanced t);
+    check Alcotest.int "size" 512 (Rv.size t)
+end
+
+let suite_for (module S : Stm_intf.STM) =
+  let module M = Makers (S) in
+  let units = List.concat_map (unit_battery S.name) M.all in
+  let models =
+    List.map (fun mk -> QCheck_alcotest.to_alcotest (model_test S.name mk)) M.all
+  in
+  (S.name ^ " structures", units @ models)
+
+let () =
+  ignore (Util.Tid.register ());
+  let suites = List.map suite_for Baselines.Registry.all in
+  Alcotest.run "structures"
+    (suites
+    @ [
+        ( "ravl invariant",
+          [
+            Alcotest.test_case "balanced under churn" `Quick RavlCheck.test;
+            Alcotest.test_case "balanced ascending" `Quick
+              RavlCheck.test_sequential_insert;
+          ] );
+        ( "ziptree invariant",
+          [
+            Alcotest.test_case "rank order under churn" `Quick ZipCheck.test;
+            Alcotest.test_case "rank order, concurrent" `Quick
+              ZipCheck.test_concurrent_churn;
+          ] );
+        ( "skiplist invariant",
+          [
+            Alcotest.test_case "towers under churn" `Quick SkipCheck.test;
+            Alcotest.test_case "towers, concurrent" `Quick
+              SkipCheck.test_concurrent_churn;
+          ] );
+      ])

@@ -1,0 +1,324 @@
+(* Unit and property tests for the util substrate: PRNG, zipfian
+   generator, statistics, growable vectors, id generator, tid registry. *)
+
+let check = Alcotest.check
+
+(* ---- Sprng ---- *)
+
+let test_sprng_deterministic () =
+  let a = Util.Sprng.create 42 and b = Util.Sprng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Util.Sprng.next a) (Util.Sprng.next b)
+  done
+
+let test_sprng_int_range () =
+  let rng = Util.Sprng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Util.Sprng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_sprng_float_range () =
+  let rng = Util.Sprng.create 9 in
+  for _ = 1 to 10_000 do
+    let f = Util.Sprng.float rng in
+    if f < 0. || f >= 1. then Alcotest.failf "out of range: %f" f
+  done
+
+let test_sprng_spread () =
+  (* Rough uniformity: each of 8 buckets gets 5-20% of 10k draws. *)
+  let rng = Util.Sprng.create 11 in
+  let buckets = Array.make 8 0 in
+  for _ = 1 to 10_000 do
+    let v = Util.Sprng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if c < 500 || c > 2000 then Alcotest.failf "skewed bucket: %d" c)
+    buckets
+
+(* ---- Zipf ---- *)
+
+let test_zipf_uniform_theta0 () =
+  let z = Util.Zipf.create ~n:100 ~theta:0. () in
+  let seen = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let k = Util.Zipf.next z in
+    if k < 0 || k >= 100 then Alcotest.failf "out of range: %d" k;
+    seen.(k) <- seen.(k) + 1
+  done;
+  (* uniform: expect ~200 each; allow wide slack *)
+  Array.iteri
+    (fun i c -> if c < 50 then Alcotest.failf "key %d undersampled: %d" i c)
+    seen
+
+let test_zipf_skew () =
+  let z = Util.Zipf.create ~n:1000 ~theta:0.9 () in
+  let hot = ref 0 and total = 20_000 in
+  for _ = 1 to total do
+    if Util.Zipf.next z < 10 then incr hot
+  done;
+  (* With theta=0.9 the 1% hottest keys draw far more than 1% of accesses. *)
+  if !hot < total / 10 then
+    Alcotest.failf "zipf not skewed enough: hot=%d/%d" !hot total
+
+let test_zipf_range () =
+  List.iter
+    (fun theta ->
+      let z = Util.Zipf.create ~n:37 ~theta () in
+      for _ = 1 to 5_000 do
+        let k = Util.Zipf.next z in
+        if k < 0 || k >= 37 then
+          Alcotest.failf "theta %f out of range: %d" theta k
+      done)
+    [ 0.; 0.3; 0.6; 0.9; 0.99 ]
+
+(* ---- Stats ---- *)
+
+let test_stats_mean () =
+  check (Alcotest.float 1e-9) "mean" 2.5 (Util.Stats.mean [| 1.; 2.; 3.; 4. |]);
+  check (Alcotest.float 1e-9) "empty" 0. (Util.Stats.mean [||])
+
+let test_stats_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check (Alcotest.float 1e-9) "p50" 50. (Util.Stats.percentile xs 50.);
+  check (Alcotest.float 1e-9) "p99" 99. (Util.Stats.percentile xs 99.);
+  check (Alcotest.float 1e-9) "p100" 100. (Util.Stats.percentile xs 100.)
+
+let test_stats_percentile_unsorted () =
+  let xs = [| 5.; 1.; 4.; 2.; 3. |] in
+  check (Alcotest.float 1e-9) "p50 of shuffled" 3. (Util.Stats.percentile xs 50.)
+
+let test_stats_percentiles_in_place () =
+  let xs = Array.init 1000 (fun i -> float_of_int (999 - i)) in
+  let ps = Util.Stats.percentiles_in_place xs [ 50.; 90.; 99. ] in
+  check (Alcotest.float 1e-9) "p50" 499. (List.assoc 50. ps);
+  check (Alcotest.float 1e-9) "p90" 899. (List.assoc 90. ps);
+  check (Alcotest.float 1e-9) "p99" 989. (List.assoc 99. ps)
+
+let test_stats_stddev () =
+  check (Alcotest.float 1e-9) "constant" 0. (Util.Stats.stddev [| 3.; 3.; 3. |]);
+  check (Alcotest.float 1e-6) "spread" 2.
+    (Util.Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+(* ---- Vec ---- *)
+
+let test_vec_push_get () =
+  let v = Util.Vec.create ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Util.Vec.push v i
+  done;
+  check Alcotest.int "length" 100 (Util.Vec.length v);
+  for i = 0 to 99 do
+    check Alcotest.int "get" i (Util.Vec.get v i)
+  done
+
+let test_vec_clear_reuse () =
+  let v = Util.Vec.create ~capacity:2 ~dummy:0 () in
+  Util.Vec.push v 1;
+  Util.Vec.push v 2;
+  Util.Vec.push v 3;
+  Util.Vec.clear v;
+  check Alcotest.bool "empty" true (Util.Vec.is_empty v);
+  Util.Vec.push v 9;
+  check Alcotest.int "after reuse" 9 (Util.Vec.get v 0)
+
+let test_vec_iter_orders () =
+  let v = Util.Vec.create ~dummy:0 () in
+  List.iter (Util.Vec.push v) [ 1; 2; 3 ];
+  let fwd = ref [] and bwd = ref [] in
+  Util.Vec.iter (fun x -> fwd := x :: !fwd) v;
+  Util.Vec.iter_rev (fun x -> bwd := x :: !bwd) v;
+  check (Alcotest.list Alcotest.int) "forward" [ 3; 2; 1 ] !fwd;
+  check (Alcotest.list Alcotest.int) "reverse" [ 1; 2; 3 ] !bwd
+
+let test_vec_exists () =
+  let v = Util.Vec.create ~dummy:0 () in
+  List.iter (Util.Vec.push v) [ 2; 4; 6 ];
+  check Alcotest.bool "found" true (Util.Vec.exists (fun x -> x = 4) v);
+  check Alcotest.bool "absent" false (Util.Vec.exists (fun x -> x = 5) v)
+
+let test_vec_get_bounds () =
+  let v = Util.Vec.create ~dummy:0 () in
+  Util.Vec.push v 1;
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Util.Vec.get v 1))
+
+(* ---- Id_gen ---- *)
+
+let test_id_gen_unique_single () =
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 5_000 do
+    let id = Util.Id_gen.next () in
+    if Hashtbl.mem seen id then Alcotest.failf "duplicate id %d" id;
+    Hashtbl.add seen id ()
+  done
+
+let test_id_gen_unique_concurrent () =
+  let results =
+    Harness.Exec.run_each ~threads:4 (fun _ ->
+        List.init 2_000 (fun _ -> Util.Id_gen.next ()))
+  in
+  let all = List.concat results in
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem seen id then Alcotest.failf "duplicate id %d" id;
+      Hashtbl.add seen id ())
+    all
+
+(* ---- Tid ---- *)
+
+let test_tid_register_idempotent () =
+  let a = Util.Tid.register () in
+  let b = Util.Tid.register () in
+  check Alcotest.int "same" a b
+
+let test_tid_distinct_across_domains () =
+  ignore (Util.Tid.register ());
+  let tids = Harness.Exec.run_each ~threads:4 (fun _ -> Util.Tid.get ()) in
+  let sorted = List.sort_uniq compare tids in
+  check Alcotest.int "distinct" 4 (List.length sorted);
+  List.iter
+    (fun t ->
+      if t < 0 || t >= Util.Tid.max_threads then Alcotest.failf "bad tid %d" t)
+    tids
+
+let test_tid_high_water () =
+  ignore (Util.Tid.register ());
+  if Util.Tid.high_water () < 1 then Alcotest.fail "hwm < 1"
+
+(* ---- Once ---- *)
+
+let test_once_single () =
+  let count = ref 0 in
+  let o =
+    Util.Once.create (fun () ->
+        incr count;
+        42)
+  in
+  check Alcotest.bool "not forced" false (Util.Once.is_forced o);
+  check Alcotest.int "value" 42 (Util.Once.get o);
+  check Alcotest.int "again" 42 (Util.Once.get o);
+  check Alcotest.int "thunk ran once" 1 !count;
+  check Alcotest.bool "forced" true (Util.Once.is_forced o)
+
+let test_once_concurrent_force () =
+  (* Regression: Lazy.force raises CamlinternalLazy.Undefined when domains
+     race; Once must instead run the thunk exactly once and give everyone
+     the same value. *)
+  let count = Atomic.make 0 in
+  let o =
+    Util.Once.create (fun () ->
+        Atomic.incr count;
+        Unix.sleepf 0.01 (* widen the race window *);
+        Atomic.get count)
+  in
+  let values = Harness.Exec.run_each ~threads:4 (fun _ -> Util.Once.get o) in
+  check Alcotest.int "thunk ran once" 1 (Atomic.get count);
+  List.iter (fun v -> check Alcotest.int "same value" 1 v) values
+
+(* ---- Backoff (sanity only: it must terminate and not raise) ---- *)
+
+let test_backoff_runs () =
+  let b = Util.Backoff.create () in
+  for _ = 1 to 12 do
+    Util.Backoff.once b
+  done;
+  Util.Backoff.reset b;
+  Util.Backoff.once b;
+  Util.Backoff.exponential ~attempt:1;
+  Util.Backoff.exponential ~attempt:5;
+  Util.Backoff.yield ()
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone in p" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0. 1000.))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let arr = Array.of_list xs in
+      let p50 = Util.Stats.percentile arr 50. in
+      let p90 = Util.Stats.percentile arr 90. in
+      let p99 = Util.Stats.percentile arr 99. in
+      p50 <= p90 && p90 <= p99)
+
+let qcheck_percentile_member =
+  QCheck.Test.make ~name:"nearest-rank percentile is a sample" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0. 1000.))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let arr = Array.of_list xs in
+      let p = Util.Stats.percentile arr 90. in
+      List.exists (fun x -> x = p) xs)
+
+let qcheck_vec_model =
+  QCheck.Test.make ~name:"vec behaves like a list" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let v = Util.Vec.create ~dummy:0 () in
+      List.iter (Util.Vec.push v) xs;
+      Array.to_list (Util.Vec.to_array v) = xs
+      && Util.Vec.length v = List.length xs)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "sprng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_sprng_deterministic;
+          Alcotest.test_case "int range" `Quick test_sprng_int_range;
+          Alcotest.test_case "float range" `Quick test_sprng_float_range;
+          Alcotest.test_case "spread" `Quick test_sprng_spread;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "theta=0 uniform" `Quick test_zipf_uniform_theta0;
+          Alcotest.test_case "theta=0.9 skewed" `Quick test_zipf_skew;
+          Alcotest.test_case "in range for all thetas" `Quick test_zipf_range;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile unsorted" `Quick
+            test_stats_percentile_unsorted;
+          Alcotest.test_case "percentiles_in_place" `Quick
+            test_stats_percentiles_in_place;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          q qcheck_percentile_monotone;
+          q qcheck_percentile_member;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "clear reuses storage" `Quick test_vec_clear_reuse;
+          Alcotest.test_case "iter orders" `Quick test_vec_iter_orders;
+          Alcotest.test_case "exists" `Quick test_vec_exists;
+          Alcotest.test_case "get bounds" `Quick test_vec_get_bounds;
+          q qcheck_vec_model;
+        ] );
+      ( "id_gen",
+        [
+          Alcotest.test_case "unique single-thread" `Quick
+            test_id_gen_unique_single;
+          Alcotest.test_case "unique across domains" `Quick
+            test_id_gen_unique_concurrent;
+        ] );
+      ( "tid",
+        [
+          Alcotest.test_case "register idempotent" `Quick
+            test_tid_register_idempotent;
+          Alcotest.test_case "distinct across domains" `Quick
+            test_tid_distinct_across_domains;
+          Alcotest.test_case "high water" `Quick test_tid_high_water;
+        ] );
+      ( "once",
+        [
+          Alcotest.test_case "single domain" `Quick test_once_single;
+          Alcotest.test_case "concurrent force" `Quick
+            test_once_concurrent_force;
+        ] );
+      ("backoff", [ Alcotest.test_case "runs" `Quick test_backoff_runs ]);
+    ]
