@@ -11,6 +11,11 @@ type params = {
 
 (* Mean over [p.runs] repetitions of one data point (throughput averaged;
    counters summed across runs). *)
+let merge_reasons a b =
+  match (a, b) with
+  | [], r | r, [] -> r
+  | a, b -> List.map2 (fun (label, x) (_, y) -> (label, x + y)) a b
+
 let averaged p f =
   let rows = List.init (Stdlib.max 1 p.runs) (fun _ -> f ()) in
   match rows with
@@ -24,6 +29,10 @@ let averaged p f =
         commits = List.fold_left (fun a (r : Harness.Driver.row) -> a + r.commits) 0 rows;
         aborts = List.fold_left (fun a (r : Harness.Driver.row) -> a + r.aborts) 0 rows;
         clock_ops = List.fold_left (fun a (r : Harness.Driver.row) -> a + r.clock_ops) 0 rows;
+        abort_reasons =
+          List.fold_left
+            (fun a (r : Harness.Driver.row) -> merge_reasons a r.abort_reasons)
+            [] rows;
       }
 
 let set_mixes =
@@ -187,7 +196,14 @@ let figure11 p =
                   ~seconds:p.seconds
               in
               Printf.printf "%-12s %8.2f %8d %14.0f %12d %10d\n%!" r.cc r.theta
-                r.threads r.throughput r.commits r.aborts)
+                r.threads r.throughput r.commits r.aborts;
+              let nonzero = List.filter (fun (_, n) -> n > 0) r.abort_reasons in
+              if nonzero <> [] then
+                Printf.printf "  aborts: %s\n%!"
+                  (String.concat " "
+                     (List.map
+                        (fun (label, n) -> Printf.sprintf "%s=%d" label n)
+                        nonzero)))
             p.threads)
         Dbx.Runner.ccs)
     [ `High; `Medium; `Low ]

@@ -26,6 +26,9 @@ let () =
   let no_bechamel = ref false in
   let csv = ref "" in
   let runs = ref 1 in
+  let telemetry = ref false in
+  let trace = ref "" in
+  let telemetry_out = ref "telemetry.json" in
   let spec =
     [
       ("--figure", Arg.Set_int figure, "N  run only figure N (2-8, 10-12)");
@@ -43,6 +46,15 @@ let () =
         Arg.Set_int runs,
         "N  average each set/map data point over N runs (default 1; paper: 5)"
       );
+      ( "--telemetry",
+        Arg.Set telemetry,
+        " enable abort-reason counters and wait/latency histograms" );
+      ( "--trace",
+        Arg.Set_string trace,
+        "FILE  write a Chrome trace-event JSON (implies --telemetry)" );
+      ( "--telemetry-out",
+        Arg.Set_string telemetry_out,
+        "FILE  telemetry JSON dump path (default telemetry.json)" );
     ]
   in
   Arg.parse spec
@@ -53,6 +65,8 @@ let () =
     seconds := 0.15
   end;
   ignore (Util.Tid.register ());
+  if !trace <> "" then Twoplsf_obs.Telemetry.enable_tracing ()
+  else if !telemetry then Twoplsf_obs.Telemetry.enable ();
   if !csv <> "" then Harness.Report.set_csv !csv;
   let p =
     { Figures.threads = !threads; seconds = !seconds; big = !big; runs = !runs }
@@ -73,4 +87,13 @@ let () =
   end;
   List.iter (fun (_, _, f) -> f p) selected;
   Harness.Report.close_csv ();
+  if Twoplsf_obs.Telemetry.enabled () then begin
+    Harness.Report.write_telemetry_json ~path:!telemetry_out;
+    Printf.printf "\nTelemetry dump: %s\n%!" !telemetry_out
+  end;
+  if !trace <> "" then begin
+    Twoplsf_obs.Tracer.export ~path:!trace;
+    Printf.printf "Chrome trace: %s (load in Perfetto / chrome://tracing)\n%!"
+      !trace
+  end;
   print_endline "\nDone. See EXPERIMENTS.md for paper-vs-measured notes."

@@ -2,6 +2,8 @@ open Tvar (* brings the { id; v } field labels into scope *)
 
 let name = "TicToc-STM"
 
+module Obs = Twoplsf_obs
+
 exception Restart
 
 type 'a tvar = 'a Tvar.t
@@ -34,6 +36,7 @@ type tx = {
   mutable depth : int;
   mutable restarts : int;
   mutable finished_restarts : int;
+  mutable abort_reason : Obs.Events.abort_reason;
 }
 
 let requested_num_orecs = ref 65536
@@ -57,6 +60,7 @@ let configure ?(num_orecs = 65536) () =
   requested_num_orecs := num_orecs
 
 let stats = Stm_intf.Stats.create ()
+let obs = Obs.Scope.create "TicToc-STM"
 
 let tx_key =
   Domain.DLS.new_key (fun () ->
@@ -70,6 +74,7 @@ let tx_key =
         depth = 0;
         restarts = 0;
         finished_restarts = 0;
+        abort_reason = Obs.Events.User_restart;
       })
 
 let get_tx () = Domain.DLS.get tx_key
@@ -89,7 +94,13 @@ let stable_word t oi =
 
 let read tx (tv : 'a tvar) : 'a =
   tx.reads <- tx.reads + 1;
-  if tx.reads > read_budget then raise Restart;
+  if tx.reads > read_budget then begin
+    (* Zombie-escape budget, not a data conflict: outside the taxonomy. *)
+    tx.abort_reason <- Obs.Events.User_restart;
+    raise Restart
+  end;
+  (* Any Restart below is a read that saw a locked or changed word. *)
+  tx.abort_reason <- Obs.Events.Read_validation;
   (* No snapshot validation: this is the non-opacity under test. *)
   if not tx.ro then
     match Wset.find tx.wset tv with
@@ -145,6 +156,7 @@ let commit tx =
     let t = Util.Once.get table in
     if not (lock_write_set t tx) then begin
       unlock_all t tx;
+      tx.abort_reason <- Obs.Events.Commit_lock_conflict;
       raise Restart
     end;
     (* Commit timestamp: above every read's wts and every write's rts. *)
@@ -174,6 +186,7 @@ let commit tx =
      with Exit -> ok := false);
     if not !ok then begin
       unlock_all t tx;
+      tx.abort_reason <- Obs.Events.Commit_validation;
       raise Restart
     end;
     Wset.apply tx.wset;
@@ -187,6 +200,7 @@ let begin_attempt tx ~ro =
   Wset.clear tx.wset;
   Util.Vec.clear tx.locked;
   tx.reads <- 0;
+  tx.abort_reason <- Obs.Events.User_restart;
   tx.ro <- ro
 
 let atomic ?(read_only = false) f =
@@ -194,7 +208,9 @@ let atomic ?(read_only = false) f =
   if tx.depth > 0 then f tx
   else begin
     tx.restarts <- 0;
-    let rec attempt n =
+    let telemetry = !Obs.Telemetry.on in
+    let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+    let rec attempt n att_t0 =
       begin_attempt tx ~ro:read_only;
       tx.depth <- 1;
       match
@@ -206,22 +222,32 @@ let atomic ?(read_only = false) f =
           tx.depth <- 0;
           Stm_intf.Stats.commit stats ~tid:tx.tid;
           tx.finished_restarts <- tx.restarts;
+          if telemetry then
+            Obs.Scope.txn_commit obs ~tid:tx.tid ~txn_t0_ns:txn_t0
+              ~att_t0_ns:att_t0;
           v
       | exception Restart ->
           tx.depth <- 0;
           Stm_intf.Stats.abort stats ~tid:tx.tid;
+          if telemetry then
+            Obs.Scope.txn_abort obs ~tid:tx.tid ~att_t0_ns:att_t0
+              tx.abort_reason;
           tx.restarts <- tx.restarts + 1;
           Util.Backoff.exponential ~attempt:n;
-          attempt (n + 1)
+          attempt (n + 1) (if telemetry then Obs.Telemetry.now_ns () else 0)
       | exception e ->
           tx.depth <- 0;
           raise e
     in
-    attempt 1
+    attempt 1 txn_t0
   end
 
 let commits () = Stm_intf.Stats.commits stats
 let aborts () = Stm_intf.Stats.aborts stats
 let clock_ops () = 0 (* TicToc's selling point: no central clock at all *)
-let reset_stats () = Stm_intf.Stats.reset stats
+
+let reset_stats () =
+  Stm_intf.Stats.reset stats;
+  Obs.Scope.reset obs
+
 let last_restarts () = (get_tx ()).finished_restarts

@@ -1,5 +1,7 @@
 let name = "TL2"
 
+module Obs = Twoplsf_obs
+
 exception Restart
 
 open Tvar (* brings the { id; v } field labels into scope *)
@@ -18,6 +20,7 @@ type tx = {
   mutable depth : int;
   mutable restarts : int;
   mutable finished_restarts : int;
+  mutable abort_reason : Obs.Events.abort_reason;
 }
 
 let requested_num_orecs = ref 65536
@@ -34,6 +37,7 @@ let configure ?(num_orecs = 65536) () =
 
 let clock = Atomic.make 0
 let stats = Stm_intf.Stats.create ()
+let obs = Obs.Scope.create "TL2"
 
 let tx_key =
   Domain.DLS.new_key (fun () ->
@@ -47,6 +51,7 @@ let tx_key =
         depth = 0;
         restarts = 0;
         finished_restarts = 0;
+        abort_reason = Obs.Events.User_restart;
       })
 
 let get_tx () = Domain.DLS.get tx_key
@@ -59,17 +64,29 @@ let read tx (tv : 'a tvar) : 'a =
     | None ->
         let oi = Orec.index o tv.id in
         let pre = Orec.get o oi in
-        if Orec.is_locked pre || Orec.version pre > tx.rv then raise Restart;
+        if Orec.is_locked pre || Orec.version pre > tx.rv then begin
+          tx.abort_reason <- Obs.Events.Read_validation;
+          raise Restart
+        end;
         let v = tv.v in
-        if Orec.get o oi <> pre then raise Restart;
+        if Orec.get o oi <> pre then begin
+          tx.abort_reason <- Obs.Events.Read_validation;
+          raise Restart
+        end;
         Util.Vec.push tx.rset oi;
         v
   else begin
     let oi = Orec.index o tv.id in
     let pre = Orec.get o oi in
-    if Orec.is_locked pre || Orec.version pre > tx.rv then raise Restart;
+    if Orec.is_locked pre || Orec.version pre > tx.rv then begin
+      tx.abort_reason <- Obs.Events.Read_validation;
+      raise Restart
+    end;
     let v = tv.v in
-    if Orec.get o oi <> pre then raise Restart;
+    if Orec.get o oi <> pre then begin
+      tx.abort_reason <- Obs.Events.Read_validation;
+      raise Restart
+    end;
     v
   end
 
@@ -137,12 +154,14 @@ let commit tx =
   else begin
     if not (lock_write_set tx) then begin
       release_acquired tx;
+      tx.abort_reason <- Obs.Events.Commit_lock_conflict;
       raise Restart
     end;
     let wv = 1 + Atomic.fetch_and_add clock 1 in
     Stm_intf.Stats.clock_op stats ~tid:tx.tid;
     if wv <> tx.rv + 1 && not (validate_read_set tx) then begin
       release_acquired tx;
+      tx.abort_reason <- Obs.Events.Commit_validation;
       raise Restart
     end;
     Wset.apply tx.wset;
@@ -155,6 +174,7 @@ let begin_attempt tx ~ro =
   Wset.clear tx.wset;
   Util.Vec.clear tx.acquired;
   tx.ro <- ro;
+  tx.abort_reason <- Obs.Events.User_restart;
   tx.rv <- Atomic.get clock
 
 let atomic ?(read_only = false) f =
@@ -162,7 +182,9 @@ let atomic ?(read_only = false) f =
   if tx.depth > 0 then f tx
   else begin
     tx.restarts <- 0;
-    let rec attempt n =
+    let telemetry = !Obs.Telemetry.on in
+    let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+    let rec attempt n att_t0 =
       begin_attempt tx ~ro:read_only;
       tx.depth <- 1;
       match
@@ -174,22 +196,32 @@ let atomic ?(read_only = false) f =
           tx.depth <- 0;
           Stm_intf.Stats.commit stats ~tid:tx.tid;
           tx.finished_restarts <- tx.restarts;
+          if telemetry then
+            Obs.Scope.txn_commit obs ~tid:tx.tid ~txn_t0_ns:txn_t0
+              ~att_t0_ns:att_t0;
           v
       | exception Restart ->
           tx.depth <- 0;
           Stm_intf.Stats.abort stats ~tid:tx.tid;
+          if telemetry then
+            Obs.Scope.txn_abort obs ~tid:tx.tid ~att_t0_ns:att_t0
+              tx.abort_reason;
           tx.restarts <- tx.restarts + 1;
           Util.Backoff.exponential ~attempt:n;
-          attempt (n + 1)
+          attempt (n + 1) (if telemetry then Obs.Telemetry.now_ns () else 0)
       | exception e ->
           tx.depth <- 0;
           raise e
     in
-    attempt 1
+    attempt 1 txn_t0
   end
 
 let commits () = Stm_intf.Stats.commits stats
 let aborts () = Stm_intf.Stats.aborts stats
 let clock_ops () = Stm_intf.Stats.clock_ops stats
-let reset_stats () = Stm_intf.Stats.reset stats
+
+let reset_stats () =
+  Stm_intf.Stats.reset stats;
+  Obs.Scope.reset obs
+
 let last_restarts () = (get_tx ()).finished_restarts

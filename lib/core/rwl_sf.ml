@@ -16,6 +16,7 @@
      never fire). *)
 
 module Read_indicator = Rwlock.Read_indicator
+module Obs = Twoplsf_obs
 
 let infinity_ts = max_int
 
@@ -28,6 +29,7 @@ type t = {
   announce : int Atomic.t array;
   zero_mutex : bool Atomic.t;
   clock_count : int Atomic.t array; (* per-tid count of conflict-clock draws *)
+  mutable obs : Obs.Scope.t option; (* set once at start-up, before domains *)
 }
 
 type ctx = {
@@ -35,6 +37,7 @@ type ctx = {
   mutable my_ts : int;
   mutable o_tid : int;
   mutable o_ts : int;
+  mutable preempted : bool;
 }
 
 let create ?(num_locks = 65536) () =
@@ -49,9 +52,11 @@ let create ?(num_locks = 65536) () =
     announce = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
     zero_mutex = Atomic.make false;
     clock_count = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
+    obs = None;
   }
 
-let make_ctx ~tid = { tid; my_ts = 0; o_tid = -1; o_ts = 0 }
+let set_obs t sc = t.obs <- Some sc
+let make_ctx ~tid = { tid; my_ts = 0; o_tid = -1; o_ts = 0; preempted = false }
 let num_locks t = t.nlocks
 let lock_index t id = id land t.mask
 let announced t tid = Atomic.get t.announce.(tid)
@@ -62,7 +67,11 @@ let take_timestamp t ctx =
   if ctx.my_ts = 0 then begin
     ctx.my_ts <- Atomic.fetch_and_add t.conflict_clock 1;
     Atomic.incr t.clock_count.(ctx.tid);
-    Atomic.set t.announce.(ctx.tid) ctx.my_ts
+    Atomic.set t.announce.(ctx.tid) ctx.my_ts;
+    if !Obs.Telemetry.on then
+      match t.obs with
+      | Some sc -> Obs.Scope.event sc ~tid:ctx.tid Obs.Events.Priority_announced
+      | None -> ()
   end
 
 let announce_priority t ctx ts =
@@ -109,20 +118,40 @@ let my_effective_ts ctx = effective_ts ctx.my_ts
 let try_or_wait_read_lock t ctx w =
   Read_indicator.arrive t.ri ~tid:ctx.tid w;
   let ws = Atomic.get t.wlocks.(w) in
-  if ws = 0 || ws = ctx.tid + 1 then true
+  if ws = 0 || ws = ctx.tid + 1 then begin
+    if !Obs.Telemetry.on then begin
+      match t.obs with
+      | Some sc -> Obs.Scope.event sc ~tid:ctx.tid Obs.Events.Read_lock_fast
+      | None -> ()
+    end;
+    true
+  end
   else begin
+    let t0 = if !Obs.Telemetry.on then Obs.Telemetry.now_ns () else 0 in
     take_timestamp t ctx;
     let b = Util.Backoff.create () in
+    let spins = ref 0 in
+    let finish acquired =
+      (if !Obs.Telemetry.on then
+         match t.obs with
+         | Some sc ->
+             Obs.Scope.lock_wait sc ~tid:ctx.tid ~write:false ~t0_ns:t0
+               ~spins:!spins ~acquired
+         | None -> ());
+      acquired
+    in
     let rec loop () =
-      if Atomic.get t.wlocks.(w) = 0 then true
+      if Atomic.get t.wlocks.(w) = 0 then finish true
       else begin
         let ots = ts_of_wlock t ctx w in
         if ots < my_effective_ts ctx then begin
           (* A higher-priority writer owns the lock: restart. *)
           Read_indicator.depart t.ri ~tid:ctx.tid w;
-          false
+          ctx.preempted <- false;
+          finish false
         end
         else begin
+          incr spins;
           Util.Backoff.once b;
           loop ()
         end
@@ -139,14 +168,32 @@ let try_or_wait_write_lock t ctx w =
     ws = 0
     && Atomic.compare_and_set t.wlocks.(w) 0 me
     && Read_indicator.is_empty t.ri ~self:ctx.tid w
-  then true
+  then begin
+    if !Obs.Telemetry.on then begin
+      match t.obs with
+      | Some sc -> Obs.Scope.event sc ~tid:ctx.tid Obs.Events.Write_lock_fast
+      | None -> ()
+    end;
+    true
+  end
   else begin
+    let t0 = if !Obs.Telemetry.on then Obs.Telemetry.now_ns () else 0 in
     take_timestamp t ctx;
     (* Arrive as a reader so concurrent lower-priority writers that win the
        CAS race see a non-empty indicator and defer to our timestamp
        (§2.5: bounds the number of writers that can overtake us). *)
     Read_indicator.arrive t.ri ~tid:ctx.tid w;
     let b = Util.Backoff.create () in
+    let spins = ref 0 in
+    let finish acquired =
+      (if !Obs.Telemetry.on then
+         match t.obs with
+         | Some sc ->
+             Obs.Scope.lock_wait sc ~tid:ctx.tid ~write:true ~t0_ns:t0
+               ~spins:!spins ~acquired
+         | None -> ());
+      acquired
+    in
     let rec loop () =
       (if Atomic.get t.wlocks.(w) = 0 then
          ignore (Atomic.compare_and_set t.wlocks.(w) 0 me));
@@ -157,16 +204,21 @@ let try_or_wait_write_lock t ctx w =
         (* Clearing the indicator is fine even if this thread previously
            held the read lock: the lock is now upgraded. *)
         Read_indicator.depart t.ri ~tid:ctx.tid w;
-        true
+        finish true
       end
       else begin
         let lowest = lowest_ts t ctx w in
         if lowest < my_effective_ts ctx then begin
+          let owned = Atomic.get t.wlocks.(w) = me in
           Read_indicator.depart t.ri ~tid:ctx.tid w;
-          if Atomic.get t.wlocks.(w) = me then Atomic.set t.wlocks.(w) 0;
-          false
+          if owned then Atomic.set t.wlocks.(w) 0;
+          (* Losing a lock we already owned is the starvation-freedom
+             mechanism preempting us, not a plain failed acquisition. *)
+          ctx.preempted <- owned;
+          finish false
         end
         else begin
+          incr spins;
           Util.Backoff.once b;
           loop ()
         end
@@ -188,10 +240,15 @@ let wait_for_conflictor t ctx =
   ctx.o_tid <- -1;
   ctx.o_ts <- 0;
   if otid >= 0 && ots > 0 && ots < infinity_ts then begin
+    let t0 = if !Obs.Telemetry.on then Obs.Telemetry.now_ns () else 0 in
     let b = Util.Backoff.create () in
     while Atomic.get t.announce.(otid) = ots do
       Util.Backoff.once b
-    done
+    done;
+    if !Obs.Telemetry.on then
+      match t.obs with
+      | Some sc -> Obs.Scope.conflictor_wait sc ~tid:ctx.tid ~t0_ns:t0
+      | None -> ()
   end
 
 let zero_mutex_lock t =

@@ -24,6 +24,12 @@ type ctx = {
   mutable o_tid : int;  (** thread that caused the last conflict, or -1 *)
   mutable o_ts : int;
       (** the conflicting thread's announced timestamp at detection time *)
+  mutable preempted : bool;
+      (** telemetry detail of the last failed acquisition: [true] when a
+          write lock this thread already *held* was taken away by a
+          higher-priority transaction (the starvation-freedom mechanism
+          firing), [false] for a plain failed acquisition.  Valid until
+          the next [try_or_wait_*] call. *)
 }
 (** Per-transaction conflict state — the paper's thread-locals [tl_myTS],
     [tl_otid], [tl_oTS].  Owned by one thread, embedded in its STM
@@ -35,6 +41,13 @@ val create : ?num_locks:int -> unit -> t
 
 val make_ctx : tid:int -> ctx
 val num_locks : t -> int
+
+val set_obs : t -> Twoplsf_obs.Scope.t -> unit
+(** Attach a telemetry scope: when {!Twoplsf_obs.Telemetry.on} is set, the
+    lock paths record fast/waited outcomes, wait-duration and
+    spin-iteration histograms, priority announcements and (when tracing)
+    lock-wait spans into it.  Call once at start-up, before worker domains
+    touch the table; with no scope attached instrumentation is skipped. *)
 
 val lock_index : t -> int -> int
 (** Hash a tvar id onto a lock index ([addr2lockIdx]). *)

@@ -1,5 +1,7 @@
 let name = "2PLSF"
 
+module Obs = Twoplsf_obs
+
 exception Restart
 (* The OCaml stand-in for the paper's longjmp back to beginTxn. *)
 
@@ -20,6 +22,8 @@ type tx = {
   mutable restarts : int;
   mutable finished_restarts : int;
   mutable irrevocable : bool;
+  mutable abort_reason : Obs.Events.abort_reason;
+      (* why the in-flight attempt raised Restart; telemetry only *)
 }
 
 (* ---- global state ---- *)
@@ -27,10 +31,14 @@ type tx = {
 let requested_num_locks = ref 65536
 let configured = ref false
 
+let obs = Obs.Scope.create "2PLSF"
+
 let table =
   Util.Once.create (fun () ->
       configured := true;
-      Rwl_sf.create ~num_locks:!requested_num_locks ())
+      let t = Rwl_sf.create ~num_locks:!requested_num_locks () in
+      Rwl_sf.set_obs t obs;
+      t)
 
 let configure ?(num_locks = 65536) () =
   if !configured then failwith "Twoplsf.Stm.configure: lock table already built";
@@ -63,6 +71,7 @@ let tx_key =
         restarts = 0;
         finished_restarts = 0;
         irrevocable = false;
+        abort_reason = Obs.Events.User_restart;
       })
 
 let get_tx () = Domain.DLS.get tx_key
@@ -79,7 +88,10 @@ let read tx tv =
     Util.Vec.push tx.rset w;
     tv.v
   end
-  else raise Restart
+  else begin
+    tx.abort_reason <- Obs.Events.Read_lock_conflict;
+    raise Restart
+  end
 
 let write tx tv nv =
   let t = Util.Once.get table in
@@ -93,7 +105,12 @@ let write tx tv nv =
     end;
     tv.v <- nv
   end
-  else raise Restart
+  else begin
+    tx.abort_reason <-
+      (if tx.ctx.preempted then Obs.Events.Priority_preemption
+       else Obs.Events.Write_lock_conflict);
+    raise Restart
+  end
 
 (* ---- transaction lifecycle ---- *)
 
@@ -102,7 +119,8 @@ let begin_attempt tx =
   Util.Vec.clear tx.wset;
   Util.Vec.clear tx.undo;
   tx.serial <- tx.serial + 1;
-  tx.stamp <- (tx.serial * Util.Tid.max_threads) + tx.ctx.tid
+  tx.stamp <- (tx.serial * Util.Tid.max_threads) + tx.ctx.tid;
+  tx.abort_reason <- Obs.Events.User_restart
 
 let release_locks t tx =
   Util.Vec.iter (fun w -> Rwl_sf.write_unlock t tx.ctx w) tx.wset;
@@ -139,28 +157,36 @@ let atomic ?read_only f =
   else begin
     tx.restarts <- 0;
     let t = Util.Once.get table in
-    let rec attempt () =
+    let telemetry = !Obs.Telemetry.on in
+    let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+    let rec attempt att_t0 =
       begin_attempt tx;
       tx.depth <- 1;
       match f tx with
       | v ->
           tx.depth <- 0;
           commit tx;
+          if telemetry then
+            Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
+              ~att_t0_ns:att_t0;
           v
       | exception Restart ->
           tx.depth <- 0;
           rollback tx;
           Stm_stats.abort stats ~tid:tx.ctx.tid;
+          if telemetry then
+            Obs.Scope.txn_abort obs ~tid:tx.ctx.tid ~att_t0_ns:att_t0
+              tx.abort_reason;
           tx.restarts <- tx.restarts + 1;
           Rwl_sf.wait_for_conflictor t tx.ctx;
-          attempt ()
+          attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
       | exception e ->
           tx.depth <- 0;
           rollback tx;
           Rwl_sf.clear_announcement t tx.ctx;
           raise e
     in
-    attempt ()
+    attempt txn_t0
   end
 
 let irrevocable_priority = 1
@@ -171,6 +197,8 @@ let atomic_irrevocable_ro f =
   let t = Util.Once.get table in
   Rwl_sf.announce_priority t tx.ctx irrevocable_priority;
   tx.irrevocable <- true;
+  if !Obs.Telemetry.on then
+    Obs.Scope.event obs ~tid:tx.ctx.tid Obs.Events.Irrevocable_upgrade;
   let finish () = tx.irrevocable <- false in
   match atomic f with
   | v ->
@@ -187,6 +215,8 @@ let atomic_irrevocable f =
   Rwl_sf.zero_mutex_lock t;
   Rwl_sf.announce_priority t tx.ctx irrevocable_priority;
   tx.irrevocable <- true;
+  if !Obs.Telemetry.on then
+    Obs.Scope.event obs ~tid:tx.ctx.tid Obs.Events.Irrevocable_upgrade;
   let finish () =
     tx.irrevocable <- false;
     Rwl_sf.zero_mutex_unlock t
@@ -208,6 +238,7 @@ let clock_ops () = Rwl_sf.clock_increments (Util.Once.get table)
 let reset_stats () =
   Stm_stats.reset stats;
   Rwl_sf.reset_clock_increments (Util.Once.get table);
+  Obs.Scope.reset obs;
   Array.iter (fun c -> Atomic.set c 0) restart_hist
 
 let last_restarts () = (get_tx ()).finished_restarts

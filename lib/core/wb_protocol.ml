@@ -19,6 +19,8 @@ end) =
 struct
   let name = P.name
 
+  module Obs = Twoplsf_obs
+
   exception Restart
 
   type 'a tvar = { id : int; mutable v : 'a }
@@ -38,15 +40,19 @@ struct
     mutable depth : int;
     mutable restarts : int;
     mutable finished_restarts : int;
+    mutable abort_reason : Obs.Events.abort_reason;
   }
 
   let requested_num_locks = ref 65536
   let configured = ref false
+  let obs = Obs.Scope.create P.name
 
   let table =
     Util.Once.create (fun () ->
         configured := true;
-        Rwl_sf.create ~num_locks:!requested_num_locks ())
+        let t = Rwl_sf.create ~num_locks:!requested_num_locks () in
+        Rwl_sf.set_obs t obs;
+        t)
 
   let configure ?(num_locks = 65536) () =
     if !configured then failwith (name ^ ".configure: lock table already built");
@@ -68,6 +74,7 @@ struct
           depth = 0;
           restarts = 0;
           finished_restarts = 0;
+          abort_reason = Obs.Events.User_restart;
         })
 
   let get_tx () = Domain.DLS.get tx_key
@@ -118,7 +125,10 @@ struct
           Util.Vec.push tx.rset w;
           tv.v
         end
-        else raise Restart
+        else begin
+          tx.abort_reason <- Obs.Events.Read_lock_conflict;
+          raise Restart
+        end
 
   let acquire_write_lock tx tv =
     let t = Util.Once.get table in
@@ -128,7 +138,12 @@ struct
       if not held then Util.Vec.push tx.wset w;
       true
     end
-    else false
+    else begin
+      tx.abort_reason <-
+        (if tx.ctx.preempted then Obs.Events.Priority_preemption
+         else Obs.Events.Write_lock_conflict);
+      false
+    end
 
   let write tx tv nv =
     if P.eager && not (acquire_write_lock tx tv) then raise Restart;
@@ -142,7 +157,8 @@ struct
     Util.Vec.clear tx.rset;
     Util.Vec.clear tx.wset;
     Util.Vec.clear tx.redo;
-    tx.bloom <- 0
+    tx.bloom <- 0;
+    tx.abort_reason <- Obs.Events.User_restart
 
   let commit tx =
     let t = Util.Once.get table in
@@ -168,7 +184,9 @@ struct
     else begin
       tx.restarts <- 0;
       let t = Util.Once.get table in
-      let rec attempt () =
+      let telemetry = !Obs.Telemetry.on in
+      let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+      let rec attempt att_t0 =
         begin_attempt tx;
         tx.depth <- 1;
         match
@@ -179,21 +197,27 @@ struct
         with
         | v ->
             tx.finished_restarts <- tx.restarts;
+            if telemetry then
+              Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
+                ~att_t0_ns:att_t0;
             v
         | exception Restart ->
             tx.depth <- 0;
             abort_cleanup t tx;
             Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
+            if telemetry then
+              Obs.Scope.txn_abort obs ~tid:tx.ctx.tid ~att_t0_ns:att_t0
+                tx.abort_reason;
             tx.restarts <- tx.restarts + 1;
             Rwl_sf.wait_for_conflictor t tx.ctx;
-            attempt ()
+            attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
         | exception e ->
             tx.depth <- 0;
             abort_cleanup t tx;
             Rwl_sf.clear_announcement t tx.ctx;
             raise e
       in
-      attempt ()
+      attempt txn_t0
     end
 
   let commits () = Stm_intf.Stats.commits stats
@@ -202,7 +226,8 @@ struct
 
   let reset_stats () =
     Stm_intf.Stats.reset stats;
-    Rwl_sf.reset_clock_increments (Util.Once.get table)
+    Rwl_sf.reset_clock_increments (Util.Once.get table);
+    Obs.Scope.reset obs
 
   let last_restarts () = (get_tx ()).finished_restarts
 end

@@ -1,12 +1,18 @@
 module Rwl_sf = Twoplsf.Rwl_sf
+module Obs = Twoplsf_obs
 
 let name = "2PLSF"
+
+(* Registered under a "DBx-" prefix so it does not collide with the STM's
+   "2PLSF" scope; Runner looks it up as "DBx-" ^ name. *)
+let obs = Obs.Scope.create "DBx-2PLSF"
 
 type per_thread = {
   ctx : Rwl_sf.ctx;
   rlocks : int Util.Vec.t;
   wlocks : int Util.Vec.t;
   undo : (int * Bytes.t) Util.Vec.t; (* (rid, pre-image) *)
+  mutable abort_reason : Obs.Events.abort_reason;
 }
 
 type t = { table : Table.t; locks : Rwl_sf.t; threads : per_thread array }
@@ -16,9 +22,11 @@ let next_pow2 n =
   go 32
 
 let create table =
+  let locks = Rwl_sf.create ~num_locks:(next_pow2 (Table.num_rows table)) () in
+  Rwl_sf.set_obs locks obs;
   {
     table;
-    locks = Rwl_sf.create ~num_locks:(next_pow2 (Table.num_rows table)) ();
+    locks;
     threads =
       Array.init Util.Tid.max_threads (fun tid ->
           {
@@ -26,6 +34,7 @@ let create table =
             rlocks = Util.Vec.create ~dummy:(-1) ();
             wlocks = Util.Vec.create ~dummy:(-1) ();
             undo = Util.Vec.create ~dummy:(-1, Bytes.empty) ();
+            abort_reason = Obs.Events.User_restart;
           });
   }
 
@@ -60,7 +69,10 @@ let attempt t p (txn : Ycsb.txn) =
                   true
                 end)
         then ignore (Cc_intf.read_work (Table.payload t.table rid))
-        else ok := false
+        else begin
+          p.abort_reason <- Obs.Events.Read_lock_conflict;
+          ok := false
+        end
     | Ycsb.Write ->
         let held = Rwl_sf.holds_write t.locks p.ctx w in
         if held || Rwl_sf.try_or_wait_write_lock t.locks p.ctx w then begin
@@ -69,7 +81,12 @@ let attempt t p (txn : Ycsb.txn) =
           Util.Vec.push p.undo (rid, Bytes.copy payload);
           Cc_intf.write_work payload
         end
-        else ok := false);
+        else begin
+          p.abort_reason <-
+            (if p.ctx.preempted then Obs.Events.Priority_preemption
+             else Obs.Events.Write_lock_conflict);
+          ok := false
+        end);
     incr i
   done;
   if !ok then begin
@@ -85,8 +102,28 @@ let attempt t p (txn : Ycsb.txn) =
 let execute t ~tid txn =
   let p = t.threads.(tid) in
   let aborts = ref 0 in
-  while not (attempt t p txn) do
-    incr aborts;
-    Rwl_sf.wait_for_conflictor t.locks p.ctx
-  done;
-  !aborts
+  let telemetry = !Obs.Telemetry.on in
+  if not telemetry then begin
+    while not (attempt t p txn) do
+      incr aborts;
+      Rwl_sf.wait_for_conflictor t.locks p.ctx
+    done;
+    !aborts
+  end
+  else begin
+    let txn_t0 = Obs.Telemetry.now_ns () in
+    let att_t0 = ref txn_t0 in
+    while
+      not
+        (let ok = attempt t p txn in
+         if not ok then
+           Obs.Scope.txn_abort obs ~tid ~att_t0_ns:!att_t0 p.abort_reason;
+         ok)
+    do
+      incr aborts;
+      Rwl_sf.wait_for_conflictor t.locks p.ctx;
+      att_t0 := Obs.Telemetry.now_ns ()
+    done;
+    Obs.Scope.txn_commit obs ~tid ~txn_t0_ns:txn_t0 ~att_t0_ns:!att_t0;
+    !aborts
+  end

@@ -5,7 +5,25 @@ type row = {
   throughput : float;
   commits : int;
   aborts : int;
+  abort_reasons : (string * int) list;
+      (* telemetry breakdown ([] when telemetry is off or the CC has no scope) *)
 }
+
+(* CC scopes register as "DBx-<name>" to stay distinct from the STM scopes. *)
+let scope_of (module C : Cc_intf.CC) = Twoplsf_obs.Scope.find ("DBx-" ^ C.name)
+
+let reset_scope cc =
+  if Twoplsf_obs.Telemetry.enabled () then
+    match scope_of cc with
+    | Some sc -> Twoplsf_obs.Scope.reset sc
+    | None -> ()
+
+let abort_reasons_of cc =
+  if Twoplsf_obs.Telemetry.enabled () then
+    match scope_of cc with
+    | Some sc -> Twoplsf_obs.Scope.abort_counts sc
+    | None -> []
+  else []
 
 module No_wait = Cc_2pl.Make (struct
   let variant = Cc_2pl.No_wait
@@ -31,6 +49,7 @@ let ccs : (string * (module Cc_intf.CC)) list =
 let run ~cc ~table ~theta ~write_ratio ~threads ~seconds =
   let (module C : Cc_intf.CC) = cc in
   let state = C.create table in
+  reset_scope cc;
   let aborts_total = Atomic.make 0 in
   let worker i should_stop =
     let tid = Util.Tid.get () in
@@ -55,6 +74,7 @@ let run ~cc ~table ~theta ~write_ratio ~threads ~seconds =
     throughput = res.throughput;
     commits = res.ops;
     aborts = Atomic.get aborts_total;
+    abort_reasons = abort_reasons_of cc;
   }
 
 type latency_row = {
@@ -68,6 +88,7 @@ type latency_row = {
 let run_with_latency ~cc ~table ~theta ~write_ratio ~threads ~seconds =
   let (module C : Cc_intf.CC) = cc in
   let state = C.create table in
+  reset_scope cc;
   let aborts_total = Atomic.make 0 in
   let lat = Harness.Latency.create ~threads in
   let worker i should_stop =
@@ -98,6 +119,7 @@ let run_with_latency ~cc ~table ~theta ~write_ratio ~threads ~seconds =
         throughput = res.throughput;
         commits = res.ops;
         aborts = Atomic.get aborts_total;
+        abort_reasons = abort_reasons_of cc;
       };
     p50 = List.assoc 50. ps;
     p90 = List.assoc 90. ps;

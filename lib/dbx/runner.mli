@@ -7,6 +7,9 @@ type row = {
   throughput : float;  (** committed transactions per second *)
   commits : int;
   aborts : int;
+  abort_reasons : (string * int) list;
+      (** telemetry abort-reason breakdown, in taxonomy order; [[]] when
+          telemetry is disabled or the CC publishes no scope *)
 }
 
 val ccs : (string * (module Cc_intf.CC)) list

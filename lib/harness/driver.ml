@@ -16,7 +16,17 @@ type row = {
   commits : int;
   aborts : int;
   clock_ops : int;
+  abort_reasons : (string * int) list;
 }
+
+(* Current-window abort breakdown of the STM's telemetry scope (the STM's
+   [reset_stats] clears the window, so this covers exactly one run). *)
+let abort_reasons_of name =
+  if Twoplsf_obs.Telemetry.enabled () then
+    match Twoplsf_obs.Scope.find name with
+    | Some sc -> Twoplsf_obs.Scope.abort_counts sc
+    | None -> []
+  else []
 
 (* The per-(STM, value) family of structures, seen through one record of
    closures so the driver can dispatch on [structure_kind] at runtime. *)
@@ -97,6 +107,7 @@ let run_bench (type v) ~stm ~structure ~mix ~range ~threads ~seconds
     commits = S.commits ();
     aborts = S.aborts ();
     clock_ops = S.clock_ops ();
+    abort_reasons = abort_reasons_of S.name;
   }
 
 let run_set_bench ~stm ~structure ~mix ~range ~threads ~seconds =

@@ -20,6 +20,9 @@ type row = {
   aborts : int;
   clock_ops : int;
       (** central-clock increments during the run (see {!Stm_intf.STM}) *)
+  abort_reasons : (string * int) list;
+      (** telemetry abort-reason breakdown for this run, in taxonomy order;
+          [[]] when telemetry is disabled or the STM publishes no scope *)
 }
 
 val run_set_bench :

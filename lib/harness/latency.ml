@@ -19,4 +19,6 @@ let merged t =
   out
 
 let percentiles t ps = Util.Stats.percentiles_in_place (merged t) ps
-let max_latency t = Util.Stats.max (merged t)
+let max_latency t =
+  let m = merged t in
+  if Array.length m = 0 then 0. else Util.Stats.max m

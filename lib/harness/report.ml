@@ -4,8 +4,17 @@ let current_figure = ref ""
 let set_csv path =
   let oc = open_out path in
   output_string oc
-    "figure,stm,structure,workload,threads,throughput,commits,aborts,clock_ops,p50_ms,p90_ms,p99_ms,max_ms\n";
+    "figure,stm,structure,workload,threads,throughput,commits,aborts,clock_ops,p50_ms,p90_ms,p99_ms,max_ms,ar_read_lock,ar_write_lock,ar_preempt,ar_read_valid,ar_commit_lock,ar_commit_valid,ar_user\n";
   csv_chan := Some oc
+
+let num_reason_cols = Twoplsf_obs.Events.num_abort_reasons
+
+(* The trailing abort-reason CSV cells, in taxonomy order (all empty when
+   the run had no telemetry). *)
+let reason_cells reasons =
+  if reasons = [] then String.concat "" (List.init num_reason_cols (fun _ -> ","))
+  else
+    List.fold_left (fun acc (_, n) -> acc ^ "," ^ string_of_int n) "" reasons
 
 let close_csv () =
   match !csv_chan with
@@ -32,11 +41,19 @@ let row_header () =
   Printf.printf "%-12s %-12s %-12s %8s %14s %12s %10s %10s\n%!" "stm"
     "structure" "workload" "threads" "ops/s" "commits" "aborts" "clock-ops"
 
+let abort_breakdown reasons =
+  List.filter (fun (_, n) -> n > 0) reasons
+  |> List.map (fun (label, n) -> Printf.sprintf "%s=%d" label n)
+  |> String.concat " "
+
 let row (r : Driver.row) =
   Printf.printf "%-12s %-12s %-12s %8d %14.0f %12d %10d %10d\n%!" r.stm
     r.structure r.mix r.threads r.throughput r.commits r.aborts r.clock_ops;
-  csv_line "%s,%s,%s,%s,%d,%.0f,%d,%d,%d,,,," !current_figure r.stm r.structure
-    r.mix r.threads r.throughput r.commits r.aborts r.clock_ops
+  let breakdown = abort_breakdown r.abort_reasons in
+  if breakdown <> "" then Printf.printf "  aborts: %s\n%!" breakdown;
+  csv_line "%s,%s,%s,%s,%d,%.0f,%d,%d,%d,,,,%s" !current_figure r.stm
+    r.structure r.mix r.threads r.throughput r.commits r.aborts r.clock_ops
+    (reason_cells r.abort_reasons)
 
 let latency_header () =
   Printf.printf "%-12s %8s %14s %12s %12s %12s %12s\n%!" "stm" "threads"
@@ -47,5 +64,72 @@ let ms x = 1000. *. x
 let latency_row ~stm ~threads ~throughput ~p50 ~p90 ~p99 ~max =
   Printf.printf "%-12s %8d %14.0f %12.3f %12.3f %12.3f %12.3f\n%!" stm threads
     throughput (ms p50) (ms p90) (ms p99) (ms max);
-  csv_line "%s,%s,,,%d,%.0f,,,,%.4f,%.4f,%.4f,%.4f" !current_figure stm threads
-    throughput (ms p50) (ms p90) (ms p99) (ms max)
+  csv_line "%s,%s,,,%d,%.0f,,,,%.4f,%.4f,%.4f,%.4f%s" !current_figure stm
+    threads throughput (ms p50) (ms p90) (ms p99) (ms max) (reason_cells [])
+
+(* ---- Per-run telemetry JSON dump ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_counts b counts =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (label, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\"%s\":%d" (json_escape label) n)
+    counts;
+  Buffer.add_char b '}'
+
+let json_histogram b buckets =
+  let total = Array.fold_left ( + ) 0 buckets in
+  Buffer.add_string b "{\"total\":";
+  Buffer.add_string b (string_of_int total);
+  Buffer.add_string b ",\"p50_upper\":";
+  Buffer.add_string b
+    (string_of_int (Twoplsf_obs.Histogram.percentile_upper_of_buckets buckets 50.));
+  Buffer.add_string b ",\"p99_upper\":";
+  Buffer.add_string b
+    (string_of_int (Twoplsf_obs.Histogram.percentile_upper_of_buckets buckets 99.));
+  Buffer.add_string b ",\"buckets\":[";
+  Array.iteri
+    (fun i n ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int n))
+    buckets;
+  Buffer.add_string b "]}"
+
+let write_telemetry_json ~path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"scopes\":[";
+  List.iteri
+    (fun i sc ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"name\":\"%s\",\"abort_reasons\":"
+        (json_escape (Twoplsf_obs.Scope.name sc));
+      json_counts b (Twoplsf_obs.Scope.cumulative_abort_counts sc);
+      Buffer.add_string b ",\"events\":";
+      json_counts b (Twoplsf_obs.Scope.cumulative_event_counts sc);
+      Buffer.add_string b ",\"histograms\":{\"lock_wait_ns\":";
+      json_histogram b (Twoplsf_obs.Scope.hist_lock_wait sc);
+      Buffer.add_string b ",\"spin_iters\":";
+      json_histogram b (Twoplsf_obs.Scope.hist_spins sc);
+      Buffer.add_string b ",\"txn_ns\":";
+      json_histogram b (Twoplsf_obs.Scope.hist_txn sc);
+      Buffer.add_string b "}}")
+    (Twoplsf_obs.Scope.all ());
+  Buffer.add_string b "]}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc

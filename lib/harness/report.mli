@@ -24,3 +24,8 @@ val latency_row :
   p99:float ->
   max:float ->
   unit
+
+val write_telemetry_json : path:string -> unit
+(** Dump every telemetry scope (lifetime abort-reason and event counters
+    plus the three log histograms) as one JSON object.  Meaningful only
+    when telemetry was enabled for the run. *)

@@ -1,0 +1,70 @@
+(* Power-of-two-bucket log histogram, striped per thread.
+
+   Bucket 0 counts values <= 0; bucket b (1 <= b < num_buckets - 1) counts
+   values v with 2^(b-1) <= v < 2^b (i.e. b = number of significant bits);
+   the last bucket is the overflow bucket.  48 buckets cover [1, 2^46) —
+   about 20 hours in nanoseconds — before overflowing.
+
+   Storage is one flat [int array] with a contiguous [num_buckets] stripe
+   per thread (384 bytes, a multiple of the cache line), so recording is a
+   plain store into thread-private memory: no atomics, no false sharing.
+   Cross-thread reads (snapshot/total) are racy but memory-safe and exact
+   once the writers have been joined — same contract as {!Padded}. *)
+
+let num_buckets = 48
+
+type t = int array
+
+let create () = Array.make (Util.Tid.max_threads * num_buckets) 0
+
+let bucket_of_value v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc x = if x = 0 then acc else bits (acc + 1) (x lsr 1) in
+    let b = bits 0 v in
+    if b >= num_buckets then num_buckets - 1 else b
+  end
+
+let bucket_lower_bound b =
+  if b <= 0 then 0 else 1 lsl (Stdlib.min (b - 1) 62)
+
+let record t ~tid v =
+  let i = (tid * num_buckets) + bucket_of_value v in
+  t.(i) <- t.(i) + 1
+
+let snapshot t =
+  let out = Array.make num_buckets 0 in
+  for tid = 0 to Util.Tid.max_threads - 1 do
+    let base = tid * num_buckets in
+    for b = 0 to num_buckets - 1 do
+      out.(b) <- out.(b) + t.(base + b)
+    done
+  done;
+  out
+
+let total t = Array.fold_left ( + ) 0 (snapshot t)
+
+(* Smallest value v such that at least p% of recorded samples fall in
+   buckets whose upper bound is <= the bucket containing v; i.e. the upper
+   bound of the bucket holding the p-th percentile.  0 when empty. *)
+let percentile_upper_of_buckets buckets p =
+  let total = Array.fold_left ( + ) 0 buckets in
+  if total = 0 then 0
+  else begin
+    let target =
+      let t = int_of_float (ceil (p /. 100. *. float_of_int total)) in
+      Stdlib.max 1 (Stdlib.min total t)
+    in
+    let rec go b acc =
+      if b >= num_buckets then max_int
+      else
+        let acc = acc + buckets.(b) in
+        if acc >= target then
+          if b >= num_buckets - 1 then max_int else (1 lsl b) - 1
+        else go (b + 1) acc
+    in
+    go 0 0
+  end
+
+let percentile_upper t p = percentile_upper_of_buckets (snapshot t) p
+let reset t = Array.fill t 0 (Array.length t) 0

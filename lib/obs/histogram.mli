@@ -1,0 +1,41 @@
+(** Power-of-two-bucket log histogram, striped per thread.
+
+    Records integer samples (nanoseconds, spin counts, ...) into
+    [log2]-spaced buckets with a plain store into thread-private memory —
+    cheap enough for lock slow paths.  Bucket 0 holds values [<= 0];
+    bucket [b] ([1 <= b < num_buckets - 1]) holds [2^(b-1) <= v < 2^b];
+    the last bucket is the overflow bucket. *)
+
+type t
+
+val num_buckets : int
+(** 48: buckets 1–46 cover [1, 2^46), bucket 47 is overflow. *)
+
+val create : unit -> t
+
+val bucket_of_value : int -> int
+(** Bucket index a sample lands in (= number of significant bits, clamped
+    to the overflow bucket; 0 for values [<= 0]). *)
+
+val bucket_lower_bound : int -> int
+(** Smallest value belonging to bucket [b] (0 for bucket 0). *)
+
+val record : t -> tid:int -> int -> unit
+(** Record one sample from thread [tid].  Plain store; no atomics. *)
+
+val snapshot : t -> int array
+(** Per-bucket counts summed over all threads ([num_buckets] entries). *)
+
+val total : t -> int
+(** Number of recorded samples. *)
+
+val percentile_upper : t -> float -> int
+(** Upper bound of the bucket containing the p-th percentile sample
+    (0 when empty, [max_int] when it falls in the overflow bucket). *)
+
+val percentile_upper_of_buckets : int array -> float -> int
+(** Same, over an already-materialised bucket array (e.g. a merged
+    snapshot). *)
+
+val reset : t -> unit
+(** Zero all buckets.  Call only while writers are quiescent. *)

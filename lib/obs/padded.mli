@@ -1,0 +1,27 @@
+(** A per-thread counter padded to cache-line granularity.
+
+    Each thread increments its own 64-byte-separated slot with plain
+    stores (no atomic RMW, no false sharing); readers sum the slots on
+    demand.  Sums read while writers are still running may lag; sums read
+    after the writer domains are joined are exact.  This is the padding
+    scheme {!Stm_intf.Stats} and every telemetry counter share. *)
+
+type t
+
+val stride : int
+(** Ints per thread slot (8 = one 64-byte cache line). *)
+
+val create : unit -> t
+(** One slot per {!Util.Tid.max_threads}. *)
+
+val incr : t -> tid:int -> unit
+val add : t -> tid:int -> int -> unit
+
+val get : t -> tid:int -> int
+(** Current value of one thread's slot. *)
+
+val sum : t -> int
+(** Sum over all thread slots. *)
+
+val reset : t -> unit
+(** Zero every slot.  Call only while writers are quiescent. *)

@@ -1,0 +1,170 @@
+(* A telemetry scope: the counters, histograms and interned trace names of
+   one concurrency control instance ("2PLSF", "TL2", "DBx-2PLSF", ...).
+
+   Counters are split into a *current window* (reset together with the
+   owner's [reset_stats], so per-benchmark breakdowns line up with its
+   commit/abort counters) and a *cumulative* view (window + everything
+   folded in by earlier resets) used by the end-of-run JSON dump. *)
+
+type t = {
+  name : string;
+  abort_reasons : Padded.t array; (* indexed by Events.abort_reason_index *)
+  events : Padded.t array; (* indexed by Events.event_index *)
+  lock_wait_ns : Histogram.t;
+  spin_iters : Histogram.t;
+  txn_ns : Histogram.t;
+  (* lifetime accumulators, folded into on [reset] (main thread only) *)
+  life_aborts : int array;
+  life_events : int array;
+  life_lock_wait : int array;
+  life_spins : int array;
+  life_txn : int array;
+  (* interned trace-event names *)
+  trace_commit : int;
+  trace_aborts : int array; (* per abort reason *)
+  trace_lockwait_r : int;
+  trace_lockwait_w : int;
+  trace_conflictor : int;
+}
+
+let registry_mutex = Mutex.create ()
+let registry : t list ref = ref []
+
+let create name =
+  let sc =
+    {
+      name;
+      abort_reasons =
+        Array.init Events.num_abort_reasons (fun _ -> Padded.create ());
+      events = Array.init Events.num_events (fun _ -> Padded.create ());
+      lock_wait_ns = Histogram.create ();
+      spin_iters = Histogram.create ();
+      txn_ns = Histogram.create ();
+      life_aborts = Array.make Events.num_abort_reasons 0;
+      life_events = Array.make Events.num_events 0;
+      life_lock_wait = Array.make Histogram.num_buckets 0;
+      life_spins = Array.make Histogram.num_buckets 0;
+      life_txn = Array.make Histogram.num_buckets 0;
+      trace_commit = Tracer.intern (name ^ ":commit");
+      trace_aborts =
+        Array.of_list
+          (List.map
+             (fun r ->
+               Tracer.intern (name ^ ":abort:" ^ Events.abort_reason_label r))
+             Events.all_abort_reasons);
+      trace_lockwait_r = Tracer.intern (name ^ ":lock-wait:r");
+      trace_lockwait_w = Tracer.intern (name ^ ":lock-wait:w");
+      trace_conflictor = Tracer.intern (name ^ ":conflictor-wait");
+    }
+  in
+  Mutex.lock registry_mutex;
+  registry := !registry @ [ sc ];
+  Mutex.unlock registry_mutex;
+  sc
+
+let all () = !registry
+let name sc = sc.name
+let find n = List.find_opt (fun sc -> String.equal sc.name n) !registry
+
+(* ---- recording (call sites gate on !Telemetry.on) ---- *)
+
+let event sc ~tid e = Padded.incr sc.events.(Events.event_index e) ~tid
+let abort sc ~tid r = Padded.incr sc.abort_reasons.(Events.abort_reason_index r) ~tid
+
+let lock_wait sc ~tid ~write ~t0_ns ~spins ~acquired =
+  let dur = Telemetry.now_ns () - t0_ns in
+  Histogram.record sc.lock_wait_ns ~tid dur;
+  Histogram.record sc.spin_iters ~tid spins;
+  if acquired then
+    event sc ~tid (if write then Events.Write_lock_waited else Events.Read_lock_waited);
+  if !Telemetry.trace_on then
+    Tracer.span ~tid
+      ~name:(if write then sc.trace_lockwait_w else sc.trace_lockwait_r)
+      ~ts_ns:t0_ns ~dur_ns:dur
+
+let txn_commit sc ~tid ~txn_t0_ns ~att_t0_ns =
+  let now = Telemetry.now_ns () in
+  Histogram.record sc.txn_ns ~tid (now - txn_t0_ns);
+  if !Telemetry.trace_on then
+    Tracer.span ~tid ~name:sc.trace_commit ~ts_ns:att_t0_ns
+      ~dur_ns:(now - att_t0_ns)
+
+let txn_abort sc ~tid ~att_t0_ns reason =
+  abort sc ~tid reason;
+  if !Telemetry.trace_on then
+    Tracer.span ~tid
+      ~name:sc.trace_aborts.(Events.abort_reason_index reason)
+      ~ts_ns:att_t0_ns
+      ~dur_ns:(Telemetry.now_ns () - att_t0_ns)
+
+let conflictor_wait sc ~tid ~t0_ns =
+  event sc ~tid Events.Conflictor_wait;
+  if !Telemetry.trace_on then
+    Tracer.span ~tid ~name:sc.trace_conflictor ~ts_ns:t0_ns
+      ~dur_ns:(Telemetry.now_ns () - t0_ns)
+
+(* ---- reading ---- *)
+
+let abort_counts sc =
+  List.map
+    (fun r ->
+      ( Events.abort_reason_label r,
+        Padded.sum sc.abort_reasons.(Events.abort_reason_index r) ))
+    Events.all_abort_reasons
+
+let event_counts sc =
+  List.map
+    (fun e ->
+      (Events.event_label e, Padded.sum sc.events.(Events.event_index e)))
+    Events.all_events
+
+let aborts_total sc =
+  Array.fold_left (fun acc p -> acc + Padded.sum p) 0 sc.abort_reasons
+
+let add_window l r = List.map2 (fun (k, v) (_, v') -> (k, v + v')) l r
+
+let cumulative_abort_counts sc =
+  add_window (abort_counts sc)
+    (List.map
+       (fun r ->
+         ( Events.abort_reason_label r,
+           sc.life_aborts.(Events.abort_reason_index r) ))
+       Events.all_abort_reasons)
+
+let cumulative_event_counts sc =
+  add_window (event_counts sc)
+    (List.map
+       (fun e -> (Events.event_label e, sc.life_events.(Events.event_index e)))
+       Events.all_events)
+
+let merged_hist life hist =
+  let cur = Histogram.snapshot hist in
+  Array.mapi (fun i v -> v + life.(i)) cur
+
+let hist_lock_wait sc = merged_hist sc.life_lock_wait sc.lock_wait_ns
+let hist_spins sc = merged_hist sc.life_spins sc.spin_iters
+let hist_txn sc = merged_hist sc.life_txn sc.txn_ns
+
+(* ---- reset (main thread, writers quiescent) ---- *)
+
+let reset sc =
+  List.iteri
+    (fun i (_, v) -> sc.life_aborts.(i) <- sc.life_aborts.(i) + v)
+    (abort_counts sc);
+  List.iteri
+    (fun i (_, v) -> sc.life_events.(i) <- sc.life_events.(i) + v)
+    (event_counts sc);
+  let fold life h =
+    let cur = Histogram.snapshot h in
+    Array.iteri (fun i v -> life.(i) <- life.(i) + v) cur
+  in
+  fold sc.life_lock_wait sc.lock_wait_ns;
+  fold sc.life_spins sc.spin_iters;
+  fold sc.life_txn sc.txn_ns;
+  Array.iter Padded.reset sc.abort_reasons;
+  Array.iter Padded.reset sc.events;
+  Histogram.reset sc.lock_wait_ns;
+  Histogram.reset sc.spin_iters;
+  Histogram.reset sc.txn_ns
+
+let reset_all () = List.iter reset (all ())

@@ -1,0 +1,70 @@
+(** A telemetry scope: counters, histograms and trace-name ids for one
+    concurrency control instance.
+
+    Scopes register themselves in a global registry at creation so the
+    harness can find them by the STM's [name] and the JSON dump can
+    iterate all of them.  Counters live in a *current window* that the
+    owning STM's [reset_stats] clears (folding the window into a
+    cumulative view first), so per-benchmark abort-reason sums equal the
+    benchmark's [aborts ()]. *)
+
+type t
+
+val create : string -> t
+(** Create and register a scope.  The name must be unique (it is the
+    registry key and the trace-event name prefix). *)
+
+val name : t -> string
+
+val all : unit -> t list
+(** Every scope created so far, in creation order. *)
+
+val find : string -> t option
+
+(** {2 Recording} — call sites must check [!Telemetry.on] first. *)
+
+val event : t -> tid:int -> Events.event -> unit
+val abort : t -> tid:int -> Events.abort_reason -> unit
+
+val lock_wait :
+  t -> tid:int -> write:bool -> t0_ns:int -> spins:int -> acquired:bool -> unit
+(** One completed lock-wait slow path: records the wait duration and spin
+    count histograms, the waited-lock counter (when [acquired]) and, when
+    tracing, a lock-wait span starting at [t0_ns]. *)
+
+val txn_commit : t -> tid:int -> txn_t0_ns:int -> att_t0_ns:int -> unit
+(** Whole-transaction latency ([txn_t0_ns] = first attempt's start) plus,
+    when tracing, a commit span covering the final attempt. *)
+
+val txn_abort : t -> tid:int -> att_t0_ns:int -> Events.abort_reason -> unit
+(** One aborted attempt: abort-reason counter plus, when tracing, an abort
+    span covering the attempt. *)
+
+val conflictor_wait : t -> tid:int -> t0_ns:int -> unit
+(** One post-abort wait-for-conflictor episode. *)
+
+(** {2 Reading} *)
+
+val abort_counts : t -> (string * int) list
+(** Current window, every reason in taxonomy order (zeros included). *)
+
+val event_counts : t -> (string * int) list
+val aborts_total : t -> int
+
+val cumulative_abort_counts : t -> (string * int) list
+(** Window plus everything folded in by earlier {!reset}s. *)
+
+val cumulative_event_counts : t -> (string * int) list
+
+val hist_lock_wait : t -> int array
+(** Cumulative lock-wait-duration buckets (ns), {!Histogram.num_buckets}
+    entries. *)
+
+val hist_spins : t -> int array
+val hist_txn : t -> int array
+
+val reset : t -> unit
+(** Fold the current window into the cumulative view and clear it.  Call
+    only while writers are quiescent (the owning STM's [reset_stats]). *)
+
+val reset_all : unit -> unit

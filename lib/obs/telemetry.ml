@@ -1,0 +1,32 @@
+(* Global telemetry switches.
+
+   [on] gates every counter/histogram instrumentation point in the STM /
+   lock stack; [trace_on] additionally gates the ring-buffer event tracer.
+   Both are plain [bool ref]s so the disabled hot path is a single load +
+   branch (no function call, no atomic).  They are meant to be flipped once
+   at process start-up, before any worker domain is spawned, and never
+   again — instrumented code snapshots them freely, so a mid-run toggle
+   yields torn (but memory-safe) telemetry, not a crash. *)
+
+let on = ref false
+let trace_on = ref false
+
+let enable () = on := true
+
+let enable_tracing () =
+  on := true;
+  trace_on := true
+
+let disable () =
+  on := false;
+  trace_on := false
+
+let enabled () = !on
+let tracing () = !trace_on
+
+(* Nanosecond wall-clock timestamp.  The repo's portable clock is
+   [Unix.gettimeofday] (see Util.Clock); at 1 us granularity it is coarse
+   for single lock waits but the log2 histogram buckets absorb that.  Only
+   called on instrumented slow paths and per-transaction when telemetry is
+   enabled. *)
+let now_ns () = int_of_float (Util.Clock.now () *. 1e9)

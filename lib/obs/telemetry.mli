@@ -1,0 +1,30 @@
+(** Global telemetry switches and the telemetry clock.
+
+    The disabled path of every instrumentation point is [if !Telemetry.on
+    then ...] — one load and one (perfectly predicted) branch, so figure
+    throughput with telemetry off is unaffected.  Enable once at start-up,
+    before spawning worker domains. *)
+
+val on : bool ref
+(** Master switch for counters and histograms.  Read directly ([!on]) on
+    hot paths; treat as immutable after start-up. *)
+
+val trace_on : bool ref
+(** Switch for the ring-buffer event tracer ({!Tracer}).  Implies nothing
+    about [on]; instrumentation only consults it after [on] passed. *)
+
+val enable : unit -> unit
+(** Turn counters and histograms on. *)
+
+val enable_tracing : unit -> unit
+(** Turn counters, histograms and event tracing on. *)
+
+val disable : unit -> unit
+(** Turn everything off (tests only; not safe mid-benchmark). *)
+
+val enabled : unit -> bool
+val tracing : unit -> bool
+
+val now_ns : unit -> int
+(** Wall-clock timestamp in nanoseconds (microsecond granularity —
+    [Unix.gettimeofday] underneath). *)

@@ -1,0 +1,158 @@
+(* Per-thread ring-buffer event tracer with a Chrome trace-event exporter.
+
+   Recording must be cheap and allocation-free: each thread owns a flat
+   int ring of [capacity] events x 3 words (packed code, start timestamp,
+   duration), written with plain stores.  When the ring wraps the oldest
+   events are overwritten, so a long benchmark keeps the *last* [capacity]
+   events per thread — which is what you want when diagnosing the steady
+   state.  Event names are interned once (at scope creation, under a
+   mutex) and referenced by id from the hot path.
+
+   The exporter writes the Chrome trace-event JSON array format
+   (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+   with "X" complete events (ts + dur) for spans and "i" instant events;
+   timestamps are microseconds as the format requires.  Load the file in
+   Perfetto or chrome://tracing. *)
+
+let default_capacity = 1 lsl 16
+let capacity = ref default_capacity
+
+let set_capacity n =
+  if n < 16 then invalid_arg "Tracer.set_capacity: capacity too small";
+  capacity := n
+
+(* ---- interned names ---- *)
+
+let names_mutex = Mutex.create ()
+let names : string list ref = ref [] (* newest first; id = position from 0 *)
+let names_count = ref 0
+
+let intern s =
+  Mutex.lock names_mutex;
+  let rec find i = function
+    | [] -> -1
+    | x :: _ when String.equal x s -> !names_count - 1 - i
+    | _ :: tl -> find (i + 1) tl
+  in
+  let id =
+    match find 0 !names with
+    | -1 ->
+        names := s :: !names;
+        incr names_count;
+        !names_count - 1
+    | id -> id
+  in
+  Mutex.unlock names_mutex;
+  id
+
+let name_table () =
+  Mutex.lock names_mutex;
+  let arr = Array.make !names_count "" in
+  List.iteri (fun i s -> arr.(!names_count - 1 - i) <- s) !names;
+  Mutex.unlock names_mutex;
+  arr
+
+(* ---- per-thread rings ---- *)
+
+type ring = {
+  buf : int array; (* cap * 3: code, ts_ns, dur_ns *)
+  cap : int;
+  mutable next : int; (* next slot to write *)
+  mutable count : int; (* valid events, <= cap *)
+}
+
+let rings : ring option array = Array.make Util.Tid.max_threads None
+
+(* Owner-only write to rings.(tid): safe without synchronisation. *)
+let ring_for tid =
+  match rings.(tid) with
+  | Some r -> r
+  | None ->
+      let cap = !capacity in
+      let r = { buf = Array.make (cap * 3) 0; cap; next = 0; count = 0 } in
+      rings.(tid) <- Some r;
+      r
+
+let instant_bit = 1
+
+let record tid code ts dur =
+  let r = ring_for tid in
+  let i = r.next * 3 in
+  r.buf.(i) <- code;
+  r.buf.(i + 1) <- ts;
+  r.buf.(i + 2) <- dur;
+  r.next <- (r.next + 1) mod r.cap;
+  if r.count < r.cap then r.count <- r.count + 1
+
+let span ~tid ~name ~ts_ns ~dur_ns = record tid (name lsl 1) ts_ns dur_ns
+let instant ~tid ~name ~ts_ns = record tid ((name lsl 1) lor instant_bit) ts_ns 0
+
+let reset () =
+  (* Quiescent-only: drops every thread's ring. *)
+  Array.iteri (fun i _ -> rings.(i) <- None) rings
+
+(* ---- export ---- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+let iter_events f =
+  Array.iteri
+    (fun tid r ->
+      match r with
+      | None -> ()
+      | Some r ->
+          (* Oldest first: when wrapped, the oldest event is at [next]. *)
+          let start = if r.count < r.cap then 0 else r.next in
+          for k = 0 to r.count - 1 do
+            let i = (start + k) mod r.cap * 3 in
+            f ~tid ~code:r.buf.(i) ~ts:r.buf.(i + 1) ~dur:r.buf.(i + 2)
+          done)
+    rings
+
+let export ~path =
+  let names = name_table () in
+  (* Rebase to the earliest event: epoch nanoseconds exceed a double's 53
+     mantissa bits, so absolute microsecond timestamps would lose sub-µs
+     precision in the %.3f formatting (spans would seem to overlap). *)
+  let t_min = ref max_int in
+  iter_events (fun ~tid:_ ~code:_ ~ts ~dur:_ -> if ts < !t_min then t_min := ts);
+  let t_min = if !t_min = max_int then 0 else !t_min in
+  let oc = open_out path in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  iter_events (fun ~tid ~code ~ts ~dur ->
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      Buffer.add_string b "\n{\"name\":\"";
+      let id = code lsr 1 in
+      json_escape b (if id < Array.length names then names.(id) else "?");
+      Buffer.add_string b "\",\"cat\":\"stm\",\"pid\":1,\"tid\":";
+      Buffer.add_string b (string_of_int tid);
+      if code land instant_bit <> 0 then
+        Buffer.add_string b
+          (Printf.sprintf ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f}"
+             (us_of_ns (ts - t_min)))
+      else
+        Buffer.add_string b
+          (Printf.sprintf ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f}"
+             (us_of_ns (ts - t_min)) (us_of_ns dur));
+      if Buffer.length b > 1 lsl 16 then begin
+        Buffer.output_buffer oc b;
+        Buffer.clear b
+      end);
+  Buffer.add_string b "\n]}\n";
+  Buffer.output_buffer oc b;
+  close_out oc

@@ -1,0 +1,29 @@
+(** Per-thread ring-buffer event tracer with a Chrome trace-event JSON
+    exporter (loadable in Perfetto / chrome://tracing).
+
+    Recording is allocation-free — three plain stores into a
+    thread-private int ring — and keeps the last {!set_capacity} events
+    per thread.  Callers gate recording on {!Telemetry.trace_on}. *)
+
+val default_capacity : int
+
+val set_capacity : int -> unit
+(** Events retained per thread (default 65536).  Affects rings created
+    after the call; set before enabling tracing. *)
+
+val intern : string -> int
+(** Intern an event name, returning its id.  Takes a mutex; call at
+    set-up time (scope creation), not on hot paths. *)
+
+val span : tid:int -> name:int -> ts_ns:int -> dur_ns:int -> unit
+(** Record a complete span (Chrome "X" phase). [name] is an {!intern} id. *)
+
+val instant : tid:int -> name:int -> ts_ns:int -> unit
+(** Record an instant event (Chrome "i" phase, thread scope). *)
+
+val export : path:string -> unit
+(** Write every thread's retained events as Chrome trace-event JSON
+    (microsecond timestamps, one pid, tid = dense thread id). *)
+
+val reset : unit -> unit
+(** Drop all rings.  Call only while writers are quiescent. *)

@@ -1,26 +1,25 @@
-type t = {
-  commits : int Atomic.t array;
-  aborts : int Atomic.t array;
-  clock : int Atomic.t array;
-}
+(* Each counter array is striped through Twoplsf_obs.Padded: one
+   cache-line-wide slot per thread id, written only by its owner with a
+   plain store.  The previous [int Atomic.t array] representation boxed
+   every counter, so neighbouring threads' counters could land on the same
+   cache line and false-share; the flat padded stripes also make the
+   layout identical to the telemetry subsystem's counters. *)
+
+module Padded = Twoplsf_obs.Padded
+
+type t = { commits : Padded.t; aborts : Padded.t; clock : Padded.t }
 
 let create () =
-  {
-    commits = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
-    aborts = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
-    clock = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
-  }
+  { commits = Padded.create (); aborts = Padded.create (); clock = Padded.create () }
 
-let commit t ~tid = Atomic.incr t.commits.(tid)
-let abort t ~tid = Atomic.incr t.aborts.(tid)
-let clock_op t ~tid = Atomic.incr t.clock.(tid)
-
-let sum a = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 a
-let commits t = sum t.commits
-let aborts t = sum t.aborts
-let clock_ops t = sum t.clock
+let commit t ~tid = Padded.incr t.commits ~tid
+let abort t ~tid = Padded.incr t.aborts ~tid
+let clock_op t ~tid = Padded.incr t.clock ~tid
+let commits t = Padded.sum t.commits
+let aborts t = Padded.sum t.aborts
+let clock_ops t = Padded.sum t.clock
 
 let reset t =
-  Array.iter (fun c -> Atomic.set c 0) t.commits;
-  Array.iter (fun c -> Atomic.set c 0) t.aborts;
-  Array.iter (fun c -> Atomic.set c 0) t.clock
+  Padded.reset t.commits;
+  Padded.reset t.aborts;
+  Padded.reset t.clock

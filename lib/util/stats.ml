@@ -29,4 +29,6 @@ let percentiles_in_place xs ps =
   Array.sort compare xs;
   List.map (fun p -> (p, nearest_rank xs p)) ps
 
-let max xs = Array.fold_left Stdlib.max 0. xs
+let max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max: empty sample";
+  Array.fold_left Stdlib.max neg_infinity xs

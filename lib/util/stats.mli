@@ -21,4 +21,5 @@ val percentiles_in_place : float array -> float list -> (float * float) list
     latency samples. *)
 
 val max : float array -> float
-(** Largest sample; 0 for the empty array. *)
+(** Largest sample (correct for all-negative samples too).
+    @raise Invalid_argument on an empty array, like {!percentile}. *)

@@ -1,0 +1,399 @@
+(* Tests for the telemetry subsystem: histogram bucket math, padded
+   counters, the abort-reason-sums-equal-aborts invariant under a
+   contended multi-domain run, and well-formedness of the exported Chrome
+   trace JSON. *)
+
+module Obs = Twoplsf_obs
+
+let check = Alcotest.check
+
+(* ---- Histogram bucket math ---- *)
+
+let test_bucket_boundaries () =
+  let b = Obs.Histogram.bucket_of_value in
+  check Alcotest.int "v=0" 0 (b 0);
+  check Alcotest.int "v=-5" 0 (b (-5));
+  check Alcotest.int "v=min_int" 0 (b min_int);
+  check Alcotest.int "v=1" 1 (b 1);
+  check Alcotest.int "v=2" 2 (b 2);
+  check Alcotest.int "v=3" 2 (b 3);
+  check Alcotest.int "v=4" 3 (b 4);
+  check Alcotest.int "v=7" 3 (b 7);
+  check Alcotest.int "v=8" 4 (b 8);
+  (* bucket b holds [2^(b-1), 2^b): both edges of each power of two *)
+  for k = 1 to 45 do
+    check Alcotest.int
+      (Printf.sprintf "v=2^%d" k)
+      (k + 1)
+      (b (1 lsl k));
+    check Alcotest.int
+      (Printf.sprintf "v=2^%d - 1" k)
+      k
+      (b ((1 lsl k) - 1))
+  done
+
+let test_bucket_overflow () =
+  let last = Obs.Histogram.num_buckets - 1 in
+  check Alcotest.int "max_int" last (Obs.Histogram.bucket_of_value max_int);
+  check Alcotest.int "2^60" last (Obs.Histogram.bucket_of_value (1 lsl 60));
+  (* largest non-overflow value *)
+  check Alcotest.int "2^46 - 1" (last - 1)
+    (Obs.Histogram.bucket_of_value ((1 lsl 46) - 1))
+
+let test_bucket_lower_bound_roundtrip () =
+  for b = 0 to Obs.Histogram.num_buckets - 1 do
+    let lo = Obs.Histogram.bucket_lower_bound b in
+    check Alcotest.int
+      (Printf.sprintf "bucket_of(lower_bound %d)" b)
+      b
+      (Obs.Histogram.bucket_of_value lo)
+  done;
+  (* lower bounds strictly increase from bucket 1 on *)
+  for b = 1 to Obs.Histogram.num_buckets - 2 do
+    if
+      Obs.Histogram.bucket_lower_bound (b + 1)
+      <= Obs.Histogram.bucket_lower_bound b
+    then Alcotest.failf "lower bounds not increasing at %d" b
+  done
+
+let test_histogram_record_percentile () =
+  let h = Obs.Histogram.create () in
+  (* 90 small samples (bucket 1) and 10 large ones (bucket of 1024 = 11) *)
+  for _ = 1 to 90 do
+    Obs.Histogram.record h ~tid:0 1
+  done;
+  for _ = 1 to 10 do
+    Obs.Histogram.record h ~tid:1 1024
+  done;
+  check Alcotest.int "total" 100 (Obs.Histogram.total h);
+  let snap = Obs.Histogram.snapshot h in
+  check Alcotest.int "bucket 1" 90 snap.(1);
+  check Alcotest.int "bucket 11" 10 snap.(11);
+  (* upper bound = largest integer in the bucket: 2^b - 1 *)
+  check Alcotest.int "p50 upper" 1 (Obs.Histogram.percentile_upper h 50.);
+  check Alcotest.int "p99 upper" 2047 (Obs.Histogram.percentile_upper h 99.);
+  Obs.Histogram.reset h;
+  check Alcotest.int "total after reset" 0 (Obs.Histogram.total h)
+
+(* ---- Padded counters ---- *)
+
+let test_padded_counters () =
+  let p = Obs.Padded.create () in
+  Obs.Padded.incr p ~tid:0;
+  Obs.Padded.incr p ~tid:0;
+  Obs.Padded.add p ~tid:3 40;
+  check Alcotest.int "get tid 0" 2 (Obs.Padded.get p ~tid:0);
+  check Alcotest.int "get tid 3" 40 (Obs.Padded.get p ~tid:3);
+  check Alcotest.int "sum" 42 (Obs.Padded.sum p);
+  Obs.Padded.reset p;
+  check Alcotest.int "sum after reset" 0 (Obs.Padded.sum p)
+
+(* ---- Contended multi-domain run: reasons sum to aborts () ---- *)
+
+module S = Twoplsf.Stm
+
+let contended_run () =
+  let tvs = Array.init 8 (fun _ -> S.tvar 0) in
+  let _ =
+    Harness.Exec.run_each ~threads:4 (fun i ->
+        for _ = 1 to 400 do
+          S.atomic (fun tx ->
+              if i land 1 = 0 then
+                for j = 0 to 7 do
+                  S.write tx tvs.(j) (S.read tx tvs.(j) + 1)
+                done
+              else
+                for j = 7 downto 0 do
+                  S.write tx tvs.(j) (S.read tx tvs.(j) + 1)
+                done)
+        done)
+  in
+  Array.fold_left (fun acc tv -> acc + S.atomic (fun tx -> S.read tx tv)) 0 tvs
+
+let test_abort_reasons_sum () =
+  Obs.Telemetry.enable ();
+  S.reset_stats ();
+  let total = contended_run () in
+  (* 4 domains x 400 txns x 8 increments, plus the 8 verification reads *)
+  check Alcotest.int "counter total" (4 * 400 * 8) total;
+  let sc =
+    match Obs.Scope.find "2PLSF" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "no 2PLSF scope"
+  in
+  let reasons = Obs.Scope.abort_counts sc in
+  check Alcotest.int "reason count" Obs.Events.num_abort_reasons
+    (List.length reasons);
+  let sum = List.fold_left (fun a (_, n) -> a + n) 0 reasons in
+  check Alcotest.int "reasons sum to aborts ()" (S.aborts ()) sum;
+  check Alcotest.int "aborts_total agrees" (S.aborts ())
+    (Obs.Scope.aborts_total sc)
+
+(* ---- Chrome trace JSON ---- *)
+
+(* A hand-rolled mini JSON parser (no JSON library in the build
+   environment): just enough for the exporter's output. *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
+  let literal lit v =
+    String.iter expect lit;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '\000' -> fail "unterminated string"
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              for _ = 1 to 4 do
+                advance ()
+              done;
+              Buffer.add_char b '?'
+          | _ -> fail "bad escape");
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false
+    do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> J_num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          J_obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          J_obj (members [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          J_arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elements (v :: acc)
+            | ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          J_arr (elements [])
+        end
+    | '"' -> J_str (parse_string ())
+    | 't' -> literal "true" (J_bool true)
+    | 'f' -> literal "false" (J_bool false)
+    | 'n' -> literal "null" J_null
+    | '-' | '0' .. '9' -> parse_number ()
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field obj k =
+  match obj with
+  | J_obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let num_field obj k =
+  match field obj k with
+  | Some (J_num f) -> f
+  | _ -> Alcotest.failf "missing numeric field %s" k
+
+let str_field obj k =
+  match field obj k with
+  | Some (J_str s) -> s
+  | _ -> Alcotest.failf "missing string field %s" k
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Every pair of "X" spans on one thread must be disjoint or nested — a
+   lock-wait span sits inside its attempt's commit/abort span, and
+   successive attempts never overlap.  Sweep with a stack of open span
+   ends. *)
+let check_spans_nest spans =
+  let eps = 1e-6 in
+  let spans =
+    List.sort
+      (fun (s1, e1, _) (s2, e2, _) ->
+        match compare s1 s2 with 0 -> compare e2 e1 | c -> c)
+      spans
+  in
+  let stack = ref [] in
+  List.iter
+    (fun (s, e, name) ->
+      while
+        match !stack with
+        | (top, _) :: rest when top <= s +. eps ->
+            stack := rest;
+            true
+        | _ -> false
+      do
+        ()
+      done;
+      (match !stack with
+      | (top, top_name) :: _ when e > top +. eps ->
+          Alcotest.failf
+            "spans overlap without nesting: %s [%f, %f] vs %s ending %f" name s
+            e top_name top
+      | _ -> ());
+      stack := (e, name) :: !stack)
+    spans
+
+let test_trace_export () =
+  Obs.Telemetry.enable_tracing ();
+  Obs.Tracer.reset ();
+  S.reset_stats ();
+  ignore (contended_run ());
+  let path = Filename.temp_file "twoplsf_trace" ".json" in
+  Obs.Tracer.export ~path;
+  let doc = parse_json (read_file path) in
+  Sys.remove path;
+  let events =
+    match field doc "traceEvents" with
+    | Some (J_arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  if events = [] then Alcotest.fail "empty trace";
+  let tids = Hashtbl.create 8 in
+  let spans_by_tid : (int, (float * float * string) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let commit_spans = ref 0 in
+  List.iter
+    (fun ev ->
+      let name = str_field ev "name" in
+      let ph = str_field ev "ph" in
+      let tid = int_of_float (num_field ev "tid") in
+      ignore (num_field ev "pid");
+      let ts = num_field ev "ts" in
+      Hashtbl.replace tids tid ();
+      match ph with
+      | "X" ->
+          let dur = num_field ev "dur" in
+          if dur < 0. then Alcotest.failf "negative dur on %s" name;
+          if name = "2PLSF:commit" then incr commit_spans;
+          let r =
+            match Hashtbl.find_opt spans_by_tid tid with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add spans_by_tid tid r;
+                r
+          in
+          r := (ts, ts +. dur, name) :: !r
+      | "i" -> ()
+      | _ -> Alcotest.failf "unexpected phase %s" ph)
+    events;
+  if Hashtbl.length tids < 2 then
+    Alcotest.failf "expected events from >= 2 threads, got %d"
+      (Hashtbl.length tids);
+  if !commit_spans = 0 then Alcotest.fail "no 2PLSF:commit span";
+  Hashtbl.iter (fun _ spans -> check_spans_nest !spans) spans_by_tid
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "overflow bucket" `Quick test_bucket_overflow;
+          Alcotest.test_case "lower-bound roundtrip" `Quick
+            test_bucket_lower_bound_roundtrip;
+          Alcotest.test_case "record + percentile" `Quick
+            test_histogram_record_percentile;
+        ] );
+      ("padded", [ Alcotest.test_case "counters" `Quick test_padded_counters ]);
+      ( "taxonomy",
+        [
+          Alcotest.test_case "reasons sum to aborts" `Quick
+            test_abort_reasons_sum;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "chrome JSON export" `Quick test_trace_export ] );
+    ]

@@ -97,6 +97,13 @@ let test_stats_percentiles_in_place () =
   check (Alcotest.float 1e-9) "p90" 899. (List.assoc 90. ps);
   check (Alcotest.float 1e-9) "p99" 989. (List.assoc 99. ps)
 
+let test_stats_max () =
+  check (Alcotest.float 1e-9) "max" 9. (Util.Stats.max [| 3.; 9.; 1. |]);
+  check (Alcotest.float 1e-9) "all negative" (-1.)
+    (Util.Stats.max [| -5.; -1.; -3. |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.max: empty sample")
+    (fun () -> ignore (Util.Stats.max [||]))
+
 let test_stats_stddev () =
   check (Alcotest.float 1e-9) "constant" 0. (Util.Stats.stddev [| 3.; 3.; 3. |]);
   check (Alcotest.float 1e-6) "spread" 2.
@@ -286,6 +293,7 @@ let () =
             test_stats_percentile_unsorted;
           Alcotest.test_case "percentiles_in_place" `Quick
             test_stats_percentiles_in_place;
+          Alcotest.test_case "max" `Quick test_stats_max;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           q qcheck_percentile_monotone;
           q qcheck_percentile_member;
