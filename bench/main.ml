@@ -29,6 +29,10 @@ let () =
   let telemetry = ref false in
   let trace = ref "" in
   let telemetry_out = ref "telemetry.json" in
+  let watchdog = ref false in
+  let monitor_interval = ref 100 in
+  let monitor_out = ref "" in
+  let monitor_console = ref false in
   let spec =
     [
       ("--figure", Arg.Set_int figure, "N  run only figure N (2-8, 10-12)");
@@ -55,6 +59,21 @@ let () =
       ( "--telemetry-out",
         Arg.Set_string telemetry_out,
         "FILE  telemetry JSON dump path (default telemetry.json)" );
+      ( "--watchdog",
+        Arg.Set watchdog,
+        " run the runtime-verification watchdog (deadlock / starvation / \
+         mutual-exclusion checks); exits non-zero on any invariant \
+         violation" );
+      ( "--monitor-interval",
+        Arg.Set_int monitor_interval,
+        "MS  watchdog/monitor sampling period in ms (default 100)" );
+      ( "--monitor-out",
+        Arg.Set_string monitor_out,
+        "FILE  stream live JSONL monitor ticks to FILE (implies \
+         --telemetry)" );
+      ( "--monitor-console",
+        Arg.Set monitor_console,
+        " one-line live dashboard on stderr (implies --telemetry)" );
     ]
   in
   Arg.parse spec
@@ -65,8 +84,18 @@ let () =
     seconds := 0.15
   end;
   ignore (Util.Tid.register ());
+  let monitoring = !monitor_out <> "" || !monitor_console in
+  if !watchdog || monitoring then telemetry := true;
   if !trace <> "" then Twoplsf_obs.Telemetry.enable_tracing ()
   else if !telemetry then Twoplsf_obs.Telemetry.enable ();
+  (* Start the watchdog before any lock table exists: tables register for
+     introspection only when wait publication is already enabled. *)
+  if !watchdog then
+    Twoplsf_obs.Watchdog.start ~interval_ms:!monitor_interval ();
+  if monitoring then
+    Twoplsf_obs.Monitor.start ~interval_ms:!monitor_interval
+      ?out_path:(if !monitor_out = "" then None else Some !monitor_out)
+      ~console:!monitor_console ();
   if !csv <> "" then Harness.Report.set_csv !csv;
   let p =
     { Figures.threads = !threads; seconds = !seconds; big = !big; runs = !runs }
@@ -87,6 +116,11 @@ let () =
   end;
   List.iter (fun (_, _, f) -> f p) selected;
   Harness.Report.close_csv ();
+  if monitoring then begin
+    Twoplsf_obs.Monitor.stop ();
+    if !monitor_out <> "" then
+      Printf.printf "\nMonitor stream: %s\n%!" !monitor_out
+  end;
   if Twoplsf_obs.Telemetry.enabled () then begin
     Harness.Report.write_telemetry_json ~path:!telemetry_out;
     Printf.printf "\nTelemetry dump: %s\n%!" !telemetry_out
@@ -95,5 +129,18 @@ let () =
     Twoplsf_obs.Tracer.export ~path:!trace;
     Printf.printf "Chrome trace: %s (load in Perfetto / chrome://tracing)\n%!"
       !trace
+  end;
+  if !watchdog then begin
+    let module W = Twoplsf_obs.Watchdog in
+    W.stop ();
+    Printf.printf
+      "\nWatchdog: %d ticks, %d invariant violations, %d starvation suspects\n%!"
+      (W.ticks ()) (W.violations ())
+      (W.starvation_reports ());
+    List.iter (fun r -> Printf.printf "  %s\n%!" (W.report_to_string r)) (W.reports ());
+    if W.violations () > 0 then begin
+      prerr_endline "watchdog: invariant violation detected — failing the run";
+      exit 1
+    end
   end;
   print_endline "\nDone. See EXPERIMENTS.md for paper-vs-measured notes."

@@ -1,0 +1,11 @@
+(** TLRW-Z [Dice & Shavit, SPAA 2010; Zardoshti et al., PACT 2019]:
+    no-wait 2PL over the byte-level reader-counter lock
+    ({!Rwlock.Rwl_counter}).  One of the three {!Nowait_2pl} instances of
+    Figure 2; isolates what the read-indicator representation costs
+    relative to 2PL-RW / 2PL-RW-Dist under identical conflict handling. *)
+
+include Stm_intf.STM
+
+val configure : ?num_locks:int -> unit -> unit
+(** Size this STM's lock table (power of two, default 65536); must precede
+    the first transaction. *)

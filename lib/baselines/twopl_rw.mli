@@ -1,0 +1,11 @@
+(** 2PL-RW (Figure 2): no-wait 2PL over the single-word reader-writer
+    lock ({!Rwlock.Rwl_single}).  One of the three {!Nowait_2pl}
+    instances; the paper's simplest 2PL baseline — every reader CASes the
+    same word, which is the scalability wall 2PL-RW-Dist and 2PLSF's
+    distributed read indicator remove. *)
+
+include Stm_intf.STM
+
+val configure : ?num_locks:int -> unit -> unit
+(** Size this STM's lock table (power of two, default 65536); must precede
+    the first transaction. *)

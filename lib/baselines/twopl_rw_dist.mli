@@ -1,0 +1,11 @@
+(** 2PL-RW-Dist (Figure 2): no-wait 2PL over the distributed
+    read-indicator lock ({!Rwlock.Rwl_dist}).  One of the three
+    {!Nowait_2pl} instances; shares 2PLSF's scalable read side but keeps
+    no-wait conflict handling, isolating what starvation-free conflict
+    resolution itself buys (§3.1). *)
+
+include Stm_intf.STM
+
+val configure : ?num_locks:int -> unit -> unit
+(** Size this STM's lock table (power of two, default 65536); must precede
+    the first transaction. *)

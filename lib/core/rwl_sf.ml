@@ -30,6 +30,7 @@ type t = {
   zero_mutex : bool Atomic.t;
   clock_count : int Atomic.t array; (* per-tid count of conflict-clock draws *)
   mutable obs : Obs.Scope.t option; (* set once at start-up, before domains *)
+  mutable watch_id : int; (* Waitsfor table id, or -1 when not watched *)
 }
 
 type ctx = {
@@ -53,9 +54,49 @@ let create ?(num_locks = 65536) () =
     zero_mutex = Atomic.make false;
     clock_count = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
     obs = None;
+    watch_id = -1;
   }
 
-let set_obs t sc = t.obs <- Some sc
+let clock_value t = Atomic.get t.conflict_clock
+
+(* Racy read-only view of one lock for the watchdog: the current write
+   holder, its announced timestamp and the read-indicator population may
+   each belong to slightly different moments — sound for detection because
+   the watchdog debounces everything across ticks (DESIGN.md §9). *)
+let inspect t w : Obs.Waitsfor.lock_view =
+  let ws = Atomic.get t.wlocks.(w) in
+  let writer = ws - 1 in
+  let writer_ts = if ws = 0 then 0 else Atomic.get t.announce.(writer) in
+  let readers = ref [] in
+  Read_indicator.iter_readers t.ri ~self:(-1) w (fun tid ->
+      readers := tid :: !readers);
+  {
+    Obs.Waitsfor.writer = (if ws = 0 then -1 else writer);
+    writer_ts;
+    readers = !readers;
+  }
+
+let watch ?name t =
+  if t.watch_id < 0 then
+    let name =
+      match (name, t.obs) with
+      | Some n, _ -> n
+      | None, Some sc -> Obs.Scope.name sc
+      | None, None -> "rwl_sf"
+    in
+    t.watch_id <-
+      Obs.Waitsfor.register_table ~name ~num_locks:t.nlocks
+        ~inspect:(inspect t)
+        ~announced:(fun tid -> Atomic.get t.announce.(tid))
+        ~clock:(fun () -> clock_value t)
+
+let set_obs t sc =
+  t.obs <- Some sc;
+  (* Register for watchdog introspection only when publication is already
+     enabled: registered tables are retained for the process lifetime, and
+     short-lived tables (one per DBx run) should not pile up in a run that
+     never watches them. *)
+  if !Obs.Wait_registry.on then watch t
 let make_ctx ~tid = { tid; my_ts = 0; o_tid = -1; o_ts = 0; preempted = false }
 let num_locks t = t.nlocks
 let lock_index t id = id land t.mask
@@ -129,9 +170,15 @@ let try_or_wait_read_lock t ctx w =
   else begin
     let t0 = if !Obs.Telemetry.on then Obs.Telemetry.now_ns () else 0 in
     take_timestamp t ctx;
+    let watch = !Obs.Wait_registry.on && t.watch_id >= 0 in
+    if watch then
+      Obs.Wait_registry.publish ~tid:ctx.tid ~kind:Obs.Wait_registry.read_wait
+        ~table:t.watch_id ~lock:w ~since_ns:(Obs.Telemetry.now_ns ())
+        ~observed:(-1);
     let b = Util.Backoff.create () in
     let spins = ref 0 in
     let finish acquired =
+      if watch then Obs.Wait_registry.clear ~tid:ctx.tid;
       (if !Obs.Telemetry.on then
          match t.obs with
          | Some sc ->
@@ -144,6 +191,8 @@ let try_or_wait_read_lock t ctx w =
       if Atomic.get t.wlocks.(w) = 0 then finish true
       else begin
         let ots = ts_of_wlock t ctx w in
+        if watch && ctx.o_tid >= 0 then
+          Obs.Wait_registry.set_observed ~tid:ctx.tid ctx.o_tid;
         if ots < my_effective_ts ctx then begin
           (* A higher-priority writer owns the lock: restart. *)
           Read_indicator.depart t.ri ~tid:ctx.tid w;
@@ -183,9 +232,15 @@ let try_or_wait_write_lock t ctx w =
        CAS race see a non-empty indicator and defer to our timestamp
        (§2.5: bounds the number of writers that can overtake us). *)
     Read_indicator.arrive t.ri ~tid:ctx.tid w;
+    let watch = !Obs.Wait_registry.on && t.watch_id >= 0 in
+    if watch then
+      Obs.Wait_registry.publish ~tid:ctx.tid
+        ~kind:Obs.Wait_registry.write_wait ~table:t.watch_id ~lock:w
+        ~since_ns:(Obs.Telemetry.now_ns ()) ~observed:(-1);
     let b = Util.Backoff.create () in
     let spins = ref 0 in
     let finish acquired =
+      if watch then Obs.Wait_registry.clear ~tid:ctx.tid;
       (if !Obs.Telemetry.on then
          match t.obs with
          | Some sc ->
@@ -208,6 +263,8 @@ let try_or_wait_write_lock t ctx w =
       end
       else begin
         let lowest = lowest_ts t ctx w in
+        if watch && ctx.o_tid >= 0 then
+          Obs.Wait_registry.set_observed ~tid:ctx.tid ctx.o_tid;
         if lowest < my_effective_ts ctx then begin
           let owned = Atomic.get t.wlocks.(w) = me in
           Read_indicator.depart t.ri ~tid:ctx.tid w;
@@ -241,10 +298,16 @@ let wait_for_conflictor t ctx =
   ctx.o_ts <- 0;
   if otid >= 0 && ots > 0 && ots < infinity_ts then begin
     let t0 = if !Obs.Telemetry.on then Obs.Telemetry.now_ns () else 0 in
+    let watch = !Obs.Wait_registry.on && t.watch_id >= 0 in
+    if watch then
+      Obs.Wait_registry.publish ~tid:ctx.tid
+        ~kind:Obs.Wait_registry.conflictor_wait ~table:t.watch_id ~lock:(-1)
+        ~since_ns:(Obs.Telemetry.now_ns ()) ~observed:otid;
     let b = Util.Backoff.create () in
     while Atomic.get t.announce.(otid) = ots do
       Util.Backoff.once b
     done;
+    if watch then Obs.Wait_registry.clear ~tid:ctx.tid;
     if !Obs.Telemetry.on then
       match t.obs with
       | Some sc -> Obs.Scope.conflictor_wait sc ~tid:ctx.tid ~t0_ns:t0

@@ -47,7 +47,27 @@ val set_obs : t -> Twoplsf_obs.Scope.t -> unit
     lock paths record fast/waited outcomes, wait-duration and
     spin-iteration histograms, priority announcements and (when tracing)
     lock-wait spans into it.  Call once at start-up, before worker domains
-    touch the table; with no scope attached instrumentation is skipped. *)
+    touch the table; with no scope attached instrumentation is skipped.
+    When wait-registry publication ({!Twoplsf_obs.Wait_registry.on}) is
+    already enabled, also registers the table for watchdog introspection
+    under the scope's name (see {!watch}). *)
+
+val watch : ?name:string -> t -> unit
+(** Register this table with {!Twoplsf_obs.Waitsfor} so the watchdog can
+    inspect its locks; the slow paths then publish their waits into the
+    {!Twoplsf_obs.Wait_registry} whenever publication is on.  Idempotent.
+    [name] defaults to the attached scope's name.  Registered tables are
+    retained for the process lifetime — the watchdog holds their
+    introspection closures. *)
+
+val inspect : t -> int -> Twoplsf_obs.Waitsfor.lock_view
+(** Racy read-only view of lock [w]: current write holder (with its
+    announced timestamp) and read-indicator population.  The fields may
+    belong to slightly different instants; sound for the watchdog's
+    debounced detection, never for synchronization decisions. *)
+
+val clock_value : t -> int
+(** Current conflict-clock value (racy read; for the watchdog and tests). *)
 
 val lock_index : t -> int -> int
 (** Hash a tvar id onto a lock index ([addr2lockIdx]). *)

@@ -46,10 +46,15 @@ let ccs : (string * (module Cc_intf.CC)) list =
     ("DL_DETECT", (module Dl_detect));
   ]
 
+let set_phase name ~theta ~threads =
+  Twoplsf_obs.Monitor.set_phase
+    (Printf.sprintf "DBx-%s/theta=%.2f/t=%d" name theta threads)
+
 let run ~cc ~table ~theta ~write_ratio ~threads ~seconds =
   let (module C : Cc_intf.CC) = cc in
   let state = C.create table in
   reset_scope cc;
+  set_phase C.name ~theta ~threads;
   let aborts_total = Atomic.make 0 in
   let worker i should_stop =
     let tid = Util.Tid.get () in
@@ -89,6 +94,7 @@ let run_with_latency ~cc ~table ~theta ~write_ratio ~threads ~seconds =
   let (module C : Cc_intf.CC) = cc in
   let state = C.create table in
   reset_scope cc;
+  set_phase C.name ~theta ~threads;
   let aborts_total = Atomic.make 0 in
   let lat = Harness.Latency.create ~threads in
   let worker i should_stop =

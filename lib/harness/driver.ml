@@ -76,6 +76,9 @@ let run_bench (type v) ~stm ~structure ~mix ~range ~threads ~seconds
       end)
   in
   ignore (Util.Tid.register ());
+  Twoplsf_obs.Monitor.set_phase
+    (Printf.sprintf "%s/%s/%s/t=%d" S.name (structure_label structure)
+       (Workload.mix_label mix) threads);
   let ops = O.make structure ~range in
   (* Prefill to 50% occupancy so insert/remove mixes run at steady state. *)
   let prefill_rng = Util.Sprng.create 1234 in

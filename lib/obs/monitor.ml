@@ -1,0 +1,268 @@
+(* The live monitor: a background domain that snapshots the telemetry
+   scopes every tick, diffs against the previous tick, and streams one
+   JSON object per tick (JSONL) — throughput, abort-reason deltas,
+   lock-wait percentiles of the tick's window, the watchdog's contention
+   top-K and verdict counters — plus an optional one-line console
+   dashboard on stderr.
+
+   Diffing uses the *cumulative* scope views (window + folded lifetime),
+   which are monotonic across the harness's per-benchmark [reset_stats]
+   calls; current-window counters would jump backwards at every reset.
+   All counter reads are racy (same contract as the end-of-run JSON dump)
+   — a tick can attribute an increment to the neighbouring tick, never
+   lose it. *)
+
+(* Label of the currently running benchmark, stamped into each tick.
+   Plain string ref: workers publish, the monitor domain reads — a racy
+   read sees the old or the new label, both fine. *)
+let phase = ref ""
+let set_phase s = phase := s
+
+type scope_snap = {
+  s_aborts : (string * int) list;
+  s_txn_total : int;
+  s_lock_wait : int array;
+}
+
+let snap_scope sc =
+  {
+    s_aborts = Scope.cumulative_abort_counts sc;
+    s_txn_total = Array.fold_left ( + ) 0 (Scope.hist_txn sc);
+    s_lock_wait = Scope.hist_lock_wait sc;
+  }
+
+let zero_snap =
+  {
+    s_aborts = [];
+    s_txn_total = 0;
+    s_lock_wait = Array.make Histogram.num_buckets 0;
+  }
+
+let diff_counts cur prev =
+  List.map
+    (fun (label, v) ->
+      let p =
+        match List.assoc_opt label prev with Some p -> p | None -> 0
+      in
+      (label, Stdlib.max 0 (v - p)))
+    cur
+
+let diff_buckets cur prev =
+  Array.mapi (fun i v -> Stdlib.max 0 (v - prev.(i))) cur
+
+(* Elementwise sum of two per-reason count lists; every scope lists the
+   full taxonomy in the same order, so positional zip is safe. *)
+let add_counts a b = List.map2 (fun (k, x) (_, y) -> (k, x + y)) a b
+
+(* ---- JSON helpers (hand-rolled, like Harness.Report) ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_counts b counts =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (label, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\"%s\":%d" (json_escape label) n)
+    counts;
+  Buffer.add_char b '}'
+
+(* ---- tick ---- *)
+
+type state = {
+  out : out_channel option;
+  console : bool;
+  t0 : float;
+  mutable prev_t : float;
+  prev : (string, scope_snap) Hashtbl.t;
+  mutable reports_seen : int;
+}
+
+let pct buckets p = Histogram.percentile_upper_of_buckets buckets p
+
+let tick st =
+  let now = Util.Clock.now () in
+  let dt = now -. st.prev_t in
+  st.prev_t <- now;
+  let scopes = Scope.all () in
+  (* Per-scope deltas against the previous tick. *)
+  let deltas =
+    List.map
+      (fun sc ->
+        let name = Scope.name sc in
+        let cur = snap_scope sc in
+        let prev =
+          Option.value (Hashtbl.find_opt st.prev name) ~default:zero_snap
+        in
+        Hashtbl.replace st.prev name cur;
+        let commits = Stdlib.max 0 (cur.s_txn_total - prev.s_txn_total) in
+        let aborts = diff_counts cur.s_aborts prev.s_aborts in
+        let lock_wait = diff_buckets cur.s_lock_wait prev.s_lock_wait in
+        (name, commits, aborts, lock_wait))
+      scopes
+  in
+  (* Aggregate over scopes. *)
+  let commits = List.fold_left (fun a (_, c, _, _) -> a + c) 0 deltas in
+  let aborts =
+    List.fold_left
+      (fun acc (_, _, ab, _) -> if acc = [] then ab else add_counts acc ab)
+      [] deltas
+  in
+  let lock_wait = Array.make Histogram.num_buckets 0 in
+  List.iter
+    (fun (_, _, _, lw) -> Array.iteri (fun i v -> lock_wait.(i) <- lock_wait.(i) + v) lw)
+    deltas;
+  let aborts_total = List.fold_left (fun a (_, n) -> a + n) 0 aborts in
+  let throughput = if dt > 0. then float_of_int commits /. dt else 0. in
+  let top = Watchdog.top_contended 5 in
+  let all_reports = Watchdog.reports () in
+  let new_reports =
+    let n = List.length all_reports in
+    if n > st.reports_seen then begin
+      let fresh = List.filteri (fun i _ -> i >= st.reports_seen) all_reports in
+      st.reports_seen <- n;
+      fresh
+    end
+    else []
+  in
+  (* JSONL line *)
+  (match st.out with
+  | None -> ()
+  | Some oc ->
+      let b = Buffer.create 512 in
+      Printf.bprintf b "{\"t_s\":%.3f,\"dt_ms\":%.1f,\"phase\":\"%s\""
+        (now -. st.t0) (dt *. 1000.) (json_escape !phase);
+      Printf.bprintf b ",\"throughput\":%.1f,\"commits\":%d" throughput commits;
+      Buffer.add_string b ",\"aborts\":";
+      json_counts b aborts;
+      Printf.bprintf b ",\"lock_wait_p50_ns\":%d,\"lock_wait_p99_ns\":%d"
+        (pct lock_wait 50.) (pct lock_wait 99.);
+      Buffer.add_string b ",\"top_contended\":[";
+      List.iteri
+        (fun i (tname, lock, samples) ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "{\"table\":\"%s\",\"lock\":%d,\"samples\":%d}"
+            (json_escape tname) lock samples)
+        top;
+      Buffer.add_string b "]";
+      Printf.bprintf b
+        ",\"watchdog\":{\"running\":%b,\"ticks\":%d,\"violations\":%d,\"starvation_suspects\":%d,\"reports\":["
+        (Watchdog.running ()) (Watchdog.ticks ()) (Watchdog.violations ())
+        (Watchdog.starvation_reports ());
+      List.iteri
+        (fun i r ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "\"%s\"" (json_escape (Watchdog.report_to_string r)))
+        new_reports;
+      Buffer.add_string b "]}";
+      Buffer.add_string b ",\"scopes\":[";
+      let first = ref true in
+      List.iter
+        (fun (name, c, ab, lw) ->
+          let ab_total = List.fold_left (fun a (_, n) -> a + n) 0 ab in
+          if c > 0 || ab_total > 0 then begin
+            if not !first then Buffer.add_char b ',';
+            first := false;
+            Printf.bprintf b "{\"name\":\"%s\",\"commits\":%d,\"aborts\":"
+              (json_escape name) c;
+            json_counts b ab;
+            Printf.bprintf b
+              ",\"lock_wait_p50_ns\":%d,\"lock_wait_p99_ns\":%d}" (pct lw 50.)
+              (pct lw 99.)
+          end)
+        deltas;
+      Buffer.add_string b "]}\n";
+      Buffer.output_buffer oc b;
+      flush oc);
+  (* Console dashboard *)
+  if st.console then begin
+    let abort_pct =
+      if commits + aborts_total = 0 then 0.
+      else 100. *. float_of_int aborts_total /. float_of_int (commits + aborts_total)
+    in
+    let hot =
+      match top with
+      | (tname, lock, _) :: _ -> Printf.sprintf "%s#%d" tname lock
+      | [] -> "-"
+    in
+    Printf.eprintf
+      "[mon] %7.1fs %10.0f tx/s  abort %5.2f%%  p99(lock) %s ns  hot %-16s wd:%s\n%!"
+      (now -. st.t0) throughput abort_pct
+      (let p = pct lock_wait 99. in
+       if p = max_int then ">2^46" else string_of_int p)
+      hot
+      (if Watchdog.violations () > 0 then
+         "VIOLATION x" ^ string_of_int (Watchdog.violations ())
+       else "OK")
+  end
+
+(* ---- lifecycle ---- *)
+
+let stop_flag = Atomic.make false
+let dom : unit Domain.t option ref = ref None
+let chan : out_channel option ref = ref None
+
+let running () = !dom <> None
+
+let start ?(interval_ms = 100) ?out_path ?(console = false) () =
+  if !dom = None then begin
+    let out =
+      match out_path with
+      | Some p ->
+          let oc = open_out p in
+          chan := Some oc;
+          Some oc
+      | None -> None
+    in
+    let now = Util.Clock.now () in
+    let st =
+      {
+        out;
+        console;
+        t0 = now;
+        prev_t = now;
+        prev = Hashtbl.create 16;
+        reports_seen = 0;
+      }
+    in
+    (* Baseline snapshot so the first emitted tick is a delta, not the
+       whole history. *)
+    List.iter
+      (fun sc -> Hashtbl.replace st.prev (Scope.name sc) (snap_scope sc))
+      (Scope.all ());
+    Atomic.set stop_flag false;
+    let dt = float_of_int interval_ms /. 1000. in
+    dom :=
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get stop_flag) do
+               Unix.sleepf dt;
+               tick st
+             done))
+  end
+
+let stop () =
+  match !dom with
+  | None -> ()
+  | Some d ->
+      Atomic.set stop_flag true;
+      Domain.join d;
+      dom := None;
+      (match !chan with
+      | Some oc ->
+          close_out oc;
+          chan := None
+      | None -> ());
+      phase := ""

@@ -1,0 +1,31 @@
+(** The live monitor: interval snapshot-and-delta of the telemetry
+    counters and histograms, streamed as JSONL (one object per tick) plus
+    an optional one-line console dashboard on stderr.
+
+    Each tick carries the tick window's throughput, abort-reason deltas,
+    p50/p99 lock-wait (from the lock-wait histogram delta), the watchdog's
+    top-K contended locks and verdict counters, any new watchdog reports,
+    and per-scope breakdowns for scopes active in the window.  See the
+    README for a sample tick.
+
+    Requires {!Telemetry.on} for non-zero data (the bench CLI enables it
+    with the monitor).  Counter reads are racy with the same contract as
+    the end-of-run telemetry dump: an increment may land in the adjacent
+    tick, never vanish. *)
+
+val start :
+  ?interval_ms:int -> ?out_path:string -> ?console:bool -> unit -> unit
+(** Spawn the monitor domain (no-op if running).  [out_path] receives the
+    JSONL stream (flushed per tick); [console] prints the one-line
+    dashboard to stderr.  The first tick is emitted one interval after
+    [start], as a delta against the counters at [start] time. *)
+
+val stop : unit -> unit
+(** Join the monitor domain and close the output stream. *)
+
+val running : unit -> bool
+
+val set_phase : string -> unit
+(** Label the currently running benchmark; stamped into each tick's
+    ["phase"] field.  Called by the harness driver and the DBx runner at
+    the start of every run. *)

@@ -1,0 +1,82 @@
+(* The per-thread wait registry: each worker publishes what it is
+   currently blocked on — (kind, lock table, lock index, wait start,
+   observed conflictor) — so the watchdog can reconstruct the waits-for
+   graph without touching any lock word on the waiters' behalf (the BRAVO
+   trick: cheap per-thread published state instead of a shared structure).
+
+   Storage is one flat [int array] with a [stride]-word (cache-line)
+   stripe per thread id; every field of a stripe is written only by its
+   owning thread with plain stores, so publication costs a handful of
+   stores into an owned cache line and never a fence or RMW.  The [kind]
+   word is written *last* on publish and *first* (to [idle]) on clear, so
+   a sampler that sees a non-idle kind sees fields that belonged either to
+   this wait episode or to an earlier one — never uninitialised garbage.
+   Cross-domain reads are racy but memory-safe (word-sized ints cannot
+   tear in OCaml); the watchdog treats every sample as a hint to be
+   debounced, not as ground truth (see DESIGN.md §9).
+
+   Publication is gated on [!on] at the call sites, which sit only on lock
+   *slow* paths — the lock fast path is untouched, and a disabled slow
+   path pays one load + predicted branch. *)
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+
+(* Wait kinds, also the [kind] slot encoding. *)
+let idle = 0
+let read_wait = 1 (* spinning in try_or_wait_read_lock *)
+let write_wait = 2 (* spinning in try_or_wait_write_lock *)
+let conflictor_wait = 3 (* post-abort spin on the conflictor's announcement *)
+
+let kind_label = function
+  | 1 -> "read-wait"
+  | 2 -> "write-wait"
+  | 3 -> "conflictor-wait"
+  | _ -> "idle"
+
+(* Stripe layout: [0] kind, [1] table id, [2] lock index, [3] wait start
+   (ns), [4] observed conflictor tid; [5..7] padding. *)
+let stride = 8
+
+let slots = Array.make (Util.Tid.max_threads * stride) 0
+
+let publish ~tid ~kind ~table ~lock ~since_ns ~observed =
+  let i = tid * stride in
+  slots.(i + 1) <- table;
+  slots.(i + 2) <- lock;
+  slots.(i + 3) <- since_ns;
+  slots.(i + 4) <- observed;
+  slots.(i) <- kind
+
+let set_observed ~tid otid = slots.((tid * stride) + 4) <- otid
+let clear ~tid = slots.(tid * stride) <- idle
+
+type entry = {
+  tid : int;
+  kind : int;
+  table : int;
+  lock : int;
+  since_ns : int;
+  observed : int;
+}
+
+let snapshot () =
+  let hwm = Util.Tid.high_water () in
+  let out = ref [] in
+  for tid = hwm - 1 downto 0 do
+    let i = tid * stride in
+    let kind = slots.(i) in
+    if kind <> idle then
+      out :=
+        {
+          tid;
+          kind;
+          table = slots.(i + 1);
+          lock = slots.(i + 2);
+          since_ns = slots.(i + 3);
+          observed = slots.(i + 4);
+        }
+        :: !out
+  done;
+  !out

@@ -1,0 +1,65 @@
+(** Per-thread wait publication for the runtime-verification watchdog.
+
+    When [!on] is set, lock slow paths publish what their thread is
+    blocked on into a thread-owned, cache-line-padded stripe; the watchdog
+    samples every stripe to rebuild the waits-for graph.  Publication is
+    plain stores into owned memory (no atomics); sampling is racy but
+    memory-safe, and the watchdog debounces everything it derives from a
+    sample.  With [!on] false a publish site costs one load + predicted
+    branch, and only on the slow path — the lock fast path is untouched. *)
+
+val on : bool ref
+(** Gate checked by every publish site.  Flipped by {!Watchdog.start} /
+    {!Watchdog.stop}; flip it only while worker domains are quiescent if
+    driving it by hand. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** {2 Wait kinds} (the [kind] field encoding) *)
+
+val idle : int
+val read_wait : int
+val write_wait : int
+val conflictor_wait : int
+val kind_label : int -> string
+
+(** {2 Publication} — owning thread only *)
+
+val publish :
+  tid:int ->
+  kind:int ->
+  table:int ->
+  lock:int ->
+  since_ns:int ->
+  observed:int ->
+  unit
+(** Announce that thread [tid] started waiting: [table] is the
+    {!Waitsfor.register_table} id of the lock table, [lock] the lock index
+    ([-1] for a conflictor wait), [since_ns] the wall-clock wait start and
+    [observed] the conflicting thread recorded so far ([-1] if none).
+    The kind word is written last, so samplers never see a non-idle kind
+    with unwritten fields. *)
+
+val set_observed : tid:int -> int -> unit
+(** Update the observed-conflictor field of an already-published wait. *)
+
+val clear : tid:int -> unit
+(** Mark thread [tid] idle again (single store). *)
+
+(** {2 Sampling} — watchdog side *)
+
+type entry = {
+  tid : int;
+  kind : int;
+  table : int;
+  lock : int;
+  since_ns : int;
+  observed : int;
+}
+
+val snapshot : unit -> entry list
+(** Every thread currently publishing a non-idle wait, in tid order.
+    Racy: an entry may describe a wait that just ended, and fields may mix
+    two adjacent episodes of the same thread.  Detection logic must
+    re-confirm anything it concludes from one snapshot. *)

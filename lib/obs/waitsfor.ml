@@ -1,0 +1,191 @@
+(* Waits-for graph construction over the wait registry plus lock-table
+   introspection.
+
+   Lock tables (Rwl_sf instances) register themselves here as a bundle of
+   read-only closures — [inspect] for a lock's holder population,
+   [announced] for a thread's announced timestamp, [clock] for the
+   conflict clock — so this module never depends on the core library
+   (which depends on us).  Everything read through the closures is racy by
+   contract; the watchdog debounces. *)
+
+type lock_view = {
+  writer : int; (* tid currently holding the write side, or -1 *)
+  writer_ts : int; (* that writer's announced timestamp (0 = none) *)
+  readers : int list; (* tids with a set read-indicator bit *)
+}
+
+type table = {
+  id : int;
+  name : string;
+  num_locks : int;
+  inspect : int -> lock_view;
+  announced : int -> int;
+  clock : unit -> int;
+}
+
+let mutex = Mutex.create ()
+let table_list : table list ref = ref []
+let next_id = ref 0
+
+let register_table ~name ~num_locks ~inspect ~announced ~clock =
+  Mutex.lock mutex;
+  let id = !next_id in
+  incr next_id;
+  table_list :=
+    !table_list @ [ { id; name; num_locks; inspect; announced; clock } ];
+  Mutex.unlock mutex;
+  id
+
+let tables () = !table_list
+let find_table id = List.find_opt (fun t -> t.id = id) !table_list
+
+(* One waits-for edge: [waiter] cannot make progress until [holder] is
+   done with lock [lock] of table [table_id] (or, for a conflictor wait,
+   until [holder] commits).  Announced timestamps are snapshotted at edge
+   construction so violation reports can show the priority order. *)
+type edge = {
+  waiter : int;
+  holder : int;
+  kind : int; (* Wait_registry kind of the waiter *)
+  table_id : int;
+  lock : int; (* -1 for conflictor waits *)
+  waiter_ts : int;
+  holder_ts : int;
+  since_ns : int;
+}
+
+let edge_to_string e =
+  let tname =
+    match find_table e.table_id with Some t -> t.name | None -> "?"
+  in
+  Printf.sprintf "t%d(ts=%d) -%s-> t%d(ts=%d) [%s%s]" e.waiter e.waiter_ts
+    (Wait_registry.kind_label e.kind)
+    e.holder e.holder_ts tname
+    (if e.lock >= 0 then Printf.sprintf "#%d" e.lock else "")
+
+(* Expand one registry entry into its waits-for edges: a lock waiter waits
+   for the lock's current writer, and a write waiter additionally for
+   every thread with a set read-indicator bit; a conflictor wait is a
+   direct edge to the observed conflictor.
+
+   [co_waiter tid] must be true when [tid] is itself publishing a wait on
+   the same (table, lock).  Such a thread's read-indicator bit is an
+   artifact of the waiting protocol (writers arrive as readers while they
+   spin, §2.5), not a held lock: without the exclusion, two write waiters
+   on one lock form a permanent phantom 2-cycle. *)
+let edges_of_entry ~co_waiter (e : Wait_registry.entry) =
+  match find_table e.table with
+  | None -> []
+  | Some tbl ->
+      let waiter_ts = tbl.announced e.tid in
+      let mk holder =
+        {
+          waiter = e.tid;
+          holder;
+          kind = e.kind;
+          table_id = tbl.id;
+          lock = e.lock;
+          waiter_ts;
+          holder_ts = tbl.announced holder;
+          since_ns = e.since_ns;
+        }
+      in
+      if e.kind = Wait_registry.conflictor_wait then
+        if e.observed >= 0 && e.observed <> e.tid then [ mk e.observed ]
+        else []
+      else if e.lock < 0 || e.lock >= tbl.num_locks then []
+      else begin
+        let v = tbl.inspect e.lock in
+        let w_edges =
+          if v.writer >= 0 && v.writer <> e.tid then [ mk v.writer ] else []
+        in
+        let r_edges =
+          if e.kind = Wait_registry.write_wait then
+            List.filter_map
+              (fun r ->
+                if r <> e.tid && r <> v.writer && not (co_waiter r e.table e.lock)
+                then Some (mk r)
+                else None)
+              v.readers
+          else []
+        in
+        w_edges @ r_edges
+      end
+
+let waiting_pred entries =
+  let set = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Wait_registry.entry) ->
+      if e.kind <> Wait_registry.conflictor_wait && e.lock >= 0 then
+        Hashtbl.replace set (e.tid, e.table, e.lock) ())
+    entries;
+  fun tid table lock -> Hashtbl.mem set (tid, table, lock)
+
+let edges_of_snapshot entries =
+  let co_waiter = waiting_pred entries in
+  List.concat_map (edges_of_entry ~co_waiter) entries
+
+(* ---- cycle detection (pure; unit-testable on crafted graphs) ---- *)
+
+(* DFS with the classic white/gray/black colouring; returns the first
+   cycle found as the list of tids along it, in edge order. *)
+let cycle_of_pairs (pairs : (int * int) list) : int list option =
+  let adj = Hashtbl.create 16 in
+  List.iter (fun (a, b) -> Hashtbl.add adj a b) pairs;
+  let color = Hashtbl.create 16 in
+  let rec dfs path n =
+    Hashtbl.replace color n 1;
+    let path = n :: path in
+    let res =
+      List.fold_left
+        (fun acc s ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match Hashtbl.find_opt color s with
+              | Some 1 ->
+                  (* Back edge: the cycle is the path suffix from [s]. *)
+                  let rec cut acc = function
+                    | [] -> acc
+                    | x :: rest ->
+                        if x = s then x :: acc else cut (x :: acc) rest
+                  in
+                  Some (cut [] path)
+              | Some _ -> None
+              | None -> dfs path s))
+        None (Hashtbl.find_all adj n)
+    in
+    if res = None then Hashtbl.replace color n 2;
+    res
+  in
+  List.fold_left
+    (fun acc (a, _) ->
+      match acc with
+      | Some _ -> acc
+      | None -> if Hashtbl.mem color a then None else dfs [] a)
+    None pairs
+
+let cycle_of_edges (edges : edge list) : edge list option =
+  match cycle_of_pairs (List.map (fun e -> (e.waiter, e.holder)) edges) with
+  | None -> None
+  | Some tids ->
+      (* Materialise one representative edge per cycle step. *)
+      let n = List.length tids in
+      let arr = Array.of_list tids in
+      let step i =
+        let a = arr.(i) and b = arr.((i + 1) mod n) in
+        List.find_opt (fun e -> e.waiter = a && e.holder = b) edges
+      in
+      Some (List.filter_map step (List.init n Fun.id))
+
+(* Follow waits-for successors from [tid], for starvation blocking-chain
+   reports.  Stops on a repeat or after [max] hops. *)
+let chain_from edges tid ~max =
+  let rec go seen t n =
+    if n >= max || List.mem t seen then List.rev seen
+    else
+      match List.find_opt (fun e -> e.waiter = t) edges with
+      | None -> List.rev (t :: seen)
+      | Some e -> go (t :: seen) e.holder (n + 1)
+  in
+  go [] tid 0

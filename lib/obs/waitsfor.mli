@@ -1,0 +1,84 @@
+(** Waits-for graph construction for the runtime-verification watchdog.
+
+    Lock tables register themselves as read-only introspection closures
+    (keeping this library free of a dependency on the core library);
+    {!edges_of_snapshot} combines a {!Wait_registry} snapshot with those
+    closures into waits-for edges, and {!cycle_of_pairs} /
+    {!cycle_of_edges} detect cycles — which the paper's timestamp ordering
+    proves impossible, so any *confirmed* cycle is an invariant
+    violation.  All introspection is racy by contract: one snapshot is a
+    hint, and the watchdog re-confirms before reporting. *)
+
+type lock_view = {
+  writer : int;  (** tid currently holding the write side, or [-1] *)
+  writer_ts : int;  (** the writer's announced timestamp (0 = none) *)
+  readers : int list;  (** tids with a set read-indicator bit *)
+}
+(** Racy point-in-time view of one reader-writer lock (see
+    [Rwl_sf.inspect]). *)
+
+type table = {
+  id : int;
+  name : string;
+  num_locks : int;
+  inspect : int -> lock_view;
+  announced : int -> int;
+  clock : unit -> int;
+}
+
+val register_table :
+  name:string ->
+  num_locks:int ->
+  inspect:(int -> lock_view) ->
+  announced:(int -> int) ->
+  clock:(unit -> int) ->
+  int
+(** Register a lock table for watching; returns its id, which waiters
+    publish in their {!Wait_registry} entries.  The closures must be
+    safe to call from the watchdog domain at any time (read-only, racy).
+    Registered tables are retained for the life of the process — register
+    only when watching is wanted (the lock tables gate on
+    [!Wait_registry.on]). *)
+
+val tables : unit -> table list
+val find_table : int -> table option
+
+type edge = {
+  waiter : int;
+  holder : int;
+  kind : int;  (** {!Wait_registry} kind of the waiter *)
+  table_id : int;
+  lock : int;  (** [-1] for conflictor waits *)
+  waiter_ts : int;
+  holder_ts : int;
+  since_ns : int;
+}
+(** [waiter] cannot progress until [holder] releases [lock] (or commits,
+    for a conflictor wait); timestamps are snapshotted at construction so
+    reports can show the priority order. *)
+
+val edge_to_string : edge -> string
+
+val waiting_pred : Wait_registry.entry list -> int -> int -> int -> bool
+(** [waiting_pred entries tid table lock] — is [tid] publishing a lock
+    wait on ([table], [lock]) in this snapshot?  Used to tell protocol
+    artifacts (a write waiter's read-indicator bit, §2.5) from genuinely
+    held locks, both here and in the watchdog's mutual-exclusion check. *)
+
+val edges_of_snapshot : Wait_registry.entry list -> edge list
+(** Waits-for edges of a registry snapshot.  Read-indicator edges skip
+    threads that co-wait on the same lock (their bit is a waiting-protocol
+    artifact, and keeping them manufactures phantom cycles between two
+    write waiters). *)
+
+val cycle_of_pairs : (int * int) list -> int list option
+(** First cycle in a (waiter, holder) edge list, as the tids along it (a
+    self-edge yields a singleton).  Pure — unit-testable on crafted
+    graphs. *)
+
+val cycle_of_edges : edge list -> edge list option
+(** Same, returning one representative edge per cycle step. *)
+
+val chain_from : edge list -> int -> max:int -> int list
+(** Blocking chain from a tid: follow waits-for successors until a repeat,
+    a thread with no outgoing edge, or [max] hops. *)

@@ -1,0 +1,318 @@
+(* The runtime-verification watchdog: a background domain that samples the
+   wait registry and the registered lock tables on a fixed interval and
+   checks the paper's structural invariants online:
+
+   - deadlock-freedom (§2.5): a cycle in the waits-for graph is impossible
+     under timestamp ordering.  A candidate cycle must reappear with the
+     same (waiter, holder) signature in two consecutive ticks before it is
+     reported — one racy snapshot can stitch edges from different moments
+     into a phantom cycle, but a phantom does not survive two independent
+     samples of a live system.
+   - starvation-freedom (§2.2): a timestamped waiter whose announced value
+     is unchanged while its table's conflict clock advances past a
+     threshold is a starvation suspect.  Suspects are *reports*, not
+     invariant violations: on an oversubscribed host a waiter (or its
+     conflictor) can be descheduled for whole timeslices, so wall-clock
+     stall alone cannot condemn the algorithm.
+   - mutual exclusion: a set read-indicator bit concurrent with a write
+     holder it does not belong to, where neither thread is merely *waiting*
+     on that lock (waiters legitimately keep their bit set while they spin,
+     §2.5), means two threads both believe they hold the lock.  Also
+     debounced over two consecutive ticks.
+
+   The watchdog also aggregates sampled waiters into a per-lock contention
+   census, which the live monitor surfaces as a top-K list.
+
+   Everything the watchdog reads is racy by design; it owns no locks and
+   perturbs the measured system only by cache traffic on data the workers
+   publish into their own lines. *)
+
+type report =
+  | Deadlock of Waitsfor.edge list
+  | Starvation of {
+      tid : int;
+      table : string;
+      lock : int;
+      ts : int;
+      stalled_ns : int;
+      chain : int list;
+    }
+  | Mutex_violation of {
+      table : string;
+      lock : int;
+      writer : int;
+      reader : int;
+    }
+
+let report_to_string = function
+  | Deadlock edges ->
+      "DEADLOCK cycle: "
+      ^ String.concat " ; " (List.map Waitsfor.edge_to_string edges)
+  | Starvation { tid; table; lock; ts; stalled_ns; chain } ->
+      Printf.sprintf
+        "STARVATION suspect: t%d (ts=%d) stalled %.1f ms on %s#%d; chain %s"
+        tid ts
+        (float_of_int stalled_ns /. 1e6)
+        table lock
+        (String.concat " -> "
+           (List.map (fun t -> "t" ^ string_of_int t) chain))
+  | Mutex_violation { table; lock; writer; reader } ->
+      Printf.sprintf
+        "MUTUAL-EXCLUSION violation: %s#%d held by writer t%d while reader \
+         t%d holds its read side"
+        table lock writer reader
+
+(* ---- shared state (watchdog domain writes; any domain reads) ---- *)
+
+let state_mutex = Mutex.create ()
+let report_log : report list ref = ref [] (* newest first *)
+let report_count = ref 0
+let max_reports = 1024
+let violation_count = Atomic.make 0
+let starvation_count = Atomic.make 0
+let tick_counter = Atomic.make 0
+let contention : (int * int, int) Hashtbl.t = Hashtbl.create 64
+
+let add_report ~violation r =
+  Mutex.lock state_mutex;
+  if !report_count < max_reports then begin
+    report_log := r :: !report_log;
+    incr report_count
+  end;
+  Mutex.unlock state_mutex;
+  (match r with Starvation _ -> Atomic.incr starvation_count | _ -> ());
+  if violation then Atomic.incr violation_count
+
+let reports () =
+  Mutex.lock state_mutex;
+  let l = List.rev !report_log in
+  Mutex.unlock state_mutex;
+  l
+
+let violations () = Atomic.get violation_count
+let starvation_reports () = Atomic.get starvation_count
+let ticks () = Atomic.get tick_counter
+
+let top_contended k =
+  Mutex.lock state_mutex;
+  let all =
+    Hashtbl.fold (fun (tbl, lock) n acc -> (tbl, lock, n) :: acc) contention []
+  in
+  Mutex.unlock state_mutex;
+  List.sort (fun (_, _, a) (_, _, b) -> compare b a) all
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map (fun (tbl, lock, n) ->
+         let name =
+           match Waitsfor.find_table tbl with
+           | Some t -> t.Waitsfor.name
+           | None -> "table#" ^ string_of_int tbl
+         in
+         (name, lock, n))
+
+(* ---- detector state (watchdog domain only) ---- *)
+
+(* One wait episode of a thread, keyed by everything that identifies it;
+   [clock0] is the table's conflict clock when the episode was first
+   sampled, so "clock advanced" is relative to the episode. *)
+type episode = {
+  ep_table : int;
+  ep_lock : int;
+  ep_since : int;
+  ep_ts : int;
+  ep_clock0 : int;
+  mutable ep_reported : bool;
+}
+
+let episodes : (int, episode) Hashtbl.t = Hashtbl.create 16
+let prev_cycle : (int * int) list ref = ref []
+let mutex_prev : (int * int * int * int, unit) Hashtbl.t = Hashtbl.create 16
+let mutex_reported : (int * int * int * int, unit) Hashtbl.t = Hashtbl.create 16
+let sweep_cursor : (int, int) Hashtbl.t = Hashtbl.create 4
+
+(* Locks swept for mutual-exclusion violations per table per tick, on top
+   of every lock that currently has a published waiter: bounds tick cost on
+   big tables (a 65536-lock table is fully swept every 16 ticks). *)
+let sweep_locks_per_tick = 4096
+
+let reset_session () =
+  Mutex.lock state_mutex;
+  report_log := [];
+  report_count := 0;
+  Hashtbl.reset contention;
+  Mutex.unlock state_mutex;
+  Atomic.set violation_count 0;
+  Atomic.set starvation_count 0;
+  Atomic.set tick_counter 0;
+  Hashtbl.reset episodes;
+  prev_cycle := [];
+  Hashtbl.reset mutex_prev;
+  Hashtbl.reset mutex_reported;
+  Hashtbl.reset sweep_cursor
+
+let record_contention entries =
+  Mutex.lock state_mutex;
+  List.iter
+    (fun (e : Wait_registry.entry) ->
+      if e.kind <> Wait_registry.conflictor_wait && e.lock >= 0 then begin
+        let key = (e.table, e.lock) in
+        let cur = Option.value (Hashtbl.find_opt contention key) ~default:0 in
+        Hashtbl.replace contention key (cur + 1)
+      end)
+    entries;
+  Mutex.unlock state_mutex
+
+let check_deadlock edges =
+  match Waitsfor.cycle_of_edges edges with
+  | Some cyc ->
+      let signature =
+        List.sort compare
+          (List.map (fun (e : Waitsfor.edge) -> (e.waiter, e.holder)) cyc)
+      in
+      if signature <> [] && !prev_cycle = signature then begin
+        add_report ~violation:true (Deadlock cyc);
+        prev_cycle := [] (* report an episode once, not once per tick *)
+      end
+      else prev_cycle := signature
+  | None -> prev_cycle := []
+
+let check_starvation ~now ~starvation_ns entries edges =
+  List.iter
+    (fun (e : Wait_registry.entry) ->
+      match Waitsfor.find_table e.table with
+      | None -> ()
+      | Some tbl ->
+          let ts = tbl.Waitsfor.announced e.tid in
+          if ts > 0 then begin
+            let fresh () =
+              Hashtbl.replace episodes e.tid
+                {
+                  ep_table = e.table;
+                  ep_lock = e.lock;
+                  ep_since = e.since_ns;
+                  ep_ts = ts;
+                  ep_clock0 = tbl.Waitsfor.clock ();
+                  ep_reported = false;
+                }
+            in
+            match Hashtbl.find_opt episodes e.tid with
+            | Some ep
+              when ep.ep_table = e.table && ep.ep_lock = e.lock
+                   && ep.ep_since = e.since_ns && ep.ep_ts = ts ->
+                if
+                  (not ep.ep_reported)
+                  && now - e.since_ns > starvation_ns
+                  && tbl.Waitsfor.clock () > ep.ep_clock0
+                then begin
+                  ep.ep_reported <- true;
+                  add_report ~violation:false
+                    (Starvation
+                       {
+                         tid = e.tid;
+                         table = tbl.Waitsfor.name;
+                         lock = e.lock;
+                         ts;
+                         stalled_ns = now - e.since_ns;
+                         chain = Waitsfor.chain_from edges e.tid ~max:8;
+                       })
+                end
+            | _ -> fresh ()
+          end)
+    entries
+
+let check_lock_mutex ~waiting (tbl : Waitsfor.table) w candidates =
+  let v = tbl.Waitsfor.inspect w in
+  if v.writer >= 0 && not (waiting v.writer tbl.Waitsfor.id w) then
+    List.iter
+      (fun r ->
+        if r <> v.writer && not (waiting r tbl.Waitsfor.id w) then
+          Hashtbl.replace candidates (tbl.Waitsfor.id, w, v.writer, r) ())
+      v.readers
+
+let check_mutual_exclusion entries =
+  let waiting = Waitsfor.waiting_pred entries in
+  let candidates : (int * int * int * int, unit) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  (* Every lock with a published waiter, plus a rotating sweep window. *)
+  List.iter
+    (fun (e : Wait_registry.entry) ->
+      if e.lock >= 0 then
+        match Waitsfor.find_table e.table with
+        | Some tbl when e.lock < tbl.Waitsfor.num_locks ->
+            check_lock_mutex ~waiting tbl e.lock candidates
+        | _ -> ())
+    entries;
+  List.iter
+    (fun (tbl : Waitsfor.table) ->
+      let cur =
+        Option.value (Hashtbl.find_opt sweep_cursor tbl.id) ~default:0
+      in
+      let n = Stdlib.min sweep_locks_per_tick tbl.num_locks in
+      for i = 0 to n - 1 do
+        check_lock_mutex ~waiting tbl ((cur + i) mod tbl.num_locks) candidates
+      done;
+      Hashtbl.replace sweep_cursor tbl.id ((cur + n) mod tbl.num_locks))
+    (Waitsfor.tables ());
+  (* Report candidates that persisted from the previous tick. *)
+  Hashtbl.iter
+    (fun ((tid_tbl, w, writer, reader) as key) () ->
+      if Hashtbl.mem mutex_prev key && not (Hashtbl.mem mutex_reported key)
+      then begin
+        Hashtbl.replace mutex_reported key ();
+        let table =
+          match Waitsfor.find_table tid_tbl with
+          | Some t -> t.Waitsfor.name
+          | None -> "table#" ^ string_of_int tid_tbl
+        in
+        add_report ~violation:true
+          (Mutex_violation { table; lock = w; writer; reader })
+      end)
+    candidates;
+  Hashtbl.reset mutex_prev;
+  Hashtbl.iter (fun k () -> Hashtbl.replace mutex_prev k ()) candidates
+
+let tick ~starvation_ns () =
+  let now = Telemetry.now_ns () in
+  let entries = Wait_registry.snapshot () in
+  let edges = Waitsfor.edges_of_snapshot entries in
+  record_contention entries;
+  check_deadlock edges;
+  check_starvation ~now ~starvation_ns entries edges;
+  check_mutual_exclusion entries;
+  Atomic.incr tick_counter
+
+(* ---- lifecycle ---- *)
+
+let stop_flag = Atomic.make false
+let dom : unit Domain.t option ref = ref None
+
+let running () = !dom <> None
+
+let start ?(interval_ms = 100) ?starvation_ms () =
+  if !dom = None then begin
+    let starvation_ms =
+      Option.value starvation_ms ~default:(2 * interval_ms)
+    in
+    let starvation_ns = starvation_ms * 1_000_000 in
+    reset_session ();
+    Atomic.set stop_flag false;
+    Wait_registry.enable ();
+    let dt = float_of_int interval_ms /. 1000. in
+    dom :=
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get stop_flag) do
+               tick ~starvation_ns ();
+               Unix.sleepf dt
+             done;
+             tick ~starvation_ns ()))
+  end
+
+let stop () =
+  match !dom with
+  | None -> ()
+  | Some d ->
+      Atomic.set stop_flag true;
+      Domain.join d;
+      dom := None;
+      Wait_registry.disable ()

@@ -1,0 +1,69 @@
+(** The runtime-verification watchdog (DESIGN.md §9).
+
+    A background domain that samples the {!Wait_registry} and every
+    registered lock table ({!Waitsfor.register_table}) on a fixed interval
+    and checks the paper's guarantees online:
+
+    - a waits-for cycle confirmed in two consecutive ticks is a
+      {b deadlock} — an invariant violation (§2.5 proves it impossible);
+    - a set read-indicator bit concurrent with a write holder, where
+      neither thread is merely waiting on that lock, confirmed twice, is a
+      {b mutual-exclusion} violation;
+    - a timestamped waiter whose announcement is unchanged while its
+      conflict clock advances past a threshold is a {b starvation
+      suspect} — reported with its blocking chain but {e not} counted as a
+      violation (wall-clock stalls also come from OS descheduling on an
+      oversubscribed host; see DESIGN.md §9).
+
+    It also aggregates sampled waiters into a per-lock contention census
+    ({!top_contended}).  All sampling is racy and lock-free on the worker
+    side; the harness fails a run (non-zero exit) when [violations () > 0]
+    at shutdown. *)
+
+type report =
+  | Deadlock of Waitsfor.edge list  (** the cycle's edges, in order *)
+  | Starvation of {
+      tid : int;
+      table : string;
+      lock : int;
+      ts : int;  (** the stuck thread's announced timestamp *)
+      stalled_ns : int;
+      chain : int list;  (** blocking chain starting at [tid] *)
+    }
+  | Mutex_violation of {
+      table : string;
+      lock : int;
+      writer : int;
+      reader : int;
+    }
+
+val report_to_string : report -> string
+
+val start : ?interval_ms:int -> ?starvation_ms:int -> unit -> unit
+(** Spawn the watchdog domain (no-op if already running) and enable
+    {!Wait_registry} publication.  [interval_ms] (default 100) is the
+    sampling period; [starvation_ms] (default [2 * interval_ms]) the stall
+    threshold — an injected stall is reported within roughly two sampling
+    intervals.  Resets all counters and reports from a previous session.
+    Start before the watched lock tables are created: tables register for
+    introspection only when publication is enabled at registration time
+    (registered tables are retained for the process lifetime). *)
+
+val stop : unit -> unit
+(** Run one final tick, join the domain, disable publication. *)
+
+val running : unit -> bool
+val ticks : unit -> int
+
+val violations : unit -> int
+(** Confirmed deadlocks + mutual-exclusion violations.  Zero on any
+    correct execution; the harness exits non-zero otherwise. *)
+
+val starvation_reports : unit -> int
+val reports : unit -> report list
+(** All reports this session, oldest first (capped at 1024). *)
+
+val top_contended : int -> (string * int * int) list
+(** Top-[k] most-waited-on locks as [(table name, lock index, samples)],
+    where [samples] counts watchdog ticks that saw some thread waiting on
+    the lock (a sampling census, not an exact wait count). *)

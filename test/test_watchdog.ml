@@ -1,0 +1,335 @@
+(* Tests for the runtime-verification layer (DESIGN.md §9): the pure
+   waits-for cycle detector, the co-waiter exclusion that keeps §2.5's
+   waiting protocol from manufacturing phantom cycles, watchdog detection
+   of crafted deadlock / mutual-exclusion states injected through a fake
+   table, a real stuck-thread scenario that must surface a starvation
+   suspect, a contended multi-domain run that must finish with zero
+   invariant violations, and a monitor-stream smoke check. *)
+
+module Obs = Twoplsf_obs
+module Waitsfor = Obs.Waitsfor
+module Wait_registry = Obs.Wait_registry
+module Watchdog = Obs.Watchdog
+module Rwl_sf = Twoplsf.Rwl_sf
+module Stm = Twoplsf.Stm
+
+let check = Alcotest.check
+
+(* The registry snapshot only scans tids below the high-water mark, so
+   burn a few tid slots up front (the spawned domains never release, which
+   pins the mark).  Main ends up as tid 0; crafted entries use tids 1-3. *)
+let ensure_tids =
+  lazy
+    (ignore (Util.Tid.register ());
+     Array.init 3 (fun _ -> Domain.spawn (fun () -> ignore (Util.Tid.register ())))
+     |> Array.iter Domain.join;
+     assert (Util.Tid.high_water () >= 4))
+
+(* One fake lock table whose introspection closures the tests re-point;
+   registered tables live for the whole process, so every test must leave
+   the closures benign (no writer, no readers) on exit. *)
+let benign_view (_ : int) = { Waitsfor.writer = -1; writer_ts = 0; readers = [] }
+let fake_view : (int -> Waitsfor.lock_view) ref = ref benign_view
+let fake_announced : (int -> int) ref = ref (fun _ -> 0)
+let fake_clock : (unit -> int) ref = ref (fun () -> 0)
+
+let fake_table =
+  lazy
+    (Waitsfor.register_table ~name:"fake" ~num_locks:16
+       ~inspect:(fun w -> !fake_view w)
+       ~announced:(fun t -> !fake_announced t)
+       ~clock:(fun () -> !fake_clock ()))
+
+let reset_fake () =
+  fake_view := benign_view;
+  fake_announced := (fun _ -> 0);
+  fake_clock := (fun () -> 0)
+
+let wait_until ?(timeout = 10.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () -. t0 > timeout then false
+    else begin
+      Unix.sleepf 0.005;
+      go ()
+    end
+  in
+  go ()
+
+(* ---- pure cycle detector ---- *)
+
+let test_cycle_detector () =
+  check Alcotest.bool "empty" true (Waitsfor.cycle_of_pairs [] = None);
+  check Alcotest.bool "dag" true
+    (Waitsfor.cycle_of_pairs [ (1, 2); (2, 3); (1, 3) ] = None);
+  check Alcotest.bool "diamond dag" true
+    (Waitsfor.cycle_of_pairs [ (1, 2); (1, 3); (2, 4); (3, 4) ] = None);
+  (match Waitsfor.cycle_of_pairs [ (1, 2); (2, 3); (3, 1) ] with
+  | None -> Alcotest.fail "3-cycle not found"
+  | Some tids ->
+      check Alcotest.int "3-cycle length" 3 (List.length tids);
+      List.iter
+        (fun t ->
+          if not (List.mem t tids) then Alcotest.failf "t%d missing" t)
+        [ 1; 2; 3 ]);
+  (match Waitsfor.cycle_of_pairs [ (5, 5) ] with
+  | Some [ 5 ] -> ()
+  | _ -> Alcotest.fail "self-edge must yield a singleton cycle");
+  (* Cycle reachable only past a DAG prefix. *)
+  match Waitsfor.cycle_of_pairs [ (0, 1); (1, 2); (2, 3); (3, 2) ] with
+  | Some tids ->
+      check Alcotest.bool "tail cycle" true (List.sort compare tids = [ 2; 3 ])
+  | None -> Alcotest.fail "tail 2-cycle not found"
+
+(* ---- co-waiter exclusion (§2.5 phantom-cycle defence) ---- *)
+
+let test_co_waiter_exclusion () =
+  Lazy.force ensure_tids;
+  let fid = Lazy.force fake_table in
+  (* Two write waiters on lock 9, both with their read-indicator bit set
+     (the §2.5 arrival protocol): their bits are waiting artifacts, not
+     held locks, so the snapshot must produce no edges at all. *)
+  fake_view :=
+    (fun w ->
+      if w = 9 then { Waitsfor.writer = -1; writer_ts = 0; readers = [ 1; 2 ] }
+      else benign_view w);
+  let now = Obs.Telemetry.now_ns () in
+  Wait_registry.publish ~tid:1 ~kind:Wait_registry.write_wait ~table:fid
+    ~lock:9 ~since_ns:now ~observed:(-1);
+  Wait_registry.publish ~tid:2 ~kind:Wait_registry.write_wait ~table:fid
+    ~lock:9 ~since_ns:now ~observed:(-1);
+  let entries = Wait_registry.snapshot () in
+  check Alcotest.int "both waits visible" 2 (List.length entries);
+  check Alcotest.int "co-waiter bits excluded" 0
+    (List.length (Waitsfor.edges_of_snapshot entries));
+  (* With t2 no longer waiting, its bit is a genuinely held read lock and
+     t1's write wait must produce exactly the edge t1 -> t2. *)
+  Wait_registry.clear ~tid:2;
+  (match Waitsfor.edges_of_snapshot (Wait_registry.snapshot ()) with
+  | [ e ] ->
+      check Alcotest.int "waiter" 1 e.Waitsfor.waiter;
+      check Alcotest.int "holder" 2 e.Waitsfor.holder
+  | l -> Alcotest.failf "expected 1 edge, got %d" (List.length l));
+  Wait_registry.clear ~tid:1;
+  reset_fake ()
+
+(* ---- crafted deadlock detected (and debounced) by the watchdog ---- *)
+
+let test_crafted_deadlock () =
+  Lazy.force ensure_tids;
+  let fid = Lazy.force fake_table in
+  (* t1 write-waits on lock 3 held by t2; t2 write-waits on lock 4 held by
+     t1 — a 2-cycle that is impossible under timestamp ordering.  The fake
+     clock never advances, so no starvation suspect can fire. *)
+  fake_view :=
+    (fun w ->
+      if w = 3 then { Waitsfor.writer = 2; writer_ts = 7; readers = [] }
+      else if w = 4 then { Waitsfor.writer = 1; writer_ts = 5; readers = [] }
+      else benign_view w);
+  (fake_announced := fun t -> if t = 1 then 5 else if t = 2 then 7 else 0);
+  fake_clock := (fun () -> 10);
+  let now = Obs.Telemetry.now_ns () in
+  Wait_registry.publish ~tid:1 ~kind:Wait_registry.write_wait ~table:fid
+    ~lock:3 ~since_ns:now ~observed:2;
+  Wait_registry.publish ~tid:2 ~kind:Wait_registry.write_wait ~table:fid
+    ~lock:4 ~since_ns:now ~observed:1;
+  Watchdog.start ~interval_ms:10 ();
+  let found = wait_until (fun () -> Watchdog.violations () > 0) in
+  Wait_registry.clear ~tid:1;
+  Wait_registry.clear ~tid:2;
+  reset_fake ();
+  Watchdog.stop ();
+  check Alcotest.bool "deadlock confirmed" true found;
+  let dl =
+    List.exists
+      (function
+        | Watchdog.Deadlock edges ->
+            let tids =
+              List.concat_map
+                (fun (e : Waitsfor.edge) -> [ e.waiter; e.holder ])
+                edges
+            in
+            List.mem 1 tids && List.mem 2 tids
+        | _ -> false)
+      (Watchdog.reports ())
+  in
+  check Alcotest.bool "deadlock report names both threads" true dl;
+  check Alcotest.int "no starvation suspects" 0 (Watchdog.starvation_reports ())
+
+(* ---- crafted mutual-exclusion violation ---- *)
+
+let test_crafted_mutex_violation () =
+  Lazy.force ensure_tids;
+  ignore (Lazy.force fake_table);
+  (* Lock 7 shows a write holder (t1) concurrent with a foreign read bit
+     (t2), with neither thread publishing a wait: both believe they hold
+     the lock. *)
+  fake_view :=
+    (fun w ->
+      if w = 7 then { Waitsfor.writer = 1; writer_ts = 0; readers = [ 2 ] }
+      else benign_view w);
+  Watchdog.start ~interval_ms:10 ();
+  let found = wait_until (fun () -> Watchdog.violations () > 0) in
+  reset_fake ();
+  Watchdog.stop ();
+  check Alcotest.bool "mutex violation confirmed" true found;
+  let ok =
+    List.exists
+      (function
+        | Watchdog.Mutex_violation { lock = 7; writer = 1; reader = 2; _ } ->
+            true
+        | _ -> false)
+      (Watchdog.reports ())
+  in
+  check Alcotest.bool "violation names lock 7, writer t1, reader t2" true ok
+
+(* ---- real stuck thread => starvation suspect, zero violations ---- *)
+
+let test_starvation_stall () =
+  Lazy.force ensure_tids;
+  Watchdog.start ~interval_ms:20 ~starvation_ms:40 ();
+  let t = Rwl_sf.create ~num_locks:64 () in
+  Rwl_sf.watch ~name:"stall-test" t;
+  (* Main (tid 0) holds write lock 5 at low priority; a domain at high
+     priority (lower timestamp) must wait rather than restart, and we
+     never release until the watchdog notices the stall. *)
+  let ctx0 = Rwl_sf.make_ctx ~tid:0 in
+  Rwl_sf.announce_priority t ctx0 100;
+  check Alcotest.bool "holder acquires" true
+    (Rwl_sf.try_or_wait_write_lock t ctx0 5);
+  let waiter =
+    Domain.spawn (fun () ->
+        let tid = Util.Tid.register () in
+        let ctx = Rwl_sf.make_ctx ~tid in
+        Rwl_sf.announce_priority t ctx 50;
+        let ok = Rwl_sf.try_or_wait_write_lock t ctx 5 in
+        if ok then Rwl_sf.write_unlock t ctx 5;
+        Rwl_sf.clear_announcement t ctx;
+        Util.Tid.release ();
+        ok)
+  in
+  (* Starvation needs the conflict clock to advance while the waiter's
+     announcement stays put; tick it from a scratch context on a tid that
+     never touches lock 5. *)
+  let scratch = Rwl_sf.make_ctx ~tid:3 in
+  let detected =
+    wait_until (fun () ->
+        Rwl_sf.take_timestamp t scratch;
+        Rwl_sf.clear_announcement t scratch;
+        Watchdog.starvation_reports () > 0)
+  in
+  Rwl_sf.write_unlock t ctx0 5;
+  Rwl_sf.clear_announcement t ctx0;
+  let waiter_ok = Domain.join waiter in
+  Watchdog.stop ();
+  check Alcotest.bool "stall reported" true detected;
+  check Alcotest.bool "waiter eventually acquires" true waiter_ok;
+  check Alcotest.int "no invariant violations" 0 (Watchdog.violations ());
+  let ok =
+    List.exists
+      (function
+        | Watchdog.Starvation { lock = 5; table = "stall-test"; ts = 50; _ } ->
+            true
+        | _ -> false)
+      (Watchdog.reports ())
+  in
+  check Alcotest.bool "report names the stalled wait" true ok
+
+(* ---- contended multi-domain run finishes clean ---- *)
+
+let test_contended_clean () =
+  Lazy.force ensure_tids;
+  Watchdog.start ~interval_ms:5 ();
+  Rwl_sf.watch ~name:"stm-test" (Stm.lock_table ());
+  let num_domains = 4 and iters = 2000 in
+  let vars = Array.init 4 (fun _ -> Stm.tvar 0) in
+  let doms =
+    Array.init num_domains (fun i ->
+        Domain.spawn (fun () ->
+            ignore (Util.Tid.register ());
+            let rng = Random.State.make [| 42 + i |] in
+            for _ = 1 to iters do
+              let a = Random.State.int rng 4
+              and b = Random.State.int rng 4 in
+              Stm.atomic (fun tx ->
+                  let va = Stm.read tx vars.(a) in
+                  Stm.write tx vars.(a) (va + 1);
+                  ignore (Stm.read tx vars.(b)))
+            done;
+            Util.Tid.release ()))
+  in
+  Array.iter Domain.join doms;
+  Watchdog.stop ();
+  let total =
+    Stm.atomic ~read_only:true (fun tx ->
+        Array.fold_left (fun acc v -> acc + Stm.read tx v) 0 vars)
+  in
+  check Alcotest.int "all increments committed" (num_domains * iters) total;
+  check Alcotest.int "zero invariant violations" 0 (Watchdog.violations ());
+  check Alcotest.bool "watchdog ticked" true (Watchdog.ticks () > 0)
+
+(* ---- monitor stream smoke ---- *)
+
+let test_monitor_stream () =
+  let path = Filename.temp_file "monitor" ".jsonl" in
+  Obs.Telemetry.enable ();
+  Obs.Monitor.set_phase "watchdog-test";
+  Obs.Monitor.start ~interval_ms:20 ~out_path:path ();
+  let v = Stm.tvar 0 in
+  for _ = 1 to 200 do
+    Stm.atomic (fun tx -> Stm.write tx v (Stm.read tx v + 1))
+  done;
+  Unix.sleepf 0.1;
+  Obs.Monitor.stop ();
+  Obs.Telemetry.disable ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  check Alcotest.bool "at least one tick" true (List.length lines >= 1);
+  List.iter
+    (fun l ->
+      let ok =
+        String.length l > 2
+        && l.[0] = '{'
+        && l.[String.length l - 1] = '}'
+      in
+      if not ok then Alcotest.failf "malformed JSONL line: %s" l)
+    lines;
+  let first = List.hd lines in
+  let contains sub =
+    let n = String.length sub and m = String.length first in
+    let rec go i = i + n <= m && (String.sub first i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun key ->
+      check Alcotest.bool ("tick has " ^ key) true (contains ("\"" ^ key ^ "\"")))
+    [ "throughput"; "commits"; "aborts"; "phase"; "watchdog" ]
+
+let () =
+  Alcotest.run "watchdog"
+    [
+      ( "waitsfor",
+        [
+          Alcotest.test_case "cycle detector" `Quick test_cycle_detector;
+          Alcotest.test_case "co-waiter exclusion" `Quick
+            test_co_waiter_exclusion;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "crafted deadlock" `Quick test_crafted_deadlock;
+          Alcotest.test_case "crafted mutex violation" `Quick
+            test_crafted_mutex_violation;
+          Alcotest.test_case "starvation stall" `Quick test_starvation_stall;
+          Alcotest.test_case "contended clean run" `Quick test_contended_clean;
+        ] );
+      ( "monitor",
+        [ Alcotest.test_case "jsonl stream" `Quick test_monitor_stream ] );
+    ]
