@@ -33,6 +33,11 @@ let () =
   let monitor_interval = ref 100 in
   let monitor_out = ref "" in
   let monitor_console = ref false in
+  let chaos = ref false in
+  let chaos_seed = ref 0 in
+  let soak = ref 0.0 in
+  let soak_stms = ref "" in
+  let max_restarts = ref 0 in
   let spec =
     [
       ("--figure", Arg.Set_int figure, "N  run only figure N (2-8, 10-12)");
@@ -74,6 +79,25 @@ let () =
       ( "--monitor-console",
         Arg.Set monitor_console,
         " one-line live dashboard on stderr (implies --telemetry)" );
+      ( "--chaos",
+        Arg.Set chaos,
+        " enable seeded fault injection (delays, yields, spurious restarts, \
+         injected exceptions, victim stalls) for the whole run" );
+      ( "--chaos-seed",
+        Arg.Set_int chaos_seed,
+        "N  chaos PRNG base seed (implies --chaos; default 0xC4A05)" );
+      ( "--soak",
+        Arg.Set_float soak,
+        "S  chaos soak mode: S seconds per STM of transfer workload under \
+         injection, then conservation + leaked-lock checks (implies \
+         --chaos; skips figures and bechamel)" );
+      ( "--soak-stms",
+        Arg.Set_string soak_stms,
+        "LIST  comma-separated STM names to soak (default: all)" );
+      ( "--max-restarts",
+        Arg.Set_int max_restarts,
+        "N  raise the typed Starved error after N consecutive restarts of \
+         one transaction (0 = unbounded, the default)" );
     ]
   in
   Arg.parse spec
@@ -97,24 +121,55 @@ let () =
       ?out_path:(if !monitor_out = "" then None else Some !monitor_out)
       ~console:!monitor_console ();
   if !csv <> "" then Harness.Report.set_csv !csv;
-  let p =
-    { Figures.threads = !threads; seconds = !seconds; big = !big; runs = !runs }
-  in
-  Printf.printf
-    "2PLSF reproduction benchmarks | threads=%s seconds=%.2f big=%b\n%!"
-    (String.concat "," (List.map string_of_int p.threads))
-    p.seconds p.big;
-  if not !no_bechamel then Bechamel_suite.run ();
-  let selected =
-    if !figure = 0 then Figures.all
-    else
-      List.filter (fun (n, _, _) -> n = !figure) Figures.all
-  in
-  if selected = [] then begin
-    Printf.eprintf "unknown figure %d\n" !figure;
-    exit 1
+  if !max_restarts > 0 then Stm_intf.max_restarts := !max_restarts;
+  let module Chaos = Twoplsf_chaos.Chaos in
+  let chaos_on = !chaos || !chaos_seed <> 0 || !soak > 0.0 in
+  if chaos_on then begin
+    let cfg =
+      if !chaos_seed <> 0 then { Chaos.default with Chaos.seed = !chaos_seed }
+      else Chaos.default
+    in
+    Chaos.enable ~config:cfg ();
+    Printf.printf "Chaos: enabled, seed=0x%X\n%!" (Chaos.seed ())
   end;
-  List.iter (fun (_, _, f) -> f p) selected;
+  let soak_failures = ref 0 in
+  if !soak > 0.0 then begin
+    let stms =
+      if !soak_stms = "" then Baselines.Registry.all
+      else
+        String.split_on_char ',' !soak_stms
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map Baselines.Registry.find
+    in
+    let soak_threads = List.fold_left Stdlib.max 1 !threads in
+    Printf.printf "Chaos soak: %.1fs per STM, threads=%d, max-restarts=%d\n%!"
+      !soak soak_threads !max_restarts;
+    soak_failures := Soak.run ~stms ~threads:soak_threads ~seconds:!soak;
+    List.iter
+      (fun (cls, n) -> Printf.printf "  chaos %-9s %d\n%!" cls n)
+      (Chaos.counts ())
+  end
+  else begin
+    let p =
+      { Figures.threads = !threads; seconds = !seconds; big = !big; runs = !runs }
+    in
+    Printf.printf
+      "2PLSF reproduction benchmarks | threads=%s seconds=%.2f big=%b\n%!"
+      (String.concat "," (List.map string_of_int p.threads))
+      p.seconds p.big;
+    if not !no_bechamel then Bechamel_suite.run ();
+    let selected =
+      if !figure = 0 then Figures.all
+      else
+        List.filter (fun (n, _, _) -> n = !figure) Figures.all
+    in
+    if selected = [] then begin
+      Printf.eprintf "unknown figure %d\n" !figure;
+      exit 1
+    end;
+    List.iter (fun (_, _, f) -> f p) selected
+  end;
   Harness.Report.close_csv ();
   if monitoring then begin
     Twoplsf_obs.Monitor.stop ();
@@ -142,5 +197,9 @@ let () =
       prerr_endline "watchdog: invariant violation detected — failing the run";
       exit 1
     end
+  end;
+  if !soak_failures > 0 then begin
+    Printf.eprintf "chaos soak: %d STM(s) failed an invariant\n" !soak_failures;
+    exit 1
   end;
   print_endline "\nDone. See EXPERIMENTS.md for paper-vs-measured notes."

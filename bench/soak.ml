@@ -1,0 +1,91 @@
+(* Chaos soak (--soak): run each registry STM under the fault injector for
+   a fixed duration, then assert the two robustness invariants the
+   injector is built to break when any cleanup path is wrong:
+
+   - conservation: the transfer workload keeps the total balance constant
+     across every injected exception, spurious restart and stall;
+   - zero leaked locks: the STM's lock table is empty at quiescence.
+
+   Runs under --watchdog the PR-2 invariant checks (deadlock, mutual
+   exclusion) sample the same interval concurrently. *)
+
+module Chaos = Twoplsf_chaos.Chaos
+
+type outcome = {
+  stm : string;
+  ops : int;
+  injected_exns : int;
+  starved : int;
+  leaked : int;
+  sum_ok : bool;
+}
+
+let n_accounts = 256
+let initial_balance = 1_000
+
+let soak_one (module S0 : Stm_intf.STM) ~threads ~seconds =
+  let (module S : Stm_intf.STM) = Baselines.Registry.chaos_wrap (module S0) in
+  let accounts = Array.init n_accounts (fun _ -> S.tvar initial_balance) in
+  Twoplsf_obs.Monitor.set_phase (Printf.sprintf "soak/%s/t=%d" S.name threads);
+  S.reset_stats ();
+  let injected = Atomic.make 0 and starved_total = Atomic.make 0 in
+  let worker i should_stop =
+    let rng = Util.Sprng.create (0x50AC + (i * 7919)) in
+    let ops = ref 0 in
+    while not (should_stop ()) do
+      let a = Util.Sprng.int rng n_accounts in
+      let b = Util.Sprng.int rng n_accounts in
+      let amt = 1 + Util.Sprng.int rng 16 in
+      match
+        if Util.Sprng.int rng 8 = 0 then
+          S.atomic ~read_only:true (fun tx ->
+              ignore (S.read tx accounts.(a));
+              ignore (S.read tx accounts.(b)))
+        else
+          S.atomic (fun tx ->
+              let va = S.read tx accounts.(a) in
+              let vb = S.read tx accounts.(b) in
+              if a <> b then begin
+                S.write tx accounts.(a) (va - amt);
+                S.write tx accounts.(b) (vb + amt)
+              end)
+      with
+      | () -> incr ops
+      | exception Chaos.Injected_fault _ -> Atomic.incr injected
+      | exception Stm_intf.Starved _ -> Atomic.incr starved_total
+    done;
+    !ops
+  in
+  let res = Harness.Exec.run_timed ~threads ~seconds worker in
+  (* All workers are joined: pause injection so the audit itself runs
+     fault-free, then sweep. *)
+  let was_on = !Chaos.on in
+  Chaos.on := false;
+  let total =
+    S.atomic ~read_only:true (fun tx ->
+        Array.fold_left (fun acc a -> acc + S.read tx a) 0 accounts)
+  in
+  let leaked = S.leaked_locks () in
+  Chaos.on := was_on;
+  {
+    stm = S.name;
+    ops = res.Harness.Exec.ops;
+    injected_exns = Atomic.get injected;
+    starved = Atomic.get starved_total;
+    leaked;
+    sum_ok = total = n_accounts * initial_balance;
+  }
+
+(* Returns the number of STMs that failed an invariant. *)
+let run ~stms ~threads ~seconds =
+  let failures = ref 0 in
+  List.iter
+    (fun stm ->
+      let o = soak_one stm ~threads ~seconds in
+      Printf.printf
+        "  %-14s ops=%-9d injected-exns=%-6d starved=%-4d leaked=%-3d sum=%s\n%!"
+        o.stm o.ops o.injected_exns o.starved o.leaked
+        (if o.sum_ok then "OK" else "MISMATCH");
+      if o.leaked <> 0 || not o.sum_ok then incr failures)
+    stms;
+  !failures

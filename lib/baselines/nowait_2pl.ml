@@ -21,10 +21,12 @@ module Make (L : Rwlock.Trylock_rw.S) () = struct
 
   let requested_num_locks = ref 65536
   let built = ref false
+  let built_num_locks = ref 0
 
   let locks =
     Util.Once.create (fun () ->
         built := true;
+        built_num_locks := !requested_num_locks;
         L.create ~num_locks:!requested_num_locks)
 
   let configure ?(num_locks = 65536) () =
@@ -103,6 +105,8 @@ module Make (L : Rwlock.Trylock_rw.S) () = struct
             rollback tx;
             Stm_intf.Stats.abort stats ~tid:tx.tid;
             tx.restarts <- tx.restarts + 1;
+            if Stm_intf.hit_restart_bound tx.restarts then
+              Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> []);
             Util.Backoff.exponential ~attempt:n;
             attempt (n + 1)
         | exception e ->
@@ -118,4 +122,22 @@ module Make (L : Rwlock.Trylock_rw.S) () = struct
   let clock_ops () = 0 (* no central clock in the no-wait family *)
   let reset_stats () = Stm_intf.Stats.reset stats
   let last_restarts () = (get_tx ()).finished_restarts
+
+  (* The lock signature exposes no raw state, so the sweep asks every
+     (lock, tid) pair whether it is held.  O(num_locks * max_threads):
+     fine for a post-run quiescent check, not for hot paths. *)
+  let leaked_locks () =
+    if not !built then 0
+    else begin
+      let l = Util.Once.get locks in
+      let n = ref 0 in
+      for w = 0 to !built_num_locks - 1 do
+        let held = ref false in
+        for tid = 0 to Util.Tid.max_threads - 1 do
+          if L.holds_write l ~tid w || L.holds_read l ~tid w then held := true
+        done;
+        if !held then incr n
+      done;
+      !n
+    end
 end

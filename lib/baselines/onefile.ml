@@ -84,6 +84,8 @@ let atomic ?(read_only = false) f =
           else begin
             Stm_intf.Stats.abort stats ~tid:tx.tid;
             tx.restarts <- tx.restarts + 1;
+            if Stm_intf.hit_restart_bound tx.restarts then
+              Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> []);
             Util.Backoff.exponential ~attempt:n;
             attempt (n + 1)
           end
@@ -91,6 +93,8 @@ let atomic ?(read_only = false) f =
           tx.depth <- 0;
           Stm_intf.Stats.abort stats ~tid:tx.tid;
           tx.restarts <- tx.restarts + 1;
+          if Stm_intf.hit_restart_bound tx.restarts then
+            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> []);
           Util.Backoff.exponential ~attempt:n;
           attempt (n + 1)
       | exception e ->
@@ -135,3 +139,7 @@ let aborts () = Stm_intf.Stats.aborts stats
 let clock_ops () = Stm_intf.Stats.clock_ops stats
 let reset_stats () = Stm_intf.Stats.reset stats
 let last_restarts () = (get_tx ()).finished_restarts
+
+(* The only lock is the combiner's seqlock: leaked iff the sequence is odd
+   (a writer batch began and never ended). *)
+let leaked_locks () = Rwlock.Seqlock.sequence seq land 1

@@ -22,3 +22,10 @@ let try_lock t ~tid i =
   else None
 
 let unlock_to t i ~version = Atomic.set t.words.(i) (version_word version)
+
+let size t = t.mask + 1
+
+let locked_count t =
+  let n = ref 0 in
+  Array.iter (fun w -> if is_locked (Atomic.get w) then incr n) t.words;
+  !n

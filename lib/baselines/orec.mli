@@ -29,3 +29,10 @@ val try_lock : t -> tid:int -> int -> int option
 
 val unlock_to : t -> int -> version:int -> unit
 (** Store an unlocked word carrying [version]. *)
+
+val size : t -> int
+(** Number of orecs in the table. *)
+
+val locked_count : t -> int
+(** How many orecs are currently in the locked encoding — the post-run
+    leak sweep of the chaos harness (racy; meaningful in quiescence). *)

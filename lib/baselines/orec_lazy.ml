@@ -89,34 +89,35 @@ let extend tx =
   end
   else false
 
-let read tx (tv : 'a tvar) : 'a =
+(* On version overflow: extend the snapshot, then RE-EXECUTE the load.
+   The tvar may have been committed to between our value fetch and the
+   extension; the extension moves [rv] past that commit, so returning the
+   already-fetched value would pair a stale value with an extended
+   snapshot (a lost update once commit skips validation on
+   [wv = rv + 1]). *)
+let rec read_orec tx (tv : 'a tvar) : 'a =
   let o = Util.Once.get orecs in
-  if not tx.ro then
-    match Wset.find tx.wset tv with
-    | Some v -> v
-    | None ->
-        let oi = Orec.index o tv.id in
-        let pre = Orec.get o oi in
-        if Orec.is_locked pre then raise Restart;
-        let v = tv.v in
-        if Orec.get o oi <> pre then raise Restart;
-        let ver = Orec.version pre in
-        if ver > tx.rv && not (extend tx) then raise Restart;
-        Util.Vec.push tx.rset (oi, ver);
-        v
+  let oi = Orec.index o tv.id in
+  let pre = Orec.get o oi in
+  if Orec.is_locked pre then raise Restart;
+  let v = tv.v in
+  if Orec.get o oi <> pre then raise Restart;
+  let ver = Orec.version pre in
+  if ver > tx.rv then
+    if extend tx then read_orec tx tv else raise Restart
   else begin
-    let oi = Orec.index o tv.id in
-    let pre = Orec.get o oi in
-    if Orec.is_locked pre then raise Restart;
-    let v = tv.v in
-    if Orec.get o oi <> pre then raise Restart;
-    let ver = Orec.version pre in
-    if ver > tx.rv && not (extend tx) then raise Restart;
     (* Logged even in read-only mode: extension must revalidate every
        prior read to keep the snapshot opaque. *)
     Util.Vec.push tx.rset (oi, ver);
     v
   end
+
+let read tx (tv : 'a tvar) : 'a =
+  if not tx.ro then
+    match Wset.find tx.wset tv with
+    | Some v -> v
+    | None -> read_orec tx tv
+  else read_orec tx tv
 
 let write tx tv nv =
   if tx.ro then invalid_arg "Orec_lazy.write inside a read-only transaction";
@@ -190,10 +191,16 @@ let atomic ?(read_only = false) f =
           tx.depth <- 0;
           Stm_intf.Stats.abort stats ~tid:tx.tid;
           tx.restarts <- tx.restarts + 1;
+          if Stm_intf.hit_restart_bound tx.restarts then
+            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> []);
           Util.Backoff.exponential ~attempt:n;
           attempt (n + 1)
       | exception e ->
           tx.depth <- 0;
+          (* Lazy locking: the body holds no locks, but an exception
+             escaping mid-commit may — release them to their pre-lock
+             versions before propagating. *)
+          release_acquired_old tx;
           raise e
     in
     attempt 1
@@ -204,3 +211,5 @@ let aborts () = Stm_intf.Stats.aborts stats
 let clock_ops () = Stm_intf.Stats.clock_ops stats
 let reset_stats () = Stm_intf.Stats.reset stats
 let last_restarts () = (get_tx ()).finished_restarts
+let leaked_locks () =
+  if !built then Orec.locked_count (Util.Once.get orecs) else 0

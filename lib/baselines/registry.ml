@@ -29,6 +29,30 @@ let all : (module Stm_intf.STM) list =
     (module Twoplsf.Stm_wbd);
   ]
 
+module Chaos = Twoplsf_chaos.Chaos
+
+(* Shadow [atomic] with transaction-body fault-injection sites.  These are
+   the only places chaos raises a user-visible exception
+   ([Chaos.Injected_fault]): outside every protocol-internal critical
+   section, so the STM's own exception path must clean up completely —
+   which is exactly the property the chaos tests assert. *)
+module Chaos_wrap (S : Stm_intf.STM) : Stm_intf.STM = struct
+  include S
+
+  let atomic ?read_only f =
+    if not !Chaos.on then S.atomic ?read_only f
+    else
+      S.atomic ?read_only (fun tx ->
+          Chaos.point Chaos.Txn_body;
+          Chaos.inject_exn Chaos.Txn_body;
+          let v = f tx in
+          Chaos.point Chaos.Pre_commit;
+          v)
+end
+
+let chaos_wrap (module S : Stm_intf.STM) : (module Stm_intf.STM) =
+  (module Chaos_wrap (S))
+
 let find name =
   let has (module S : Stm_intf.STM) = String.equal S.name name in
   match List.find_opt has all with

@@ -22,3 +22,11 @@ val main_set : (module Stm_intf.STM) list
 
 val find : string -> (module Stm_intf.STM)
 (** Look an STM up by its [name]; raises [Not_found]. *)
+
+val chaos_wrap : (module Stm_intf.STM) -> (module Stm_intf.STM)
+(** Wrap an STM so every top-level [atomic] body passes through the
+    chaos layer's [Txn_body] site: bounded delays/yields/stalls, plus
+    injected [Twoplsf_chaos.Chaos.Injected_fault] exceptions that exercise
+    the protocol's exception-escape cleanup path.  Free when chaos is
+    disabled (one load and a predicted branch, then straight into the
+    underlying [atomic]). *)

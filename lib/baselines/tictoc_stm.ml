@@ -233,10 +233,17 @@ let atomic ?(read_only = false) f =
             Obs.Scope.txn_abort obs ~tid:tx.tid ~att_t0_ns:att_t0
               tx.abort_reason;
           tx.restarts <- tx.restarts + 1;
+          if Stm_intf.hit_restart_bound tx.restarts then
+            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () ->
+                if telemetry then Obs.Scope.abort_counts obs else []);
           Util.Backoff.exponential ~attempt:n;
           attempt (n + 1) (if telemetry then Obs.Telemetry.now_ns () else 0)
       | exception e ->
           tx.depth <- 0;
+          (* The body holds no locks (lazy locking), but an exception
+             escaping mid-commit does: restore any commit-locked words to
+             their pre-lock values before propagating. *)
+          (if !built then unlock_all (Util.Once.get table) tx);
           raise e
     in
     attempt 1 txn_t0
@@ -251,3 +258,12 @@ let reset_stats () =
   Obs.Scope.reset obs
 
 let last_restarts () = (get_tx ()).finished_restarts
+
+let leaked_locks () =
+  if not !built then 0
+  else begin
+    let t = Util.Once.get table in
+    let n = ref 0 in
+    Array.iter (fun w -> if is_locked (Atomic.get w) then incr n) t.words;
+    !n
+  end

@@ -51,26 +51,41 @@ let tx_key =
 
 let get_tx () = Domain.DLS.get tx_key
 
+let wlock_old_version tx oi =
+  let n = Util.Vec.length tx.wlocks in
+  let rec go i =
+    if i >= n then None
+    else
+      let oj, old_version = Util.Vec.get tx.wlocks i in
+      if oj = oi then Some old_version else go (i + 1)
+  in
+  go 0
+
+(* A self-locked orec in the read set is valid only if we locked it at
+   exactly the version the read observed: the lock hides the version
+   word, and accepting it unconditionally would let a commit that slid
+   in between the read and our lock acquisition go undetected. *)
+let check_read o tx (oi, observed) =
+  let w = Orec.get o oi in
+  if Orec.is_locked w then begin
+    if Orec.owner w <> tx.tid then raise Exit;
+    match wlock_old_version tx oi with
+    | Some old_version when old_version = observed -> ()
+    | Some _ | None -> raise Exit
+  end
+  else if Orec.version w <> observed then raise Exit
+
 (* LSA snapshot extension: move [rv] forward to the current clock if every
    read is still valid at its observed version. *)
 let extend tx =
   let o = Util.Once.get orecs in
   let now = Atomic.get clock in
   let ok = ref true in
-  (try
-     Util.Vec.iter
-       (fun (oi, observed) ->
-         let w = Orec.get o oi in
-         if Orec.is_locked w then begin
-           if Orec.owner w <> tx.tid then raise Exit
-         end
-         else if Orec.version w <> observed then raise Exit)
-       tx.rset
-   with Exit -> ok := false);
+  (try Util.Vec.iter (check_read o tx) tx.rset with Exit -> ok := false);
   if !ok then tx.rv <- now;
   !ok
 
-let read tx (tv : 'a tvar) : 'a =
+let rec read tx (tv : 'a tvar) : 'a =
   let o = Util.Once.get orecs in
   let oi = Orec.index o tv.id in
   let w = Orec.get o oi in
@@ -83,11 +98,20 @@ let read tx (tv : 'a tvar) : 'a =
     let w2 = Orec.get o oi in
     if w2 <> w then raise Restart;
     let ver = Orec.version w in
-    if ver > tx.rv && not (extend tx) then raise Restart;
-    (* Read-only transactions must log reads too: the snapshot extension
-       above is only sound if it revalidates every prior read. *)
-    Util.Vec.push tx.rset (oi, ver);
-    v
+    if ver > tx.rv then
+      (* Snapshot extension, then RE-EXECUTE the load: the tvar may have
+         been written between our value fetch and the extension, and the
+         extension moves [rv] past that commit — returning the value
+         fetched above would pair a stale value with an extended
+         snapshot (a lost update once commit skips validation on
+         [wv = rv + 1]). *)
+      if extend tx then read tx tv else raise Restart
+    else begin
+      (* Read-only transactions must log reads too: the snapshot extension
+         above is only sound if it revalidates every prior read. *)
+      Util.Vec.push tx.rset (oi, ver);
+      v
+    end
   end
 
 let write tx tv nv =
@@ -107,6 +131,12 @@ let write tx tv nv =
     | None -> raise Restart
     | Some old_version ->
         Util.Vec.push tx.wlocks (oi, old_version);
+        (* The version may have advanced between the check above and the
+           CAS: [old_version] is the authoritative pre-lock version.  If
+           it passed [rv], revalidate the snapshot before trusting any
+           earlier read of this orec (the push above lets a failed
+           extension release the lock through the normal rollback). *)
+        if old_version > tx.rv && not (extend tx) then raise Restart;
         Wset.log_old_once tx.undo tv tv.v;
         tv.v <- nv
   end
@@ -114,34 +144,31 @@ let write tx tv nv =
 let validate_read_set tx =
   let o = Util.Once.get orecs in
   let ok = ref true in
-  (try
-     Util.Vec.iter
-       (fun (oi, observed) ->
-         let w = Orec.get o oi in
-         if Orec.is_locked w then begin
-           if Orec.owner w <> tx.tid then raise Exit
-         end
-         else if Orec.version w <> observed then raise Exit)
-       tx.rset
-   with Exit -> ok := false);
+  (try Util.Vec.iter (check_read o tx) tx.rset with Exit -> ok := false);
   !ok
 
 let release_wlocks_to tx version =
   let o = Util.Once.get orecs in
   Util.Vec.iter (fun (oi, _) -> Orec.unlock_to o oi ~version) tx.wlocks
 
-let release_wlocks_old tx =
-  let o = Util.Once.get orecs in
-  Util.Vec.iter_rev
-    (fun (oi, old_version) -> Orec.unlock_to o oi ~version:old_version)
-    tx.wlocks
-
 (* Roll back undo-logged values *before* releasing the encounter-time
    locks, then forget both logs so a later rollback is a no-op (another
-   transaction may lock the released orecs immediately). *)
+   transaction may lock the released orecs immediately).
+
+   The locks are released at a FRESH clock version, not the pre-lock one.
+   Write-through rollback republishes the old values, and restoring the
+   old version with them reopens the classic dirty-read ABA: a reader
+   that fetched the in-flight value between its two lock-word loads
+   would see an unchanged word and validate the dirty read.  Tagging the
+   restored values with a new version makes the abort look like a
+   committed no-op write, which every optimistic reader revalidates. *)
 let rollback tx =
   Wset.rollback tx.undo;
-  release_wlocks_old tx;
+  if not (Util.Vec.is_empty tx.wlocks) then begin
+    let wv = 1 + Atomic.fetch_and_add clock 1 in
+    Stm_intf.Stats.clock_op stats ~tid:tx.tid;
+    release_wlocks_to tx wv
+  end;
   Wset.clear tx.undo;
   Util.Vec.clear tx.wlocks
 
@@ -187,6 +214,8 @@ let atomic ?(read_only = false) f =
           rollback tx;
           Stm_intf.Stats.abort stats ~tid:tx.tid;
           tx.restarts <- tx.restarts + 1;
+          if Stm_intf.hit_restart_bound tx.restarts then
+            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> []);
           Util.Backoff.exponential ~attempt:n;
           attempt (n + 1)
       | exception e ->
@@ -202,3 +231,5 @@ let aborts () = Stm_intf.Stats.aborts stats
 let clock_ops () = Stm_intf.Stats.clock_ops stats
 let reset_stats () = Stm_intf.Stats.reset stats
 let last_restarts () = (get_tx ()).finished_restarts
+let leaked_locks () =
+  if !built then Orec.locked_count (Util.Once.get orecs) else 0

@@ -207,10 +207,17 @@ let atomic ?(read_only = false) f =
             Obs.Scope.txn_abort obs ~tid:tx.tid ~att_t0_ns:att_t0
               tx.abort_reason;
           tx.restarts <- tx.restarts + 1;
+          if Stm_intf.hit_restart_bound tx.restarts then
+            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () ->
+                if telemetry then Obs.Scope.abort_counts obs else []);
           Util.Backoff.exponential ~attempt:n;
           attempt (n + 1) (if telemetry then Obs.Telemetry.now_ns () else 0)
       | exception e ->
           tx.depth <- 0;
+          (* The body holds no locks (lazy locking), but an exception
+             escaping mid-commit does: drop any commit-time orec locks to
+             their pre-lock versions before propagating. *)
+          release_acquired tx;
           raise e
     in
     attempt 1 txn_t0
@@ -225,3 +232,5 @@ let reset_stats () =
   Obs.Scope.reset obs
 
 let last_restarts () = (get_tx ()).finished_restarts
+let leaked_locks () =
+  if !built then Orec.locked_count (Util.Once.get orecs) else 0

@@ -131,6 +131,12 @@ let atomic ?read_only f =
           rollback tx;
           Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
           tx.restarts <- tx.restarts + 1;
+          if Stm_intf.hit_restart_bound tx.restarts then begin
+            (* Drop the announced timestamp before bailing out so no
+               surviving transaction keeps deferring to a dead one. *)
+            Rwl_sf.clear_announcement t tx.ctx;
+            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> [])
+          end;
           wait_for_all_lower t tx;
           attempt ()
       | exception e ->
@@ -150,3 +156,5 @@ let reset_stats () =
   Stm_intf.Stats.reset stats;
   Rwl_sf.reset_clock_increments (Util.Once.get table)
 let last_restarts () = (get_tx ()).finished_restarts
+let leaked_locks () =
+  if !built then Rwl_sf.leaked (Util.Once.get table) else 0

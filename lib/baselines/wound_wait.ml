@@ -214,6 +214,12 @@ let atomic ?read_only f =
           rollback t tx;
           Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
           tx.restarts <- tx.restarts + 1;
+          if Stm_intf.hit_restart_bound tx.restarts then begin
+            (* Retire the timestamp before bailing out so younger
+               transactions stop wounding themselves against it. *)
+            finish t tx;
+            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> [])
+          end;
           (* Keep the timestamp: the restarted transaction ages toward
              oldest, which is the starvation-freedom argument. *)
           attempt ()
@@ -231,3 +237,15 @@ let aborts () = Stm_intf.Stats.aborts stats
 let clock_ops () = Stm_intf.Stats.clock_ops stats
 let reset_stats () = Stm_intf.Stats.reset stats
 let last_restarts () = (get_tx ()).finished_restarts
+
+let leaked_locks () =
+  if not !built then 0
+  else begin
+    let t = Util.Once.get table in
+    let n = ref 0 in
+    for w = 0 to t.mask do
+      if Atomic.get t.wlocks.(w) <> 0 then incr n;
+      if not (Rwlock.Read_indicator.is_empty t.ri ~self:(-1) w) then incr n
+    done;
+    !n
+  end

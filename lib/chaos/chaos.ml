@@ -1,0 +1,205 @@
+(* Seeded per-thread fault injector (DESIGN.md §10).
+
+   Decision discipline: every hook draws exactly one PRNG number and
+   classifies it against cumulative ppm thresholds; extra draws happen
+   only inside a fired branch (delay length).  A thread's decision
+   stream is therefore a pure function of (seed, tid, sites visited),
+   which is what makes a failing schedule reproducible by seed. *)
+
+type site =
+  | Read_lock_arrive
+  | Read_lock_check
+  | Read_lock_wait
+  | Write_lock_acquire
+  | Write_lock_wait
+  | Clock_announce
+  | Conflictor_wait
+  | Pre_commit
+  | Mid_rollback
+  | Mid_writeback
+  | Txn_body
+  | Dbx_txn
+  | Harness_op
+
+let site_code = function
+  | Read_lock_arrive -> 0
+  | Read_lock_check -> 1
+  | Read_lock_wait -> 2
+  | Write_lock_acquire -> 3
+  | Write_lock_wait -> 4
+  | Clock_announce -> 5
+  | Conflictor_wait -> 6
+  | Pre_commit -> 7
+  | Mid_rollback -> 8
+  | Mid_writeback -> 9
+  | Txn_body -> 10
+  | Dbx_txn -> 11
+  | Harness_op -> 12
+
+let site_name = function
+  | Read_lock_arrive -> "read-lock-arrive"
+  | Read_lock_check -> "read-lock-check"
+  | Read_lock_wait -> "read-lock-wait"
+  | Write_lock_acquire -> "write-lock-acquire"
+  | Write_lock_wait -> "write-lock-wait"
+  | Clock_announce -> "clock-announce"
+  | Conflictor_wait -> "conflictor-wait"
+  | Pre_commit -> "pre-commit"
+  | Mid_rollback -> "mid-rollback"
+  | Mid_writeback -> "mid-writeback"
+  | Txn_body -> "txn-body"
+  | Dbx_txn -> "dbx-txn"
+  | Harness_op -> "harness-op"
+
+exception Injected_fault of site
+
+type config = {
+  seed : int;
+  delay_ppm : int;
+  delay_max_spins : int;
+  yield_ppm : int;
+  spurious_ppm : int;
+  exn_ppm : int;
+  stall_ppm : int;
+  stall_ms : float;
+  victim : int;
+}
+
+let default =
+  {
+    seed = 0xC4A05;
+    delay_ppm = 20_000 (* 2% of points: short spin delay *);
+    delay_max_spins = 512;
+    yield_ppm = 5_000 (* 0.5%: give the OS a scheduling decision *);
+    spurious_ppm = 20_000 (* 2% of acquisitions fail spuriously *);
+    exn_ppm = 10_000 (* 1% of bodies raise Injected_fault *);
+    stall_ppm = 200 (* rare: a stall freezes the thread for stall_ms *);
+    stall_ms = 2.0;
+    victim = -1;
+  }
+
+let on = ref false
+let cfg = ref default
+
+(* Decision classes, also the packed trace encoding. *)
+let class_none = 0
+let class_delay = 1
+let class_yield = 2
+let class_stall = 3
+let class_spurious = 4
+let class_exn = 5
+
+let class_count = 6
+let counters = Array.init class_count (fun _ -> Atomic.make 0)
+
+let count c = Atomic.incr counters.(c)
+
+(* Per-thread PRNG streams, reseeded on every [enable] so two runs with
+   the same seed see identical streams regardless of earlier history.
+   SplitMix mixing of (seed, tid) keeps the streams uncorrelated. *)
+let rngs =
+  Array.init Util.Tid.max_threads (fun tid ->
+      Util.Sprng.create (tid + 1))
+
+let reseed seed =
+  for tid = 0 to Util.Tid.max_threads - 1 do
+    rngs.(tid) <- Util.Sprng.create (seed lxor ((tid + 1) * 0x9E3779B9))
+  done
+
+(* Reproducibility traces: per-thread bounded decision logs. *)
+let trace_cap = ref 0
+let traces = Array.make Util.Tid.max_threads []
+let trace_lens = Array.make Util.Tid.max_threads 0
+
+let record tid ~site ~cls =
+  if !trace_cap > 0 && trace_lens.(tid) < !trace_cap then begin
+    traces.(tid) <- ((site_code site * 16) + cls) :: traces.(tid);
+    trace_lens.(tid) <- trace_lens.(tid) + 1
+  end
+
+let set_trace n = trace_cap := n
+
+let trace () =
+  let tid = Util.Tid.get () in
+  List.rev traces.(tid)
+
+let clear_trace () =
+  Array.fill traces 0 (Array.length traces) [];
+  Array.fill trace_lens 0 (Array.length trace_lens) 0
+
+let reset_counts () = Array.iter (fun c -> Atomic.set c 0) counters
+
+let enable ?(config = default) () =
+  cfg := config;
+  reseed config.seed;
+  reset_counts ();
+  clear_trace ();
+  on := true
+
+let disable () = on := false
+let enabled () = !on
+let config () = !cfg
+let seed () = !cfg.seed
+
+let ppm = 1_000_000
+
+let spin n =
+  for _ = 1 to n do
+    Domain.cpu_relax ()
+  done
+
+(* One draw, classified against cumulative thresholds:
+   [0, stall) -> stall; [stall, stall+delay) -> delay; then yield. *)
+let point s =
+  let c = !cfg in
+  let tid = Util.Tid.get () in
+  let rng = rngs.(tid) in
+  let r = Util.Sprng.int rng ppm in
+  let stall_hi = c.stall_ppm in
+  let delay_hi = stall_hi + c.delay_ppm in
+  let yield_hi = delay_hi + c.yield_ppm in
+  if r < stall_hi && (c.victim < 0 || c.victim = tid) then begin
+    record tid ~site:s ~cls:class_stall;
+    count class_stall;
+    (* Sleep rather than spin: the OS deschedules us mid-critical-window,
+       which is exactly the preemption being emulated. *)
+    Unix.sleepf (c.stall_ms /. 1000.)
+  end
+  else if r < delay_hi then begin
+    record tid ~site:s ~cls:class_delay;
+    count class_delay;
+    spin (1 + Util.Sprng.int rng c.delay_max_spins)
+  end
+  else if r < yield_hi then begin
+    record tid ~site:s ~cls:class_yield;
+    count class_yield;
+    Thread.yield ()
+  end
+  else record tid ~site:s ~cls:class_none
+
+let spurious s =
+  let c = !cfg in
+  let tid = Util.Tid.get () in
+  let fire = Util.Sprng.int rngs.(tid) ppm < c.spurious_ppm in
+  record tid ~site:s ~cls:(if fire then class_spurious else class_none);
+  if fire then count class_spurious;
+  fire
+
+let inject_exn s =
+  let c = !cfg in
+  let tid = Util.Tid.get () in
+  let fire = Util.Sprng.int rngs.(tid) ppm < c.exn_ppm in
+  record tid ~site:s ~cls:(if fire then class_exn else class_none);
+  if fire then begin
+    count class_exn;
+    raise (Injected_fault s)
+  end
+
+let counts () =
+  [
+    ("delays", Atomic.get counters.(class_delay));
+    ("yields", Atomic.get counters.(class_yield));
+    ("stalls", Atomic.get counters.(class_stall));
+    ("spurious", Atomic.get counters.(class_spurious));
+    ("exns", Atomic.get counters.(class_exn));
+  ]

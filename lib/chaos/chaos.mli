@@ -1,0 +1,107 @@
+(** Seeded fault injection (DESIGN.md §10).
+
+    A per-thread, deterministic chaos layer: lock/STM/harness code is
+    instrumented with sync points ({!point}, {!spurious}, {!inject_exn})
+    that consult a per-thread SplitMix PRNG and — with configured
+    probabilities — inject bounded delays, OS yields, spurious lock
+    acquisition failures, user-visible exceptions, and multi-millisecond
+    victim stalls (preemption emulation, the delay-at-arbitrary-points
+    adversary of "Lock-Free Locks Revisited").
+
+    Disabled cost is one load and a predicted branch: every call site is
+    written [if !Chaos.on then Chaos.point S] — the same discipline as
+    [Obs.Telemetry.on].
+
+    Determinism: thread [tid]'s decision stream is a pure function of
+    [(seed, tid)] and the sequence of sites that thread visits.  Under a
+    fixed workload interleaving this makes failures reproducible by seed;
+    the per-thread decision {!trace} lets tests assert schedule equality
+    across runs. *)
+
+type site =
+  | Read_lock_arrive  (** before a reader sets its read-indicator bit *)
+  | Read_lock_check  (** between arrive and the write-lock check *)
+  | Read_lock_wait  (** each read-lock wait-loop iteration *)
+  | Write_lock_acquire  (** entry to the write-lock slow path *)
+  | Write_lock_wait  (** each write-lock wait-loop iteration *)
+  | Clock_announce  (** between conflict-clock draw and announcement *)
+  | Conflictor_wait  (** each wait-for-conflictor iteration *)
+  | Pre_commit  (** after the body, before commit processing *)
+  | Mid_rollback  (** between undo-log restore and lock release *)
+  | Mid_writeback  (** redo-log install, all write locks held *)
+  | Txn_body  (** inside a transaction body (user-code faults) *)
+  | Dbx_txn  (** DBx runner, between transactions *)
+  | Harness_op  (** harness driver, between operations *)
+
+val site_name : site -> string
+
+exception Injected_fault of site
+(** The stand-in for an arbitrary user exception escaping a transaction
+    body.  Raised only by {!inject_exn}. *)
+
+type config = {
+  seed : int;  (** base seed; thread [tid] uses a [seed]/[tid] mix *)
+  delay_ppm : int;  (** P(bounded spin delay) per point, in ppm *)
+  delay_max_spins : int;  (** delay length is 1..this many relax spins *)
+  yield_ppm : int;  (** P(OS yield) per point *)
+  spurious_ppm : int;  (** P(forced acquisition failure) per {!spurious} *)
+  exn_ppm : int;  (** P(raise {!Injected_fault}) per {!inject_exn} *)
+  stall_ppm : int;  (** P(victim stall) per point *)
+  stall_ms : float;  (** stall length (sleep, so the OS deschedules us) *)
+  victim : int;  (** only this tid stalls; [-1] = any thread *)
+}
+
+val default : config
+(** Seed 0xC4A05; all fault classes enabled at moderate rates (see
+    DESIGN.md §10 for the values) — the configuration the bench soak and
+    CI chaos-smoke run. *)
+
+val on : bool ref
+(** The single global on/off flag.  Flip via {!enable}/{!disable} (which
+    also reset per-thread PRNGs); instrumentation sites read it raw. *)
+
+val enable : ?config:config -> unit -> unit
+(** Turn injection on.  Reseeds every per-thread PRNG from
+    [config.seed], clears counters and traces.  Not meant to be toggled
+    while worker domains are mid-transaction. *)
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+val config : unit -> config
+val seed : unit -> int
+
+val point : site -> unit
+(** Sync-point hook: may delay, yield, or stall the calling thread.
+    Never raises and never alters control flow — safe to place inside
+    critical sections (rollback, write-back) where an exception would
+    corrupt protocol state. *)
+
+val spurious : site -> bool
+(** Should this lock acquisition spuriously fail?  Call sites translate
+    [true] into their normal conflict path (return false / raise the
+    protocol's restart), so the injection exercises exactly the abort
+    machinery a real conflict would. *)
+
+val inject_exn : site -> unit
+(** Raise {!Injected_fault} with probability [exn_ppm].  Only called
+    from transaction *bodies* (and other user-code positions) — never
+    while protocol-internal invariants are suspended. *)
+
+(** {2 Introspection} *)
+
+val counts : unit -> (string * int) list
+(** Injected-fault totals since {!enable}/{!reset_counts}, by class:
+    [("delays", _); ("yields", _); ("stalls", _); ("spurious", _);
+    ("exns", _)]. *)
+
+val reset_counts : unit -> unit
+
+val set_trace : int -> unit
+(** Record the first [n] decisions of every thread (packed site/class
+    codes).  For reproducibility tests; off by default. *)
+
+val trace : unit -> int list
+(** The calling thread's recorded decisions, oldest first. *)
+
+val clear_trace : unit -> unit

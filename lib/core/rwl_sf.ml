@@ -17,6 +17,7 @@
 
 module Read_indicator = Rwlock.Read_indicator
 module Obs = Twoplsf_obs
+module Chaos = Twoplsf_chaos.Chaos
 
 let infinity_ts = max_int
 
@@ -108,6 +109,9 @@ let take_timestamp t ctx =
   if ctx.my_ts = 0 then begin
     ctx.my_ts <- Atomic.fetch_and_add t.conflict_clock 1;
     Atomic.incr t.clock_count.(ctx.tid);
+    (* Chaos: widen the window in which a drawn timestamp is not yet
+       announced (others still read us as +infinity priority). *)
+    if !Chaos.on then Chaos.point Chaos.Clock_announce;
     Atomic.set t.announce.(ctx.tid) ctx.my_ts;
     if !Obs.Telemetry.on then
       match t.obs with
@@ -156,8 +160,23 @@ let lowest_ts t ctx w =
 
 let my_effective_ts ctx = effective_ts ctx.my_ts
 
+(* A forced (injected) acquisition failure must present itself as a
+   conflict with an *unknown* conflictor: [ctx.o_tid] may still name a
+   thread recorded during an earlier, successful wait whose timestamp is
+   higher than ours.  Waiting on it from the restart path would invert
+   the priority order that makes waits-for cycles impossible. *)
+let spurious_fail ctx =
+  ctx.o_tid <- -1;
+  ctx.o_ts <- 0;
+  ctx.preempted <- false;
+  false
+
 let try_or_wait_read_lock t ctx w =
+  if !Chaos.on && Chaos.spurious Chaos.Read_lock_arrive then spurious_fail ctx
+  else begin
+  if !Chaos.on then Chaos.point Chaos.Read_lock_arrive;
   Read_indicator.arrive t.ri ~tid:ctx.tid w;
+  if !Chaos.on then Chaos.point Chaos.Read_lock_check;
   let ws = Atomic.get t.wlocks.(w) in
   if ws = 0 || ws = ctx.tid + 1 then begin
     if !Obs.Telemetry.on then begin
@@ -201,6 +220,7 @@ let try_or_wait_read_lock t ctx w =
         end
         else begin
           incr spins;
+          if !Chaos.on then Chaos.point Chaos.Read_lock_wait;
           Util.Backoff.once b;
           loop ()
         end
@@ -208,11 +228,17 @@ let try_or_wait_read_lock t ctx w =
     in
     loop ()
   end
+  end
 
 let try_or_wait_write_lock t ctx w =
   let me = ctx.tid + 1 in
   let ws = Atomic.get t.wlocks.(w) in
   if ws = me then true
+    (* Spurious-failure injection sits after the re-entrancy check: a
+       forced failure on a lock we already hold would leave the caller's
+       write set inconsistent with the lock word. *)
+  else if !Chaos.on && Chaos.spurious Chaos.Write_lock_acquire then
+    spurious_fail ctx
   else if
     ws = 0
     && Atomic.compare_and_set t.wlocks.(w) 0 me
@@ -276,6 +302,7 @@ let try_or_wait_write_lock t ctx w =
         end
         else begin
           incr spins;
+          if !Chaos.on then Chaos.point Chaos.Write_lock_wait;
           Util.Backoff.once b;
           loop ()
         end
@@ -305,6 +332,7 @@ let wait_for_conflictor t ctx =
         ~since_ns:(Obs.Telemetry.now_ns ()) ~observed:otid;
     let b = Util.Backoff.create () in
     while Atomic.get t.announce.(otid) = ots do
+      if !Chaos.on then Chaos.point Chaos.Conflictor_wait;
       Util.Backoff.once b
     done;
     if watch then Obs.Wait_registry.clear ~tid:ctx.tid;
@@ -321,6 +349,18 @@ let zero_mutex_lock t =
   done
 
 let zero_mutex_unlock t = Atomic.set t.zero_mutex false
+
+(* Post-run lock sweep: number of locks still held — write words that are
+   non-zero plus locks whose read indicator has any bit set.  Zero after
+   every transaction has committed or aborted; the chaos harness asserts
+   this after each soak (DESIGN.md §10). *)
+let leaked t =
+  let n = ref 0 in
+  for w = 0 to t.nlocks - 1 do
+    if Atomic.get t.wlocks.(w) <> 0 then incr n;
+    if not (Read_indicator.is_empty t.ri ~self:(-1) w) then incr n
+  done;
+  !n
 
 let clock_increments t =
   Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.clock_count

@@ -118,6 +118,13 @@ val zero_mutex_lock : t -> unit
 
 val zero_mutex_unlock : t -> unit
 
+val leaked : t -> int
+(** Post-run lock sweep: how many locks are still held — non-zero write
+    words plus locks whose read indicator has any bit set (scanned to the
+    tid high-water mark).  Zero once every transaction has committed or
+    aborted; the chaos harness asserts this after each soak.  Racy, so
+    only meaningful in quiescence. *)
+
 val clock_increments : t -> int
 (** How many timestamps have been drawn from the conflict clock (= central
     clock increments): in 2PLSF this happens only on conflicts, which is

@@ -1,6 +1,7 @@
 let name = "2PLSF"
 
 module Obs = Twoplsf_obs
+module Chaos = Twoplsf_chaos.Chaos
 
 exception Restart
 (* The OCaml stand-in for the paper's longjmp back to beginTxn. *)
@@ -146,6 +147,9 @@ let rollback tx =
   let t = Util.Once.get table in
   (* Undo newest-first *before* releasing any write lock. *)
   Util.Vec.iter_rev (fun (W { tv; old }) -> tv.v <- old) tx.undo;
+  (* Chaos: delay-only site — an exception here would corrupt the
+     rollback; [Chaos.point] never raises by contract. *)
+  if !Chaos.on then Chaos.point Chaos.Mid_rollback;
   release_locks t tx
 
 let atomic ?read_only f =
@@ -165,6 +169,7 @@ let atomic ?read_only f =
       match f tx with
       | v ->
           tx.depth <- 0;
+          if !Chaos.on then Chaos.point Chaos.Pre_commit;
           commit tx;
           if telemetry then
             Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
@@ -178,6 +183,14 @@ let atomic ?read_only f =
             Obs.Scope.txn_abort obs ~tid:tx.ctx.tid ~att_t0_ns:att_t0
               tx.abort_reason;
           tx.restarts <- tx.restarts + 1;
+          if Stm_intf.hit_restart_bound tx.restarts then begin
+            (* Locks are already released; drop the priority announcement
+               too so no other thread keeps deferring to a timestamp that
+               will never commit. *)
+            Rwl_sf.clear_announcement t tx.ctx;
+            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () ->
+                if telemetry then Obs.Scope.abort_counts obs else [])
+          end;
           Rwl_sf.wait_for_conflictor t tx.ctx;
           attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
       | exception e ->
@@ -242,6 +255,8 @@ let reset_stats () =
   Array.iter (fun c -> Atomic.set c 0) restart_hist
 
 let last_restarts () = (get_tx ()).finished_restarts
+
+let leaked_locks () = if !configured then Rwl_sf.leaked (Util.Once.get table) else 0
 
 let restart_histogram () =
   let h = Array.map Atomic.get restart_hist in

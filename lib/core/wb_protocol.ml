@@ -20,6 +20,7 @@ struct
   let name = P.name
 
   module Obs = Twoplsf_obs
+  module Chaos = Twoplsf_chaos.Chaos
 
   exception Restart
 
@@ -167,6 +168,10 @@ struct
       Util.Vec.iter
         (fun (R e) -> if not (acquire_write_lock tx e.tv) then raise Restart)
         tx.redo;
+    (* Chaos: delay-only site — all write locks are held and the install
+       below must run to completion (there is no undo log to recover a
+       partial write-back); [Chaos.point] never raises by contract. *)
+    if !Chaos.on then Chaos.point Chaos.Mid_writeback;
     (* Install buffered writes while every lock is held. *)
     Util.Vec.iter (fun (R e) -> e.tv.v <- e.nv) tx.redo;
     release_locks t tx;
@@ -192,6 +197,7 @@ struct
         match
           let v = f tx in
           tx.depth <- 0;
+          if !Chaos.on then Chaos.point Chaos.Pre_commit;
           commit tx;
           v
         with
@@ -209,6 +215,11 @@ struct
               Obs.Scope.txn_abort obs ~tid:tx.ctx.tid ~att_t0_ns:att_t0
                 tx.abort_reason;
             tx.restarts <- tx.restarts + 1;
+            if Stm_intf.hit_restart_bound tx.restarts then begin
+              Rwl_sf.clear_announcement t tx.ctx;
+              Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () ->
+                  if telemetry then Obs.Scope.abort_counts obs else [])
+            end;
             Rwl_sf.wait_for_conflictor t tx.ctx;
             attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
         | exception e ->
@@ -230,4 +241,6 @@ struct
     Obs.Scope.reset obs
 
   let last_restarts () = (get_tx ()).finished_restarts
+  let leaked_locks () =
+    if !configured then Rwl_sf.leaked (Util.Once.get table) else 0
 end

@@ -1,3 +1,5 @@
+module Chaos = Twoplsf_chaos.Chaos
+
 type row = {
   cc : string;
   theta : float;
@@ -64,6 +66,7 @@ let run ~cc ~table ~theta ~write_ratio ~threads ~seconds =
     in
     let commits = ref 0 and aborts = ref 0 in
     while not (should_stop ()) do
+      if !Chaos.on then Chaos.point Chaos.Dbx_txn;
       let txn = Ycsb.next gen in
       aborts := !aborts + C.execute state ~tid txn;
       incr commits
@@ -105,6 +108,7 @@ let run_with_latency ~cc ~table ~theta ~write_ratio ~threads ~seconds =
     in
     let commits = ref 0 and aborts = ref 0 in
     while not (should_stop ()) do
+      if !Chaos.on then Chaos.point Chaos.Dbx_txn;
       let txn = Ycsb.next gen in
       let t0 = Util.Clock.now () in
       aborts := !aborts + C.execute state ~tid txn;

@@ -1,3 +1,5 @@
+module Chaos = Twoplsf_chaos.Chaos
+
 type structure_kind = List_s | Hash_s | Skip_s | Zip_s | Ravl_s
 
 let structure_label = function
@@ -90,6 +92,7 @@ let run_bench (type v) ~stm ~structure ~mix ~range ~threads ~seconds
     let rng = Util.Sprng.create (0x51ED + i) in
     let n = ref 0 in
     while not (should_stop ()) do
+      if !Chaos.on then Chaos.point Chaos.Harness_op;
       let k = Workload.key rng ~range in
       (match Workload.pick mix rng with
       | Workload.Insert -> ignore (ops.put k (value_of rng))

@@ -6,18 +6,26 @@ let await_flag flag =
     Util.Backoff.once b
   done
 
+(* Crash containment: each worker catches its own exception instead of
+   letting it escape the domain, always counts itself into [ready] (the
+   start barrier must not hang even if Tid registration fails), and always
+   releases its Tid slot (a crashed worker must not leak a dense id —
+   64 crashes would otherwise exhaust the table for the whole process). *)
 let spawn_all threads body =
   let ready = Atomic.make 0 in
   let go = Atomic.make false in
   let doms =
     List.init threads (fun i ->
         Domain.spawn (fun () ->
-            ignore (Util.Tid.register ());
-            Atomic.incr ready;
-            await_flag go;
-            let v = body i in
-            Util.Tid.release ();
-            v))
+            match Util.Tid.register () with
+            | exception e ->
+                Atomic.incr ready;
+                Error e
+            | _tid ->
+                Atomic.incr ready;
+                Fun.protect ~finally:Util.Tid.release (fun () ->
+                    await_flag go;
+                    match body i with v -> Ok v | exception e -> Error e)))
   in
   let b = Util.Backoff.create () in
   while Atomic.get ready < threads do
@@ -25,10 +33,25 @@ let spawn_all threads body =
   done;
   (go, doms)
 
-let run_each ~threads f =
+(* The wrapper above never lets an exception escape the domain, so join
+   itself cannot raise; belt-and-braces for asynchronous exceptions. *)
+let join_all doms =
+  List.map
+    (fun d -> match Domain.join d with o -> o | exception e -> Error e)
+    doms
+
+let reraise_first outcomes =
+  List.iter (function Error e -> raise e | Ok _ -> ()) outcomes
+
+let run_each_results ~threads f =
   let go, doms = spawn_all threads f in
   Atomic.set go true;
-  List.map Domain.join doms
+  join_all doms
+
+let run_each ~threads f =
+  let outcomes = run_each_results ~threads f in
+  reraise_first outcomes;
+  List.map (function Ok v -> v | Error e -> raise e) outcomes
 
 let run_timed ~threads ~seconds worker =
   let stop = Atomic.make false in
@@ -39,6 +62,12 @@ let run_timed ~threads ~seconds worker =
   Unix.sleepf seconds;
   Atomic.set stop true;
   let t1 = Util.Clock.now () in
-  let ops = List.fold_left (fun acc d -> acc + Domain.join d) 0 doms in
+  let outcomes = join_all doms in
+  reraise_first outcomes;
+  let ops =
+    List.fold_left
+      (fun acc -> function Ok n -> acc + n | Error _ -> acc)
+      0 outcomes
+  in
   let elapsed = t1 -. t0 in
   { ops; seconds = elapsed; throughput = float_of_int ops /. elapsed }

@@ -5,7 +5,13 @@
     wall-clock throughput over a fixed duration.  This host has a single
     hardware core (DESIGN.md §3.1): domains are OS threads time-sliced on
     it, so throughput numbers measure concurrency-control efficiency under
-    interleaving, not parallel speedup. *)
+    interleaving, not parallel speedup.
+
+    Crash containment: a worker that raises does not take the run down
+    half-joined.  Every domain is joined, every Tid slot is released (via
+    [Fun.protect]), and only then is the first captured exception
+    re-raised.  The start barrier cannot hang even if Tid registration
+    itself fails in a worker. *)
 
 type result = {
   ops : int;  (** operations committed across all workers *)
@@ -18,9 +24,16 @@ val run_timed :
 (** [run_timed ~threads ~seconds worker]: each worker is called as
     [worker i should_stop] after the barrier and must loop until
     [should_stop ()] returns [true], returning its completed-operation
-    count. *)
+    count.  If a worker raised, all domains are still joined (and their
+    Tid slots released) before the first exception is re-raised. *)
 
 val run_each : threads:int -> (int -> 'a) -> 'a list
 (** Spawn [threads] domains, register thread ids, release them through the
     barrier, run [f i] once in each and join all results (test helper for
-    deterministic concurrent scenarios). *)
+    deterministic concurrent scenarios).  Re-raises the first worker
+    exception, but only after every domain has been joined. *)
+
+val run_each_results : threads:int -> (int -> 'a) -> ('a, exn) Result.t list
+(** Like {!run_each} but never raises: each worker's outcome is returned
+    as [Ok v] or [Error e] in spawn order, so a test can assert that one
+    worker's crash left its siblings intact. *)

@@ -12,6 +12,32 @@ module Stats = Stm_stats
 (** Re-export so dependants reach the stats type through the library's main
     module ([Stm_intf.Stats]). *)
 
+exception
+  Starved of {
+    stm : string;  (** which concurrency control gave up *)
+    restarts : int;  (** attempts consumed before giving up *)
+    abort_reasons : (string * int) list;
+        (** the STM's telemetry abort-reason snapshot at exhaustion time
+            ([[]] when telemetry is off or the STM has no scope) *)
+  }
+(** Raised by {!STM.atomic} instead of retrying forever when the global
+    {!max_restarts} bound is hit.  Every implementation raises it only
+    after the failed attempt has fully rolled back and released its locks
+    (and cleared any priority announcement), so a [Starved] escape leaves
+    the lock table clean. *)
+
+let max_restarts = ref 0
+(** Global per-transaction restart bound; 0 (the default) means unbounded
+    retry.  Set once at start-up (bench [--max-restarts]); checked by
+    every STM's restart path. *)
+
+let hit_restart_bound restarts =
+  let m = !max_restarts in
+  m > 0 && restarts >= m
+
+let starved ~stm ~restarts reasons =
+  raise (Starved { stm; restarts; abort_reasons = reasons () })
+
 module type STM = sig
   val name : string
   (** Short label used in benchmark output ("2PLSF", "TL2", ...). *)
@@ -42,7 +68,10 @@ module type STM = sig
       hint that lets optimistic STMs skip write-set machinery; it is sound
       only if the body performs no {!write}.  Nested calls flatten into the
       outermost transaction.  Exceptions raised by the body abort the
-      transaction (all writes rolled back) and propagate. *)
+      transaction (all writes rolled back, all locks released) and
+      propagate.  When {!max_restarts} is positive and an attempt would
+      exceed it, raises {!Starved} (after full rollback) instead of
+      retrying. *)
 
   val commits : unit -> int
   (** Committed transactions since the last {!reset_stats}. *)
@@ -63,4 +92,12 @@ module type STM = sig
   (** Number of times the calling thread's most recently completed
       top-level transaction was restarted before committing.  Used by the
       starvation-freedom tests (2PLSF bounds this by [N_threads - 1]). *)
+
+  val leaked_locks : unit -> int
+  (** Post-run lock sweep: how many of this STM's locks (or ownership
+      records) are still held.  Zero in quiescence — after every
+      transaction has committed, aborted, or escaped with an exception —
+      on a correct implementation; the chaos harness asserts exactly
+      that.  Racy while transactions are in flight.  0 when the STM's
+      lock table has not been built yet. *)
 end
