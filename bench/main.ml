@@ -38,6 +38,15 @@ let () =
   let soak = ref 0.0 in
   let soak_stms = ref "" in
   let max_restarts = ref 0 in
+  let overload = ref 0.0 in
+  let overload_stms = ref "" in
+  let overload_threads = ref 0 in
+  let zipf_theta = ref 0.9 in
+  let deadline_ms = ref 0.0 in
+  let cm_name = ref "paper" in
+  let admission = ref false in
+  let fallback = ref false in
+  let no_fallback = ref false in
   let spec =
     [
       ("--figure", Arg.Set_int figure, "N  run only figure N (2-8, 10-12)");
@@ -98,6 +107,45 @@ let () =
         Arg.Set_int max_restarts,
         "N  raise the typed Starved error after N consecutive restarts of \
          one transaction (0 = unbounded, the default)" );
+      ( "--overload",
+        Arg.Set_float overload,
+        "S  overload mode: S seconds per STM of hot-key Zipfian transfers \
+         with more threads than cores and a periodic straggler; reports \
+         the completion-time tail (p50/p99/p999) and runs conservation + \
+         leaked-lock checks (skips figures and bechamel; turns the \
+         serial-irrevocable fallback on unless --no-fallback)" );
+      ( "--overload-stms",
+        Arg.Set_string overload_stms,
+        "LIST  comma-separated STM names for --overload (default: all)" );
+      ( "--overload-threads",
+        Arg.Set_int overload_threads,
+        "N  worker count for --overload (default: 2x recommended domains)" );
+      ( "--zipf-theta",
+        Arg.Set_float zipf_theta,
+        "T  Zipfian skew of the overload key distribution (default 0.9)" );
+      ( "--deadline-ms",
+        Arg.Set_float deadline_ms,
+        "MS  per-transaction completion budget; a transaction that blows \
+         it restarts once with a fresh budget, then escalates (with the \
+         fallback) or raises Deadline_exceeded (0 = none, the default)" );
+      ( "--cm",
+        Arg.Set_string cm_name,
+        "P  contention manager: paper (each STM's native wait, the \
+         default), backoff (capped exponential with per-thread jitter), \
+         or hybrid (backoff then native)" );
+      ( "--admission",
+        Arg.Set admission,
+        " AIMD admission gate on transaction entry: halves the concurrent-\
+         transaction width when the abort rate spikes, recovers additively"
+      );
+      ( "--fallback",
+        Arg.Set fallback,
+        " escalate exhausted/late transactions through the serial-\
+         irrevocable slow path instead of raising Starved / \
+         Deadline_exceeded" );
+      ( "--no-fallback",
+        Arg.Set no_fallback,
+        " force the fallback off (overrides the --overload default)" );
     ]
   in
   Arg.parse spec
@@ -121,7 +169,21 @@ let () =
       ?out_path:(if !monitor_out = "" then None else Some !monitor_out)
       ~console:!monitor_console ();
   if !csv <> "" then Harness.Report.set_csv !csv;
-  if !max_restarts > 0 then Stm_intf.max_restarts := !max_restarts;
+  (* One immutable policy record for every overload knob, installed before
+     any worker domain exists (DESIGN.md §11). *)
+  let policy =
+    {
+      Stm_intf.default_policy with
+      Stm_intf.max_restarts = !max_restarts;
+      deadline_ns = int_of_float (!deadline_ms *. 1e6);
+      cm = Twoplsf_cm.Cm.choice_of_name !cm_name;
+      admission = !admission;
+      fallback =
+        (if !no_fallback then false else !fallback || !overload > 0.0);
+    }
+  in
+  Twoplsf_cm.Cm.install policy;
+  if policy.Stm_intf.admission then Twoplsf_cm.Admission.install ();
   let module Chaos = Twoplsf_chaos.Chaos in
   let chaos_on = !chaos || !chaos_seed <> 0 || !soak > 0.0 in
   if chaos_on then begin
@@ -133,7 +195,26 @@ let () =
     Printf.printf "Chaos: enabled, seed=0x%X\n%!" (Chaos.seed ())
   end;
   let soak_failures = ref 0 in
-  if !soak > 0.0 then begin
+  let overload_failures = ref 0 in
+  if !overload > 0.0 then begin
+    let stms =
+      if !overload_stms = "" then Baselines.Registry.all
+      else
+        String.split_on_char ',' !overload_stms
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map Baselines.Registry.find
+    in
+    (* Oversubscribe on purpose: overload behaviour only shows when the
+       scheduler preempts lock holders. *)
+    let threads =
+      if !overload_threads > 0 then !overload_threads
+      else 2 * Domain.recommended_domain_count ()
+    in
+    overload_failures :=
+      Overload.run ~stms ~threads ~seconds:!overload ~theta:!zipf_theta
+  end
+  else if !soak > 0.0 then begin
     let stms =
       if !soak_stms = "" then Baselines.Registry.all
       else
@@ -200,6 +281,11 @@ let () =
   end;
   if !soak_failures > 0 then begin
     Printf.eprintf "chaos soak: %d STM(s) failed an invariant\n" !soak_failures;
+    exit 1
+  end;
+  if !overload_failures > 0 then begin
+    Printf.eprintf "overload: %d STM(s) failed an invariant\n"
+      !overload_failures;
     exit 1
   end;
   print_endline "\nDone. See EXPERIMENTS.md for paper-vs-measured notes."

@@ -1,0 +1,160 @@
+(* Overload workload (--overload): a hot-key Zipfian transfer mix run
+   with more threads than cores, plus a deliberate straggler, to exercise
+   the DESIGN.md §11 protection ladder end to end — deadlines fire,
+   the contention manager paces retries, the admission gate narrows, and
+   exhausted transactions escalate through the serial-irrevocable
+   fallback instead of starving.
+
+   Worker 0 doubles as the straggler: every few stall periods it takes
+   the write lock on the hottest key (key 0 — the Zipfian mode) and
+   sleeps ~4x the configured deadline while holding it, which forces the
+   other workers' deadlines to blow and the escalation path to run.
+
+   Reported per STM: throughput, completion-time percentiles
+   (p50/p99/p999 — the tail is the point of the exercise), Starved and
+   Deadline_exceeded counts, escalations into the fallback, plus the
+   same two invariants the chaos soak checks (conservation and zero
+   leaked locks).  Returns the number of STMs that failed an
+   invariant. *)
+
+module Cm = Twoplsf_cm.Cm
+module Admission = Twoplsf_cm.Admission
+
+type outcome = {
+  stm : string;
+  ops : int;
+  starved : int;
+  deadline_raises : int;
+  fallbacks : int;
+  leaked : int;
+  sum_ok : bool;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+}
+
+let n_accounts = 4096
+let initial_balance = 1_000
+
+let run_one (module S : Stm_intf.STM) ~threads ~seconds ~theta =
+  let accounts = Array.init n_accounts (fun _ -> S.tvar initial_balance) in
+  Twoplsf_obs.Monitor.set_phase
+    (Printf.sprintf "overload/%s/t=%d" S.name threads);
+  S.reset_stats ();
+  let esc0 = Cm.escalations () in
+  let lat = Harness.Latency.create ~threads in
+  let starved = Atomic.make 0 and deadlined = Atomic.make 0 in
+  let pol = Stm_intf.current_policy () in
+  (* Straggler hold time: long enough that waiters must blow the deadline
+     (4x budget), with a floor for deadline-less runs. *)
+  let stall_s =
+    if pol.Stm_intf.deadline_ns > 0 then
+      Float.max 0.002 (float_of_int pol.Stm_intf.deadline_ns *. 4e-9)
+    else 0.002
+  in
+  let stall_gap = 10. *. stall_s in
+  let worker i should_stop =
+    let zipf =
+      Util.Zipf.create ~seed:(0x0EAD + (i * 7919)) ~n:n_accounts ~theta ()
+    in
+    let rng = Util.Sprng.create (0x0BAD + (i * 104729)) in
+    let ops = ref 0 in
+    let last_stall = ref (Util.Clock.now ()) in
+    while not (should_stop ()) do
+      if i = 0 && Util.Clock.now () -. !last_stall > stall_gap then begin
+        (* The straggler transaction: one write lock on the hottest key,
+           held across a sleep.  It acquires nothing afterwards, so its
+           own deadline can never fire; everyone queued behind it blows
+           theirs. *)
+        (match
+           S.atomic (fun tx ->
+               let v = S.read tx accounts.(0) in
+               S.write tx accounts.(0) v;
+               Unix.sleepf stall_s)
+         with
+        | () -> ()
+        | exception Stm_intf.Starved _ -> Atomic.incr starved
+        | exception Stm_intf.Deadline_exceeded _ -> Atomic.incr deadlined);
+        last_stall := Util.Clock.now ()
+      end
+      else begin
+        let a = Util.Zipf.next zipf in
+        let b = Util.Zipf.next zipf in
+        let amt = 1 + Util.Sprng.int rng 16 in
+        let t0 = Util.Clock.now () in
+        match
+          if Util.Sprng.int rng 8 = 0 then
+            S.atomic ~read_only:true (fun tx ->
+                ignore (S.read tx accounts.(a));
+                ignore (S.read tx accounts.(b)))
+          else
+            S.atomic (fun tx ->
+                let va = S.read tx accounts.(a) in
+                let vb = S.read tx accounts.(b) in
+                if a <> b then begin
+                  S.write tx accounts.(a) (va - amt);
+                  S.write tx accounts.(b) (vb + amt)
+                end)
+        with
+        | () ->
+            incr ops;
+            Harness.Latency.record lat i (Util.Clock.now () -. t0)
+        | exception Stm_intf.Starved _ -> Atomic.incr starved
+        | exception Stm_intf.Deadline_exceeded _ -> Atomic.incr deadlined
+      end
+    done;
+    !ops
+  in
+  let res = Harness.Exec.run_timed ~threads ~seconds worker in
+  let total =
+    S.atomic ~read_only:true (fun tx ->
+        Array.fold_left (fun acc a -> acc + S.read tx a) 0 accounts)
+  in
+  let leaked = S.leaked_locks () in
+  let p50, p99, p999 =
+    if Harness.Latency.count lat = 0 then (0., 0., 0.)
+    else
+      match Harness.Latency.percentiles lat [ 50.; 99.; 99.9 ] with
+      | [ (_, a); (_, b); (_, c) ] -> (a, b, c)
+      | _ -> (0., 0., 0.)
+  in
+  {
+    stm = S.name;
+    ops = res.Harness.Exec.ops;
+    starved = Atomic.get starved;
+    deadline_raises = Atomic.get deadlined;
+    fallbacks = Cm.escalations () - esc0;
+    leaked;
+    sum_ok = total = n_accounts * initial_balance;
+    p50_ms = p50 *. 1e3;
+    p99_ms = p99 *. 1e3;
+    p999_ms = p999 *. 1e3;
+  }
+
+(* Returns the number of STMs that failed an invariant. *)
+let run ~stms ~threads ~seconds ~theta =
+  let pol = Stm_intf.current_policy () in
+  Printf.printf
+    "Overload: %.1fs per STM, threads=%d, theta=%.2f, deadline=%.1fms, \
+     cm=%s, admission=%b, fallback=%b\n%!"
+    seconds threads theta
+    (float_of_int pol.Stm_intf.deadline_ns /. 1e6)
+    (Cm.choice_name pol.Stm_intf.cm)
+    pol.Stm_intf.admission pol.Stm_intf.fallback;
+  let failures = ref 0 in
+  List.iter
+    (fun stm ->
+      let o = run_one stm ~threads ~seconds ~theta in
+      Printf.printf
+        "  overload %-14s ops=%-9d starved=%-3d deadline-raises=%-4d \
+         fallbacks=%-4d leaked=%-3d sum=%s p50=%.2fms p99=%.2fms \
+         p999=%.2fms\n%!"
+        o.stm o.ops o.starved o.deadline_raises o.fallbacks o.leaked
+        (if o.sum_ok then "OK" else "MISMATCH")
+        o.p50_ms o.p99_ms o.p999_ms;
+      if o.leaked <> 0 || not o.sum_ok then incr failures)
+    stms;
+  List.iter
+    (fun (k, v) -> Printf.printf "  overload counter %-22s %d\n%!" k v)
+    (Cm.counters () @ if pol.Stm_intf.admission then Admission.counters () else []);
+  !failures

@@ -23,10 +23,13 @@ type outcome = {
 let n_accounts = 256
 let initial_balance = 1_000
 
-let soak_one (module S0 : Stm_intf.STM) ~threads ~seconds =
+let soak_one (module S0 : Stm_intf.STM) ~threads ~seconds ~cm =
   let (module S : Stm_intf.STM) = Baselines.Registry.chaos_wrap (module S0) in
   let accounts = Array.init n_accounts (fun _ -> S.tvar initial_balance) in
-  Twoplsf_obs.Monitor.set_phase (Printf.sprintf "soak/%s/t=%d" S.name threads);
+  Twoplsf_obs.Monitor.set_phase
+    (Printf.sprintf "soak/%s/cm=%s/t=%d" S.name
+       (Twoplsf_cm.Cm.choice_name cm)
+       threads);
   S.reset_stats ();
   let injected = Atomic.make 0 and starved_total = Atomic.make 0 in
   let worker i should_stop =
@@ -76,16 +79,31 @@ let soak_one (module S0 : Stm_intf.STM) ~threads ~seconds =
     sum_ok = total = n_accounts * initial_balance;
   }
 
-(* Returns the number of STMs that failed an invariant. *)
+(* Returns the number of (STM, contention-manager) phases that failed an
+   invariant.  Each STM's soak budget is split across the three CM
+   policies so every policy's inter-attempt pacing runs under injection;
+   the conservation and leaked-lock sweeps run after every phase, and the
+   pre-soak policy is restored at the end. *)
 let run ~stms ~threads ~seconds =
   let failures = ref 0 in
+  let base = Stm_intf.current_policy () in
+  let cms = [ Stm_intf.Cm_paper; Stm_intf.Cm_backoff; Stm_intf.Cm_hybrid ] in
+  let phase_seconds = seconds /. float_of_int (List.length cms) in
   List.iter
     (fun stm ->
-      let o = soak_one stm ~threads ~seconds in
-      Printf.printf
-        "  %-14s ops=%-9d injected-exns=%-6d starved=%-4d leaked=%-3d sum=%s\n%!"
-        o.stm o.ops o.injected_exns o.starved o.leaked
-        (if o.sum_ok then "OK" else "MISMATCH");
-      if o.leaked <> 0 || not o.sum_ok then incr failures)
+      List.iter
+        (fun cm ->
+          Twoplsf_cm.Cm.install { base with Stm_intf.cm };
+          let o = soak_one stm ~threads ~seconds:phase_seconds ~cm in
+          Printf.printf
+            "  %-14s cm=%-7s ops=%-9d injected-exns=%-6d starved=%-4d \
+             leaked=%-3d sum=%s\n%!"
+            o.stm
+            (Twoplsf_cm.Cm.choice_name cm)
+            o.ops o.injected_exns o.starved o.leaked
+            (if o.sum_ok then "OK" else "MISMATCH");
+          if o.leaked <> 0 || not o.sum_ok then incr failures)
+        cms)
     stms;
+  Twoplsf_cm.Cm.install base;
   !failures

@@ -1,6 +1,9 @@
 module Make (L : Rwlock.Trylock_rw.S) () = struct
   let name = L.name
 
+  module Cm = Twoplsf_cm.Cm
+  module Admission = Twoplsf_cm.Admission
+
   exception Restart
 
   open Tvar (* brings the { id; v } field labels into scope *)
@@ -17,6 +20,8 @@ module Make (L : Rwlock.Trylock_rw.S) () = struct
     mutable depth : int;
     mutable restarts : int;
     mutable finished_restarts : int;
+    mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
+    ov : Cm.state;
   }
 
   let requested_num_locks = ref 65536
@@ -45,6 +50,8 @@ module Make (L : Rwlock.Trylock_rw.S) () = struct
           depth = 0;
           restarts = 0;
           finished_restarts = 0;
+          escalated = false;
+          ov = Cm.make_state ();
         })
 
   let get_tx () = Domain.DLS.get tx_key
@@ -84,38 +91,61 @@ module Make (L : Rwlock.Trylock_rw.S) () = struct
     Util.Vec.clear tx.wlocks;
     Wset.clear tx.undo
 
+  let finish_escalation tx =
+    if tx.escalated then begin
+      tx.escalated <- false;
+      Cm.Fallback.release ()
+    end
+
+  let run tx f =
+    tx.restarts <- 0;
+    ignore (Cm.begin_txn tx.ov);
+    let rec attempt n =
+      begin_attempt tx;
+      tx.depth <- 1;
+      match f tx with
+      | v ->
+          tx.depth <- 0;
+          release tx;
+          finish_escalation tx;
+          Stm_intf.Stats.commit stats ~tid:tx.tid;
+          tx.finished_restarts <- tx.restarts;
+          v
+      | exception Restart ->
+          tx.depth <- 0;
+          rollback tx;
+          Stm_intf.Stats.abort stats ~tid:tx.tid;
+          tx.restarts <- tx.restarts + 1;
+          if tx.escalated then begin
+            Util.Backoff.exponential ~attempt:n;
+            attempt (n + 1)
+          end
+          else begin
+            match
+              Cm.after_abort ~stm:name ~tid:tx.tid ~restarts:tx.restarts
+                ~st:tx.ov
+                ~native_wait:(fun () -> Util.Backoff.exponential ~attempt:n)
+                ~cleanup:(fun () -> ())
+                ~reasons:(fun () -> [])
+            with
+            | Cm.Retry -> attempt (n + 1)
+            | Cm.Escalate ->
+                Cm.Fallback.acquire ();
+                tx.escalated <- true;
+                attempt (n + 1)
+          end
+      | exception e ->
+          tx.depth <- 0;
+          rollback tx;
+          finish_escalation tx;
+          raise e
+    in
+    attempt 1
+
   let atomic ?read_only f =
     ignore read_only (* reads always lock, as in every 2PL *);
     let tx = get_tx () in
-    if tx.depth > 0 then f tx
-    else begin
-      tx.restarts <- 0;
-      let rec attempt n =
-        begin_attempt tx;
-        tx.depth <- 1;
-        match f tx with
-        | v ->
-            tx.depth <- 0;
-            release tx;
-            Stm_intf.Stats.commit stats ~tid:tx.tid;
-            tx.finished_restarts <- tx.restarts;
-            v
-        | exception Restart ->
-            tx.depth <- 0;
-            rollback tx;
-            Stm_intf.Stats.abort stats ~tid:tx.tid;
-            tx.restarts <- tx.restarts + 1;
-            if Stm_intf.hit_restart_bound tx.restarts then
-              Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> []);
-            Util.Backoff.exponential ~attempt:n;
-            attempt (n + 1)
-        | exception e ->
-            tx.depth <- 0;
-            rollback tx;
-            raise e
-      in
-      attempt 1
-    end
+    if tx.depth > 0 then f tx else Admission.guard (fun () -> run tx f)
 
   let commits () = Stm_intf.Stats.commits stats
   let aborts () = Stm_intf.Stats.aborts stats

@@ -1,5 +1,8 @@
 let name = "OFWF"
 
+module Cm = Twoplsf_cm.Cm
+module Admission = Twoplsf_cm.Admission
+
 exception Restart
 
 open Tvar (* brings the { id; v } field labels into scope *)
@@ -16,6 +19,7 @@ type tx = {
   mutable depth : int;
   mutable restarts : int;
   mutable finished_restarts : int;
+  ov : Cm.state;
   undo : Wset.t;
       (* writer-mode undo log: only consulted when the transaction body
          raises, so the batch can roll back before releasing the seqlock *)
@@ -42,6 +46,7 @@ let tx_key =
         depth = 0;
         restarts = 0;
         finished_restarts = 0;
+        ov = Cm.make_state ();
         undo = Wset.create ();
       })
 
@@ -64,75 +69,83 @@ let write tx tv nv =
       tv.v <- nv
   | Reader _ -> invalid_arg "Onefile.write inside a read-only transaction"
 
+let run_writer tx f =
+  tx.restarts <- 0;
+  let v =
+    Rwlock.Flat_combiner.execute combiner ~tid:tx.tid (fun () ->
+        (* Runs in whichever thread combines; use that thread's
+           descriptor so nested transactional calls flatten there. *)
+        let inner = get_tx () in
+        let saved_mode = inner.mode and saved_depth = inner.depth in
+        inner.mode <- Writer;
+        inner.depth <- inner.depth + 1;
+        if saved_depth = 0 then Wset.clear inner.undo;
+        let restore () =
+          inner.mode <- saved_mode;
+          inner.depth <- saved_depth
+        in
+        match f inner with
+        | v ->
+            restore ();
+            v
+        | exception e ->
+            (* Still inside the seqlock write section: roll back this
+               transaction's writes before the batch is published. *)
+            if saved_depth = 0 then Wset.rollback inner.undo;
+            restore ();
+            raise e)
+  in
+  Stm_intf.Stats.commit stats ~tid:tx.tid;
+  tx.finished_restarts <- 0;
+  v
+
+let run_ro tx f =
+  tx.restarts <- 0;
+  ignore (Cm.begin_txn tx.ov);
+  let rec attempt n =
+    let snapshot = Rwlock.Seqlock.read_begin seq in
+    tx.mode <- Reader snapshot;
+    tx.depth <- 1;
+    (* Overload escalation: the writer path is flat-combined and cannot
+       lose a validation race, so re-running the read-only body through
+       the combiner is this STM's serial slow path (reads under the
+       seqlock are trivially consistent; a read-only body performs no
+       writes by contract). *)
+    let on_abort k =
+      Stm_intf.Stats.abort stats ~tid:tx.tid;
+      tx.restarts <- tx.restarts + 1;
+      match
+        Cm.after_abort ~stm:name ~tid:tx.tid ~restarts:tx.restarts ~st:tx.ov
+          ~native_wait:(fun () -> Util.Backoff.exponential ~attempt:n)
+          ~cleanup:(fun () -> ())
+          ~reasons:(fun () -> [])
+      with
+      | Cm.Retry -> k ()
+      | Cm.Escalate -> run_writer tx f
+    in
+    match f tx with
+    | v ->
+        tx.depth <- 0;
+        if Rwlock.Seqlock.read_validate seq snapshot then begin
+          Stm_intf.Stats.commit stats ~tid:tx.tid;
+          tx.finished_restarts <- tx.restarts;
+          v
+        end
+        else on_abort (fun () -> attempt (n + 1))
+    | exception Restart ->
+        tx.depth <- 0;
+        on_abort (fun () -> attempt (n + 1))
+    | exception e ->
+        tx.depth <- 0;
+        raise e
+  in
+  attempt 1
+
 let atomic ?(read_only = false) f =
   let tx = get_tx () in
   if tx.depth > 0 then f tx
-  else if read_only then begin
-    tx.restarts <- 0;
-    let rec attempt n =
-      let snapshot = Rwlock.Seqlock.read_begin seq in
-      tx.mode <- Reader snapshot;
-      tx.depth <- 1;
-      match f tx with
-      | v ->
-          tx.depth <- 0;
-          if Rwlock.Seqlock.read_validate seq snapshot then begin
-            Stm_intf.Stats.commit stats ~tid:tx.tid;
-            tx.finished_restarts <- tx.restarts;
-            v
-          end
-          else begin
-            Stm_intf.Stats.abort stats ~tid:tx.tid;
-            tx.restarts <- tx.restarts + 1;
-            if Stm_intf.hit_restart_bound tx.restarts then
-              Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> []);
-            Util.Backoff.exponential ~attempt:n;
-            attempt (n + 1)
-          end
-      | exception Restart ->
-          tx.depth <- 0;
-          Stm_intf.Stats.abort stats ~tid:tx.tid;
-          tx.restarts <- tx.restarts + 1;
-          if Stm_intf.hit_restart_bound tx.restarts then
-            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> []);
-          Util.Backoff.exponential ~attempt:n;
-          attempt (n + 1)
-      | exception e ->
-          tx.depth <- 0;
-          raise e
-    in
-    attempt 1
-  end
-  else begin
-    tx.restarts <- 0;
-    let v =
-      Rwlock.Flat_combiner.execute combiner ~tid:tx.tid (fun () ->
-          (* Runs in whichever thread combines; use that thread's
-             descriptor so nested transactional calls flatten there. *)
-          let inner = get_tx () in
-          let saved_mode = inner.mode and saved_depth = inner.depth in
-          inner.mode <- Writer;
-          inner.depth <- inner.depth + 1;
-          if saved_depth = 0 then Wset.clear inner.undo;
-          let restore () =
-            inner.mode <- saved_mode;
-            inner.depth <- saved_depth
-          in
-          match f inner with
-          | v ->
-              restore ();
-              v
-          | exception e ->
-              (* Still inside the seqlock write section: roll back this
-                 transaction's writes before the batch is published. *)
-              if saved_depth = 0 then Wset.rollback inner.undo;
-              restore ();
-              raise e)
-    in
-    Stm_intf.Stats.commit stats ~tid:tx.tid;
-    tx.finished_restarts <- 0;
-    v
-  end
+  else if read_only then Admission.guard (fun () -> run_ro tx f)
+  else Admission.guard (fun () -> run_writer tx f)
 
 let commits () = Stm_intf.Stats.commits stats
 let aborts () = Stm_intf.Stats.aborts stats

@@ -1,5 +1,8 @@
 let name = "OREC-Z"
 
+module Cm = Twoplsf_cm.Cm
+module Admission = Twoplsf_cm.Admission
+
 exception Restart
 
 open Tvar (* brings the { id; v } field labels into scope *)
@@ -18,6 +21,8 @@ type tx = {
   mutable depth : int;
   mutable restarts : int;
   mutable finished_restarts : int;
+  mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
+  ov : Cm.state;
 }
 
 let requested_num_orecs = ref 65536
@@ -47,6 +52,8 @@ let tx_key =
         depth = 0;
         restarts = 0;
         finished_restarts = 0;
+        escalated = false;
+        ov = Cm.make_state ();
       })
 
 let get_tx () = Domain.DLS.get tx_key
@@ -169,42 +176,66 @@ let begin_attempt tx ~ro =
   tx.ro <- ro;
   tx.rv <- Atomic.get clock
 
+let finish_escalation tx =
+  if tx.escalated then begin
+    tx.escalated <- false;
+    Cm.Fallback.release ()
+  end
+
+let run tx read_only f =
+  tx.restarts <- 0;
+  ignore (Cm.begin_txn tx.ov);
+  let rec attempt n =
+    begin_attempt tx ~ro:read_only;
+    tx.depth <- 1;
+    match
+      let v = f tx in
+      commit tx;
+      v
+    with
+    | v ->
+        tx.depth <- 0;
+        finish_escalation tx;
+        Stm_intf.Stats.commit stats ~tid:tx.tid;
+        tx.finished_restarts <- tx.restarts;
+        v
+    | exception Restart ->
+        tx.depth <- 0;
+        Stm_intf.Stats.abort stats ~tid:tx.tid;
+        tx.restarts <- tx.restarts + 1;
+        if tx.escalated then begin
+          Util.Backoff.exponential ~attempt:n;
+          attempt (n + 1)
+        end
+        else begin
+          match
+            Cm.after_abort ~stm:name ~tid:tx.tid ~restarts:tx.restarts
+              ~st:tx.ov
+              ~native_wait:(fun () -> Util.Backoff.exponential ~attempt:n)
+              ~cleanup:(fun () -> ())
+              ~reasons:(fun () -> [])
+          with
+          | Cm.Retry -> attempt (n + 1)
+          | Cm.Escalate ->
+              Cm.Fallback.acquire ();
+              tx.escalated <- true;
+              attempt (n + 1)
+        end
+    | exception e ->
+        tx.depth <- 0;
+        (* Lazy locking: the body holds no locks, but an exception
+           escaping mid-commit may — release them to their pre-lock
+           versions before propagating. *)
+        release_acquired_old tx;
+        finish_escalation tx;
+        raise e
+  in
+  attempt 1
+
 let atomic ?(read_only = false) f =
   let tx = get_tx () in
   if tx.depth > 0 then f tx
-  else begin
-    tx.restarts <- 0;
-    let rec attempt n =
-      begin_attempt tx ~ro:read_only;
-      tx.depth <- 1;
-      match
-        let v = f tx in
-        commit tx;
-        v
-      with
-      | v ->
-          tx.depth <- 0;
-          Stm_intf.Stats.commit stats ~tid:tx.tid;
-          tx.finished_restarts <- tx.restarts;
-          v
-      | exception Restart ->
-          tx.depth <- 0;
-          Stm_intf.Stats.abort stats ~tid:tx.tid;
-          tx.restarts <- tx.restarts + 1;
-          if Stm_intf.hit_restart_bound tx.restarts then
-            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> []);
-          Util.Backoff.exponential ~attempt:n;
-          attempt (n + 1)
-      | exception e ->
-          tx.depth <- 0;
-          (* Lazy locking: the body holds no locks, but an exception
-             escaping mid-commit may — release them to their pre-lock
-             versions before propagating. *)
-          release_acquired_old tx;
-          raise e
-    in
-    attempt 1
-  end
+  else Admission.guard (fun () -> run tx read_only f)
 
 let commits () = Stm_intf.Stats.commits stats
 let aborts () = Stm_intf.Stats.aborts stats

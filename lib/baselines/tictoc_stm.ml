@@ -3,6 +3,8 @@ open Tvar (* brings the { id; v } field labels into scope *)
 let name = "TicToc-STM"
 
 module Obs = Twoplsf_obs
+module Cm = Twoplsf_cm.Cm
+module Admission = Twoplsf_cm.Admission
 
 exception Restart
 
@@ -36,6 +38,8 @@ type tx = {
   mutable depth : int;
   mutable restarts : int;
   mutable finished_restarts : int;
+  mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
+  ov : Cm.state;
   mutable abort_reason : Obs.Events.abort_reason;
 }
 
@@ -74,6 +78,8 @@ let tx_key =
         depth = 0;
         restarts = 0;
         finished_restarts = 0;
+        escalated = false;
+        ov = Cm.make_state ();
         abort_reason = Obs.Events.User_restart;
       })
 
@@ -203,51 +209,80 @@ let begin_attempt tx ~ro =
   tx.abort_reason <- Obs.Events.User_restart;
   tx.ro <- ro
 
+let finish_escalation tx =
+  if tx.escalated then begin
+    tx.escalated <- false;
+    Cm.Fallback.release ()
+  end
+
+let run tx read_only f =
+  tx.restarts <- 0;
+  ignore (Cm.begin_txn tx.ov);
+  let telemetry = !Obs.Telemetry.on in
+  let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+  let rec attempt n att_t0 =
+    begin_attempt tx ~ro:read_only;
+    tx.depth <- 1;
+    match
+      let v = f tx in
+      commit tx;
+      v
+    with
+    | v ->
+        tx.depth <- 0;
+        finish_escalation tx;
+        Stm_intf.Stats.commit stats ~tid:tx.tid;
+        tx.finished_restarts <- tx.restarts;
+        if telemetry then
+          Obs.Scope.txn_commit obs ~tid:tx.tid ~txn_t0_ns:txn_t0
+            ~att_t0_ns:att_t0;
+        v
+    | exception Restart ->
+        tx.depth <- 0;
+        Stm_intf.Stats.abort stats ~tid:tx.tid;
+        if telemetry then
+          Obs.Scope.txn_abort obs ~tid:tx.tid ~att_t0_ns:att_t0
+            tx.abort_reason;
+        tx.restarts <- tx.restarts + 1;
+        if tx.escalated then begin
+          Util.Backoff.exponential ~attempt:n;
+          attempt (n + 1) (if telemetry then Obs.Telemetry.now_ns () else 0)
+        end
+        else begin
+          match
+            Cm.after_abort ~stm:name ~tid:tx.tid ~restarts:tx.restarts
+              ~st:tx.ov
+              ~native_wait:(fun () -> Util.Backoff.exponential ~attempt:n)
+              ~cleanup:(fun () -> ())
+              ~reasons:(fun () ->
+                if telemetry then Obs.Scope.abort_counts obs else [])
+          with
+          | Cm.Retry ->
+              attempt (n + 1)
+                (if telemetry then Obs.Telemetry.now_ns () else 0)
+          | Cm.Escalate ->
+              Cm.Fallback.acquire ();
+              tx.escalated <- true;
+              if telemetry then
+                Obs.Scope.event obs ~tid:tx.tid Obs.Events.Irrevocable_fallback;
+              attempt (n + 1)
+                (if telemetry then Obs.Telemetry.now_ns () else 0)
+        end
+    | exception e ->
+        tx.depth <- 0;
+        (* The body holds no locks (lazy locking), but an exception
+           escaping mid-commit does: restore any commit-locked words to
+           their pre-lock values before propagating. *)
+        (if !built then unlock_all (Util.Once.get table) tx);
+        finish_escalation tx;
+        raise e
+  in
+  attempt 1 txn_t0
+
 let atomic ?(read_only = false) f =
   let tx = get_tx () in
   if tx.depth > 0 then f tx
-  else begin
-    tx.restarts <- 0;
-    let telemetry = !Obs.Telemetry.on in
-    let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
-    let rec attempt n att_t0 =
-      begin_attempt tx ~ro:read_only;
-      tx.depth <- 1;
-      match
-        let v = f tx in
-        commit tx;
-        v
-      with
-      | v ->
-          tx.depth <- 0;
-          Stm_intf.Stats.commit stats ~tid:tx.tid;
-          tx.finished_restarts <- tx.restarts;
-          if telemetry then
-            Obs.Scope.txn_commit obs ~tid:tx.tid ~txn_t0_ns:txn_t0
-              ~att_t0_ns:att_t0;
-          v
-      | exception Restart ->
-          tx.depth <- 0;
-          Stm_intf.Stats.abort stats ~tid:tx.tid;
-          if telemetry then
-            Obs.Scope.txn_abort obs ~tid:tx.tid ~att_t0_ns:att_t0
-              tx.abort_reason;
-          tx.restarts <- tx.restarts + 1;
-          if Stm_intf.hit_restart_bound tx.restarts then
-            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () ->
-                if telemetry then Obs.Scope.abort_counts obs else []);
-          Util.Backoff.exponential ~attempt:n;
-          attempt (n + 1) (if telemetry then Obs.Telemetry.now_ns () else 0)
-      | exception e ->
-          tx.depth <- 0;
-          (* The body holds no locks (lazy locking), but an exception
-             escaping mid-commit does: restore any commit-locked words to
-             their pre-lock values before propagating. *)
-          (if !built then unlock_all (Util.Once.get table) tx);
-          raise e
-    in
-    attempt 1 txn_t0
-  end
+  else Admission.guard (fun () -> run tx read_only f)
 
 let commits () = Stm_intf.Stats.commits stats
 let aborts () = Stm_intf.Stats.aborts stats

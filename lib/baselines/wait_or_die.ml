@@ -2,6 +2,9 @@ module Rwl_sf = Twoplsf.Rwl_sf
 
 let name = "2PL-WaitDie"
 
+module Cm = Twoplsf_cm.Cm
+module Admission = Twoplsf_cm.Admission
+
 exception Restart
 
 open Tvar (* brings the { id; v } field labels into scope *)
@@ -18,6 +21,8 @@ type tx = {
   mutable depth : int;
   mutable restarts : int;
   mutable finished_restarts : int;
+  mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
+  ov : Cm.state;
 }
 
 let requested_num_locks = ref 65536
@@ -45,6 +50,8 @@ let tx_key =
         depth = 0;
         restarts = 0;
         finished_restarts = 0;
+        escalated = false;
+        ov = Cm.make_state ();
       })
 
 let get_tx () = Domain.DLS.get tx_key
@@ -108,45 +115,73 @@ let begin_attempt t tx =
      across restarts so progress is guaranteed). *)
   Rwl_sf.take_timestamp t tx.ctx
 
+let finish_escalation tx =
+  if tx.escalated then begin
+    tx.escalated <- false;
+    Cm.Fallback.release ()
+  end
+
+let run tx f =
+  tx.restarts <- 0;
+  tx.ctx.Rwl_sf.deadline_ns <- Cm.begin_txn tx.ov;
+  tx.ctx.Rwl_sf.deadline_hit <- false;
+  let t = Util.Once.get table in
+  let rec attempt () =
+    begin_attempt t tx;
+    tx.depth <- 1;
+    match f tx with
+    | v ->
+        tx.depth <- 0;
+        release tx;
+        Rwl_sf.clear_announcement t tx.ctx;
+        finish_escalation tx;
+        Stm_intf.Stats.commit stats ~tid:tx.ctx.tid;
+        tx.finished_restarts <- tx.restarts;
+        v
+    | exception Restart ->
+        tx.depth <- 0;
+        rollback tx;
+        tx.ctx.Rwl_sf.deadline_hit <- false;
+        Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
+        tx.restarts <- tx.restarts + 1;
+        if tx.escalated then begin
+          (* Serial slow path: the kept (now oldest-aging) timestamp plus
+             the fallback mutex guarantee eventual commit. *)
+          wait_for_all_lower t tx;
+          attempt ()
+        end
+        else begin
+          match
+            Cm.after_abort ~stm:name ~tid:tx.ctx.tid ~restarts:tx.restarts
+              ~st:tx.ov
+              ~native_wait:(fun () -> wait_for_all_lower t tx)
+                (* Drop the announced timestamp before bailing out so no
+                   surviving transaction keeps deferring to a dead one. *)
+              ~cleanup:(fun () -> Rwl_sf.clear_announcement t tx.ctx)
+              ~reasons:(fun () -> [])
+          with
+          | Cm.Retry ->
+              tx.ctx.Rwl_sf.deadline_ns <- tx.ov.Cm.deadline;
+              attempt ()
+          | Cm.Escalate ->
+              Cm.Fallback.acquire ();
+              tx.escalated <- true;
+              tx.ctx.Rwl_sf.deadline_ns <- 0;
+              attempt ()
+        end
+    | exception e ->
+        tx.depth <- 0;
+        rollback tx;
+        Rwl_sf.clear_announcement t tx.ctx;
+        finish_escalation tx;
+        raise e
+  in
+  attempt ()
+
 let atomic ?read_only f =
   ignore read_only;
   let tx = get_tx () in
-  if tx.depth > 0 then f tx
-  else begin
-    tx.restarts <- 0;
-    let t = Util.Once.get table in
-    let rec attempt () =
-      begin_attempt t tx;
-      tx.depth <- 1;
-      match f tx with
-      | v ->
-          tx.depth <- 0;
-          release tx;
-          Rwl_sf.clear_announcement t tx.ctx;
-          Stm_intf.Stats.commit stats ~tid:tx.ctx.tid;
-          tx.finished_restarts <- tx.restarts;
-          v
-      | exception Restart ->
-          tx.depth <- 0;
-          rollback tx;
-          Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
-          tx.restarts <- tx.restarts + 1;
-          if Stm_intf.hit_restart_bound tx.restarts then begin
-            (* Drop the announced timestamp before bailing out so no
-               surviving transaction keeps deferring to a dead one. *)
-            Rwl_sf.clear_announcement t tx.ctx;
-            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> [])
-          end;
-          wait_for_all_lower t tx;
-          attempt ()
-      | exception e ->
-          tx.depth <- 0;
-          rollback tx;
-          Rwl_sf.clear_announcement t tx.ctx;
-          raise e
-    in
-    attempt ()
-  end
+  if tx.depth > 0 then f tx else Admission.guard (fun () -> run tx f)
 
 let commits () = Stm_intf.Stats.commits stats
 let aborts () = Stm_intf.Stats.aborts stats

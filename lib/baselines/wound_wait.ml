@@ -2,13 +2,25 @@ open Tvar (* brings the { id; v } field labels into scope *)
 
 let name = "2PL-WoundWait"
 
+module Obs = Twoplsf_obs
+module Cm = Twoplsf_cm.Cm
+module Admission = Twoplsf_cm.Admission
+
 exception Restart
 
 type 'a tvar = 'a Tvar.t
 
 let tvar = Tvar.make
 
-type ctx = { tid : int; mutable my_ts : int }
+type ctx = {
+  tid : int;
+  mutable my_ts : int;
+  mutable deadline_ns : int; (* absolute; 0 = none (DESIGN.md §11) *)
+  mutable deadline_hit : bool;
+}
+
+let deadline_blown ctx =
+  ctx.deadline_ns <> 0 && Obs.Telemetry.now_ns () > ctx.deadline_ns
 
 type tx = {
   ctx : ctx;
@@ -18,6 +30,8 @@ type tx = {
   mutable depth : int;
   mutable restarts : int;
   mutable finished_restarts : int;
+  mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
+  ov : Cm.state;
 }
 
 type table = {
@@ -56,13 +70,21 @@ let stats = Stm_intf.Stats.create ()
 let tx_key =
   Domain.DLS.new_key (fun () ->
       {
-        ctx = { tid = Util.Tid.get (); my_ts = 0 };
+        ctx =
+          {
+            tid = Util.Tid.get ();
+            my_ts = 0;
+            deadline_ns = 0;
+            deadline_hit = false;
+          };
         rset = Util.Vec.create ~dummy:(-1) ();
         wlocks = Util.Vec.create ~dummy:(-1) ();
         undo = Wset.create ();
         depth = 0;
         restarts = 0;
         finished_restarts = 0;
+        escalated = false;
+        ov = Cm.make_state ();
       })
 
 let get_tx () = Domain.DLS.get tx_key
@@ -82,6 +104,10 @@ let acquire_read t ctx w =
     let b = Util.Backoff.create () in
     let rec loop () =
       if am_wounded t ctx then false
+      else if deadline_blown ctx then begin
+        ctx.deadline_hit <- true;
+        false
+      end
       else begin
         Rwlock.Read_indicator.arrive t.ri ~tid:ctx.tid w;
         let ws = Atomic.get t.wlocks.(w) in
@@ -108,6 +134,11 @@ let acquire_write t ctx w =
     let rec loop () =
       if am_wounded t ctx then begin
         if Atomic.get t.wlocks.(w) = me then Atomic.set t.wlocks.(w) 0;
+        false
+      end
+      else if deadline_blown ctx then begin
+        if Atomic.get t.wlocks.(w) = me then Atomic.set t.wlocks.(w) 0;
+        ctx.deadline_hit <- true;
         false
       end
       else begin
@@ -188,49 +219,75 @@ let finish t tx =
   Atomic.set t.announce.(tx.ctx.tid) 0;
   Atomic.set t.wounded.(tx.ctx.tid) false
 
+let finish_escalation tx =
+  if tx.escalated then begin
+    tx.escalated <- false;
+    Cm.Fallback.release ()
+  end
+
+let run tx f =
+  tx.restarts <- 0;
+  tx.ctx.deadline_ns <- Cm.begin_txn tx.ov;
+  tx.ctx.deadline_hit <- false;
+  let t = Util.Once.get table in
+  let rec attempt () =
+    begin_attempt t tx;
+    tx.depth <- 1;
+    match f tx with
+    | v ->
+        tx.depth <- 0;
+        (* A wound that arrives after the last acquisition is too late:
+           the transaction has all its locks and commits (standard
+           wound-wait: finished transactions are not aborted). *)
+        release t tx;
+        finish t tx;
+        finish_escalation tx;
+        Stm_intf.Stats.commit stats ~tid:tx.ctx.tid;
+        tx.finished_restarts <- tx.restarts;
+        v
+    | exception Restart ->
+        tx.depth <- 0;
+        rollback t tx;
+        tx.ctx.deadline_hit <- false;
+        Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
+        tx.restarts <- tx.restarts + 1;
+        if tx.escalated then attempt ()
+        else begin
+          match
+            Cm.after_abort ~stm:name ~tid:tx.ctx.tid ~restarts:tx.restarts
+              ~st:tx.ov
+                (* Keep the timestamp on retry: the restarted transaction
+                   ages toward oldest, which is the starvation-freedom
+                   argument; wound-wait's native inter-attempt wait is
+                   "none". *)
+              ~native_wait:(fun () -> ())
+                (* Retire the timestamp before bailing out so younger
+                   transactions stop wounding themselves against it. *)
+              ~cleanup:(fun () -> finish t tx)
+              ~reasons:(fun () -> [])
+          with
+          | Cm.Retry ->
+              tx.ctx.deadline_ns <- tx.ov.Cm.deadline;
+              attempt ()
+          | Cm.Escalate ->
+              Cm.Fallback.acquire ();
+              tx.escalated <- true;
+              tx.ctx.deadline_ns <- 0;
+              attempt ()
+        end
+    | exception e ->
+        tx.depth <- 0;
+        rollback t tx;
+        finish t tx;
+        finish_escalation tx;
+        raise e
+  in
+  attempt ()
+
 let atomic ?read_only f =
   ignore read_only;
   let tx = get_tx () in
-  if tx.depth > 0 then f tx
-  else begin
-    tx.restarts <- 0;
-    let t = Util.Once.get table in
-    let rec attempt () =
-      begin_attempt t tx;
-      tx.depth <- 1;
-      match f tx with
-      | v ->
-          tx.depth <- 0;
-          (* A wound that arrives after the last acquisition is too late:
-             the transaction has all its locks and commits (standard
-             wound-wait: finished transactions are not aborted). *)
-          release t tx;
-          finish t tx;
-          Stm_intf.Stats.commit stats ~tid:tx.ctx.tid;
-          tx.finished_restarts <- tx.restarts;
-          v
-      | exception Restart ->
-          tx.depth <- 0;
-          rollback t tx;
-          Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
-          tx.restarts <- tx.restarts + 1;
-          if Stm_intf.hit_restart_bound tx.restarts then begin
-            (* Retire the timestamp before bailing out so younger
-               transactions stop wounding themselves against it. *)
-            finish t tx;
-            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () -> [])
-          end;
-          (* Keep the timestamp: the restarted transaction ages toward
-             oldest, which is the starvation-freedom argument. *)
-          attempt ()
-      | exception e ->
-          tx.depth <- 0;
-          rollback t tx;
-          finish t tx;
-          raise e
-    in
-    attempt ()
-  end
+  if tx.depth > 0 then f tx else Admission.guard (fun () -> run tx f)
 
 let commits () = Stm_intf.Stats.commits stats
 let aborts () = Stm_intf.Stats.aborts stats

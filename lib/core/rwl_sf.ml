@@ -40,6 +40,8 @@ type ctx = {
   mutable o_tid : int;
   mutable o_ts : int;
   mutable preempted : bool;
+  mutable deadline_ns : int;
+  mutable deadline_hit : bool;
 }
 
 let create ?(num_locks = 65536) () =
@@ -98,7 +100,22 @@ let set_obs t sc =
      short-lived tables (one per DBx run) should not pile up in a run that
      never watches them. *)
   if !Obs.Wait_registry.on then watch t
-let make_ctx ~tid = { tid; my_ts = 0; o_tid = -1; o_ts = 0; preempted = false }
+let make_ctx ~tid =
+  {
+    tid;
+    my_ts = 0;
+    o_tid = -1;
+    o_ts = 0;
+    preempted = false;
+    deadline_ns = 0;
+    deadline_hit = false;
+  }
+
+(* Overload protection (DESIGN.md §11): a transaction's absolute deadline,
+   installed by the STM at attempt start.  0 = no deadline, so the
+   disabled-path cost in every wait loop is one load + predicted branch. *)
+let deadline_blown ctx =
+  ctx.deadline_ns <> 0 && Obs.Telemetry.now_ns () > ctx.deadline_ns
 let num_locks t = t.nlocks
 let lock_index t id = id land t.mask
 let announced t tid = Atomic.get t.announce.(tid)
@@ -218,6 +235,12 @@ let try_or_wait_read_lock t ctx w =
           ctx.preempted <- false;
           finish false
         end
+        else if deadline_blown ctx then begin
+          Read_indicator.depart t.ri ~tid:ctx.tid w;
+          ctx.preempted <- false;
+          ctx.deadline_hit <- true;
+          finish false
+        end
         else begin
           incr spins;
           if !Chaos.on then Chaos.point Chaos.Read_lock_wait;
@@ -300,6 +323,14 @@ let try_or_wait_write_lock t ctx w =
           ctx.preempted <- owned;
           finish false
         end
+        else if deadline_blown ctx then begin
+          let owned = Atomic.get t.wlocks.(w) = me in
+          Read_indicator.depart t.ri ~tid:ctx.tid w;
+          if owned then Atomic.set t.wlocks.(w) 0;
+          ctx.preempted <- false;
+          ctx.deadline_hit <- true;
+          finish false
+        end
         else begin
           incr spins;
           if !Chaos.on then Chaos.point Chaos.Write_lock_wait;
@@ -331,7 +362,7 @@ let wait_for_conflictor t ctx =
         ~kind:Obs.Wait_registry.conflictor_wait ~table:t.watch_id ~lock:(-1)
         ~since_ns:(Obs.Telemetry.now_ns ()) ~observed:otid;
     let b = Util.Backoff.create () in
-    while Atomic.get t.announce.(otid) = ots do
+    while Atomic.get t.announce.(otid) = ots && not (deadline_blown ctx) do
       if !Chaos.on then Chaos.point Chaos.Conflictor_wait;
       Util.Backoff.once b
     done;

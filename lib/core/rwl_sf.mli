@@ -30,6 +30,15 @@ type ctx = {
           higher-priority transaction (the starvation-freedom mechanism
           firing), [false] for a plain failed acquisition.  Valid until
           the next [try_or_wait_*] call. *)
+  mutable deadline_ns : int;
+      (** absolute deadline ({!Twoplsf_obs.Telemetry.now_ns} clock) after
+          which the wait loops abandon the acquisition; 0 = no deadline.
+          Installed by the STM at attempt start (DESIGN.md §11). *)
+  mutable deadline_hit : bool;
+      (** [true] when the last failed acquisition was abandoned because
+          [deadline_ns] expired rather than because of a higher-priority
+          conflictor.  Valid until the next [try_or_wait_*] call; the STM
+          resets it when translating it into a [Deadline] abort. *)
 }
 (** Per-transaction conflict state — the paper's thread-locals [tl_myTS],
     [tl_otid], [tl_oTS].  Owned by one thread, embedded in its STM
@@ -108,7 +117,12 @@ val clear_announcement : t -> ctx -> unit
 val wait_for_conflictor : t -> ctx -> unit
 (** Before re-attempting a restarted transaction, wait until the
     transaction that caused the conflict has committed (line 26: spin while
-    its announcement still equals the timestamp we observed). *)
+    its announcement still equals the timestamp we observed).  Bounded by
+    [ctx.deadline_ns] when a deadline is installed. *)
+
+val deadline_blown : ctx -> bool
+(** Whether [ctx.deadline_ns] is set and in the past.  One load plus a
+    predicted branch when no deadline is installed. *)
 
 val announced : t -> int -> int
 (** Raw announced timestamp of a thread (0 = none); for tests. *)

@@ -2,6 +2,8 @@ let name = "2PLSF"
 
 module Obs = Twoplsf_obs
 module Chaos = Twoplsf_chaos.Chaos
+module Cm = Twoplsf_cm.Cm
+module Admission = Twoplsf_cm.Admission
 
 exception Restart
 (* The OCaml stand-in for the paper's longjmp back to beginTxn. *)
@@ -23,6 +25,10 @@ type tx = {
   mutable restarts : int;
   mutable finished_restarts : int;
   mutable irrevocable : bool;
+  mutable escalated : bool;
+      (* the overload fallback upgraded this transaction mid-flight; the
+         zero mutex is held and must be released on every exit path *)
+  ov : Cm.state; (* overload-protection state (deadline, strikes) *)
   mutable abort_reason : Obs.Events.abort_reason;
       (* why the in-flight attempt raised Restart; telemetry only *)
 }
@@ -72,6 +78,8 @@ let tx_key =
         restarts = 0;
         finished_restarts = 0;
         irrevocable = false;
+        escalated = false;
+        ov = Cm.make_state ();
         abort_reason = Obs.Events.User_restart;
       })
 
@@ -90,7 +98,9 @@ let read tx tv =
     tv.v
   end
   else begin
-    tx.abort_reason <- Obs.Events.Read_lock_conflict;
+    tx.abort_reason <-
+      (if tx.ctx.deadline_hit then Obs.Events.Deadline
+       else Obs.Events.Read_lock_conflict);
     raise Restart
   end
 
@@ -108,7 +118,8 @@ let write tx tv nv =
   end
   else begin
     tx.abort_reason <-
-      (if tx.ctx.preempted then Obs.Events.Priority_preemption
+      (if tx.ctx.deadline_hit then Obs.Events.Deadline
+       else if tx.ctx.preempted then Obs.Events.Priority_preemption
        else Obs.Events.Write_lock_conflict);
     raise Restart
   end
@@ -121,6 +132,7 @@ let begin_attempt tx =
   Util.Vec.clear tx.undo;
   tx.serial <- tx.serial + 1;
   tx.stamp <- (tx.serial * Util.Tid.max_threads) + tx.ctx.tid;
+  tx.ctx.deadline_hit <- false;
   tx.abort_reason <- Obs.Events.User_restart
 
 let release_locks t tx =
@@ -152,57 +164,110 @@ let rollback tx =
   if !Chaos.on then Chaos.point Chaos.Mid_rollback;
   release_locks t tx
 
+let irrevocable_priority = 1
+
+(* De-escalate an overload-escalated transaction on any exit path: the
+   zero mutex is held from the moment of escalation until the escalated
+   attempt commits or escapes with an exception. *)
+let finish_escalation t tx =
+  if tx.escalated then begin
+    tx.escalated <- false;
+    tx.irrevocable <- false;
+    Rwl_sf.zero_mutex_unlock t
+  end
+
+let run tx f =
+  tx.restarts <- 0;
+  (* Irrevocable transactions (§2.8) are exempt from overload protection:
+     they hold the zero mutex and must commit. *)
+  tx.ctx.deadline_ns <- (if tx.irrevocable then 0 else Cm.begin_txn tx.ov);
+  let t = Util.Once.get table in
+  let telemetry = !Obs.Telemetry.on in
+  let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+  let rec attempt att_t0 =
+    begin_attempt tx;
+    tx.depth <- 1;
+    match f tx with
+    | v ->
+        tx.depth <- 0;
+        if !Chaos.on then Chaos.point Chaos.Pre_commit;
+        commit tx;
+        finish_escalation t tx;
+        if telemetry then
+          Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
+            ~att_t0_ns:att_t0;
+        v
+    | exception Restart ->
+        tx.depth <- 0;
+        rollback tx;
+        Stm_stats.abort stats ~tid:tx.ctx.tid;
+        if telemetry then
+          Obs.Scope.txn_abort obs ~tid:tx.ctx.tid ~att_t0_ns:att_t0
+            tx.abort_reason;
+        tx.restarts <- tx.restarts + 1;
+        if tx.escalated || tx.irrevocable then begin
+          (* Already on the serial slow path (or §2.8 irrevocable): only a
+             chaos-injected spurious failure can abort us; retry
+             unconditionally — priority 1 wins every real conflict. *)
+          Rwl_sf.wait_for_conflictor t tx.ctx;
+          attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
+        end
+        else begin
+          match
+            Cm.after_abort ~stm:name ~tid:tx.ctx.tid ~restarts:tx.restarts
+              ~st:tx.ov
+              ~native_wait:(fun () -> Rwl_sf.wait_for_conflictor t tx.ctx)
+                (* Locks are already released; cleanup drops the priority
+                   announcement too so no other thread keeps deferring to
+                   a timestamp that will never commit. *)
+              ~cleanup:(fun () -> Rwl_sf.clear_announcement t tx.ctx)
+              ~reasons:(fun () ->
+                if telemetry then Obs.Scope.abort_counts obs else [])
+          with
+          | Cm.Retry ->
+              tx.ctx.deadline_ns <- tx.ov.Cm.deadline;
+              attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
+          | Cm.Escalate ->
+              (* Serial-irrevocable fallback (DESIGN.md §11): take the
+                 zero mutex and the reserved priority, so the next attempt
+                 cannot lose a conflict and commits. *)
+              Rwl_sf.clear_announcement t tx.ctx;
+              Rwl_sf.zero_mutex_lock t;
+              Rwl_sf.announce_priority t tx.ctx irrevocable_priority;
+              tx.escalated <- true;
+              tx.irrevocable <- true;
+              tx.ctx.deadline_ns <- 0;
+              if telemetry then
+                Obs.Scope.event obs ~tid:tx.ctx.tid
+                  Obs.Events.Irrevocable_fallback;
+              attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
+        end
+    | exception e ->
+        tx.depth <- 0;
+        rollback tx;
+        Rwl_sf.clear_announcement t tx.ctx;
+        finish_escalation t tx;
+        raise e
+  in
+  attempt txn_t0
+
 let atomic ?read_only f =
   ignore read_only;
   (* 2PLSF reads are pessimistic; read-only transactions take the same
      path (no commit-time validation exists to skip). *)
   let tx = get_tx () in
   if tx.depth > 0 then f tx
-  else begin
-    tx.restarts <- 0;
-    let t = Util.Once.get table in
-    let telemetry = !Obs.Telemetry.on in
-    let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
-    let rec attempt att_t0 =
-      begin_attempt tx;
-      tx.depth <- 1;
-      match f tx with
-      | v ->
-          tx.depth <- 0;
-          if !Chaos.on then Chaos.point Chaos.Pre_commit;
-          commit tx;
-          if telemetry then
-            Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
-              ~att_t0_ns:att_t0;
-          v
-      | exception Restart ->
-          tx.depth <- 0;
-          rollback tx;
-          Stm_stats.abort stats ~tid:tx.ctx.tid;
-          if telemetry then
-            Obs.Scope.txn_abort obs ~tid:tx.ctx.tid ~att_t0_ns:att_t0
-              tx.abort_reason;
-          tx.restarts <- tx.restarts + 1;
-          if Stm_intf.hit_restart_bound tx.restarts then begin
-            (* Locks are already released; drop the priority announcement
-               too so no other thread keeps deferring to a timestamp that
-               will never commit. *)
-            Rwl_sf.clear_announcement t tx.ctx;
-            Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () ->
-                if telemetry then Obs.Scope.abort_counts obs else [])
-          end;
-          Rwl_sf.wait_for_conflictor t tx.ctx;
-          attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
-      | exception e ->
-          tx.depth <- 0;
-          rollback tx;
-          Rwl_sf.clear_announcement t tx.ctx;
-          raise e
-    in
-    attempt txn_t0
+  else if !Admission.on then begin
+    Admission.enter ();
+    match run tx f with
+    | v ->
+        Admission.leave ();
+        v
+    | exception e ->
+        Admission.leave ();
+        raise e
   end
-
-let irrevocable_priority = 1
+  else run tx f
 
 let atomic_irrevocable_ro f =
   let tx = get_tx () in

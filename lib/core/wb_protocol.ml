@@ -21,6 +21,8 @@ struct
 
   module Obs = Twoplsf_obs
   module Chaos = Twoplsf_chaos.Chaos
+  module Cm = Twoplsf_cm.Cm
+  module Admission = Twoplsf_cm.Admission
 
   exception Restart
 
@@ -41,6 +43,9 @@ struct
     mutable depth : int;
     mutable restarts : int;
     mutable finished_restarts : int;
+    mutable escalated : bool;
+        (* overload fallback: zero mutex held, priority 1 announced *)
+    ov : Cm.state;
     mutable abort_reason : Obs.Events.abort_reason;
   }
 
@@ -75,6 +80,8 @@ struct
           depth = 0;
           restarts = 0;
           finished_restarts = 0;
+          escalated = false;
+          ov = Cm.make_state ();
           abort_reason = Obs.Events.User_restart;
         })
 
@@ -127,7 +134,9 @@ struct
           tv.v
         end
         else begin
-          tx.abort_reason <- Obs.Events.Read_lock_conflict;
+          tx.abort_reason <-
+            (if tx.ctx.deadline_hit then Obs.Events.Deadline
+             else Obs.Events.Read_lock_conflict);
           raise Restart
         end
 
@@ -141,7 +150,8 @@ struct
     end
     else begin
       tx.abort_reason <-
-        (if tx.ctx.preempted then Obs.Events.Priority_preemption
+        (if tx.ctx.deadline_hit then Obs.Events.Deadline
+         else if tx.ctx.preempted then Obs.Events.Priority_preemption
          else Obs.Events.Write_lock_conflict);
       false
     end
@@ -159,6 +169,7 @@ struct
     Util.Vec.clear tx.wset;
     Util.Vec.clear tx.redo;
     tx.bloom <- 0;
+    tx.ctx.deadline_hit <- false;
     tx.abort_reason <- Obs.Events.User_restart
 
   let commit tx =
@@ -182,54 +193,98 @@ struct
     (* No rollback needed: memory was never written.  Just drop locks. *)
     release_locks t tx
 
+  let irrevocable_priority = 1
+
+  let finish_escalation t tx =
+    if tx.escalated then begin
+      tx.escalated <- false;
+      Rwl_sf.zero_mutex_unlock t
+    end
+
+  let run tx f =
+    tx.restarts <- 0;
+    tx.ctx.deadline_ns <- Cm.begin_txn tx.ov;
+    let t = Util.Once.get table in
+    let telemetry = !Obs.Telemetry.on in
+    let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+    let rec attempt att_t0 =
+      begin_attempt tx;
+      tx.depth <- 1;
+      match
+        let v = f tx in
+        tx.depth <- 0;
+        if !Chaos.on then Chaos.point Chaos.Pre_commit;
+        commit tx;
+        v
+      with
+      | v ->
+          finish_escalation t tx;
+          tx.finished_restarts <- tx.restarts;
+          if telemetry then
+            Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
+              ~att_t0_ns:att_t0;
+          v
+      | exception Restart ->
+          tx.depth <- 0;
+          abort_cleanup t tx;
+          Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
+          if telemetry then
+            Obs.Scope.txn_abort obs ~tid:tx.ctx.tid ~att_t0_ns:att_t0
+              tx.abort_reason;
+          tx.restarts <- tx.restarts + 1;
+          if tx.escalated then begin
+            (* Serial slow path: only a chaos-injected spurious failure
+               can abort us; retry unconditionally. *)
+            Rwl_sf.wait_for_conflictor t tx.ctx;
+            attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
+          end
+          else begin
+            match
+              Cm.after_abort ~stm:name ~tid:tx.ctx.tid ~restarts:tx.restarts
+                ~st:tx.ov
+                ~native_wait:(fun () -> Rwl_sf.wait_for_conflictor t tx.ctx)
+                ~cleanup:(fun () -> Rwl_sf.clear_announcement t tx.ctx)
+                ~reasons:(fun () ->
+                  if telemetry then Obs.Scope.abort_counts obs else [])
+            with
+            | Cm.Retry ->
+                tx.ctx.deadline_ns <- tx.ov.Cm.deadline;
+                attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
+            | Cm.Escalate ->
+                Rwl_sf.clear_announcement t tx.ctx;
+                Rwl_sf.zero_mutex_lock t;
+                Rwl_sf.announce_priority t tx.ctx irrevocable_priority;
+                tx.escalated <- true;
+                tx.ctx.deadline_ns <- 0;
+                if telemetry then
+                  Obs.Scope.event obs ~tid:tx.ctx.tid
+                    Obs.Events.Irrevocable_fallback;
+                attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
+          end
+      | exception e ->
+          tx.depth <- 0;
+          abort_cleanup t tx;
+          Rwl_sf.clear_announcement t tx.ctx;
+          finish_escalation t tx;
+          raise e
+    in
+    attempt txn_t0
+
   let atomic ?read_only f =
     ignore read_only;
     let tx = get_tx () in
     if tx.depth > 0 then f tx
-    else begin
-      tx.restarts <- 0;
-      let t = Util.Once.get table in
-      let telemetry = !Obs.Telemetry.on in
-      let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
-      let rec attempt att_t0 =
-        begin_attempt tx;
-        tx.depth <- 1;
-        match
-          let v = f tx in
-          tx.depth <- 0;
-          if !Chaos.on then Chaos.point Chaos.Pre_commit;
-          commit tx;
+    else if !Admission.on then begin
+      Admission.enter ();
+      match run tx f with
+      | v ->
+          Admission.leave ();
           v
-        with
-        | v ->
-            tx.finished_restarts <- tx.restarts;
-            if telemetry then
-              Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
-                ~att_t0_ns:att_t0;
-            v
-        | exception Restart ->
-            tx.depth <- 0;
-            abort_cleanup t tx;
-            Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
-            if telemetry then
-              Obs.Scope.txn_abort obs ~tid:tx.ctx.tid ~att_t0_ns:att_t0
-                tx.abort_reason;
-            tx.restarts <- tx.restarts + 1;
-            if Stm_intf.hit_restart_bound tx.restarts then begin
-              Rwl_sf.clear_announcement t tx.ctx;
-              Stm_intf.starved ~stm:name ~restarts:tx.restarts (fun () ->
-                  if telemetry then Obs.Scope.abort_counts obs else [])
-            end;
-            Rwl_sf.wait_for_conflictor t tx.ctx;
-            attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
-        | exception e ->
-            tx.depth <- 0;
-            abort_cleanup t tx;
-            Rwl_sf.clear_announcement t tx.ctx;
-            raise e
-      in
-      attempt txn_t0
+      | exception e ->
+          Admission.leave ();
+          raise e
     end
+    else run tx f
 
   let commits () = Stm_intf.Stats.commits stats
   let aborts () = Stm_intf.Stats.aborts stats

@@ -12,6 +12,10 @@ let await_flag flag =
    releases its Tid slot (a crashed worker must not leak a dense id —
    64 crashes would otherwise exhaust the table for the whole process). *)
 let spawn_all threads body =
+  (* Tell Stm_intf a worker cohort is live: install_policy asserts (in
+     debug builds) that the overload policy never changes while workers
+     may be consulting it. *)
+  Stm_intf.workers_started ();
   let ready = Atomic.make 0 in
   let go = Atomic.make false in
   let doms =
@@ -36,9 +40,13 @@ let spawn_all threads body =
 (* The wrapper above never lets an exception escape the domain, so join
    itself cannot raise; belt-and-braces for asynchronous exceptions. *)
 let join_all doms =
-  List.map
-    (fun d -> match Domain.join d with o -> o | exception e -> Error e)
-    doms
+  let outcomes =
+    List.map
+      (fun d -> match Domain.join d with o -> o | exception e -> Error e)
+      doms
+  in
+  Stm_intf.workers_finished ();
+  outcomes
 
 let reraise_first outcomes =
   List.iter (function Error e -> raise e | Ok _ -> ()) outcomes

@@ -4,7 +4,7 @@ let current_figure = ref ""
 let set_csv path =
   let oc = open_out path in
   output_string oc
-    "figure,stm,structure,workload,threads,throughput,commits,aborts,clock_ops,p50_ms,p90_ms,p99_ms,max_ms,ar_read_lock,ar_write_lock,ar_preempt,ar_read_valid,ar_commit_lock,ar_commit_valid,ar_user\n";
+    "figure,stm,structure,workload,threads,throughput,commits,aborts,clock_ops,p50_ms,p90_ms,p99_ms,max_ms,ar_read_lock,ar_write_lock,ar_preempt,ar_read_valid,ar_commit_lock,ar_commit_valid,ar_deadline,ar_user\n";
   csv_chan := Some oc
 
 let num_reason_cols = Twoplsf_obs.Events.num_abort_reasons

@@ -14,9 +14,12 @@ type abort_reason =
   | Read_validation (* optimistic read saw a locked/too-new location *)
   | Commit_lock_conflict (* commit-time write-set locking failed *)
   | Commit_validation (* commit-time read-set validation failed *)
+  | Deadline
+      (* a lock wait was abandoned because the transaction's deadline
+         budget expired (overload protection, DESIGN.md §11) *)
   | User_restart (* explicit restart / any reason outside the taxonomy *)
 
-let num_abort_reasons = 7
+let num_abort_reasons = 8
 
 let abort_reason_index = function
   | Read_lock_conflict -> 0
@@ -25,7 +28,8 @@ let abort_reason_index = function
   | Read_validation -> 3
   | Commit_lock_conflict -> 4
   | Commit_validation -> 5
-  | User_restart -> 6
+  | Deadline -> 6
+  | User_restart -> 7
 
 let abort_reason_label = function
   | Read_lock_conflict -> "read-lock-conflict"
@@ -34,6 +38,7 @@ let abort_reason_label = function
   | Read_validation -> "read-validation"
   | Commit_lock_conflict -> "commit-lock-conflict"
   | Commit_validation -> "commit-validation"
+  | Deadline -> "deadline"
   | User_restart -> "user-restart"
 
 let all_abort_reasons =
@@ -44,6 +49,7 @@ let all_abort_reasons =
     Read_validation;
     Commit_lock_conflict;
     Commit_validation;
+    Deadline;
     User_restart;
   ]
 
@@ -55,8 +61,11 @@ type event =
   | Priority_announced (* a timestamp was drawn and announced on conflict *)
   | Irrevocable_upgrade (* an irrevocable transaction started (§2.8) *)
   | Conflictor_wait (* post-abort wait for the conflicting txn to finish *)
+  | Irrevocable_fallback
+      (* overload protection escalated an exhausted/late transaction
+         through the serial-irrevocable slow path (DESIGN.md §11) *)
 
-let num_events = 7
+let num_events = 8
 
 let event_index = function
   | Read_lock_fast -> 0
@@ -66,6 +75,7 @@ let event_index = function
   | Priority_announced -> 4
   | Irrevocable_upgrade -> 5
   | Conflictor_wait -> 6
+  | Irrevocable_fallback -> 7
 
 let event_label = function
   | Read_lock_fast -> "read-lock-fast"
@@ -75,6 +85,7 @@ let event_label = function
   | Priority_announced -> "priority-announced"
   | Irrevocable_upgrade -> "irrevocable-upgrade"
   | Conflictor_wait -> "conflictor-wait"
+  | Irrevocable_fallback -> "irrevocable-fallback"
 
 let all_events =
   [
@@ -85,4 +96,5 @@ let all_events =
     Priority_announced;
     Irrevocable_upgrade;
     Conflictor_wait;
+    Irrevocable_fallback;
   ]

@@ -18,6 +18,9 @@ type abort_reason =
   | Read_validation  (** optimistic read saw a locked/too-new location *)
   | Commit_lock_conflict  (** commit-time write-set locking failed *)
   | Commit_validation  (** commit-time read-set validation failed *)
+  | Deadline
+      (** a lock wait was abandoned because the transaction's deadline
+          budget expired (overload protection, DESIGN.md §11) *)
   | User_restart  (** explicit restart / outside the taxonomy *)
 
 val num_abort_reasons : int
@@ -37,6 +40,9 @@ type event =
   | Irrevocable_upgrade  (** an irrevocable transaction started (§2.8) *)
   | Conflictor_wait
       (** post-abort wait for the conflicting transaction to finish *)
+  | Irrevocable_fallback
+      (** overload protection escalated an exhausted/late transaction
+          through the serial-irrevocable slow path (DESIGN.md §11) *)
 
 val num_events : int
 val event_index : event -> int

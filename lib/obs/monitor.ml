@@ -18,6 +18,13 @@
 let phase = ref ""
 let set_phase s = phase := s
 
+(* External gauges (e.g. the admission gate width from Twoplsf_cm, which
+   sits above this library and cannot be called directly).  The closure is
+   installed once at start-up and polled from the monitor domain; the
+   values it returns are racy snapshots, same contract as the counters. *)
+let gauges : (unit -> (string * int) list) ref = ref (fun () -> [])
+let set_gauges f = gauges := f
+
 type scope_snap = {
   s_aborts : (string * int) list;
   s_txn_total : int;
@@ -167,6 +174,11 @@ let tick st =
           Printf.bprintf b "\"%s\"" (json_escape (Watchdog.report_to_string r)))
         new_reports;
       Buffer.add_string b "]}";
+      (match !gauges () with
+      | [] -> ()
+      | gs ->
+          Buffer.add_string b ",\"gauges\":";
+          json_counts b gs);
       Buffer.add_string b ",\"scopes\":[";
       let first = ref true in
       List.iter

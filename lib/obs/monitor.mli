@@ -29,3 +29,10 @@ val set_phase : string -> unit
 (** Label the currently running benchmark; stamped into each tick's
     ["phase"] field.  Called by the harness driver and the DBx runner at
     the start of every run. *)
+
+val set_gauges : (unit -> (string * int) list) -> unit
+(** Install a closure polled once per tick; when it returns a non-empty
+    list, the pairs are emitted as the tick's ["gauges"] object.  Used by
+    the admission controller (which lives above this library) to stream
+    its gate width and in-flight count.  Install before {!start}; the
+    closure must be domain-safe and non-blocking. *)

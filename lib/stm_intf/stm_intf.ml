@@ -20,23 +20,88 @@ exception
         (** the STM's telemetry abort-reason snapshot at exhaustion time
             ([[]] when telemetry is off or the STM has no scope) *)
   }
-(** Raised by {!STM.atomic} instead of retrying forever when the global
-    {!max_restarts} bound is hit.  Every implementation raises it only
-    after the failed attempt has fully rolled back and released its locks
-    (and cleared any priority announcement), so a [Starved] escape leaves
-    the lock table clean. *)
+(** Raised by {!STM.atomic} instead of retrying forever when the
+    {!policy}'s [max_restarts] bound is hit and the serial-irrevocable
+    fallback is off.  Every implementation raises it only after the failed
+    attempt has fully rolled back and released its locks (and cleared any
+    priority announcement), so a [Starved] escape leaves the lock table
+    clean. *)
 
-let max_restarts = ref 0
-(** Global per-transaction restart bound; 0 (the default) means unbounded
-    retry.  Set once at start-up (bench [--max-restarts]); checked by
-    every STM's restart path. *)
+exception
+  Deadline_exceeded of {
+    stm : string;  (** which concurrency control gave up *)
+    restarts : int;  (** attempts consumed before the deadline fired *)
+    elapsed_ns : int;  (** time since the transaction first began *)
+  }
+(** Raised by {!STM.atomic} when the {!policy}'s per-transaction
+    [deadline_ns] budget is blown and the serial-irrevocable fallback is
+    off.  Same cleanliness contract as {!Starved}: full rollback, all
+    locks released, any priority announcement cleared. *)
+
+type cm_choice =
+  | Cm_paper  (** each STM's native inter-attempt behaviour (the default) *)
+  | Cm_backoff  (** capped exponential backoff with per-thread jitter *)
+  | Cm_hybrid
+      (** backoff for the first [hybrid_restarts] restarts, then the
+          native (priority-wait) behaviour *)
+
+type policy = {
+  max_restarts : int;
+      (** per-transaction restart bound; 0 (default) = unbounded retry *)
+  deadline_ns : int;
+      (** per-transaction completion budget; 0 (default) = none.  A
+          transaction that blows it restarts once with a fresh budget and
+          then either escalates to the serial-irrevocable path (when
+          [fallback]) or raises {!Deadline_exceeded}. *)
+  cm : cm_choice;  (** inter-attempt contention-management policy *)
+  hybrid_restarts : int;  (** [Cm_hybrid] switchover point *)
+  backoff_seed : int;  (** base seed of the per-thread backoff jitter *)
+  admission : bool;  (** AIMD admission gate on transaction entry *)
+  fallback : bool;
+      (** escalate exhausted/late transactions through the
+          serial-irrevocable slow path instead of raising *)
+}
+(** The overload-protection policy, one immutable record for all knobs
+    that every STM's restart path consults (DESIGN.md §11).  Replaces the
+    bare mutable [max_restarts] ref of earlier revisions: a single ref to
+    an immutable record is read with one load and can never be observed
+    half-updated from another domain. *)
+
+let default_policy =
+  {
+    max_restarts = 0;
+    deadline_ns = 0;
+    cm = Cm_paper;
+    hybrid_restarts = 8;
+    backoff_seed = 0xB0FF;
+    admission = false;
+    fallback = false;
+  }
+
+let policy = ref default_policy
+
+(* Number of harness worker cohorts currently running — maintained by
+   Harness.Exec so {!install_policy} can assert (in debug builds) that the
+   policy is never swapped while transactions may be consulting it. *)
+let active_workers = Atomic.make 0
+let workers_started () = Atomic.incr active_workers
+let workers_finished () = Atomic.decr active_workers
+
+let install_policy p =
+  assert (Atomic.get active_workers = 0);
+  policy := p
+
+let current_policy () = !policy
 
 let hit_restart_bound restarts =
-  let m = !max_restarts in
+  let m = !policy.max_restarts in
   m > 0 && restarts >= m
 
 let starved ~stm ~restarts reasons =
   raise (Starved { stm; restarts; abort_reasons = reasons () })
+
+let deadline_exceeded ~stm ~restarts ~elapsed_ns =
+  raise (Deadline_exceeded { stm; restarts; elapsed_ns })
 
 module type STM = sig
   val name : string
@@ -69,9 +134,11 @@ module type STM = sig
       only if the body performs no {!write}.  Nested calls flatten into the
       outermost transaction.  Exceptions raised by the body abort the
       transaction (all writes rolled back, all locks released) and
-      propagate.  When {!max_restarts} is positive and an attempt would
-      exceed it, raises {!Starved} (after full rollback) instead of
-      retrying. *)
+      propagate.  When the installed {!policy} bounds restarts or time and
+      the fallback is off, raises {!Starved} / {!Deadline_exceeded} (after
+      full rollback) instead of retrying; with the fallback on the
+      transaction escalates to the serial-irrevocable slow path and still
+      commits. *)
 
   val commits : unit -> int
   (** Committed transactions since the last {!reset_stats}. *)

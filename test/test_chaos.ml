@@ -25,7 +25,7 @@ let with_clean_globals f =
   Fun.protect
     ~finally:(fun () ->
       Chaos.disable ();
-      Stm_intf.max_restarts := 0)
+      Stm_intf.install_policy Stm_intf.default_policy)
     f
 
 let quiet_config =
@@ -217,7 +217,8 @@ let test_exec_crash_containment () =
 let test_starved () =
   with_clean_globals (fun () ->
       let tv = Stm.tvar 1 in
-      Stm_intf.max_restarts := 5;
+      Stm_intf.install_policy
+        { Stm_intf.default_policy with Stm_intf.max_restarts = 5 };
       (* Every acquisition spuriously fails: no transaction with a
          non-empty footprint can ever commit. *)
       Chaos.enable
@@ -229,7 +230,7 @@ let test_starved () =
           check Alcotest.string "stm name" "2PLSF" stm;
           check Alcotest.int "restart bound" 5 restarts);
       Chaos.disable ();
-      Stm_intf.max_restarts := 0;
+      Stm_intf.install_policy Stm_intf.default_policy;
       check Alcotest.int "zero leaked locks" 0 (Stm.leaked_locks ());
       (* The table must still be fully functional afterwards. *)
       check Alcotest.int "table alive" 1
