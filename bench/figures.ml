@@ -33,6 +33,20 @@ let averaged p f =
           List.fold_left
             (fun a (r : Harness.Driver.row) -> merge_reasons a r.abort_reasons)
             [] rows;
+        (* Phase times and txn totals sum across runs (they are extensive,
+           like the counters); latency percentiles keep the worst run. *)
+        telemetry =
+          List.fold_left
+            (fun (a : Harness.Driver.txn_telemetry) (r : Harness.Driver.row) ->
+              let t = r.telemetry in
+              {
+                Harness.Driver.phases = merge_reasons a.phases t.phases;
+                txn_total_ns = a.txn_total_ns + t.txn_total_ns;
+                p50_ns = Stdlib.max a.p50_ns t.p50_ns;
+                p99_ns = Stdlib.max a.p99_ns t.p99_ns;
+                p999_ns = Stdlib.max a.p999_ns t.p999_ns;
+              })
+            Harness.Driver.no_telemetry rows;
       }
 
 let set_mixes =
@@ -203,7 +217,9 @@ let figure11 p =
                   (String.concat " "
                      (List.map
                         (fun (label, n) -> Printf.sprintf "%s=%d" label n)
-                        nonzero)))
+                        nonzero));
+              let phases = Harness.Report.phase_breakdown r.telemetry in
+              if phases <> "" then Printf.printf "  phases: %s\n%!" phases)
             p.threads)
         Dbx.Runner.ccs)
     [ `High; `Medium; `Low ]

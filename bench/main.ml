@@ -47,6 +47,9 @@ let () =
   let admission = ref false in
   let fallback = ref false in
   let no_fallback = ref false in
+  let bench_out = ref "" in
+  let no_bench_out = ref false in
+  let metrics_port = ref (-1) in
   let spec =
     [
       ("--figure", Arg.Set_int figure, "N  run only figure N (2-8, 10-12)");
@@ -146,6 +149,17 @@ let () =
       ( "--no-fallback",
         Arg.Set no_fallback,
         " force the fallback off (overrides the --overload default)" );
+      ( "--bench-out",
+        Arg.Set_string bench_out,
+        "FILE  benchmark-artifact JSON path (default: first free \
+         BENCH_<n>.json)" );
+      ( "--no-bench-out",
+        Arg.Set no_bench_out,
+        " skip writing the benchmark artifact" );
+      ( "--metrics-port",
+        Arg.Set_int metrics_port,
+        "PORT  serve OpenMetrics on http://127.0.0.1:PORT/metrics for the \
+         duration of the run (0 = ephemeral port; implies --telemetry)" );
     ]
   in
   Arg.parse spec
@@ -157,9 +171,18 @@ let () =
   end;
   ignore (Util.Tid.register ());
   let monitoring = !monitor_out <> "" || !monitor_console in
-  if !watchdog || monitoring then telemetry := true;
+  if !watchdog || monitoring || !metrics_port >= 0 then telemetry := true;
   if !trace <> "" then Twoplsf_obs.Telemetry.enable_tracing ()
   else if !telemetry then Twoplsf_obs.Telemetry.enable ();
+  if !metrics_port >= 0 then begin
+    match Twoplsf_obs.Exporter.start ~port:!metrics_port () with
+    | port ->
+        Printf.printf "OpenMetrics: http://127.0.0.1:%d/metrics\n%!" port
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "metrics exporter: cannot bind port %d: %s\n%!"
+          !metrics_port (Unix.error_message e);
+        exit 1
+  end;
   (* Start the watchdog before any lock table exists: tables register for
      introspection only when wait publication is already enabled. *)
   if !watchdog then
@@ -252,6 +275,18 @@ let () =
     List.iter (fun (_, _, f) -> f p) selected
   end;
   Harness.Report.close_csv ();
+  if (not !no_bench_out) && Harness.Bench_artifact.any () then begin
+    let path =
+      if !bench_out <> "" then !bench_out
+      else Harness.Bench_artifact.default_path ()
+    in
+    let flags =
+      String.concat " " (List.tl (Array.to_list Sys.argv))
+    in
+    Harness.Bench_artifact.write ~path ~flags;
+    Printf.printf "\nBenchmark artifact: %s\n%!" path
+  end;
+  if Twoplsf_obs.Exporter.running () then Twoplsf_obs.Exporter.stop ();
   if monitoring then begin
     Twoplsf_obs.Monitor.stop ();
     if !monitor_out <> "" then

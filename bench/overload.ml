@@ -152,6 +152,10 @@ let run ~stms ~threads ~seconds ~theta =
         o.stm o.ops o.starved o.deadline_raises o.fallbacks o.leaked
         (if o.sum_ok then "OK" else "MISMATCH")
         o.p50_ms o.p99_ms o.p999_ms;
+      Harness.Bench_artifact.record_overload ~stm:o.stm ~ops:o.ops
+        ~starved:o.starved ~deadline_raises:o.deadline_raises
+        ~fallbacks:o.fallbacks ~leaked:o.leaked ~sum_ok:o.sum_ok
+        ~p50_ms:o.p50_ms ~p99_ms:o.p99_ms ~p999_ms:o.p999_ms;
       if o.leaked <> 0 || not o.sum_ok then incr failures)
     stms;
   List.iter

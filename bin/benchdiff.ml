@@ -1,0 +1,62 @@
+(* benchdiff — compare two BENCH_*.json artifacts (or one against the
+   committed bench/baseline.json) and exit non-zero when any gated
+   metric regressed past the threshold.
+
+     benchdiff OLD.json NEW.json [--threshold PCT]
+     benchdiff NEW.json          [--threshold PCT]   (old = bench/baseline.json)
+
+   Exit codes: 0 = no breach, 1 = regression(s), 2 = usage or artifact
+   error (unreadable file, schema mismatch). *)
+
+let default_baseline = Filename.concat "bench" "baseline.json"
+
+let usage () =
+  prerr_endline
+    "usage: benchdiff [--threshold PCT] OLD.json NEW.json\n\
+    \       benchdiff [--threshold PCT] NEW.json   (compares against \
+     bench/baseline.json)";
+  exit 2
+
+let () =
+  let threshold = ref 10.0 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t >= 0. -> threshold := t
+        | _ ->
+            Printf.eprintf "benchdiff: bad --threshold %S\n" v;
+            exit 2);
+        parse rest
+    | ("-h" | "--help") :: _ -> usage ()
+    | f :: _ when String.length f > 0 && f.[0] = '-' ->
+        Printf.eprintf "benchdiff: unknown option %s\n" f;
+        usage ()
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !files with
+    | [ new_path ] -> (default_baseline, new_path)
+    | [ old_path; new_path ] -> (old_path, new_path)
+    | _ -> usage ()
+  in
+  let threshold_pct = !threshold in
+  match Harness.Benchdiff.compare_files ~threshold_pct old_path new_path with
+  | r ->
+      Printf.printf "benchdiff: %s -> %s (threshold %.1f%%)\n" old_path
+        new_path threshold_pct;
+      Harness.Benchdiff.print_report ~threshold_pct r;
+      exit (if r.Harness.Benchdiff.breaches > 0 then 1 else 0)
+  | exception Harness.Benchdiff.Incompatible msg ->
+      Printf.eprintf "benchdiff: %s\n" msg;
+      exit 2
+  | exception Harness.Json.Parse_error msg ->
+      Printf.eprintf "benchdiff: JSON parse error: %s\n" msg;
+      exit 2
+  | exception Sys_error msg ->
+      Printf.eprintf "benchdiff: %s\n" msg;
+      exit 2

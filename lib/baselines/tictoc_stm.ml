@@ -220,11 +220,25 @@ let run tx read_only f =
   ignore (Cm.begin_txn tx.ov);
   let telemetry = !Obs.Telemetry.on in
   let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+  let commit_t0 = ref 0 in
+  (* Native inter-attempt wait, attributed to [Backoff] under telemetry. *)
+  let native_wait n () =
+    if telemetry then begin
+      let t0 = Obs.Telemetry.now_ns () in
+      Util.Backoff.exponential ~attempt:n;
+      Obs.Scope.phase_add obs ~tid:tx.tid Obs.Phase.Backoff
+        (Obs.Telemetry.now_ns () - t0)
+    end
+    else Util.Backoff.exponential ~attempt:n
+  in
   let rec attempt n att_t0 =
     begin_attempt tx ~ro:read_only;
     tx.depth <- 1;
     match
       let v = f tx in
+      (* Commit-time locking, OCC validation and write-back count as the
+         [Commit] phase. *)
+      if telemetry then commit_t0 := Obs.Telemetry.now_ns ();
       commit tx;
       v
     with
@@ -235,7 +249,7 @@ let run tx read_only f =
         tx.finished_restarts <- tx.restarts;
         if telemetry then
           Obs.Scope.txn_commit obs ~tid:tx.tid ~txn_t0_ns:txn_t0
-            ~att_t0_ns:att_t0;
+            ~att_t0_ns:att_t0 ~commit_t0_ns:!commit_t0 ();
         v
     | exception Restart ->
         tx.depth <- 0;
@@ -245,14 +259,14 @@ let run tx read_only f =
             tx.abort_reason;
         tx.restarts <- tx.restarts + 1;
         if tx.escalated then begin
-          Util.Backoff.exponential ~attempt:n;
+          native_wait n ();
           attempt (n + 1) (if telemetry then Obs.Telemetry.now_ns () else 0)
         end
         else begin
           match
             Cm.after_abort ~stm:name ~tid:tx.tid ~restarts:tx.restarts
               ~st:tx.ov
-              ~native_wait:(fun () -> Util.Backoff.exponential ~attempt:n)
+              ~native_wait:(native_wait n)
               ~cleanup:(fun () -> ())
               ~reasons:(fun () ->
                 if telemetry then Obs.Scope.abort_counts obs else [])

@@ -1,5 +1,6 @@
 let name = "TinySTM"
 
+module Obs = Twoplsf_obs
 module Cm = Twoplsf_cm.Cm
 module Admission = Twoplsf_cm.Admission
 
@@ -22,8 +23,11 @@ type tx = {
   mutable restarts : int;
   mutable finished_restarts : int;
   mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
+  mutable abort_reason : Obs.Events.abort_reason;
   ov : Cm.state;
 }
+
+let obs = Obs.Scope.create name
 
 let requested_num_orecs = ref 65536
 let built = ref false
@@ -53,6 +57,7 @@ let tx_key =
         restarts = 0;
         finished_restarts = 0;
         escalated = false;
+        abort_reason = Obs.Events.User_restart;
         ov = Cm.make_state ();
       })
 
@@ -92,18 +97,23 @@ let extend tx =
   if !ok then tx.rv <- now;
   !ok
 
+(* Stamp the abort reason at the raise site, like the other baselines. *)
+let restart tx reason =
+  tx.abort_reason <- reason;
+  raise Restart
+
 let rec read tx (tv : 'a tvar) : 'a =
   let o = Util.Once.get orecs in
   let oi = Orec.index o tv.id in
   let w = Orec.get o oi in
   if Orec.is_locked w then begin
     if Orec.owner w = tx.tid then tv.v (* own encounter-time lock *)
-    else raise Restart
+    else restart tx Obs.Events.Read_validation
   end
   else begin
     let v = tv.v in
     let w2 = Orec.get o oi in
-    if w2 <> w then raise Restart;
+    if w2 <> w then restart tx Obs.Events.Read_validation;
     let ver = Orec.version w in
     if ver > tx.rv then
       (* Snapshot extension, then RE-EXECUTE the load: the tvar may have
@@ -112,7 +122,8 @@ let rec read tx (tv : 'a tvar) : 'a =
          fetched above would pair a stale value with an extended
          snapshot (a lost update once commit skips validation on
          [wv = rv + 1]). *)
-      if extend tx then read tx tv else raise Restart
+      if extend tx then read tx tv
+      else restart tx Obs.Events.Read_validation
     else begin
       (* Read-only transactions must log reads too: the snapshot extension
          above is only sound if it revalidates every prior read. *)
@@ -127,15 +138,16 @@ let write tx tv nv =
   let oi = Orec.index o tv.id in
   let w = Orec.get o oi in
   if Orec.is_locked w then begin
-    if Orec.owner w <> tx.tid then raise Restart;
+    if Orec.owner w <> tx.tid then restart tx Obs.Events.Write_lock_conflict;
     Wset.log_old_once tx.undo tv tv.v;
     tv.v <- nv
   end
   else begin
     let ver = Orec.version w in
-    if ver > tx.rv && not (extend tx) then raise Restart;
+    if ver > tx.rv && not (extend tx) then
+      restart tx Obs.Events.Read_validation;
     match Orec.try_lock o ~tid:tx.tid oi with
-    | None -> raise Restart
+    | None -> restart tx Obs.Events.Write_lock_conflict
     | Some old_version ->
         Util.Vec.push tx.wlocks (oi, old_version);
         (* The version may have advanced between the check above and the
@@ -143,7 +155,8 @@ let write tx tv nv =
            it passed [rv], revalidate the snapshot before trusting any
            earlier read of this orec (the push above lets a failed
            extension release the lock through the normal rollback). *)
-        if old_version > tx.rv && not (extend tx) then raise Restart;
+        if old_version > tx.rv && not (extend tx) then
+          restart tx Obs.Events.Read_validation;
         Wset.log_old_once tx.undo tv tv.v;
         tv.v <- nv
   end
@@ -186,6 +199,7 @@ let commit tx =
     Stm_intf.Stats.clock_op stats ~tid:tx.tid;
     if wv <> tx.rv + 1 && not (validate_read_set tx) then begin
       rollback tx;
+      tx.abort_reason <- Obs.Events.Commit_validation;
       raise Restart
     end;
     release_wlocks_to tx wv
@@ -196,6 +210,7 @@ let begin_attempt tx ~ro =
   Wset.clear tx.undo;
   Util.Vec.clear tx.wlocks;
   tx.ro <- ro;
+  tx.abort_reason <- Obs.Events.User_restart;
   tx.rv <- Atomic.get clock
 
 let finish_escalation tx =
@@ -207,11 +222,26 @@ let finish_escalation tx =
 let run tx read_only f =
   tx.restarts <- 0;
   ignore (Cm.begin_txn tx.ov);
-  let rec attempt n =
+  let telemetry = !Obs.Telemetry.on in
+  let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+  let commit_t0 = ref 0 in
+  (* Native inter-attempt wait, attributed to [Backoff] under telemetry. *)
+  let native_wait n () =
+    if telemetry then begin
+      let t0 = Obs.Telemetry.now_ns () in
+      Util.Backoff.exponential ~attempt:n;
+      Obs.Scope.phase_add obs ~tid:tx.tid Obs.Phase.Backoff
+        (Obs.Telemetry.now_ns () - t0)
+    end
+    else Util.Backoff.exponential ~attempt:n
+  in
+  let rec attempt n att_t0 =
     begin_attempt tx ~ro:read_only;
     tx.depth <- 1;
     match
       let v = f tx in
+      (* Commit-time validation and lock release count as [Commit]. *)
+      if telemetry then commit_t0 := Obs.Telemetry.now_ns ();
       commit tx;
       v
     with
@@ -220,29 +250,41 @@ let run tx read_only f =
         finish_escalation tx;
         Stm_intf.Stats.commit stats ~tid:tx.tid;
         tx.finished_restarts <- tx.restarts;
+        if telemetry then
+          Obs.Scope.txn_commit obs ~tid:tx.tid ~txn_t0_ns:txn_t0
+            ~att_t0_ns:att_t0 ~commit_t0_ns:!commit_t0 ();
         v
     | exception Restart ->
         tx.depth <- 0;
         rollback tx;
         Stm_intf.Stats.abort stats ~tid:tx.tid;
+        if telemetry then
+          Obs.Scope.txn_abort obs ~tid:tx.tid ~att_t0_ns:att_t0
+            tx.abort_reason;
         tx.restarts <- tx.restarts + 1;
         if tx.escalated then begin
-          Util.Backoff.exponential ~attempt:n;
-          attempt (n + 1)
+          native_wait n ();
+          attempt (n + 1) (if telemetry then Obs.Telemetry.now_ns () else 0)
         end
         else begin
           match
             Cm.after_abort ~stm:name ~tid:tx.tid ~restarts:tx.restarts
               ~st:tx.ov
-              ~native_wait:(fun () -> Util.Backoff.exponential ~attempt:n)
+              ~native_wait:(native_wait n)
               ~cleanup:(fun () -> ())
-              ~reasons:(fun () -> [])
+              ~reasons:(fun () ->
+                if telemetry then Obs.Scope.abort_counts obs else [])
           with
-          | Cm.Retry -> attempt (n + 1)
+          | Cm.Retry ->
+              attempt (n + 1)
+                (if telemetry then Obs.Telemetry.now_ns () else 0)
           | Cm.Escalate ->
               Cm.Fallback.acquire ();
               tx.escalated <- true;
+              if telemetry then
+                Obs.Scope.event obs ~tid:tx.tid Obs.Events.Irrevocable_fallback;
               attempt (n + 1)
+                (if telemetry then Obs.Telemetry.now_ns () else 0)
         end
     | exception e ->
         tx.depth <- 0;
@@ -250,7 +292,7 @@ let run tx read_only f =
         finish_escalation tx;
         raise e
   in
-  attempt 1
+  attempt 1 txn_t0
 
 let atomic ?(read_only = false) f =
   let tx = get_tx () in
@@ -260,7 +302,9 @@ let atomic ?(read_only = false) f =
 let commits () = Stm_intf.Stats.commits stats
 let aborts () = Stm_intf.Stats.aborts stats
 let clock_ops () = Stm_intf.Stats.clock_ops stats
-let reset_stats () = Stm_intf.Stats.reset stats
+let reset_stats () =
+  Stm_intf.Stats.reset stats;
+  Obs.Scope.reset obs
 let last_restarts () = (get_tx ()).finished_restarts
 let leaked_locks () =
   if !built then Orec.locked_count (Util.Once.get orecs) else 0

@@ -214,7 +214,7 @@ let install ?(max_width = 4096) ?(min_width = 1) ?(interval_ms = 10)
   ctrl := Some c;
   on := true;
   (* Stream the gate through the live monitor when it is running. *)
-  Obs.Monitor.set_gauges (fun () -> counters ())
+  Obs.Monitor.add_gauges ~name:"admission" (fun () -> counters ())
 
 let uninstall () =
   on := false;

@@ -36,15 +36,23 @@ let begin_txn st =
 module type POLICY = sig
   val name : string
 
-  val wait : tid:int -> restarts:int -> native_wait:(unit -> unit) -> unit
+  val wait :
+    tid:int ->
+    restarts:int ->
+    scope:Obs.Scope.t option ->
+    native_wait:(unit -> unit) ->
+    unit
   (** Pace the gap between a failed attempt and its retry.  [native_wait]
       is the STM's own inter-attempt behaviour (2PLSF's
-      wait-for-conflictor, the no-wait baselines' capped exponential). *)
+      wait-for-conflictor, the no-wait baselines' capped exponential) and
+      records its own telemetry phase; [scope] (the STM's telemetry
+      scope, [None] with telemetry off) is for waits the policy performs
+      itself, attributed to {!Twoplsf_obs.Phase.Backoff}. *)
 end
 
 module Paper_wait : POLICY = struct
   let name = "paper"
-  let wait ~tid:_ ~restarts:_ ~native_wait = native_wait ()
+  let wait ~tid:_ ~restarts:_ ~scope:_ ~native_wait = native_wait ()
 end
 
 (* Capped exponential backoff with full per-thread jitter.  Each thread
@@ -76,17 +84,23 @@ let backoff_delay_ns ~tid ~restarts =
 module Backoff : POLICY = struct
   let name = "backoff"
 
-  let wait ~tid ~restarts ~native_wait:_ =
+  let wait ~tid ~restarts ~scope ~native_wait:_ =
     let ns = backoff_delay_ns ~tid ~restarts in
-    Unix.sleepf (float_of_int ns /. 1e9)
+    match scope with
+    | None -> Unix.sleepf (float_of_int ns /. 1e9)
+    | Some sc ->
+        let t0 = Obs.Telemetry.now_ns () in
+        Unix.sleepf (float_of_int ns /. 1e9);
+        Obs.Scope.phase_add sc ~tid Obs.Phase.Backoff
+          (Obs.Telemetry.now_ns () - t0)
 end
 
 module Hybrid : POLICY = struct
   let name = "hybrid"
 
-  let wait ~tid ~restarts ~native_wait =
+  let wait ~tid ~restarts ~scope ~native_wait =
     if restarts <= (Stm_intf.current_policy ()).Stm_intf.hybrid_restarts then
-      Backoff.wait ~tid ~restarts ~native_wait
+      Backoff.wait ~tid ~restarts ~scope ~native_wait
     else native_wait ()
 end
 
@@ -161,7 +175,10 @@ let after_abort ~stm ~tid ~restarts ~st ~native_wait ~cleanup ~reasons =
     end
   else begin
     let (module P : POLICY) = policy_of_choice p.Stm_intf.cm in
-    P.wait ~tid ~restarts ~native_wait;
+    (* The scope lookup (a short registry scan) only happens with
+       telemetry on, on the abort path — never on the commit fast path. *)
+    let scope = if !Obs.Telemetry.on then Obs.Scope.find stm else None in
+    P.wait ~tid ~restarts ~scope ~native_wait;
     Retry
   end
 

@@ -32,10 +32,18 @@ val begin_txn : state -> int
 module type POLICY = sig
   val name : string
 
-  val wait : tid:int -> restarts:int -> native_wait:(unit -> unit) -> unit
+  val wait :
+    tid:int ->
+    restarts:int ->
+    scope:Twoplsf_obs.Scope.t option ->
+    native_wait:(unit -> unit) ->
+    unit
   (** Pace the gap between a failed attempt and its retry.  [native_wait]
       is the STM's own inter-attempt behaviour (2PLSF's
-      wait-for-conflictor; the no-wait baselines' capped exponential). *)
+      wait-for-conflictor; the no-wait baselines' capped exponential) and
+      records its own telemetry phase.  [scope] is the STM's telemetry
+      scope ([None] with telemetry off): waits the policy performs itself
+      are attributed to {!Twoplsf_obs.Phase.Backoff} against it. *)
 end
 
 module Paper_wait : POLICY

@@ -191,11 +191,12 @@ let run tx f =
     | v ->
         tx.depth <- 0;
         if !Chaos.on then Chaos.point Chaos.Pre_commit;
+        let commit_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
         commit tx;
         finish_escalation t tx;
         if telemetry then
           Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
-            ~att_t0_ns:att_t0;
+            ~att_t0_ns:att_t0 ~commit_t0_ns:commit_t0 ();
         v
     | exception Restart ->
         tx.depth <- 0;

@@ -207,6 +207,7 @@ struct
     let t = Util.Once.get table in
     let telemetry = !Obs.Telemetry.on in
     let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+    let commit_t0 = ref 0 in
     let rec attempt att_t0 =
       begin_attempt tx;
       tx.depth <- 1;
@@ -214,6 +215,9 @@ struct
         let v = f tx in
         tx.depth <- 0;
         if !Chaos.on then Chaos.point Chaos.Pre_commit;
+        (* Commit-phase start: commit-time locking (deferred mode),
+           write-back and release are all attributed to [Commit]. *)
+        if telemetry then commit_t0 := Obs.Telemetry.now_ns ();
         commit tx;
         v
       with
@@ -222,7 +226,7 @@ struct
           tx.finished_restarts <- tx.restarts;
           if telemetry then
             Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
-              ~att_t0_ns:att_t0;
+              ~att_t0_ns:att_t0 ~commit_t0_ns:!commit_t0 ();
           v
       | exception Restart ->
           tx.depth <- 0;

@@ -124,6 +124,6 @@ let execute t ~tid txn =
       Rwl_sf.wait_for_conflictor t.locks p.ctx;
       att_t0 := Obs.Telemetry.now_ns ()
     done;
-    Obs.Scope.txn_commit obs ~tid ~txn_t0_ns:txn_t0 ~att_t0_ns:!att_t0;
+    Obs.Scope.txn_commit obs ~tid ~txn_t0_ns:txn_t0 ~att_t0_ns:!att_t0 ();
     !aborts
   end

@@ -9,6 +9,8 @@ type row = {
   aborts : int;
   abort_reasons : (string * int) list;
       (* telemetry breakdown ([] when telemetry is off or the CC has no scope) *)
+  telemetry : Harness.Driver.txn_telemetry;
+      (* phase decomposition + latency percentiles (zeros when off) *)
 }
 
 (* CC scopes register as "DBx-<name>" to stay distinct from the STM scopes. *)
@@ -26,6 +28,13 @@ let abort_reasons_of cc =
     | Some sc -> Twoplsf_obs.Scope.abort_counts sc
     | None -> []
   else []
+
+let telemetry_of cc =
+  if Twoplsf_obs.Telemetry.enabled () then
+    match scope_of cc with
+    | Some sc -> Harness.Driver.telemetry_of_scope sc
+    | None -> Harness.Driver.no_telemetry
+  else Harness.Driver.no_telemetry
 
 module No_wait = Cc_2pl.Make (struct
   let variant = Cc_2pl.No_wait
@@ -83,6 +92,7 @@ let run ~cc ~table ~theta ~write_ratio ~threads ~seconds =
     commits = res.ops;
     aborts = Atomic.get aborts_total;
     abort_reasons = abort_reasons_of cc;
+    telemetry = telemetry_of cc;
   }
 
 type latency_row = {
@@ -130,6 +140,7 @@ let run_with_latency ~cc ~table ~theta ~write_ratio ~threads ~seconds =
         commits = res.ops;
         aborts = Atomic.get aborts_total;
         abort_reasons = abort_reasons_of cc;
+        telemetry = telemetry_of cc;
       };
     p50 = List.assoc 50. ps;
     p90 = List.assoc 90. ps;

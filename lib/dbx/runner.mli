@@ -10,6 +10,9 @@ type row = {
   abort_reasons : (string * int) list;
       (** telemetry abort-reason breakdown, in taxonomy order; [[]] when
           telemetry is disabled or the CC publishes no scope *)
+  telemetry : Harness.Driver.txn_telemetry;
+      (** phase decomposition + latency percentiles (zeros when telemetry
+          is off) *)
 }
 
 val ccs : (string * (module Cc_intf.CC)) list

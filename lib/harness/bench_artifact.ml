@@ -1,0 +1,208 @@
+(* The schema-versioned BENCH_<n>.json benchmark artifact (DESIGN.md
+   §12): every figure / overload run records its rows here and the bench
+   CLI writes one machine-readable file per invocation, which
+   [Benchdiff] (bin/benchdiff.exe) compares across commits.
+
+   Recording happens on the main thread (the report printer), so plain
+   mutable lists suffice.  Schema changes must bump [schema_version];
+   the comparator refuses mismatched versions rather than guessing. *)
+
+let schema_version = 1
+
+type latency_entry = {
+  l_figure : string;
+  l_stm : string;
+  l_threads : int;
+  l_throughput : float;
+  l_p50_ms : float;
+  l_p90_ms : float;
+  l_p99_ms : float;
+  l_max_ms : float;
+}
+
+type overload_entry = {
+  o_stm : string;
+  o_ops : int;
+  o_starved : int;
+  o_deadline_raises : int;
+  o_fallbacks : int;
+  o_leaked : int;
+  o_sum_ok : bool;
+  o_p50_ms : float;
+  o_p99_ms : float;
+  o_p999_ms : float;
+}
+
+let rows : (string * Driver.row) list ref = ref []
+let latency_rows : latency_entry list ref = ref []
+let overload_rows : overload_entry list ref = ref []
+
+let reset () =
+  rows := [];
+  latency_rows := [];
+  overload_rows := []
+
+let any () = !rows <> [] || !latency_rows <> [] || !overload_rows <> []
+
+let record_row ~figure (r : Driver.row) = rows := (figure, r) :: !rows
+
+let record_latency ~figure ~stm ~threads ~throughput ~p50_ms ~p90_ms ~p99_ms
+    ~max_ms =
+  latency_rows :=
+    {
+      l_figure = figure;
+      l_stm = stm;
+      l_threads = threads;
+      l_throughput = throughput;
+      l_p50_ms = p50_ms;
+      l_p90_ms = p90_ms;
+      l_p99_ms = p99_ms;
+      l_max_ms = max_ms;
+    }
+    :: !latency_rows
+
+let record_overload ~stm ~ops ~starved ~deadline_raises ~fallbacks ~leaked
+    ~sum_ok ~p50_ms ~p99_ms ~p999_ms =
+  overload_rows :=
+    {
+      o_stm = stm;
+      o_ops = ops;
+      o_starved = starved;
+      o_deadline_raises = deadline_raises;
+      o_fallbacks = fallbacks;
+      o_leaked = leaked;
+      o_sum_ok = sum_ok;
+      o_p50_ms = p50_ms;
+      o_p99_ms = p99_ms;
+      o_p999_ms = p999_ms;
+    }
+    :: !overload_rows
+
+(* Best-effort commit id: .git/HEAD, following one level of symref. *)
+let commit_id () =
+  let read_line_of path =
+    match open_in path with
+    | ic ->
+        let line = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        Some (String.trim line)
+    | exception Sys_error _ -> None
+  in
+  match read_line_of ".git/HEAD" with
+  | None -> "unknown"
+  | Some head ->
+      if String.length head > 5 && String.sub head 0 5 = "ref: " then
+        let r = String.sub head 5 (String.length head - 5) in
+        Option.value (read_line_of (Filename.concat ".git" r))
+          ~default:"unknown"
+      else head
+
+(* First free BENCH_<n>.json in the working directory. *)
+let default_path () =
+  let rec go n =
+    let p = Printf.sprintf "BENCH_%d.json" n in
+    if Sys.file_exists p then go (n + 1) else p
+  in
+  go 1
+
+let phase_sum keys phases =
+  List.fold_left
+    (fun acc ph ->
+      acc
+      + Option.value ~default:0
+          (List.assoc_opt (Twoplsf_obs.Phase.label ph) phases))
+    0 keys
+
+let json_of_row (figure, (r : Driver.row)) =
+  let t = r.Driver.telemetry in
+  let partition_ns =
+    phase_sum Twoplsf_obs.Phase.partition t.Driver.phases
+  in
+  let wasted_ns =
+    phase_sum [ Twoplsf_obs.Phase.Wasted_retry ] t.Driver.phases
+  in
+  let frac num den = if den > 0 then float_of_int num /. float_of_int den else 0. in
+  Json.Obj
+    ([
+       ("figure", Json.Str figure);
+       ("stm", Json.Str r.stm);
+       ("structure", Json.Str r.structure);
+       ("mix", Json.Str r.mix);
+       ("threads", Json.Num (float_of_int r.threads));
+       ("throughput", Json.Num r.throughput);
+       ("commits", Json.Num (float_of_int r.commits));
+       ("aborts", Json.Num (float_of_int r.aborts));
+       ("clock_ops", Json.Num (float_of_int r.clock_ops));
+     ]
+    @
+    if t.Driver.phases = [] then []
+    else
+      [
+        ("p50_ns", Json.Num (float_of_int t.p50_ns));
+        ("p99_ns", Json.Num (float_of_int t.p99_ns));
+        ("p999_ns", Json.Num (float_of_int t.p999_ns));
+        ("abort_reasons", Json.of_counts r.abort_reasons);
+        ("phases_ns", Json.of_counts t.phases);
+        ("txn_total_ns", Json.Num (float_of_int t.txn_total_ns));
+        ("phase_coverage", Json.Num (frac partition_ns t.txn_total_ns));
+        ("wasted_retry_frac", Json.Num (frac wasted_ns t.txn_total_ns));
+      ])
+
+let json_of_latency (l : latency_entry) =
+  Json.Obj
+    [
+      ("figure", Json.Str l.l_figure);
+      ("stm", Json.Str l.l_stm);
+      ("threads", Json.Num (float_of_int l.l_threads));
+      ("throughput", Json.Num l.l_throughput);
+      ("p50_ms", Json.Num l.l_p50_ms);
+      ("p90_ms", Json.Num l.l_p90_ms);
+      ("p99_ms", Json.Num l.l_p99_ms);
+      ("max_ms", Json.Num l.l_max_ms);
+    ]
+
+let json_of_overload (o : overload_entry) =
+  Json.Obj
+    [
+      ("stm", Json.Str o.o_stm);
+      ("ops", Json.Num (float_of_int o.o_ops));
+      ("starved", Json.Num (float_of_int o.o_starved));
+      ("deadline_raises", Json.Num (float_of_int o.o_deadline_raises));
+      ("fallbacks", Json.Num (float_of_int o.o_fallbacks));
+      ("leaked", Json.Num (float_of_int o.o_leaked));
+      ("sum_ok", Json.Bool o.o_sum_ok);
+      ("p50_ms", Json.Num o.o_p50_ms);
+      ("p99_ms", Json.Num o.o_p99_ms);
+      ("p999_ms", Json.Num o.o_p999_ms);
+    ]
+
+let host_json () =
+  Json.Obj
+    [
+      ("hostname", Json.Str (try Unix.gethostname () with _ -> "unknown"));
+      ("os", Json.Str Sys.os_type);
+      ("ocaml", Json.Str Sys.ocaml_version);
+      ("word_size", Json.Num (float_of_int Sys.word_size));
+      ( "cores",
+        Json.Num (float_of_int (Domain.recommended_domain_count ())) );
+    ]
+
+let write ~path ~flags =
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Num (float_of_int schema_version));
+        ("created_at_unix", Json.Num (Unix.time ()));
+        ("commit", Json.Str (commit_id ()));
+        ("flags", Json.Str flags);
+        ("host", host_json ());
+        ("telemetry", Json.Bool (Twoplsf_obs.Telemetry.enabled ()));
+        ("rows", Json.Arr (List.rev_map json_of_row !rows));
+        ("latency_rows", Json.Arr (List.rev_map json_of_latency !latency_rows));
+        ("overload", Json.Arr (List.rev_map json_of_overload !overload_rows));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc

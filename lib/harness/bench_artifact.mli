@@ -1,0 +1,52 @@
+(** The schema-versioned BENCH_<n>.json benchmark artifact (DESIGN.md
+    §12).
+
+    {!Report.row} records every figure data row here (and the overload /
+    latency runners record theirs); the bench CLI calls {!write} once at
+    exit, producing the machine-readable artifact [bin/benchdiff.exe]
+    compares across commits.  Rows carry throughput, commit/abort/clock
+    counters and — when telemetry was on — p50/p99/p999 transaction
+    latency, the abort taxonomy, the phase decomposition with its
+    coverage ratio (partition-sum / txn_total_ns) and the wasted-retry
+    fraction. *)
+
+val schema_version : int
+
+val reset : unit -> unit
+val any : unit -> bool
+
+val record_row : figure:string -> Driver.row -> unit
+
+val record_latency :
+  figure:string ->
+  stm:string ->
+  threads:int ->
+  throughput:float ->
+  p50_ms:float ->
+  p90_ms:float ->
+  p99_ms:float ->
+  max_ms:float ->
+  unit
+
+val record_overload :
+  stm:string ->
+  ops:int ->
+  starved:int ->
+  deadline_raises:int ->
+  fallbacks:int ->
+  leaked:int ->
+  sum_ok:bool ->
+  p50_ms:float ->
+  p99_ms:float ->
+  p999_ms:float ->
+  unit
+
+val default_path : unit -> string
+(** First free [BENCH_<n>.json] in the working directory. *)
+
+val commit_id : unit -> string
+(** Best-effort git HEAD commit ("unknown" outside a checkout). *)
+
+val write : path:string -> flags:string -> unit
+(** Write the artifact (schema version, commit, [flags] = the CLI
+    invocation, host facts, and everything recorded since {!reset}). *)

@@ -1,0 +1,173 @@
+(* Comparator for BENCH_*.json artifacts (DESIGN.md §12): pairs rows of
+   two artifacts by identity key, computes per-metric relative deltas in
+   the metric's "worse" direction (throughput down = worse, latency up =
+   worse) and flags breaches past a threshold.  bin/benchdiff.exe wraps
+   this as a CLI that exits non-zero on any breach, so CI can gate on a
+   regression against bench/baseline.json. *)
+
+type direction = Higher_better | Lower_better
+
+type entry = {
+  key : string;  (* row identity: figure/stm/structure/mix/threads *)
+  metric : string;
+  old_v : float;
+  new_v : float;
+  delta_pct : float;  (* signed; positive = regression *)
+  breach : bool;
+}
+
+type result = {
+  entries : entry list;
+  breaches : int;
+  missing : string list;  (* row keys present in old, absent in new *)
+  added : string list;
+}
+
+(* Signed regression percentage: positive means the new value is worse.
+   A metric appearing from 0 (e.g. a latency percentile that was 0) is
+   not comparable — report 0 delta rather than infinity. *)
+let regression_pct dir ~old_v ~new_v =
+  if old_v = 0. then 0.
+  else
+    let change = (new_v -. old_v) /. Float.abs old_v *. 100. in
+    match dir with Higher_better -> -.change | Lower_better -> change
+
+let compare_metric ~threshold_pct ~key ~metric dir ~old_v ~new_v =
+  let delta_pct = regression_pct dir ~old_v ~new_v in
+  { key; metric; old_v; new_v; delta_pct; breach = delta_pct > threshold_pct }
+
+(* ---- row pairing ---- *)
+
+let row_key o =
+  Printf.sprintf "%s/%s/%s/%s/t=%s"
+    (Option.value ~default:"" (Json.str_field o "figure"))
+    (Option.value ~default:"" (Json.str_field o "stm"))
+    (Option.value ~default:"" (Json.str_field o "structure"))
+    (Option.value ~default:"" (Json.str_field o "mix"))
+    (match Json.int_field o "threads" with
+    | Some t -> string_of_int t
+    | None -> "?")
+
+let overload_key o =
+  Printf.sprintf "overload/%s"
+    (Option.value ~default:"" (Json.str_field o "stm"))
+
+let latency_key o =
+  Printf.sprintf "%s/%s/t=%s latency"
+    (Option.value ~default:"" (Json.str_field o "figure"))
+    (Option.value ~default:"" (Json.str_field o "stm"))
+    (match Json.int_field o "threads" with
+    | Some t -> string_of_int t
+    | None -> "?")
+
+(* The thresholded metric set per row family.  Abort counts and phase
+   splits are diagnostic, not gates — they explain a regression, they
+   are not one. *)
+let row_metrics =
+  [
+    ("throughput", Higher_better);
+    ("p50_ns", Lower_better);
+    ("p99_ns", Lower_better);
+    ("p999_ns", Lower_better);
+  ]
+
+let overload_metrics =
+  [ ("ops", Higher_better); ("p99_ms", Lower_better); ("p999_ms", Lower_better) ]
+
+let latency_metrics =
+  [ ("throughput", Higher_better); ("p99_ms", Lower_better) ]
+
+let index key_of docs =
+  List.filter_map
+    (fun o ->
+      match o with Json.Obj _ -> Some (key_of o, o) | _ -> None)
+    docs
+
+let compare_family ~threshold_pct ~key_of ~metrics old_list new_list =
+  let old_idx = index key_of old_list and new_idx = index key_of new_list in
+  let entries =
+    List.concat_map
+      (fun (key, old_row) ->
+        match List.assoc_opt key new_idx with
+        | None -> []
+        | Some new_row ->
+            List.filter_map
+              (fun (metric, dir) ->
+                match
+                  ( Json.num_field old_row metric,
+                    Json.num_field new_row metric )
+                with
+                | Some old_v, Some new_v ->
+                    Some
+                      (compare_metric ~threshold_pct ~key ~metric dir ~old_v
+                         ~new_v)
+                | _ -> None)
+              metrics)
+      old_idx
+  in
+  let missing =
+    List.filter_map
+      (fun (k, _) ->
+        if List.mem_assoc k new_idx then None else Some k)
+      old_idx
+  in
+  let added =
+    List.filter_map
+      (fun (k, _) ->
+        if List.mem_assoc k old_idx then None else Some k)
+      new_idx
+  in
+  (entries, missing, added)
+
+exception Incompatible of string
+
+let check_schema doc =
+  match Json.int_field doc "schema_version" with
+  | Some v when v = Bench_artifact.schema_version -> ()
+  | Some v ->
+      raise
+        (Incompatible
+           (Printf.sprintf "artifact schema_version %d, expected %d" v
+              Bench_artifact.schema_version))
+  | None -> raise (Incompatible "not a BENCH artifact (no schema_version)")
+
+let compare_docs ~threshold_pct old_doc new_doc =
+  check_schema old_doc;
+  check_schema new_doc;
+  let family field key_of metrics =
+    compare_family ~threshold_pct ~key_of ~metrics
+      (Option.value ~default:[] (Json.arr_field old_doc field))
+      (Option.value ~default:[] (Json.arr_field new_doc field))
+  in
+  let r1, m1, a1 = family "rows" row_key row_metrics in
+  let r2, m2, a2 = family "overload" overload_key overload_metrics in
+  let r3, m3, a3 = family "latency_rows" latency_key latency_metrics in
+  let entries = r1 @ r2 @ r3 in
+  {
+    entries;
+    breaches = List.length (List.filter (fun e -> e.breach) entries);
+    missing = m1 @ m2 @ m3;
+    added = a1 @ a2 @ a3;
+  }
+
+let compare_files ~threshold_pct old_path new_path =
+  compare_docs ~threshold_pct (Json.parse_file old_path)
+    (Json.parse_file new_path)
+
+(* ---- reporting ---- *)
+
+let print_report ?(out = stdout) ~threshold_pct r =
+  let p fmt = Printf.fprintf out fmt in
+  p "%-52s %-12s %14s %14s %9s\n" "row" "metric" "old" "new" "delta";
+  List.iter
+    (fun e ->
+      p "%-52s %-12s %14.1f %14.1f %+8.1f%%%s\n" e.key e.metric e.old_v
+        e.new_v (-.e.delta_pct)
+        (if e.breach then "  << REGRESSION" else ""))
+    r.entries;
+  List.iter (fun k -> p "missing in new artifact: %s\n" k) r.missing;
+  List.iter (fun k -> p "only in new artifact:    %s\n" k) r.added;
+  if r.breaches > 0 then
+    p "%d metric(s) regressed more than %.1f%%\n" r.breaches threshold_pct
+  else p "no regression past %.1f%% across %d compared metric(s)\n"
+      threshold_pct (List.length r.entries)

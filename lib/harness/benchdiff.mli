@@ -1,0 +1,33 @@
+(** Comparator for BENCH_*.json artifacts: pairs rows across two
+    artifacts by identity (figure/stm/structure/mix/threads), computes
+    per-metric regression percentages (throughput down and latency up
+    are regressions) and flags breaches past a threshold.  Wrapped by
+    [bin/benchdiff.exe], which exits non-zero on any breach. *)
+
+type direction = Higher_better | Lower_better
+
+type entry = {
+  key : string;
+  metric : string;
+  old_v : float;
+  new_v : float;
+  delta_pct : float;  (** signed; positive = regression *)
+  breach : bool;
+}
+
+type result = {
+  entries : entry list;
+  breaches : int;
+  missing : string list;  (** row keys present in old, absent in new *)
+  added : string list;
+}
+
+exception Incompatible of string
+(** Schema-version mismatch, or not a BENCH artifact. *)
+
+val regression_pct : direction -> old_v:float -> new_v:float -> float
+
+val compare_docs : threshold_pct:float -> Json.t -> Json.t -> result
+val compare_files : threshold_pct:float -> string -> string -> result
+
+val print_report : ?out:out_channel -> threshold_pct:float -> result -> unit

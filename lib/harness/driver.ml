@@ -9,6 +9,17 @@ let structure_label = function
   | Zip_s -> "zip-tree"
   | Ravl_s -> "ravl-tree"
 
+type txn_telemetry = {
+  phases : (string * int) list;
+  txn_total_ns : int;
+  p50_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+}
+
+let no_telemetry =
+  { phases = []; txn_total_ns = 0; p50_ns = 0; p99_ns = 0; p999_ns = 0 }
+
 type row = {
   stm : string;
   structure : string;
@@ -19,6 +30,7 @@ type row = {
   aborts : int;
   clock_ops : int;
   abort_reasons : (string * int) list;
+  telemetry : txn_telemetry;
 }
 
 (* Current-window abort breakdown of the STM's telemetry scope (the STM's
@@ -29,6 +41,26 @@ let abort_reasons_of name =
     | Some sc -> Twoplsf_obs.Scope.abort_counts sc
     | None -> []
   else []
+
+(* Current-window phase breakdown and transaction-latency percentiles of
+   one scope (same windowing contract as [abort_reasons_of]). *)
+let telemetry_of_scope sc =
+  let hist = Twoplsf_obs.Scope.window_hist_txn sc in
+  let pct p = Twoplsf_obs.Histogram.percentile_upper_of_buckets hist p in
+  {
+    phases = Twoplsf_obs.Scope.phase_counts sc;
+    txn_total_ns = Twoplsf_obs.Scope.txn_total_ns sc;
+    p50_ns = pct 50.;
+    p99_ns = pct 99.;
+    p999_ns = pct 99.9;
+  }
+
+let telemetry_of name =
+  if Twoplsf_obs.Telemetry.enabled () then
+    match Twoplsf_obs.Scope.find name with
+    | Some sc -> telemetry_of_scope sc
+    | None -> no_telemetry
+  else no_telemetry
 
 (* The per-(STM, value) family of structures, seen through one record of
    closures so the driver can dispatch on [structure_kind] at runtime. *)
@@ -114,6 +146,7 @@ let run_bench (type v) ~stm ~structure ~mix ~range ~threads ~seconds
     aborts = S.aborts ();
     clock_ops = S.clock_ops ();
     abort_reasons = abort_reasons_of S.name;
+    telemetry = telemetry_of S.name;
   }
 
 let run_set_bench ~stm ~structure ~mix ~range ~threads ~seconds =

@@ -10,6 +10,27 @@ type structure_kind = List_s | Hash_s | Skip_s | Zip_s | Ravl_s
 
 val structure_label : structure_kind -> string
 
+type txn_telemetry = {
+  phases : (string * int) list;
+      (** latency decomposition for the run, in {!Twoplsf_obs.Phase.all}
+          order (ns); [[]] when telemetry is off *)
+  txn_total_ns : int;
+      (** exact sum of whole-transaction durations — the denominator the
+          partition phases are measured against *)
+  p50_ns : int;  (** transaction-latency percentile bucket upper bounds *)
+  p99_ns : int;
+  p999_ns : int;
+}
+
+val no_telemetry : txn_telemetry
+(** All-zero summary (telemetry disabled / no scope). *)
+
+val telemetry_of : string -> txn_telemetry
+(** Current-window phase breakdown and latency percentiles of the named
+    scope (same windowing as the abort-reason breakdown). *)
+
+val telemetry_of_scope : Twoplsf_obs.Scope.t -> txn_telemetry
+
 type row = {
   stm : string;
   structure : string;
@@ -23,6 +44,8 @@ type row = {
   abort_reasons : (string * int) list;
       (** telemetry abort-reason breakdown for this run, in taxonomy order;
           [[]] when telemetry is disabled or the STM publishes no scope *)
+  telemetry : txn_telemetry;
+      (** phase decomposition + latency percentiles for this run *)
 }
 
 val run_set_bench :

@@ -46,11 +46,28 @@ let abort_breakdown reasons =
   |> List.map (fun (label, n) -> Printf.sprintf "%s=%d" label n)
   |> String.concat " "
 
+(* One-line phase decomposition: only phases that actually accumulated
+   time, as percentages of the transaction wall-clock total. *)
+let phase_breakdown (t : Driver.txn_telemetry) =
+  if t.txn_total_ns <= 0 then ""
+  else
+    List.filter (fun (_, ns) -> ns > 0) t.phases
+    |> List.map (fun (label, ns) ->
+           Printf.sprintf "%s=%.1f%%" label
+             (100. *. float_of_int ns /. float_of_int t.txn_total_ns))
+    |> String.concat " "
+
 let row (r : Driver.row) =
   Printf.printf "%-12s %-12s %-12s %8d %14.0f %12d %10d %10d\n%!" r.stm
     r.structure r.mix r.threads r.throughput r.commits r.aborts r.clock_ops;
   let breakdown = abort_breakdown r.abort_reasons in
   if breakdown <> "" then Printf.printf "  aborts: %s\n%!" breakdown;
+  let phases = phase_breakdown r.telemetry in
+  if phases <> "" then
+    Printf.printf "  phases: %s  p50=%s p99=%s\n%!" phases
+      (Twoplsf_obs.Histogram.pp_ns r.telemetry.p50_ns)
+      (Twoplsf_obs.Histogram.pp_ns r.telemetry.p99_ns);
+  Bench_artifact.record_row ~figure:!current_figure r;
   csv_line "%s,%s,%s,%s,%d,%.0f,%d,%d,%d,,,,%s" !current_figure r.stm
     r.structure r.mix r.threads r.throughput r.commits r.aborts r.clock_ops
     (reason_cells r.abort_reasons)
@@ -64,6 +81,9 @@ let ms x = 1000. *. x
 let latency_row ~stm ~threads ~throughput ~p50 ~p90 ~p99 ~max =
   Printf.printf "%-12s %8d %14.0f %12.3f %12.3f %12.3f %12.3f\n%!" stm threads
     throughput (ms p50) (ms p90) (ms p99) (ms max);
+  Bench_artifact.record_latency ~figure:!current_figure ~stm ~threads
+    ~throughput ~p50_ms:(ms p50) ~p90_ms:(ms p90) ~p99_ms:(ms p99)
+    ~max_ms:(ms max);
   csv_line "%s,%s,,,%d,%.0f,,,,%.4f,%.4f,%.4f,%.4f%s" !current_figure stm
     threads throughput (ms p50) (ms p90) (ms p99) (ms max) (reason_cells [])
 
@@ -121,6 +141,10 @@ let write_telemetry_json ~path =
       json_counts b (Twoplsf_obs.Scope.cumulative_abort_counts sc);
       Buffer.add_string b ",\"events\":";
       json_counts b (Twoplsf_obs.Scope.cumulative_event_counts sc);
+      Buffer.add_string b ",\"phases_ns\":";
+      json_counts b (Twoplsf_obs.Scope.cumulative_phase_counts sc);
+      Printf.bprintf b ",\"txn_total_ns\":%d"
+        (Twoplsf_obs.Scope.cumulative_txn_total_ns sc);
       Buffer.add_string b ",\"histograms\":{\"lock_wait_ns\":";
       json_histogram b (Twoplsf_obs.Scope.hist_lock_wait sc);
       Buffer.add_string b ",\"spin_iters\":";

@@ -13,6 +13,11 @@ val figure_header : id:string -> title:string -> unit
 val row_header : unit -> unit
 val row : Driver.row -> unit
 
+val phase_breakdown : Driver.txn_telemetry -> string
+(** One-line latency decomposition ("body=61.2% commit=8.4% ...") as
+    percentages of the transaction wall-clock total; [""] when the
+    summary is empty (telemetry off). *)
+
 val latency_header : unit -> unit
 
 val latency_row :

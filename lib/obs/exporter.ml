@@ -1,0 +1,269 @@
+(* Zero-dependency OpenMetrics exporter (DESIGN.md §12).
+
+   A background domain owns a loopback TCP listener; each GET /metrics
+   renders the cumulative telemetry views — commit/abort/event counters,
+   the phase accumulators, the log2 histograms as cumulative buckets and
+   every registered monitor gauge — in Prometheus/OpenMetrics text
+   format.  Counter reads are racy with the usual contract (a scrape can
+   attribute an increment to the neighbouring scrape, never lose it).
+
+   The accept loop polls with a short [Unix.select] timeout so [stop]
+   (an atomic flag + join) takes effect within ~250 ms without needing to
+   interrupt a blocking accept. *)
+
+let metric_prefix = "twoplsf"
+
+(* OpenMetrics label values escape backslash, double quote and newline. *)
+let escape_label s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Metric and label *names* must match [a-zA-Z_][a-zA-Z0-9_]*. *)
+let sanitize_name s =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    s
+
+(* One counter family over every scope, one sample per non-zero label. *)
+let counter_family b ~name ~help ~label_key ~rows =
+  let any = List.exists (fun (_, counts) -> counts <> []) rows in
+  if any then begin
+    Printf.bprintf b "# TYPE %s_%s counter\n" metric_prefix name;
+    Printf.bprintf b "# HELP %s_%s %s\n" metric_prefix name help;
+    List.iter
+      (fun (scope, counts) ->
+        List.iter
+          (fun (k, v) ->
+            Printf.bprintf b "%s_%s_total{scope=\"%s\",%s=\"%s\"} %d\n"
+              metric_prefix name (escape_label scope) label_key
+              (escape_label k) v)
+          counts)
+      rows
+  end
+
+let simple_counter b ~name ~help ~rows =
+  Printf.bprintf b "# TYPE %s_%s counter\n" metric_prefix name;
+  Printf.bprintf b "# HELP %s_%s %s\n" metric_prefix name help;
+  List.iter
+    (fun (scope, v) ->
+      Printf.bprintf b "%s_%s_total{scope=\"%s\"} %d\n" metric_prefix name
+        (escape_label scope) v)
+    rows
+
+(* A log2-bucket histogram as cumulative OpenMetrics buckets.  Bucket 0
+   holds values <= 0 (le="0"); bucket b < overflow holds values < 2^b
+   (le="2^b - 1" for integer samples); the overflow bucket is +Inf. *)
+let histogram_family b ~name ~help ~rows =
+  let any = List.exists (fun (_, buckets, _) -> buckets <> [||]) rows in
+  if any then begin
+    Printf.bprintf b "# TYPE %s_%s histogram\n" metric_prefix name;
+    Printf.bprintf b "# HELP %s_%s %s\n" metric_prefix name help;
+    List.iter
+      (fun (scope, buckets, sum) ->
+        let scope_l = escape_label scope in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i v ->
+            cum := !cum + v;
+            if i = Array.length buckets - 1 then
+              Printf.bprintf b "%s_%s_bucket{scope=\"%s\",le=\"+Inf\"} %d\n"
+                metric_prefix name scope_l !cum
+            else
+              Printf.bprintf b "%s_%s_bucket{scope=\"%s\",le=\"%d\"} %d\n"
+                metric_prefix name scope_l
+                (if i = 0 then 0 else (1 lsl i) - 1)
+                !cum)
+          buckets;
+        Printf.bprintf b "%s_%s_count{scope=\"%s\"} %d\n" metric_prefix name
+          scope_l !cum;
+        match sum with
+        | Some s ->
+            Printf.bprintf b "%s_%s_sum{scope=\"%s\"} %d\n" metric_prefix name
+              scope_l s
+        | None -> ())
+      rows
+  end
+
+let render () =
+  let b = Buffer.create 8192 in
+  let scopes = Scope.all () in
+  simple_counter b ~name:"txns" ~help:"Committed transactions"
+    ~rows:
+      (List.map
+         (fun sc ->
+           (Scope.name sc, Array.fold_left ( + ) 0 (Scope.hist_txn sc)))
+         scopes);
+  counter_family b ~name:"aborts" ~help:"Aborted attempts by reason"
+    ~label_key:"reason"
+    ~rows:
+      (List.map (fun sc -> (Scope.name sc, Scope.cumulative_abort_counts sc))
+         scopes);
+  counter_family b ~name:"events" ~help:"Instrumentation events"
+    ~label_key:"event"
+    ~rows:
+      (List.map (fun sc -> (Scope.name sc, Scope.cumulative_event_counts sc))
+         scopes);
+  counter_family b ~name:"phase_ns"
+    ~help:"Latency decomposition by phase, nanoseconds" ~label_key:"phase"
+    ~rows:
+      (List.map (fun sc -> (Scope.name sc, Scope.cumulative_phase_counts sc))
+         scopes);
+  simple_counter b ~name:"txn_ns"
+    ~help:"Total transaction wall-clock nanoseconds"
+    ~rows:
+      (List.map (fun sc -> (Scope.name sc, Scope.cumulative_txn_total_ns sc))
+         scopes);
+  histogram_family b ~name:"lock_wait_ns"
+    ~help:"Lock-wait slow path durations, nanoseconds"
+    ~rows:
+      (List.map
+         (fun sc ->
+           let phases = Scope.cumulative_phase_counts sc in
+           let wait_sum =
+             List.fold_left
+               (fun acc ph ->
+                 acc
+                 + Option.value ~default:0
+                     (List.assoc_opt (Phase.label ph) phases))
+               0
+               [ Phase.Read_lock_wait; Phase.Write_lock_wait ]
+           in
+           (Scope.name sc, Scope.hist_lock_wait sc, Some wait_sum))
+         scopes);
+  histogram_family b ~name:"txn_latency_ns"
+    ~help:"Whole-transaction latencies, nanoseconds"
+    ~rows:
+      (List.map
+         (fun sc ->
+           ( Scope.name sc,
+             Scope.hist_txn sc,
+             Some (Scope.cumulative_txn_total_ns sc) ))
+         scopes);
+  (* Watchdog verdict counters. *)
+  Printf.bprintf b "# TYPE %s_watchdog_ticks counter\n" metric_prefix;
+  Printf.bprintf b "%s_watchdog_ticks_total %d\n" metric_prefix
+    (Watchdog.ticks ());
+  Printf.bprintf b "# TYPE %s_watchdog_violations counter\n" metric_prefix;
+  Printf.bprintf b "%s_watchdog_violations_total %d\n" metric_prefix
+    (Watchdog.violations ());
+  Printf.bprintf b "# TYPE %s_watchdog_starvation_reports counter\n"
+    metric_prefix;
+  Printf.bprintf b "%s_watchdog_starvation_reports_total %d\n" metric_prefix
+    (Watchdog.starvation_reports ());
+  (* Registered monitor gauges (admission controller, tests, ...). *)
+  (match Monitor.gauge_values () with
+  | [] -> ()
+  | gs ->
+      Printf.bprintf b "# TYPE %s_gauge gauge\n" metric_prefix;
+      List.iter
+        (fun (k, v) ->
+          Printf.bprintf b "%s_gauge{name=\"%s\"} %d\n" metric_prefix
+            (escape_label (sanitize_name k))
+            v)
+        gs);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* ---- the HTTP listener ---- *)
+
+let content_type =
+  "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+let http_response ~status ~body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | 0 -> ()
+      | w -> go (off + w)
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ()
+  in
+  go 0
+
+let serve_client fd =
+  (* Read (a chunk of) the request; we only need the request line. *)
+  let buf = Bytes.create 2048 in
+  let n = try Unix.read fd buf 0 2048 with Unix.Unix_error _ -> 0 in
+  let req = Bytes.sub_string buf 0 (Stdlib.max n 0) in
+  let path =
+    match String.split_on_char ' ' req with
+    | _meth :: path :: _ -> path
+    | _ -> "/"
+  in
+  let resp =
+    match path with
+    | "/metrics" | "/" -> http_response ~status:"200 OK" ~body:(render ())
+    | _ -> http_response ~status:"404 Not Found" ~body:"# EOF\n"
+  in
+  write_all fd resp
+
+type server = {
+  sock : Unix.file_descr;
+  srv_port : int;
+  stop_flag : bool Atomic.t;
+  dom : unit Domain.t;
+}
+
+let server : server option ref = ref None
+
+let running () = !server <> None
+let port () = match !server with Some s -> Some s.srv_port | None -> None
+
+let start ~port () =
+  if !server = None then begin
+    let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt sock SO_REUSEADDR true;
+    Unix.bind sock (ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen sock 16;
+    let actual_port =
+      match Unix.getsockname sock with
+      | ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    let stop_flag = Atomic.make false in
+    let dom =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop_flag) do
+            match Unix.select [ sock ] [] [] 0.25 with
+            | [], _, _ -> ()
+            | _ :: _, _, _ -> (
+                match Unix.accept sock with
+                | fd, _ ->
+                    (try serve_client fd with _ -> ());
+                    (try Unix.close fd with Unix.Unix_error _ -> ())
+                | exception Unix.Unix_error _ -> ())
+            | exception Unix.Unix_error (EINTR, _, _) -> ()
+          done)
+    in
+    server := Some { sock; srv_port = actual_port; stop_flag; dom };
+    actual_port
+  end
+  else match !server with Some s -> s.srv_port | None -> assert false
+
+let stop () =
+  match !server with
+  | None -> ()
+  | Some s ->
+      Atomic.set s.stop_flag true;
+      Domain.join s.dom;
+      (try Unix.close s.sock with Unix.Unix_error _ -> ());
+      server := None

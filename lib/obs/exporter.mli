@@ -1,0 +1,32 @@
+(** Zero-dependency OpenMetrics/Prometheus exporter (DESIGN.md §12).
+
+    Serves the cumulative telemetry views — per-scope commit/abort/event
+    counters, the latency-phase accumulators, the lock-wait and
+    transaction-latency histograms as cumulative buckets, the watchdog
+    verdict counters and every registered {!Monitor} gauge — as
+    OpenMetrics text over a loopback HTTP listener:
+
+    {v curl http://localhost:<port>/metrics v}
+
+    [GET /metrics] (or [/]) returns the metrics; anything else is 404.
+    Rendering reads the same racy-but-monotonic cumulative views as the
+    monitor, so a scrape can attribute an increment to the neighbouring
+    scrape but never loses one.  Requires {!Telemetry.on} for non-zero
+    data (the bench CLI's [--metrics-port] implies [--telemetry]). *)
+
+val start : port:int -> unit -> int
+(** Bind 127.0.0.1:[port] (0 = ephemeral) and spawn the listener domain;
+    no-op when already running.  Returns the actual bound port. *)
+
+val stop : unit -> unit
+(** Signal the listener domain, join it and close the socket (takes
+    effect within the accept loop's 250 ms poll). *)
+
+val running : unit -> bool
+
+val port : unit -> int option
+(** Bound port while running. *)
+
+val render : unit -> string
+(** The OpenMetrics payload a scrape would receive right now (exposed for
+    tests and for dumping to a [metrics-*.prom] file). *)

@@ -68,3 +68,11 @@ let percentile_upper_of_buckets buckets p =
 
 let percentile_upper t p = percentile_upper_of_buckets (snapshot t) p
 let reset t = Array.fill t 0 (Array.length t) 0
+
+let pp_ns ns =
+  if ns = max_int then "inf"
+  else if ns < 1_000 then Printf.sprintf "%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then
+    Printf.sprintf "%.1fms" (float_of_int ns /. 1e6)
+  else Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)

@@ -39,3 +39,7 @@ val percentile_upper_of_buckets : int array -> float -> int
 
 val reset : t -> unit
 (** Zero all buckets.  Call only while writers are quiescent. *)
+
+val pp_ns : int -> string
+(** Human-readable duration ("840ns", "1.3us", "2.1ms"; "inf" for
+    [max_int], the overflow-bucket percentile). *)

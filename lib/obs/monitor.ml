@@ -19,15 +19,38 @@ let phase = ref ""
 let set_phase s = phase := s
 
 (* External gauges (e.g. the admission gate width from Twoplsf_cm, which
-   sits above this library and cannot be called directly).  The closure is
-   installed once at start-up and polled from the monitor domain; the
-   values it returns are racy snapshots, same contract as the counters. *)
-let gauges : (unit -> (string * int) list) ref = ref (fun () -> [])
-let set_gauges f = gauges := f
+   sits above this library and cannot be called directly).  Providers are
+   *named* so several subsystems can coexist — installing under an
+   existing name replaces only that provider.  Each closure is polled
+   from the monitor domain (and the exporter); the values it returns are
+   racy snapshots, same contract as the counters. *)
+let gauges_mutex = Mutex.create ()
+let providers : (string * (unit -> (string * int) list)) list ref = ref []
+
+let add_gauges ~name f =
+  Mutex.lock gauges_mutex;
+  providers := (name, f) :: List.remove_assoc name !providers;
+  Mutex.unlock gauges_mutex
+
+let remove_gauges ~name =
+  Mutex.lock gauges_mutex;
+  providers := List.remove_assoc name !providers;
+  Mutex.unlock gauges_mutex
+
+let set_gauges f = add_gauges ~name:"default" f
+
+(* Merged pairs from every provider, in provider-registration order
+   (latest first, matching the prepend above).  A provider that raises is
+   skipped — a gauge must never take the monitor down. *)
+let gauge_values () =
+  let ps = !providers in
+  List.concat_map (fun (_, f) -> try f () with _ -> []) ps
 
 type scope_snap = {
   s_aborts : (string * int) list;
   s_txn_total : int;
+  s_phases : (string * int) list;
+  s_txn_ns : int;
   s_lock_wait : int array;
 }
 
@@ -35,6 +58,8 @@ let snap_scope sc =
   {
     s_aborts = Scope.cumulative_abort_counts sc;
     s_txn_total = Array.fold_left ( + ) 0 (Scope.hist_txn sc);
+    s_phases = Scope.cumulative_phase_counts sc;
+    s_txn_ns = Scope.cumulative_txn_total_ns sc;
     s_lock_wait = Scope.hist_lock_wait sc;
   }
 
@@ -42,24 +67,14 @@ let zero_snap =
   {
     s_aborts = [];
     s_txn_total = 0;
+    s_phases = [];
+    s_txn_ns = 0;
     s_lock_wait = Array.make Histogram.num_buckets 0;
   }
 
-let diff_counts cur prev =
-  List.map
-    (fun (label, v) ->
-      let p =
-        match List.assoc_opt label prev with Some p -> p | None -> 0
-      in
-      (label, Stdlib.max 0 (v - p)))
-    cur
-
-let diff_buckets cur prev =
-  Array.mapi (fun i v -> Stdlib.max 0 (v - prev.(i))) cur
-
-(* Elementwise sum of two per-reason count lists; every scope lists the
-   full taxonomy in the same order, so positional zip is safe. *)
-let add_counts a b = List.map2 (fun (k, x) (_, y) -> (k, x + y)) a b
+let diff_counts = Snapshot.diff_counts
+let diff_buckets = Snapshot.diff_buckets
+let add_counts = Snapshot.add_counts
 
 (* ---- JSON helpers (hand-rolled, like Harness.Report) ---- *)
 
@@ -116,20 +131,24 @@ let tick st =
         Hashtbl.replace st.prev name cur;
         let commits = Stdlib.max 0 (cur.s_txn_total - prev.s_txn_total) in
         let aborts = diff_counts cur.s_aborts prev.s_aborts in
+        let phases = diff_counts cur.s_phases prev.s_phases in
+        let txn_ns = Stdlib.max 0 (cur.s_txn_ns - prev.s_txn_ns) in
         let lock_wait = diff_buckets cur.s_lock_wait prev.s_lock_wait in
-        (name, commits, aborts, lock_wait))
+        (name, commits, aborts, phases, txn_ns, lock_wait))
       scopes
   in
   (* Aggregate over scopes. *)
-  let commits = List.fold_left (fun a (_, c, _, _) -> a + c) 0 deltas in
+  let commits = List.fold_left (fun a (_, c, _, _, _, _) -> a + c) 0 deltas in
   let aborts =
-    List.fold_left
-      (fun acc (_, _, ab, _) -> if acc = [] then ab else add_counts acc ab)
-      [] deltas
+    List.fold_left (fun acc (_, _, ab, _, _, _) -> add_counts acc ab) [] deltas
+  in
+  let phases =
+    List.fold_left (fun acc (_, _, _, ph, _, _) -> add_counts acc ph) [] deltas
   in
   let lock_wait = Array.make Histogram.num_buckets 0 in
   List.iter
-    (fun (_, _, _, lw) -> Array.iteri (fun i v -> lock_wait.(i) <- lock_wait.(i) + v) lw)
+    (fun (_, _, _, _, _, lw) ->
+      Array.iteri (fun i v -> lock_wait.(i) <- lock_wait.(i) + v) lw)
     deltas;
   let aborts_total = List.fold_left (fun a (_, n) -> a + n) 0 aborts in
   let throughput = if dt > 0. then float_of_int commits /. dt else 0. in
@@ -154,6 +173,10 @@ let tick st =
       Printf.bprintf b ",\"throughput\":%.1f,\"commits\":%d" throughput commits;
       Buffer.add_string b ",\"aborts\":";
       json_counts b aborts;
+      if phases <> [] then begin
+        Buffer.add_string b ",\"phases_ns\":";
+        json_counts b phases
+      end;
       Printf.bprintf b ",\"lock_wait_p50_ns\":%d,\"lock_wait_p99_ns\":%d"
         (pct lock_wait 50.) (pct lock_wait 99.);
       Buffer.add_string b ",\"top_contended\":[";
@@ -174,7 +197,7 @@ let tick st =
           Printf.bprintf b "\"%s\"" (json_escape (Watchdog.report_to_string r)))
         new_reports;
       Buffer.add_string b "]}";
-      (match !gauges () with
+      (match gauge_values () with
       | [] -> ()
       | gs ->
           Buffer.add_string b ",\"gauges\":";
@@ -182,7 +205,7 @@ let tick st =
       Buffer.add_string b ",\"scopes\":[";
       let first = ref true in
       List.iter
-        (fun (name, c, ab, lw) ->
+        (fun (name, c, ab, ph, txn_ns, lw) ->
           let ab_total = List.fold_left (fun a (_, n) -> a + n) 0 ab in
           if c > 0 || ab_total > 0 then begin
             if not !first then Buffer.add_char b ',';
@@ -190,6 +213,8 @@ let tick st =
             Printf.bprintf b "{\"name\":\"%s\",\"commits\":%d,\"aborts\":"
               (json_escape name) c;
             json_counts b ab;
+            Printf.bprintf b ",\"txn_ns\":%d,\"phases_ns\":" txn_ns;
+            json_counts b ph;
             Printf.bprintf b
               ",\"lock_wait_p50_ns\":%d,\"lock_wait_p99_ns\":%d}" (pct lw 50.)
               (pct lw 99.)

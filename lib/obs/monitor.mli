@@ -30,9 +30,19 @@ val set_phase : string -> unit
     ["phase"] field.  Called by the harness driver and the DBx runner at
     the start of every run. *)
 
+val add_gauges : name:string -> (unit -> (string * int) list) -> unit
+(** Register a named gauge provider, polled once per tick (and by the
+    exporter); the pairs from every provider are merged into the tick's
+    ["gauges"] object.  Installing under an existing name replaces only
+    that provider, so the admission controller, tests and future
+    subsystems can coexist.  Closures must be domain-safe, non-blocking
+    and exception-free (a raising provider is skipped). *)
+
+val remove_gauges : name:string -> unit
+
 val set_gauges : (unit -> (string * int) list) -> unit
-(** Install a closure polled once per tick; when it returns a non-empty
-    list, the pairs are emitted as the tick's ["gauges"] object.  Used by
-    the admission controller (which lives above this library) to stream
-    its gate width and in-flight count.  Install before {!start}; the
-    closure must be domain-safe and non-blocking. *)
+(** [add_gauges ~name:"default"] — kept for callers predating named
+    providers. *)
+
+val gauge_values : unit -> (string * int) list
+(** Merged pairs from every registered provider (racy snapshots). *)

@@ -1,0 +1,61 @@
+(* The latency-decomposition phase taxonomy (DESIGN.md §12).
+
+   Every nanosecond of an instrumented transaction's wall-clock life is
+   attributed to exactly one of the *partition* phases, so (modulo the
+   few instructions between two clock reads) their per-scope sums add up
+   to the scope's total transaction time:
+
+     body            attempt work outside lock waits and the commit step
+     read-lock-wait  read-lock slow-path wait loops
+     write-lock-wait write-lock slow-path wait loops
+     conflictor-wait post-abort waiting for the conflicting txn to finish
+     backoff         contention-management sleeps between attempts
+     commit          the commit step of the winning attempt
+
+   [Wasted_retry] is *not* part of the partition: it re-counts the full
+   duration of every attempt that ended in an abort (the work BRAVO-style
+   decompositions call wasted work).  Report it as a ratio against total
+   transaction time, never add it to the partition sum. *)
+
+type t =
+  | Body
+  | Read_lock_wait
+  | Write_lock_wait
+  | Conflictor_wait
+  | Backoff
+  | Commit
+  | Wasted_retry
+
+let num_phases = 7
+
+let index = function
+  | Body -> 0
+  | Read_lock_wait -> 1
+  | Write_lock_wait -> 2
+  | Conflictor_wait -> 3
+  | Backoff -> 4
+  | Commit -> 5
+  | Wasted_retry -> 6
+
+let label = function
+  | Body -> "body"
+  | Read_lock_wait -> "read-lock-wait"
+  | Write_lock_wait -> "write-lock-wait"
+  | Conflictor_wait -> "conflictor-wait"
+  | Backoff -> "backoff"
+  | Commit -> "commit"
+  | Wasted_retry -> "wasted-retry"
+
+let all =
+  [
+    Body;
+    Read_lock_wait;
+    Write_lock_wait;
+    Conflictor_wait;
+    Backoff;
+    Commit;
+    Wasted_retry;
+  ]
+
+let partition =
+  [ Body; Read_lock_wait; Write_lock_wait; Conflictor_wait; Backoff; Commit ]

@@ -1,12 +1,18 @@
-(** A telemetry scope: counters, histograms and trace-name ids for one
-    concurrency control instance.
+(** A telemetry scope: counters, histograms, latency-phase accumulators
+    and trace-name ids for one concurrency control instance.
 
     Scopes register themselves in a global registry at creation so the
     harness can find them by the STM's [name] and the JSON dump can
     iterate all of them.  Counters live in a *current window* that the
     owning STM's [reset_stats] clears (folding the window into a
     cumulative view first), so per-benchmark abort-reason sums equal the
-    benchmark's [aborts ()]. *)
+    benchmark's [aborts ()].
+
+    Phase accounting (DESIGN.md §12): lock waits feed their phase and a
+    per-thread per-attempt scratch; {!txn_commit}/{!txn_abort} take the
+    scratch and attribute the remainder of the attempt to [Body] (and,
+    when the caller timed it, [Commit]).  {!Phase.Wasted_retry}
+    re-counts whole aborted attempts and overlaps the partition. *)
 
 type t
 
@@ -26,22 +32,36 @@ val find : string -> t option
 val event : t -> tid:int -> Events.event -> unit
 val abort : t -> tid:int -> Events.abort_reason -> unit
 
+val phase_add : t -> tid:int -> Phase.t -> int -> unit
+(** Add [ns] to a phase accumulator (non-positive values are dropped).
+    Lock waits, attempt ends and conflictor waits feed their phases
+    automatically; this is for externally-timed phases —
+    contention-management backoff sleeps ({!Phase.Backoff}) and the
+    baselines' native inter-attempt waits. *)
+
 val lock_wait :
   t -> tid:int -> write:bool -> t0_ns:int -> spins:int -> acquired:bool -> unit
 (** One completed lock-wait slow path: records the wait duration and spin
-    count histograms, the waited-lock counter (when [acquired]) and, when
+    count histograms, the waited-lock counter (when [acquired]), the
+    read/write wait phase and the per-attempt wait scratch and, when
     tracing, a lock-wait span starting at [t0_ns]. *)
 
-val txn_commit : t -> tid:int -> txn_t0_ns:int -> att_t0_ns:int -> unit
-(** Whole-transaction latency ([txn_t0_ns] = first attempt's start) plus,
-    when tracing, a commit span covering the final attempt. *)
+val txn_commit :
+  t -> tid:int -> txn_t0_ns:int -> att_t0_ns:int -> ?commit_t0_ns:int ->
+  unit -> unit
+(** Whole-transaction latency ([txn_t0_ns] = first attempt's start) plus
+    phase attribution for the winning attempt: [commit_t0_ns .. now] is
+    the [Commit] phase (when given), the rest of the attempt minus its
+    lock waits is [Body].  When tracing, also a commit span covering the
+    final attempt. *)
 
 val txn_abort : t -> tid:int -> att_t0_ns:int -> Events.abort_reason -> unit
-(** One aborted attempt: abort-reason counter plus, when tracing, an abort
-    span covering the attempt. *)
+(** One aborted attempt: abort-reason counter, [Body] phase for the
+    attempt minus its lock waits, the whole attempt re-counted into
+    {!Phase.Wasted_retry} and, when tracing, an abort span. *)
 
 val conflictor_wait : t -> tid:int -> t0_ns:int -> unit
-(** One post-abort wait-for-conflictor episode. *)
+(** One post-abort wait-for-conflictor episode (event, phase, span). *)
 
 (** {2 Reading} *)
 
@@ -49,12 +69,22 @@ val abort_counts : t -> (string * int) list
 (** Current window, every reason in taxonomy order (zeros included). *)
 
 val event_counts : t -> (string * int) list
+
+val phase_counts : t -> (string * int) list
+(** Current window, every phase in {!Phase.all} order (ns). *)
+
+val txn_total_ns : t -> int
+(** Exact sum of whole-transaction durations in the current window — the
+    denominator the partition phases are measured against. *)
+
 val aborts_total : t -> int
 
 val cumulative_abort_counts : t -> (string * int) list
 (** Window plus everything folded in by earlier {!reset}s. *)
 
 val cumulative_event_counts : t -> (string * int) list
+val cumulative_phase_counts : t -> (string * int) list
+val cumulative_txn_total_ns : t -> int
 
 val hist_lock_wait : t -> int array
 (** Cumulative lock-wait-duration buckets (ns), {!Histogram.num_buckets}
@@ -62,6 +92,11 @@ val hist_lock_wait : t -> int array
 
 val hist_spins : t -> int array
 val hist_txn : t -> int array
+
+val window_hist_lock_wait : t -> int array
+(** Current-window lock-wait buckets (for per-benchmark percentiles). *)
+
+val window_hist_txn : t -> int array
 
 val reset : t -> unit
 (** Fold the current window into the cumulative view and clear it.  Call

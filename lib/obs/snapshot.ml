@@ -1,0 +1,26 @@
+(* Snapshot-delta arithmetic shared by the monitor (per-tick windows) and
+   anything else that diffs cumulative scope views (tests, tooling).
+
+   All inputs are labelled count lists in a fixed taxonomy order, or
+   per-bucket histogram arrays.  Deltas clamp at 0: cumulative views are
+   monotonic, but reads are racy, so a reader can observe a counter
+   "before" a fold that another already included — clamping turns that
+   into attribution noise between adjacent windows, never a negative. *)
+
+let diff_counts cur prev =
+  List.map
+    (fun (label, v) ->
+      let p = match List.assoc_opt label prev with Some p -> p | None -> 0 in
+      (label, Stdlib.max 0 (v - p)))
+    cur
+
+let diff_buckets cur prev =
+  Array.mapi (fun i v -> Stdlib.max 0 (v - prev.(i))) cur
+
+(* Elementwise sum of two labelled count lists; every scope lists the full
+   taxonomy in the same order, so positional zip is safe.  An empty
+   accumulator adopts the other list. *)
+let add_counts a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | a, b -> List.map2 (fun (k, x) (_, y) -> (k, x + y)) a b

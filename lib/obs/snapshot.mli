@@ -1,0 +1,19 @@
+(** Snapshot-delta arithmetic for cumulative telemetry views, shared by
+    the monitor's tick windows and the exporter/tests.
+
+    Deltas clamp at 0: cumulative counters are monotonic but reads are
+    racy, so an apparent decrease is attribution noise between adjacent
+    windows, not data loss. *)
+
+val diff_counts :
+  (string * int) list -> (string * int) list -> (string * int) list
+(** [diff_counts cur prev] — per-label [max 0 (cur - prev)].  Labels
+    missing from [prev] count from 0; the result keeps [cur]'s order. *)
+
+val diff_buckets : int array -> int array -> int array
+(** Per-bucket clamped difference (arrays must have equal length). *)
+
+val add_counts :
+  (string * int) list -> (string * int) list -> (string * int) list
+(** Elementwise sum by position (identical label order assumed, as all
+    scope views share one taxonomy order).  [[]] is the identity. *)

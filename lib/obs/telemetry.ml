@@ -24,9 +24,14 @@ let disable () =
 let enabled () = !on
 let tracing () = !trace_on
 
-(* Nanosecond wall-clock timestamp.  The repo's portable clock is
-   [Unix.gettimeofday] (see Util.Clock); at 1 us granularity it is coarse
-   for single lock waits but the log2 histogram buckets absorb that.  Only
-   called on instrumented slow paths and per-transaction when telemetry is
-   enabled. *)
-let now_ns () = int_of_float (Util.Clock.now () *. 1e9)
+(* Monotonic nanosecond timestamp (CLOCK_MONOTONIC via a noalloc C stub,
+   see Util.Clock.now_ns).  Monotonicity matters: phase accumulators add
+   differences of two reads, and a wall-clock step (NTP) would make those
+   negative.  Only called on instrumented slow paths and per-transaction
+   when telemetry is enabled.  Wall-clock time is kept solely for
+   trace/export metadata ({!wall_ns}). *)
+let now_ns = Util.Clock.now_ns
+
+(* Wall-clock nanoseconds — metadata only (artifact creation times, trace
+   export headers); never used for intervals. *)
+let wall_ns () = int_of_float (Util.Clock.now () *. 1e9)

@@ -26,5 +26,9 @@ val enabled : unit -> bool
 val tracing : unit -> bool
 
 val now_ns : unit -> int
-(** Wall-clock timestamp in nanoseconds (microsecond granularity —
-    [Unix.gettimeofday] underneath). *)
+(** Monotonic timestamp in nanoseconds ({!Util.Clock.now_ns} —
+    [CLOCK_MONOTONIC]).  Arbitrary epoch; use only for intervals and
+    span offsets (the trace exporter rebases to the run's minimum). *)
+
+val wall_ns : unit -> int
+(** Wall-clock nanoseconds (microsecond granularity) — metadata only. *)

@@ -1,3 +1,5 @@
+external now_ns : unit -> int = "twoplsf_clock_monotonic_ns" [@@noalloc]
+
 let now () = Unix.gettimeofday ()
 
 let time f =

@@ -1,8 +1,16 @@
-(** Wall-clock timing for throughput and latency measurement. *)
+(** Clocks: a monotonic nanosecond source for interval measurement and a
+    wall clock for timestamps meant to be human- or tooling-readable. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds ([clock_gettime(CLOCK_MONOTONIC)] via a noalloc
+    C stub).  The epoch is arbitrary (boot time on Linux); only
+    differences are meaningful.  Never steps backwards, so telemetry
+    phase deltas cannot go negative across NTP adjustments. *)
 
 val now : unit -> float
-(** Seconds since the epoch, microsecond resolution
-    ([Unix.gettimeofday]). *)
+(** Wall-clock seconds since the epoch, microsecond resolution
+    ([Unix.gettimeofday]).  Use only for metadata (trace export, artifact
+    creation time) — use {!now_ns} for intervals. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result with the elapsed seconds. *)

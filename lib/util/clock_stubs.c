@@ -1,0 +1,18 @@
+/* Monotonic nanosecond clock for telemetry timestamps.
+ *
+ * CLOCK_MONOTONIC never steps backwards (NTP slews it but cannot jump
+ * it), so phase deltas computed from two reads are always >= 0 — the
+ * property the latency-decomposition accounting depends on.  The value
+ * fits OCaml's 63-bit int for ~146 years of uptime, so Val_long is safe
+ * and the stub can be [@@noalloc].
+ */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value twoplsf_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,212 @@
+(* Tests for the BENCH_*.json pipeline: the hand-rolled JSON round-trip,
+   the artifact writer's schema, and the benchdiff comparator's breach
+   logic (throughput drops and latency rises past the threshold fail;
+   improvements and sub-threshold noise do not). *)
+
+module J = Harness.Json
+module B = Harness.Benchdiff
+module A = Harness.Bench_artifact
+
+let check = Alcotest.check
+
+(* ---- JSON round-trip ---- *)
+
+let rec json_eq a b =
+  match (a, b) with
+  | J.Null, J.Null -> true
+  | J.Bool x, J.Bool y -> x = y
+  | J.Num x, J.Num y -> Float.abs (x -. y) <= 1e-9 *. Float.max 1. (Float.abs x)
+  | J.Str x, J.Str y -> x = y
+  | J.Arr x, J.Arr y ->
+      List.length x = List.length y && List.for_all2 json_eq x y
+  | J.Obj x, J.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && json_eq v1 v2)
+           x y
+  | _ -> false
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("s", J.Str "a \"quoted\"\nstring");
+        ("i", J.Num 42.);
+        ("f", J.Num 3.125);
+        ("neg", J.Num (-7.));
+        ("b", J.Bool true);
+        ("n", J.Null);
+        ("a", J.Arr [ J.Num 1.; J.Str "x"; J.Obj []; J.Arr [] ]);
+      ]
+  in
+  let s = J.to_string doc in
+  if not (json_eq doc (J.parse s)) then
+    Alcotest.failf "round-trip mismatch: %s" s;
+  (* integral floats print without a fractional part *)
+  if not (String.length s > 0 && J.to_string (J.Num 42.) = "42") then
+    Alcotest.failf "integral float printed as %s" (J.to_string (J.Num 42.));
+  match J.parse "{\"x\": [1, 2,]}" with
+  | exception J.Parse_error _ -> ()
+  | _ -> Alcotest.fail "accepted trailing comma"
+
+(* ---- comparator ---- *)
+
+let row ?(figure = "Figure 3") ?(stm = "2PLSF") ?(structure = "linked-list")
+    ?(mix = "100l") ?(threads = 2) ~throughput ?p99_ns () =
+  J.Obj
+    ([
+       ("figure", J.Str figure);
+       ("stm", J.Str stm);
+       ("structure", J.Str structure);
+       ("mix", J.Str mix);
+       ("threads", J.Num (float_of_int threads));
+       ("throughput", J.Num throughput);
+     ]
+    @ match p99_ns with None -> [] | Some p -> [ ("p99_ns", J.Num p) ])
+
+let doc ?(schema = A.schema_version) rows =
+  J.Obj
+    [
+      ("schema_version", J.Num (float_of_int schema));
+      ("rows", J.Arr rows);
+      ("latency_rows", J.Arr []);
+      ("overload", J.Arr []);
+    ]
+
+let breaches ?(threshold = 10.) old_rows new_rows =
+  (B.compare_docs ~threshold_pct:threshold (doc old_rows) (doc new_rows))
+    .B.breaches
+
+let test_identical_passes () =
+  let rows = [ row ~throughput:1000. ~p99_ns:5000. () ] in
+  check Alcotest.int "identical artifacts breach nothing" 0
+    (breaches rows rows)
+
+let test_throughput_regression_fails () =
+  let old_rows = [ row ~throughput:1000. () ] in
+  (* the ISSUE acceptance case: 20% throughput drop must exit non-zero *)
+  check Alcotest.int "20%% drop breaches" 1
+    (breaches old_rows [ row ~throughput:800. () ]);
+  check Alcotest.int "5%% drop is under the default threshold" 0
+    (breaches old_rows [ row ~throughput:950. () ]);
+  check Alcotest.int "improvement never breaches" 0
+    (breaches old_rows [ row ~throughput:2000. () ]);
+  check Alcotest.int "30%% threshold tolerates a 20%% drop" 0
+    (breaches ~threshold:30. old_rows [ row ~throughput:800. () ])
+
+let test_latency_regression_fails () =
+  let old_rows = [ row ~throughput:1000. ~p99_ns:1000. () ] in
+  check Alcotest.int "p99 rise breaches" 1
+    (breaches old_rows [ row ~throughput:1000. ~p99_ns:1500. () ]);
+  check Alcotest.int "p99 fall is an improvement" 0
+    (breaches old_rows [ row ~throughput:1000. ~p99_ns:500. () ])
+
+let test_row_identity () =
+  let old_rows = [ row ~throughput:1000. () ] in
+  (* a different thread count is a different row: no comparison, the old
+     row lands in [missing] *)
+  let r =
+    B.compare_docs ~threshold_pct:10. (doc old_rows)
+      (doc [ row ~threads:4 ~throughput:10. () ])
+  in
+  check Alcotest.int "no cross-row comparison" 0 r.B.breaches;
+  check Alcotest.int "old row reported missing" 1 (List.length r.B.missing);
+  check Alcotest.int "new row reported added" 1 (List.length r.B.added)
+
+let test_schema_mismatch_refused () =
+  let rows = [ row ~throughput:1. () ] in
+  (match
+     B.compare_docs ~threshold_pct:10. (doc ~schema:999 rows) (doc rows)
+   with
+  | exception B.Incompatible _ -> ()
+  | _ -> Alcotest.fail "accepted mismatched schema_version");
+  match B.compare_docs ~threshold_pct:10. (J.Obj []) (doc rows) with
+  | exception B.Incompatible _ -> ()
+  | _ -> Alcotest.fail "accepted a non-artifact document"
+
+(* ---- end-to-end through the artifact writer ---- *)
+
+let test_artifact_write_and_selfdiff () =
+  A.reset ();
+  let telemetry =
+    {
+      Harness.Driver.phases =
+        List.map
+          (fun ph ->
+            ( Twoplsf_obs.Phase.label ph,
+              match ph with
+              | Twoplsf_obs.Phase.Body -> 700
+              | Twoplsf_obs.Phase.Commit -> 300
+              | Twoplsf_obs.Phase.Wasted_retry -> 50
+              | _ -> 0 ))
+          Twoplsf_obs.Phase.all;
+      txn_total_ns = 1000;
+      p50_ns = 127;
+      p99_ns = 511;
+      p999_ns = 1023;
+    }
+  in
+  A.record_row ~figure:"Figure T"
+    {
+      Harness.Driver.stm = "2PLSF";
+      structure = "hash";
+      mix = "50u";
+      threads = 2;
+      throughput = 12345.;
+      commits = 100;
+      aborts = 7;
+      clock_ops = 3;
+      abort_reasons = [ ("write-lock-conflict", 7) ];
+      telemetry;
+    };
+  A.record_overload ~stm:"2PLSF" ~ops:500 ~starved:0 ~deadline_raises:1
+    ~fallbacks:2 ~leaked:0 ~sum_ok:true ~p50_ms:0.5 ~p99_ms:2.0 ~p999_ms:8.0;
+  let path = Filename.temp_file "bench_artifact" ".json" in
+  A.write ~path ~flags:"--quick --telemetry";
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let d = J.parse_file path in
+      check (Alcotest.option Alcotest.int) "schema" (Some A.schema_version)
+        (J.int_field d "schema_version");
+      check (Alcotest.option Alcotest.string) "flags"
+        (Some "--quick --telemetry") (J.str_field d "flags");
+      let r =
+        match J.arr_field d "rows" with
+        | Some [ r ] -> r
+        | _ -> Alcotest.fail "expected exactly one row"
+      in
+      (match J.num_field r "phase_coverage" with
+      | Some cov when Float.abs (cov -. 1.0) <= 0.05 -> ()
+      | Some cov -> Alcotest.failf "phase_coverage %.3f out of tolerance" cov
+      | None -> Alcotest.fail "missing phase_coverage");
+      (match J.num_field r "wasted_retry_frac" with
+      | Some f when Float.abs (f -. 0.05) <= 1e-9 -> ()
+      | Some f -> Alcotest.failf "wasted_retry_frac %.4f, expected 0.05" f
+      | None -> Alcotest.fail "missing wasted_retry_frac");
+      let self = B.compare_docs ~threshold_pct:10. d d in
+      check Alcotest.int "self-diff has no breaches" 0 self.B.breaches;
+      if self.B.entries = [] then Alcotest.fail "self-diff compared nothing";
+      A.reset ())
+
+let () =
+  Alcotest.run "benchdiff"
+    [
+      ("json", [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ]);
+      ( "comparator",
+        [
+          Alcotest.test_case "identical passes" `Quick test_identical_passes;
+          Alcotest.test_case "throughput regression fails" `Quick
+            test_throughput_regression_fails;
+          Alcotest.test_case "latency regression fails" `Quick
+            test_latency_regression_fails;
+          Alcotest.test_case "row identity" `Quick test_row_identity;
+          Alcotest.test_case "schema mismatch refused" `Quick
+            test_schema_mismatch_refused;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "write + self-diff" `Quick
+            test_artifact_write_and_selfdiff;
+        ] );
+    ]

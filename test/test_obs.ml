@@ -75,6 +75,68 @@ let test_histogram_record_percentile () =
   Obs.Histogram.reset h;
   check Alcotest.int "total after reset" 0 (Obs.Histogram.total h)
 
+(* ---- Percentile edge cases ---- *)
+
+let test_percentile_edges () =
+  let h = Obs.Histogram.create () in
+  (* empty histogram: every percentile is 0 *)
+  check Alcotest.int "empty p50" 0 (Obs.Histogram.percentile_upper h 50.);
+  check Alcotest.int "empty p99.9" 0 (Obs.Histogram.percentile_upper h 99.9);
+  check Alcotest.int "empty buckets p50" 0
+    (Obs.Histogram.percentile_upper_of_buckets
+       (Array.make Obs.Histogram.num_buckets 0)
+       50.);
+  (* every sample in one bucket: every percentile is that bucket's upper
+     bound, including the extreme p's *)
+  for _ = 1 to 10 do
+    Obs.Histogram.record h ~tid:0 5
+  done;
+  List.iter
+    (fun p ->
+      check Alcotest.int
+        (Printf.sprintf "single-bucket p%g" p)
+        7
+        (Obs.Histogram.percentile_upper h p))
+    [ 0.1; 50.; 99.; 99.9; 100. ];
+  (* a tail sample in the overflow bucket saturates high percentiles to
+     max_int while p50 stays in the low bucket *)
+  Obs.Histogram.reset h;
+  Obs.Histogram.record h ~tid:0 1;
+  Obs.Histogram.record h ~tid:1 max_int;
+  check Alcotest.int "p50 stays low" 1 (Obs.Histogram.percentile_upper h 50.);
+  check Alcotest.int "p99 saturates" max_int
+    (Obs.Histogram.percentile_upper h 99.);
+  (* all samples in the saturating top bucket: even p1 is max_int *)
+  Obs.Histogram.reset h;
+  for _ = 1 to 3 do
+    Obs.Histogram.record h ~tid:0 (1 lsl 60)
+  done;
+  check Alcotest.int "saturated top bucket p1" max_int
+    (Obs.Histogram.percentile_upper h 1.)
+
+(* ---- Snapshot-delta arithmetic ---- *)
+
+let counts = Alcotest.(list (pair string int))
+
+let test_snapshot_arith () =
+  let cur = [ ("a", 5); ("b", 2); ("c", 0) ] in
+  let prev = [ ("a", 3); ("b", 4) ] in
+  check counts "diff clamps at 0 and counts missing-in-prev from 0"
+    [ ("a", 2); ("b", 0); ("c", 0) ]
+    (Obs.Snapshot.diff_counts cur prev);
+  check counts "diff against empty prev" cur (Obs.Snapshot.diff_counts cur []);
+  check counts "add: [] is left identity" cur
+    (Obs.Snapshot.add_counts [] cur);
+  check counts "add: [] is right identity" cur
+    (Obs.Snapshot.add_counts cur []);
+  check counts "add sums positionally"
+    [ ("a", 8); ("b", 6) ]
+    (Obs.Snapshot.add_counts [ ("a", 5); ("b", 2) ] [ ("a", 3); ("b", 4) ]);
+  check
+    Alcotest.(array int)
+    "bucket diff clamps" [| 3; 0; 2 |]
+    (Obs.Snapshot.diff_buckets [| 5; 1; 2 |] [| 2; 3; 0 |])
+
 (* ---- Padded counters ---- *)
 
 let test_padded_counters () =
@@ -128,6 +190,184 @@ let test_abort_reasons_sum () =
   check Alcotest.int "reasons sum to aborts ()" (S.aborts ()) sum;
   check Alcotest.int "aborts_total agrees" (S.aborts ())
     (Obs.Scope.aborts_total sc)
+
+(* ---- Latency-phase accounting ---- *)
+
+let busy_wait_ns ns =
+  let t0 = Obs.Telemetry.now_ns () in
+  while Obs.Telemetry.now_ns () - t0 < ns do
+    Domain.cpu_relax ()
+  done
+
+(* Deterministic single-thread lifecycle: one aborted attempt, then a
+   committing attempt with a timed commit step.  Checks each phase got at
+   least its busy-wait and that the partition tiles the transaction. *)
+let test_phase_accounting_unit () =
+  Obs.Telemetry.enable ();
+  let sc = Obs.Scope.create "phase-unit" in
+  let tid = 0 in
+  let txn_t0 = Obs.Telemetry.now_ns () in
+  busy_wait_ns 400_000;
+  Obs.Scope.txn_abort sc ~tid ~att_t0_ns:txn_t0 Obs.Events.Write_lock_conflict;
+  let att2 = Obs.Telemetry.now_ns () in
+  busy_wait_ns 300_000;
+  let c0 = Obs.Telemetry.now_ns () in
+  busy_wait_ns 100_000;
+  Obs.Scope.txn_commit sc ~tid ~txn_t0_ns:txn_t0 ~att_t0_ns:att2
+    ~commit_t0_ns:c0 ();
+  let phases = Obs.Scope.phase_counts sc in
+  let get ph =
+    match List.assoc_opt (Obs.Phase.label ph) phases with
+    | Some ns -> ns
+    | None -> Alcotest.failf "missing phase %s" (Obs.Phase.label ph)
+  in
+  if get Obs.Phase.Wasted_retry < 400_000 then
+    Alcotest.failf "wasted-retry %d < aborted attempt" (get Obs.Phase.Wasted_retry);
+  if get Obs.Phase.Commit < 100_000 then
+    Alcotest.failf "commit phase %d too small" (get Obs.Phase.Commit);
+  if get Obs.Phase.Body < 600_000 then
+    Alcotest.failf "body phase %d too small" (get Obs.Phase.Body);
+  let total = Obs.Scope.txn_total_ns sc in
+  if total < 800_000 then Alcotest.failf "txn_total_ns %d too small" total;
+  let part =
+    List.fold_left (fun acc ph -> acc + get ph) 0 Obs.Phase.partition
+  in
+  let ratio = float_of_int part /. float_of_int total in
+  if ratio < 0.95 || ratio > 1.05 then
+    Alcotest.failf "partition covers %.3f of txn wall-clock" ratio;
+  (* the abort also counted its reason *)
+  check Alcotest.int "one abort" 1 (Obs.Scope.aborts_total sc)
+
+(* End-to-end: the instrumented 2PLSF run's partition must tile its
+   transactions' wall-clock within 5% (the ISSUE acceptance bound). *)
+let test_phase_partition_contended () =
+  Obs.Telemetry.enable ();
+  S.reset_stats ();
+  ignore (contended_run ());
+  let sc =
+    match Obs.Scope.find "2PLSF" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "no 2PLSF scope"
+  in
+  let phases = Obs.Scope.phase_counts sc in
+  let total = Obs.Scope.txn_total_ns sc in
+  if total <= 0 then Alcotest.fail "no transaction time recorded";
+  let part =
+    List.fold_left
+      (fun acc ph ->
+        acc
+        + Option.value ~default:0
+            (List.assoc_opt (Obs.Phase.label ph) phases))
+      0 Obs.Phase.partition
+  in
+  let ratio = float_of_int part /. float_of_int total in
+  if ratio < 0.95 || ratio > 1.05 then
+    Alcotest.failf "phase partition covers %.3f of txn wall-clock" ratio
+
+(* ---- Named gauge providers ---- *)
+
+let test_gauge_providers () =
+  let clean () =
+    List.iter
+      (fun name -> Obs.Monitor.remove_gauges ~name)
+      [ "g1"; "g2"; "boom" ]
+  in
+  clean ();
+  Fun.protect ~finally:clean (fun () ->
+      Obs.Monitor.add_gauges ~name:"g1" (fun () -> [ ("x", 1) ]);
+      Obs.Monitor.add_gauges ~name:"g2" (fun () -> [ ("y", 2) ]);
+      Obs.Monitor.add_gauges ~name:"boom" (fun () -> failwith "boom");
+      let vs = Obs.Monitor.gauge_values () in
+      check (Alcotest.option Alcotest.int) "g1 visible" (Some 1)
+        (List.assoc_opt "x" vs);
+      check (Alcotest.option Alcotest.int) "g2 visible" (Some 2)
+        (List.assoc_opt "y" vs);
+      (* a raising provider is skipped, not fatal *)
+      Obs.Monitor.add_gauges ~name:"g1" (fun () -> [ ("x", 7) ]);
+      let vs = Obs.Monitor.gauge_values () in
+      check (Alcotest.option Alcotest.int) "replace by name" (Some 7)
+        (List.assoc_opt "x" vs);
+      check Alcotest.int "no duplicate from replaced provider" 1
+        (List.length (List.filter (fun (k, _) -> k = "x") vs));
+      Obs.Monitor.remove_gauges ~name:"g2";
+      check (Alcotest.option Alcotest.int) "removed provider gone" None
+        (List.assoc_opt "y" (Obs.Monitor.gauge_values ())))
+
+(* ---- OpenMetrics exporter ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_exporter_render () =
+  Obs.Telemetry.enable ();
+  S.reset_stats ();
+  ignore (contended_run ());
+  let body = Obs.Exporter.render () in
+  List.iter
+    (fun needle ->
+      if not (contains body needle) then
+        Alcotest.failf "render missing %S" needle)
+    [
+      "# TYPE twoplsf_txns counter";
+      "twoplsf_txns_total{scope=\"2PLSF\"}";
+      "twoplsf_aborts_total{scope=\"2PLSF\",reason=\"write-lock-conflict\"}";
+      "# TYPE twoplsf_lock_wait_ns histogram";
+      "twoplsf_lock_wait_ns_bucket{scope=\"2PLSF\",le=\"+Inf\"}";
+      "twoplsf_lock_wait_ns_count{scope=\"2PLSF\"}";
+      "twoplsf_phase_ns_total{scope=\"2PLSF\",phase=\"body\"}";
+      "twoplsf_txn_latency_ns_bucket";
+    ];
+  let eof = "# EOF\n" in
+  let tail =
+    String.sub body (String.length body - String.length eof)
+      (String.length eof)
+  in
+  check Alcotest.string "terminated by # EOF" eof tail
+
+let read_all fd =
+  let b = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes b chunk 0 n;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let http_get ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+          path
+      in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      read_all sock)
+
+let test_exporter_http () =
+  Obs.Telemetry.enable ();
+  let port = Obs.Exporter.start ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Exporter.stop ())
+    (fun () ->
+      check Alcotest.bool "running" true (Obs.Exporter.running ());
+      let resp = http_get ~port "/metrics" in
+      if not (contains resp "HTTP/1.1 200") then
+        Alcotest.failf "bad status: %s" (String.sub resp 0 (Stdlib.min 40 (String.length resp)));
+      if not (contains resp "twoplsf_txns_total") then
+        Alcotest.fail "payload missing counters";
+      if not (contains resp "# EOF") then Alcotest.fail "payload missing # EOF";
+      let nf = http_get ~port "/nope" in
+      if not (contains nf "404") then Alcotest.fail "expected 404");
+  check Alcotest.bool "stopped" false (Obs.Exporter.running ())
 
 (* ---- Chrome trace JSON ---- *)
 
@@ -387,12 +627,31 @@ let () =
             test_bucket_lower_bound_roundtrip;
           Alcotest.test_case "record + percentile" `Quick
             test_histogram_record_percentile;
+          Alcotest.test_case "percentile edge cases" `Quick
+            test_percentile_edges;
         ] );
+      ( "snapshot",
+        [ Alcotest.test_case "diff/add arithmetic" `Quick test_snapshot_arith ]
+      );
       ("padded", [ Alcotest.test_case "counters" `Quick test_padded_counters ]);
       ( "taxonomy",
         [
           Alcotest.test_case "reasons sum to aborts" `Quick
             test_abort_reasons_sum;
+        ] );
+      ( "phases",
+        [
+          Alcotest.test_case "deterministic lifecycle" `Quick
+            test_phase_accounting_unit;
+          Alcotest.test_case "contended partition tiles wall-clock" `Quick
+            test_phase_partition_contended;
+        ] );
+      ( "gauges",
+        [ Alcotest.test_case "named providers" `Quick test_gauge_providers ] );
+      ( "exporter",
+        [
+          Alcotest.test_case "OpenMetrics render" `Quick test_exporter_render;
+          Alcotest.test_case "HTTP scrape" `Quick test_exporter_http;
         ] );
       ( "trace",
         [ Alcotest.test_case "chrome JSON export" `Quick test_trace_export ] );
