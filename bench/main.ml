@@ -50,6 +50,7 @@ let () =
   let bench_out = ref "" in
   let no_bench_out = ref false in
   let metrics_port = ref (-1) in
+  let conflict_map = ref false in
   let spec =
     [
       ("--figure", Arg.Set_int figure, "N  run only figure N (2-8, 10-12)");
@@ -160,6 +161,11 @@ let () =
         Arg.Set_int metrics_port,
         "PORT  serve OpenMetrics on http://127.0.0.1:PORT/metrics for the \
          duration of the run (0 = ephemeral port; implies --telemetry)" );
+      ( "--conflict-map",
+        Arg.Set conflict_map,
+        " record per-lock hotspot attribution and abort provenance \
+         (DESIGN.md §13) into the benchmark artifact; render with \
+         bin/conflictmap.exe (implies --telemetry)" );
     ]
   in
   Arg.parse spec
@@ -171,9 +177,15 @@ let () =
   end;
   ignore (Util.Tid.register ());
   let monitoring = !monitor_out <> "" || !monitor_console in
-  if !watchdog || monitoring || !metrics_port >= 0 then telemetry := true;
+  if !watchdog || monitoring || !metrics_port >= 0 || !conflict_map then
+    telemetry := true;
   if !trace <> "" then Twoplsf_obs.Telemetry.enable_tracing ()
   else if !telemetry then Twoplsf_obs.Telemetry.enable ();
+  if !conflict_map then begin
+    Twoplsf_obs.Conflict.enable ();
+    Twoplsf_obs.Monitor.add_gauges ~name:"conflict"
+      Twoplsf_obs.Scope.conflict_gauges
+  end;
   if !metrics_port >= 0 then begin
     match Twoplsf_obs.Exporter.start ~port:!metrics_port () with
     | port ->
@@ -284,7 +296,9 @@ let () =
       String.concat " " (List.tl (Array.to_list Sys.argv))
     in
     Harness.Bench_artifact.write ~path ~flags;
-    Printf.printf "\nBenchmark artifact: %s\n%!" path
+    Printf.printf "\nBenchmark artifact: %s\n%!" path;
+    if !conflict_map then
+      Printf.printf "Conflict map: render with `conflictmap %s`\n%!" path
   end;
   if Twoplsf_obs.Exporter.running () then Twoplsf_obs.Exporter.stop ();
   if monitoring then begin

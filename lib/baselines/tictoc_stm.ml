@@ -41,6 +41,10 @@ type tx = {
   mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
   ov : Cm.state;
   mutable abort_reason : Obs.Events.abort_reason;
+  mutable c_orec : int;
+      (* orec the in-flight abort is pinned on, or -1 (conflict
+         cartography; TicToc lock words carry no owner tid, so the
+         aborter side of the edge is always unknown) *)
 }
 
 let requested_num_orecs = ref 65536
@@ -81,14 +85,18 @@ let tx_key =
         escalated = false;
         ov = Cm.make_state ();
         abort_reason = Obs.Events.User_restart;
+        c_orec = -1;
       })
 
 let get_tx () = Domain.DLS.get tx_key
 
-let stable_word t oi =
+let stable_word t tx oi =
   (* Bounded wait for an unlocked word. *)
   let rec go n =
-    if n > 1000 then raise Restart;
+    if n > 1000 then begin
+      tx.c_orec <- oi;
+      raise Restart
+    end;
     let w = Atomic.get t.words.(oi) in
     if is_locked w then begin
       Domain.cpu_relax ();
@@ -114,17 +122,23 @@ let read tx (tv : 'a tvar) : 'a =
     | None ->
         let t = Util.Once.get table in
         let oi = tv.id land t.mask in
-        let w = stable_word t oi in
+        let w = stable_word t tx oi in
         let v = tv.v in
-        if Atomic.get t.words.(oi) <> w then raise Restart;
+        if Atomic.get t.words.(oi) <> w then begin
+          tx.c_orec <- oi;
+          raise Restart
+        end;
         Util.Vec.push tx.rset (oi, w);
         v
   else begin
     let t = Util.Once.get table in
     let oi = tv.id land t.mask in
-    let w = stable_word t oi in
+    let w = stable_word t tx oi in
     let v = tv.v in
-    if Atomic.get t.words.(oi) <> w then raise Restart;
+    if Atomic.get t.words.(oi) <> w then begin
+      tx.c_orec <- oi;
+      raise Restart
+    end;
     Util.Vec.push tx.rset (oi, w);
     v
   end
@@ -148,9 +162,15 @@ let lock_write_set t tx =
          if is_self_locked tx oi then ()
          else begin
            let w = Atomic.get t.words.(oi) in
-           if is_locked w then raise Exit;
+           if is_locked w then begin
+             tx.c_orec <- oi;
+             raise Exit
+           end;
            if not (Atomic.compare_and_set t.words.(oi) w (w lor lock_bit))
-           then raise Exit;
+           then begin
+             tx.c_orec <- oi;
+             raise Exit
+           end;
            Util.Vec.push tx.locked (oi, w)
          end)
    with Exit -> ok := false);
@@ -176,9 +196,15 @@ let commit tx =
          (fun (oi, observed) ->
            if rts_of observed < ct then begin
              let cur = Atomic.get t.words.(oi) in
-             if wts_of cur <> wts_of observed then raise Exit;
+             if wts_of cur <> wts_of observed then begin
+               tx.c_orec <- oi;
+               raise Exit
+             end;
              if is_locked cur then begin
-               if not (is_self_locked tx oi) then raise Exit
+               if not (is_self_locked tx oi) then begin
+                 tx.c_orec <- oi;
+                 raise Exit
+               end
                (* our own commit lock: the write phase stamps it to ct *)
              end
              else if
@@ -186,7 +212,10 @@ let commit tx =
                && not
                     (Atomic.compare_and_set t.words.(oi) cur
                        (pack ~locked:false ~wts:(wts_of cur) ~rts:ct))
-             then raise Exit
+             then begin
+               tx.c_orec <- oi;
+               raise Exit
+             end
            end)
          tx.rset
      with Exit -> ok := false);
@@ -207,6 +236,7 @@ let begin_attempt tx ~ro =
   Util.Vec.clear tx.locked;
   tx.reads <- 0;
   tx.abort_reason <- Obs.Events.User_restart;
+  tx.c_orec <- -1;
   tx.ro <- ro
 
 let finish_escalation tx =
@@ -255,8 +285,8 @@ let run tx read_only f =
         tx.depth <- 0;
         Stm_intf.Stats.abort stats ~tid:tx.tid;
         if telemetry then
-          Obs.Scope.txn_abort obs ~tid:tx.tid ~att_t0_ns:att_t0
-            tx.abort_reason;
+          Obs.Scope.txn_abort obs ~lock:tx.c_orec ~tid:tx.tid
+            ~att_t0_ns:att_t0 tx.abort_reason;
         tx.restarts <- tx.restarts + 1;
         if tx.escalated then begin
           native_wait n ();

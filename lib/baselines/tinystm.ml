@@ -24,6 +24,8 @@ type tx = {
   mutable finished_restarts : int;
   mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
   mutable abort_reason : Obs.Events.abort_reason;
+  mutable c_orec : int; (* orec the in-flight abort is pinned on, or -1 *)
+  mutable c_owner : int; (* its lock owner at detection time, or -1 *)
   ov : Cm.state;
 }
 
@@ -58,10 +60,18 @@ let tx_key =
         finished_restarts = 0;
         escalated = false;
         abort_reason = Obs.Events.User_restart;
+        c_orec = -1;
+        c_owner = -1;
         ov = Cm.make_state ();
       })
 
 let get_tx () = Domain.DLS.get tx_key
+
+(* Pin the in-flight abort on orec [oi] (conflict-cartography provenance):
+   the aborter is the lock owner when [word] is locked. *)
+let pin tx oi word =
+  tx.c_orec <- oi;
+  tx.c_owner <- (if Orec.is_locked word then Orec.owner word else -1)
 
 let wlock_old_version tx oi =
   let n = Util.Vec.length tx.wlocks in
@@ -80,12 +90,20 @@ let wlock_old_version tx oi =
 let check_read o tx (oi, observed) =
   let w = Orec.get o oi in
   if Orec.is_locked w then begin
-    if Orec.owner w <> tx.tid then raise Exit;
+    if Orec.owner w <> tx.tid then begin
+      pin tx oi w;
+      raise Exit
+    end;
     match wlock_old_version tx oi with
     | Some old_version when old_version = observed -> ()
-    | Some _ | None -> raise Exit
+    | Some _ | None ->
+        pin tx oi w;
+        raise Exit
   end
-  else if Orec.version w <> observed then raise Exit
+  else if Orec.version w <> observed then begin
+    pin tx oi w;
+    raise Exit
+  end
 
 (* LSA snapshot extension: move [rv] forward to the current clock if every
    read is still valid at its observed version. *)
@@ -108,12 +126,18 @@ let rec read tx (tv : 'a tvar) : 'a =
   let w = Orec.get o oi in
   if Orec.is_locked w then begin
     if Orec.owner w = tx.tid then tv.v (* own encounter-time lock *)
-    else restart tx Obs.Events.Read_validation
+    else begin
+      pin tx oi w;
+      restart tx Obs.Events.Read_validation
+    end
   end
   else begin
     let v = tv.v in
     let w2 = Orec.get o oi in
-    if w2 <> w then restart tx Obs.Events.Read_validation;
+    if w2 <> w then begin
+      pin tx oi w2;
+      restart tx Obs.Events.Read_validation
+    end;
     let ver = Orec.version w in
     if ver > tx.rv then
       (* Snapshot extension, then RE-EXECUTE the load: the tvar may have
@@ -138,7 +162,10 @@ let write tx tv nv =
   let oi = Orec.index o tv.id in
   let w = Orec.get o oi in
   if Orec.is_locked w then begin
-    if Orec.owner w <> tx.tid then restart tx Obs.Events.Write_lock_conflict;
+    if Orec.owner w <> tx.tid then begin
+      pin tx oi w;
+      restart tx Obs.Events.Write_lock_conflict
+    end;
     Wset.log_old_once tx.undo tv tv.v;
     tv.v <- nv
   end
@@ -147,7 +174,9 @@ let write tx tv nv =
     if ver > tx.rv && not (extend tx) then
       restart tx Obs.Events.Read_validation;
     match Orec.try_lock o ~tid:tx.tid oi with
-    | None -> restart tx Obs.Events.Write_lock_conflict
+    | None ->
+        pin tx oi (Orec.get o oi);
+        restart tx Obs.Events.Write_lock_conflict
     | Some old_version ->
         Util.Vec.push tx.wlocks (oi, old_version);
         (* The version may have advanced between the check above and the
@@ -211,6 +240,8 @@ let begin_attempt tx ~ro =
   Util.Vec.clear tx.wlocks;
   tx.ro <- ro;
   tx.abort_reason <- Obs.Events.User_restart;
+  tx.c_orec <- -1;
+  tx.c_owner <- -1;
   tx.rv <- Atomic.get clock
 
 let finish_escalation tx =
@@ -259,8 +290,8 @@ let run tx read_only f =
         rollback tx;
         Stm_intf.Stats.abort stats ~tid:tx.tid;
         if telemetry then
-          Obs.Scope.txn_abort obs ~tid:tx.tid ~att_t0_ns:att_t0
-            tx.abort_reason;
+          Obs.Scope.txn_abort obs ~aborter:tx.c_owner ~lock:tx.c_orec
+            ~tid:tx.tid ~att_t0_ns:att_t0 tx.abort_reason;
         tx.restarts <- tx.restarts + 1;
         if tx.escalated then begin
           native_wait n ();

@@ -25,6 +25,8 @@ type tx = {
   mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
   ov : Cm.state;
   mutable abort_reason : Obs.Events.abort_reason;
+  mutable c_orec : int; (* orec the in-flight abort is pinned on, or -1 *)
+  mutable c_owner : int; (* its lock owner at detection time, or -1 *)
 }
 
 let requested_num_orecs = ref 65536
@@ -58,9 +60,18 @@ let tx_key =
         escalated = false;
         ov = Cm.make_state ();
         abort_reason = Obs.Events.User_restart;
+        c_orec = -1;
+        c_owner = -1;
       })
 
 let get_tx () = Domain.DLS.get tx_key
+
+(* Pin the in-flight abort on orec [oi] (conflict-cartography provenance):
+   the aborter is the lock owner when [word] is locked; version-too-new
+   conflicts have no identifiable owner. *)
+let pin tx oi word =
+  tx.c_orec <- oi;
+  tx.c_owner <- (if Orec.is_locked word then Orec.owner word else -1)
 
 let read tx (tv : 'a tvar) : 'a =
   let o = Util.Once.get orecs in
@@ -71,11 +82,13 @@ let read tx (tv : 'a tvar) : 'a =
         let oi = Orec.index o tv.id in
         let pre = Orec.get o oi in
         if Orec.is_locked pre || Orec.version pre > tx.rv then begin
+          pin tx oi pre;
           tx.abort_reason <- Obs.Events.Read_validation;
           raise Restart
         end;
         let v = tv.v in
         if Orec.get o oi <> pre then begin
+          pin tx oi (Orec.get o oi);
           tx.abort_reason <- Obs.Events.Read_validation;
           raise Restart
         end;
@@ -85,11 +98,13 @@ let read tx (tv : 'a tvar) : 'a =
     let oi = Orec.index o tv.id in
     let pre = Orec.get o oi in
     if Orec.is_locked pre || Orec.version pre > tx.rv then begin
+      pin tx oi pre;
       tx.abort_reason <- Obs.Events.Read_validation;
       raise Restart
     end;
     let v = tv.v in
     if Orec.get o oi <> pre then begin
+      pin tx oi (Orec.get o oi);
       tx.abort_reason <- Obs.Events.Read_validation;
       raise Restart
     end;
@@ -118,7 +133,9 @@ let lock_write_set tx =
          else
            match Orec.try_lock o ~tid:tx.tid oi with
            | Some old_version -> Util.Vec.push tx.acquired (oi, old_version)
-           | None -> raise Exit)
+           | None ->
+               pin tx oi (Orec.get o oi);
+               raise Exit)
    with Exit -> ok := false);
   !ok
 
@@ -142,15 +159,23 @@ let validate_read_set tx =
        (fun oi ->
          let w = Orec.get o oi in
          if Orec.is_locked w then begin
-           if Orec.owner w <> tx.tid then raise Exit;
+           if Orec.owner w <> tx.tid then begin
+             pin tx oi w;
+             raise Exit
+           end;
            (* Self-locked: the commit-time CAS may have succeeded from a
               version newer than rv; the read is valid only if the pre-lock
               version was within the snapshot. *)
            match acquired_old_version tx oi with
            | Some old_version when old_version <= tx.rv -> ()
-           | Some _ | None -> raise Exit
+           | Some _ | None ->
+               pin tx oi w;
+               raise Exit
          end
-         else if Orec.version w > tx.rv then raise Exit)
+         else if Orec.version w > tx.rv then begin
+           pin tx oi w;
+           raise Exit
+         end)
        tx.rset
    with Exit -> ok := false);
   !ok
@@ -181,6 +206,8 @@ let begin_attempt tx ~ro =
   Util.Vec.clear tx.acquired;
   tx.ro <- ro;
   tx.abort_reason <- Obs.Events.User_restart;
+  tx.c_orec <- -1;
+  tx.c_owner <- -1;
   tx.rv <- Atomic.get clock
 
 let finish_escalation tx =
@@ -230,8 +257,8 @@ let run tx read_only f =
         tx.depth <- 0;
         Stm_intf.Stats.abort stats ~tid:tx.tid;
         if telemetry then
-          Obs.Scope.txn_abort obs ~tid:tx.tid ~att_t0_ns:att_t0
-            tx.abort_reason;
+          Obs.Scope.txn_abort obs ~aborter:tx.c_owner ~lock:tx.c_orec
+            ~tid:tx.tid ~att_t0_ns:att_t0 tx.abort_reason;
         tx.restarts <- tx.restarts + 1;
         if tx.escalated then begin
           (* Serial slow path: the fallback mutex keeps other escalated

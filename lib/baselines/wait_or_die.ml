@@ -2,6 +2,7 @@ module Rwl_sf = Twoplsf.Rwl_sf
 
 let name = "2PL-WaitDie"
 
+module Obs = Twoplsf_obs
 module Cm = Twoplsf_cm.Cm
 module Admission = Twoplsf_cm.Admission
 
@@ -23,15 +24,19 @@ type tx = {
   mutable finished_restarts : int;
   mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
   ov : Cm.state;
+  mutable abort_reason : Obs.Events.abort_reason;
 }
 
 let requested_num_locks = ref 65536
 let built = ref false
+let obs = Obs.Scope.create name
 
 let table =
   Util.Once.create (fun () ->
       built := true;
-      Rwl_sf.create ~num_locks:!requested_num_locks ())
+      let t = Rwl_sf.create ~num_locks:!requested_num_locks () in
+      Rwl_sf.set_obs t obs;
+      t)
 
 let configure ?(num_locks = 65536) () =
   if !built then failwith "Wait_or_die.configure: lock table already built";
@@ -52,6 +57,7 @@ let tx_key =
         finished_restarts = 0;
         escalated = false;
         ov = Cm.make_state ();
+        abort_reason = Obs.Events.User_restart;
       })
 
 let get_tx () = Domain.DLS.get tx_key
@@ -64,7 +70,12 @@ let read tx (tv : 'a tvar) : 'a =
     Util.Vec.push tx.rset w;
     tv.v
   end
-  else raise Restart
+  else begin
+    tx.abort_reason <-
+      (if tx.ctx.Rwl_sf.deadline_hit then Obs.Events.Deadline
+       else Obs.Events.Read_lock_conflict);
+    raise Restart
+  end
 
 let write tx tv nv =
   let t = Util.Once.get table in
@@ -75,7 +86,13 @@ let write tx tv nv =
     Wset.log_old_once tx.undo tv tv.v;
     tv.v <- nv
   end
-  else raise Restart
+  else begin
+    tx.abort_reason <-
+      (if tx.ctx.Rwl_sf.deadline_hit then Obs.Events.Deadline
+       else if tx.ctx.Rwl_sf.preempted then Obs.Events.Priority_preemption
+       else Obs.Events.Write_lock_conflict);
+    raise Restart
+  end
 
 let release tx =
   let t = Util.Once.get table in
@@ -111,6 +128,7 @@ let begin_attempt t tx =
   Util.Vec.clear tx.rset;
   Util.Vec.clear tx.wlocks;
   Wset.clear tx.undo;
+  tx.abort_reason <- Obs.Events.User_restart;
   (* The wait-or-die signature: a timestamp on *every* transaction (kept
      across restarts so progress is guaranteed). *)
   Rwl_sf.take_timestamp t tx.ctx
@@ -126,29 +144,46 @@ let run tx f =
   tx.ctx.Rwl_sf.deadline_ns <- Cm.begin_txn tx.ov;
   tx.ctx.Rwl_sf.deadline_hit <- false;
   let t = Util.Once.get table in
-  let rec attempt () =
+  let telemetry = !Obs.Telemetry.on in
+  let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+  let rec attempt att_t0 =
     begin_attempt t tx;
     tx.depth <- 1;
     match f tx with
     | v ->
         tx.depth <- 0;
+        let commit_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
         release tx;
         Rwl_sf.clear_announcement t tx.ctx;
         finish_escalation tx;
         Stm_intf.Stats.commit stats ~tid:tx.ctx.tid;
         tx.finished_restarts <- tx.restarts;
+        if telemetry then
+          Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
+            ~att_t0_ns:att_t0 ~commit_t0_ns:commit_t0 ();
         v
     | exception Restart ->
         tx.depth <- 0;
         rollback tx;
         tx.ctx.Rwl_sf.deadline_hit <- false;
         Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
+        if telemetry then begin
+          (* The shared Rwl_sf slow path pins the conflicting lock and
+             owner in the ctx, exactly as for 2PLSF proper. *)
+          let aborter, lock =
+            match tx.abort_reason with
+            | Obs.Events.User_restart -> (-1, -1)
+            | _ -> (tx.ctx.Rwl_sf.o_tid, tx.ctx.Rwl_sf.o_lock)
+          in
+          Obs.Scope.txn_abort obs ~aborter ~lock ~tid:tx.ctx.tid
+            ~att_t0_ns:att_t0 tx.abort_reason
+        end;
         tx.restarts <- tx.restarts + 1;
         if tx.escalated then begin
           (* Serial slow path: the kept (now oldest-aging) timestamp plus
              the fallback mutex guarantee eventual commit. *)
           wait_for_all_lower t tx;
-          attempt ()
+          attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
         end
         else begin
           match
@@ -158,16 +193,20 @@ let run tx f =
                 (* Drop the announced timestamp before bailing out so no
                    surviving transaction keeps deferring to a dead one. *)
               ~cleanup:(fun () -> Rwl_sf.clear_announcement t tx.ctx)
-              ~reasons:(fun () -> [])
+              ~reasons:(fun () ->
+                if telemetry then Obs.Scope.abort_counts obs else [])
           with
           | Cm.Retry ->
               tx.ctx.Rwl_sf.deadline_ns <- tx.ov.Cm.deadline;
-              attempt ()
+              attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
           | Cm.Escalate ->
               Cm.Fallback.acquire ();
               tx.escalated <- true;
               tx.ctx.Rwl_sf.deadline_ns <- 0;
-              attempt ()
+              if telemetry then
+                Obs.Scope.event obs ~tid:tx.ctx.tid
+                  Obs.Events.Irrevocable_fallback;
+              attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
         end
     | exception e ->
         tx.depth <- 0;
@@ -176,7 +215,7 @@ let run tx f =
         finish_escalation tx;
         raise e
   in
-  attempt ()
+  attempt txn_t0
 
 let atomic ?read_only f =
   ignore read_only;
@@ -189,7 +228,8 @@ let clock_ops () = Rwl_sf.clock_increments (Util.Once.get table)
 
 let reset_stats () =
   Stm_intf.Stats.reset stats;
-  Rwl_sf.reset_clock_increments (Util.Once.get table)
+  Rwl_sf.reset_clock_increments (Util.Once.get table);
+  Obs.Scope.reset obs
 let last_restarts () = (get_tx ()).finished_restarts
 let leaked_locks () =
   if !built then Rwl_sf.leaked (Util.Once.get table) else 0

@@ -17,6 +17,8 @@ type ctx = {
   mutable my_ts : int;
   mutable deadline_ns : int; (* absolute; 0 = none (DESIGN.md §11) *)
   mutable deadline_hit : bool;
+  mutable o_tid : int; (* who wounded us (or last held the lock), or -1 *)
+  mutable o_lock : int; (* lock the failed acquisition was on, or -1 *)
 }
 
 let deadline_blown ctx =
@@ -32,6 +34,7 @@ type tx = {
   mutable finished_restarts : int;
   mutable escalated : bool; (* overload fallback: Cm.Fallback mutex held *)
   ov : Cm.state;
+  mutable abort_reason : Obs.Events.abort_reason;
 }
 
 type table = {
@@ -39,7 +42,9 @@ type table = {
   wlocks : int Atomic.t array; (* 0 = free, tid+1 = writer *)
   ri : Rwlock.Read_indicator.t;
   announce : int Atomic.t array; (* per-txn timestamps; 0 = idle *)
-  wounded : bool Atomic.t array;
+  wounded : int Atomic.t array;
+      (* 0 = not wounded, wounder tid + 1 otherwise: the provenance edge
+         "who wounded whom" that plain wound-wait never records *)
   clock : int Atomic.t;
 }
 
@@ -57,7 +62,7 @@ let table =
         wlocks = Array.init num_locks (fun _ -> Atomic.make 0);
         ri = Rwlock.Read_indicator.create ~num_locks;
         announce = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
-        wounded = Array.init Util.Tid.max_threads (fun _ -> Atomic.make false);
+        wounded = Array.init Util.Tid.max_threads (fun _ -> Atomic.make 0);
         clock = Atomic.make 1;
       })
 
@@ -66,6 +71,7 @@ let configure ?(num_locks = 65536) () =
   requested_num_locks := num_locks
 
 let stats = Stm_intf.Stats.create ()
+let obs = Obs.Scope.create name
 
 let tx_key =
   Domain.DLS.new_key (fun () ->
@@ -76,6 +82,8 @@ let tx_key =
             my_ts = 0;
             deadline_ns = 0;
             deadline_hit = false;
+            o_tid = -1;
+            o_lock = -1;
           };
         rset = Util.Vec.create ~dummy:(-1) ();
         wlocks = Util.Vec.create ~dummy:(-1) ();
@@ -85,6 +93,7 @@ let tx_key =
         finished_restarts = 0;
         escalated = false;
         ov = Cm.make_state ();
+        abort_reason = Obs.Events.User_restart;
       })
 
 let get_tx () = Domain.DLS.get tx_key
@@ -93,72 +102,113 @@ let ts_of t tid =
   let v = Atomic.get t.announce.(tid) in
   if v = 0 then max_int else v
 
-let wound t victim = Atomic.set t.wounded.(victim) true
-let am_wounded t ctx = Atomic.get t.wounded.(ctx.tid)
+let wound t ~by victim = Atomic.set t.wounded.(victim) (by + 1)
+
+(* On a wound, remember the wounder: it is the aborter side of the
+   provenance edge the restart arm records. *)
+let am_wounded t ctx =
+  let by = Atomic.get t.wounded.(ctx.tid) in
+  if by <> 0 then begin
+    ctx.o_tid <- by - 1;
+    true
+  end
+  else false
 
 (* Older (lower-ts) requesters wound the conflicting owner(s) and wait;
    younger ones just wait.  A wounded transaction notices at its next
    acquisition attempt and restarts. *)
 let acquire_read t ctx w =
-  begin
-    let b = Util.Backoff.create () in
-    let rec loop () =
-      if am_wounded t ctx then false
-      else if deadline_blown ctx then begin
-        ctx.deadline_hit <- true;
-        false
-      end
+  let telemetry = !Obs.Telemetry.on in
+  let t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+  let b = Util.Backoff.create () in
+  let spins = ref 0 in
+  (* Waited (or failed) acquisitions feed the lock-wait telemetry and the
+     per-lock conflict sketch; uncontended ones stay off the slow path. *)
+  let finish acquired =
+    if telemetry && (!spins > 0 || not acquired) then
+      Obs.Scope.lock_wait obs ~lock:w ~tid:ctx.tid ~write:false ~t0_ns:t0
+        ~spins:!spins ~acquired;
+    acquired
+  in
+  let rec loop () =
+    if am_wounded t ctx then begin
+      ctx.o_lock <- w;
+      finish false
+    end
+    else if deadline_blown ctx then begin
+      ctx.deadline_hit <- true;
+      ctx.o_lock <- w;
+      finish false
+    end
+    else begin
+      Rwlock.Read_indicator.arrive t.ri ~tid:ctx.tid w;
+      let ws = Atomic.get t.wlocks.(w) in
+      if ws = 0 || ws = ctx.tid + 1 then finish true
       else begin
-        Rwlock.Read_indicator.arrive t.ri ~tid:ctx.tid w;
-        let ws = Atomic.get t.wlocks.(w) in
-        if ws = 0 || ws = ctx.tid + 1 then true
-        else begin
-          (* Conflicting writer: back off the indicator so the writer can
-             finish, wound it if we are older, and retry. *)
-          Rwlock.Read_indicator.depart t.ri ~tid:ctx.tid w;
-          let holder = ws - 1 in
-          if ctx.my_ts < ts_of t holder then wound t holder;
-          Util.Backoff.once b;
-          loop ()
-        end
+        (* Conflicting writer: back off the indicator so the writer can
+           finish, wound it if we are older, and retry. *)
+        Rwlock.Read_indicator.depart t.ri ~tid:ctx.tid w;
+        let holder = ws - 1 in
+        ctx.o_tid <- holder;
+        ctx.o_lock <- w;
+        if ctx.my_ts < ts_of t holder then wound t ~by:ctx.tid holder;
+        incr spins;
+        Util.Backoff.once b;
+        loop ()
       end
-    in
-    loop ()
-  end
+    end
+  in
+  loop ()
 
 let acquire_write t ctx w =
   let me = ctx.tid + 1 in
   if Atomic.get t.wlocks.(w) = me then true
   else begin
+    let telemetry = !Obs.Telemetry.on in
+    let t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
     let b = Util.Backoff.create () in
+    let spins = ref 0 in
+    let finish acquired =
+      if telemetry && (!spins > 0 || not acquired) then
+        Obs.Scope.lock_wait obs ~lock:w ~tid:ctx.tid ~write:true ~t0_ns:t0
+          ~spins:!spins ~acquired;
+      acquired
+    in
     let rec loop () =
       if am_wounded t ctx then begin
         if Atomic.get t.wlocks.(w) = me then Atomic.set t.wlocks.(w) 0;
-        false
+        ctx.o_lock <- w;
+        finish false
       end
       else if deadline_blown ctx then begin
         if Atomic.get t.wlocks.(w) = me then Atomic.set t.wlocks.(w) 0;
         ctx.deadline_hit <- true;
-        false
+        ctx.o_lock <- w;
+        finish false
       end
       else begin
         (if Atomic.get t.wlocks.(w) = 0 then
            ignore (Atomic.compare_and_set t.wlocks.(w) 0 me));
         let ws = Atomic.get t.wlocks.(w) in
         if ws = me then begin
-          if Rwlock.Read_indicator.is_empty t.ri ~self:ctx.tid w then true
+          if Rwlock.Read_indicator.is_empty t.ri ~self:ctx.tid w then
+            finish true
           else begin
             (* Wound younger readers; they depart when they notice. *)
             Rwlock.Read_indicator.iter_readers t.ri ~self:ctx.tid w
               (fun reader ->
-                if ctx.my_ts < ts_of t reader then wound t reader);
+                if ctx.my_ts < ts_of t reader then wound t ~by:ctx.tid reader);
+            incr spins;
             Util.Backoff.once b;
             loop ()
           end
         end
         else begin
           let holder = ws - 1 in
-          if ctx.my_ts < ts_of t holder then wound t holder;
+          ctx.o_tid <- holder;
+          ctx.o_lock <- w;
+          if ctx.my_ts < ts_of t holder then wound t ~by:ctx.tid holder;
+          incr spins;
           Util.Backoff.once b;
           loop ()
         end
@@ -178,7 +228,12 @@ let read tx (tv : 'a tvar) : 'a =
     Util.Vec.push tx.rset w;
     tv.v
   end
-  else raise Restart
+  else begin
+    tx.abort_reason <-
+      (if tx.ctx.deadline_hit then Obs.Events.Deadline
+       else Obs.Events.Priority_preemption);
+    raise Restart
+  end
 
 let write tx tv nv =
   let t = Util.Once.get table in
@@ -189,7 +244,12 @@ let write tx tv nv =
     Wset.log_old_once tx.undo tv tv.v;
     tv.v <- nv
   end
-  else raise Restart
+  else begin
+    tx.abort_reason <-
+      (if tx.ctx.deadline_hit then Obs.Events.Deadline
+       else Obs.Events.Priority_preemption);
+    raise Restart
+  end
 
 let release t tx =
   Util.Vec.iter
@@ -207,7 +267,10 @@ let begin_attempt t tx =
   Util.Vec.clear tx.rset;
   Util.Vec.clear tx.wlocks;
   Wset.clear tx.undo;
-  Atomic.set t.wounded.(tx.ctx.tid) false;
+  Atomic.set t.wounded.(tx.ctx.tid) 0;
+  tx.ctx.o_tid <- -1;
+  tx.ctx.o_lock <- -1;
+  tx.abort_reason <- Obs.Events.User_restart;
   if tx.ctx.my_ts = 0 then begin
     tx.ctx.my_ts <- Atomic.fetch_and_add t.clock 1;
     Stm_intf.Stats.clock_op stats ~tid:tx.ctx.tid;
@@ -217,7 +280,7 @@ let begin_attempt t tx =
 let finish t tx =
   tx.ctx.my_ts <- 0;
   Atomic.set t.announce.(tx.ctx.tid) 0;
-  Atomic.set t.wounded.(tx.ctx.tid) false
+  Atomic.set t.wounded.(tx.ctx.tid) 0
 
 let finish_escalation tx =
   if tx.escalated then begin
@@ -230,7 +293,9 @@ let run tx f =
   tx.ctx.deadline_ns <- Cm.begin_txn tx.ov;
   tx.ctx.deadline_hit <- false;
   let t = Util.Once.get table in
-  let rec attempt () =
+  let telemetry = !Obs.Telemetry.on in
+  let txn_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
+  let rec attempt att_t0 =
     begin_attempt t tx;
     tx.depth <- 1;
     match f tx with
@@ -239,19 +304,27 @@ let run tx f =
         (* A wound that arrives after the last acquisition is too late:
            the transaction has all its locks and commits (standard
            wound-wait: finished transactions are not aborted). *)
+        let commit_t0 = if telemetry then Obs.Telemetry.now_ns () else 0 in
         release t tx;
         finish t tx;
         finish_escalation tx;
         Stm_intf.Stats.commit stats ~tid:tx.ctx.tid;
         tx.finished_restarts <- tx.restarts;
+        if telemetry then
+          Obs.Scope.txn_commit obs ~tid:tx.ctx.tid ~txn_t0_ns:txn_t0
+            ~att_t0_ns:att_t0 ~commit_t0_ns:commit_t0 ();
         v
     | exception Restart ->
         tx.depth <- 0;
         rollback t tx;
         tx.ctx.deadline_hit <- false;
         Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
+        if telemetry then
+          Obs.Scope.txn_abort obs ~aborter:tx.ctx.o_tid ~lock:tx.ctx.o_lock
+            ~tid:tx.ctx.tid ~att_t0_ns:att_t0 tx.abort_reason;
         tx.restarts <- tx.restarts + 1;
-        if tx.escalated then attempt ()
+        if tx.escalated then
+          attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
         else begin
           match
             Cm.after_abort ~stm:name ~tid:tx.ctx.tid ~restarts:tx.restarts
@@ -264,16 +337,20 @@ let run tx f =
                 (* Retire the timestamp before bailing out so younger
                    transactions stop wounding themselves against it. *)
               ~cleanup:(fun () -> finish t tx)
-              ~reasons:(fun () -> [])
+              ~reasons:(fun () ->
+                if telemetry then Obs.Scope.abort_counts obs else [])
           with
           | Cm.Retry ->
               tx.ctx.deadline_ns <- tx.ov.Cm.deadline;
-              attempt ()
+              attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
           | Cm.Escalate ->
               Cm.Fallback.acquire ();
               tx.escalated <- true;
               tx.ctx.deadline_ns <- 0;
-              attempt ()
+              if telemetry then
+                Obs.Scope.event obs ~tid:tx.ctx.tid
+                  Obs.Events.Irrevocable_fallback;
+              attempt (if telemetry then Obs.Telemetry.now_ns () else 0)
         end
     | exception e ->
         tx.depth <- 0;
@@ -282,7 +359,7 @@ let run tx f =
         finish_escalation tx;
         raise e
   in
-  attempt ()
+  attempt txn_t0
 
 let atomic ?read_only f =
   ignore read_only;
@@ -292,7 +369,9 @@ let atomic ?read_only f =
 let commits () = Stm_intf.Stats.commits stats
 let aborts () = Stm_intf.Stats.aborts stats
 let clock_ops () = Stm_intf.Stats.clock_ops stats
-let reset_stats () = Stm_intf.Stats.reset stats
+let reset_stats () =
+  Stm_intf.Stats.reset stats;
+  Obs.Scope.reset obs
 let last_restarts () = (get_tx ()).finished_restarts
 
 let leaked_locks () =

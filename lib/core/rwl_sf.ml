@@ -39,6 +39,7 @@ type ctx = {
   mutable my_ts : int;
   mutable o_tid : int;
   mutable o_ts : int;
+  mutable o_lock : int;
   mutable preempted : bool;
   mutable deadline_ns : int;
   mutable deadline_hit : bool;
@@ -106,6 +107,7 @@ let make_ctx ~tid =
     my_ts = 0;
     o_tid = -1;
     o_ts = 0;
+    o_lock = -1;
     preempted = false;
     deadline_ns = 0;
     deadline_hit = false;
@@ -144,6 +146,7 @@ let clear_announcement t ctx =
   ctx.my_ts <- 0;
   ctx.o_tid <- -1;
   ctx.o_ts <- 0;
+  ctx.o_lock <- -1;
   Atomic.set t.announce.(ctx.tid) 0
 
 (* Effective timestamp of the current write-lock holder (+inf if the lock
@@ -157,7 +160,8 @@ let ts_of_wlock t ctx w =
     let ts = effective_ts (Atomic.get t.announce.(otid)) in
     if ts < infinity_ts then begin
       ctx.o_tid <- otid;
-      ctx.o_ts <- ts
+      ctx.o_ts <- ts;
+      ctx.o_lock <- w
     end;
     ts
   end
@@ -171,7 +175,8 @@ let lowest_ts t ctx w =
       if ts < !lowest then begin
         lowest := ts;
         ctx.o_tid <- itid;
-        ctx.o_ts <- ts
+        ctx.o_ts <- ts;
+        ctx.o_lock <- w
       end);
   !lowest
 
@@ -185,6 +190,7 @@ let my_effective_ts ctx = effective_ts ctx.my_ts
 let spurious_fail ctx =
   ctx.o_tid <- -1;
   ctx.o_ts <- 0;
+  ctx.o_lock <- -1;
   ctx.preempted <- false;
   false
 
@@ -218,8 +224,8 @@ let try_or_wait_read_lock t ctx w =
       (if !Obs.Telemetry.on then
          match t.obs with
          | Some sc ->
-             Obs.Scope.lock_wait sc ~tid:ctx.tid ~write:false ~t0_ns:t0
-               ~spins:!spins ~acquired
+             Obs.Scope.lock_wait sc ~lock:w ~tid:ctx.tid ~write:false
+               ~t0_ns:t0 ~spins:!spins ~acquired
          | None -> ());
       acquired
     in
@@ -239,6 +245,9 @@ let try_or_wait_read_lock t ctx w =
           Read_indicator.depart t.ri ~tid:ctx.tid w;
           ctx.preempted <- false;
           ctx.deadline_hit <- true;
+          (* Provenance: pin the deadline abort on the lock we starved on
+             (the conflictor, if any, was recorded by ts_of_wlock). *)
+          ctx.o_lock <- w;
           finish false
         end
         else begin
@@ -293,8 +302,8 @@ let try_or_wait_write_lock t ctx w =
       (if !Obs.Telemetry.on then
          match t.obs with
          | Some sc ->
-             Obs.Scope.lock_wait sc ~tid:ctx.tid ~write:true ~t0_ns:t0
-               ~spins:!spins ~acquired
+             Obs.Scope.lock_wait sc ~lock:w ~tid:ctx.tid ~write:true
+               ~t0_ns:t0 ~spins:!spins ~acquired
          | None -> ());
       acquired
     in
@@ -329,6 +338,7 @@ let try_or_wait_write_lock t ctx w =
           if owned then Atomic.set t.wlocks.(w) 0;
           ctx.preempted <- false;
           ctx.deadline_hit <- true;
+          ctx.o_lock <- w;
           finish false
         end
         else begin

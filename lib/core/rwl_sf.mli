@@ -24,6 +24,11 @@ type ctx = {
   mutable o_tid : int;  (** thread that caused the last conflict, or -1 *)
   mutable o_ts : int;
       (** the conflicting thread's announced timestamp at detection time *)
+  mutable o_lock : int;
+      (** lock index the last conflict (or deadline abandonment) was
+          detected on, or -1 — the abort-provenance attribution target
+          for conflict cartography (DESIGN.md §13).  Valid until the next
+          conflict detection; cleared with the announcement. *)
   mutable preempted : bool;
       (** telemetry detail of the last failed acquisition: [true] when a
           write lock this thread already *held* was taken away by a

@@ -202,9 +202,17 @@ let run tx f =
         tx.depth <- 0;
         rollback tx;
         Stm_stats.abort stats ~tid:tx.ctx.tid;
-        if telemetry then
-          Obs.Scope.txn_abort obs ~tid:tx.ctx.tid ~att_t0_ns:att_t0
-            tx.abort_reason;
+        if telemetry then begin
+          (* Provenance: the conflictor and lock the failed acquisition
+             recorded in the ctx; explicit user restarts have neither. *)
+          let aborter, lock =
+            match tx.abort_reason with
+            | Obs.Events.User_restart -> (-1, -1)
+            | _ -> (tx.ctx.o_tid, tx.ctx.o_lock)
+          in
+          Obs.Scope.txn_abort obs ~aborter ~lock ~tid:tx.ctx.tid
+            ~att_t0_ns:att_t0 tx.abort_reason
+        end;
         tx.restarts <- tx.restarts + 1;
         if tx.escalated || tx.irrevocable then begin
           (* Already on the serial slow path (or §2.8 irrevocable): only a

@@ -232,9 +232,15 @@ struct
           tx.depth <- 0;
           abort_cleanup t tx;
           Stm_intf.Stats.abort stats ~tid:tx.ctx.tid;
-          if telemetry then
-            Obs.Scope.txn_abort obs ~tid:tx.ctx.tid ~att_t0_ns:att_t0
-              tx.abort_reason;
+          if telemetry then begin
+            let aborter, lock =
+              match tx.abort_reason with
+              | Obs.Events.User_restart -> (-1, -1)
+              | _ -> (tx.ctx.o_tid, tx.ctx.o_lock)
+            in
+            Obs.Scope.txn_abort obs ~aborter ~lock ~tid:tx.ctx.tid
+              ~att_t0_ns:att_t0 tx.abort_reason
+          end;
           tx.restarts <- tx.restarts + 1;
           if tx.escalated then begin
             (* Serial slow path: only a chaos-injected spurious failure

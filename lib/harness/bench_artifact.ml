@@ -5,9 +5,14 @@
 
    Recording happens on the main thread (the report printer), so plain
    mutable lists suffice.  Schema changes must bump [schema_version];
-   the comparator refuses mismatched versions rather than guessing. *)
+   the comparator warns (and skips absent fields) across known versions
+   rather than guessing silently.
 
-let schema_version = 1
+   v1 -> v2: added the "conflicts" section (per-scope conflict
+   cartography: hot-lock sketch, abort-provenance matrix, DESIGN.md
+   §13). *)
+
+let schema_version = 2
 
 type latency_entry = {
   l_figure : string;
@@ -176,6 +181,81 @@ let json_of_overload (o : overload_entry) =
       ("p999_ms", Json.Num o.o_p999_ms);
     ]
 
+(* Conflict-cartography section, read from the live scopes at write
+   time (the cartography is cumulative across the whole run).  One
+   object per scope with any attributed mass or provenance edges. *)
+let json_of_conflicts () =
+  let module C = Twoplsf_obs.Conflict in
+  let module S = Twoplsf_obs.Scope in
+  List.filter_map
+    (fun sc ->
+      let c = S.conflict sc in
+      let total = C.total_weight_ns c in
+      let edges = C.edges_total c in
+      if total = 0 && edges = 0 then None
+      else begin
+        let share w =
+          if total > 0 then float_of_int w /. float_of_int total else 0.
+        in
+        let hots = C.top c in
+        let locks =
+          List.map
+            (fun (h : C.hot) ->
+              Json.Obj
+                [
+                  ("lock", Json.Num (float_of_int h.lock));
+                  ("attributed_ns", Json.Num (float_of_int h.weight_ns));
+                  ("err_ns", Json.Num (float_of_int h.err_ns));
+                  ("share", Json.Num (share h.weight_ns));
+                  ("hits", Json.Num (float_of_int h.hits));
+                  ("read_wait_ns", Json.Num (float_of_int h.read_wait_ns));
+                  ("write_wait_ns", Json.Num (float_of_int h.write_wait_ns));
+                  ("aborts", Json.Num (float_of_int h.aborts));
+                ])
+            hots
+        in
+        (* Non-zero matrix cells as [victim, aborter, count]; aborter -1
+           encodes the unknown column. *)
+        let m = C.matrix c in
+        let cells = ref [] in
+        for v = Array.length m - 1 downto 0 do
+          let row = m.(v) in
+          let unknown = Array.length row - 1 in
+          for a = unknown downto 0 do
+            if row.(a) > 0 then
+              cells :=
+                Json.Arr
+                  [
+                    Json.Num (float_of_int v);
+                    Json.Num (float_of_int (if a = unknown then -1 else a));
+                    Json.Num (float_of_int row.(a));
+                  ]
+                :: !cells
+          done
+        done;
+        let top_lock, top_share =
+          match hots with
+          | h :: _ -> (h.C.lock, share h.C.weight_ns)
+          | [] -> (-1, 0.)
+        in
+        Some
+          (Json.Obj
+             [
+               ("scope", Json.Str (S.name sc));
+               ("total_attributed_ns", Json.Num (float_of_int total));
+               ( "total_wait_ns",
+                 Json.Num (float_of_int (C.total_wait_ns c)) );
+               ("edges_total", Json.Num (float_of_int edges));
+               ("edges_by_reason", Json.of_counts (C.edges_by_reason c));
+               ("asymmetry", Json.Num (C.asymmetry c));
+               ("top_lock", Json.Num (float_of_int top_lock));
+               ("top_lock_share", Json.Num top_share);
+               ("locks", Json.Arr locks);
+               ("matrix", Json.Arr !cells);
+             ])
+      end)
+    (S.all ())
+
 let host_json () =
   Json.Obj
     [
@@ -200,6 +280,7 @@ let write ~path ~flags =
         ("rows", Json.Arr (List.rev_map json_of_row !rows));
         ("latency_rows", Json.Arr (List.rev_map json_of_latency !latency_rows));
         ("overload", Json.Arr (List.rev_map json_of_overload !overload_rows));
+        ("conflicts", Json.Arr (json_of_conflicts ()));
       ]
   in
   let oc = open_out path in

@@ -21,6 +21,8 @@ type result = {
   breaches : int;
   missing : string list;  (* row keys present in old, absent in new *)
   added : string list;
+  warnings : string list;
+      (* non-fatal compatibility notes, e.g. cross-schema comparisons *)
 }
 
 (* Signed regression percentage: positive means the new value is worse.
@@ -60,6 +62,10 @@ let latency_key o =
     | Some t -> string_of_int t
     | None -> "?")
 
+let conflict_key o =
+  Printf.sprintf "conflicts/%s"
+    (Option.value ~default:"" (Json.str_field o "scope"))
+
 (* The thresholded metric set per row family.  Abort counts and phase
    splits are diagnostic, not gates — they explain a regression, they
    are not one. *)
@@ -76,6 +82,12 @@ let overload_metrics =
 
 let latency_metrics =
   [ ("throughput", Higher_better); ("p99_ms", Lower_better) ]
+
+(* Conflict-cartography deltas (schema v2): purely informational — a
+   shift in hotspot concentration explains a regression, it is not one.
+   Compared with an infinite threshold so they can never breach. *)
+let conflict_metrics =
+  [ ("top_lock_share", Lower_better); ("asymmetry", Lower_better) ]
 
 let index key_of docs =
   List.filter_map
@@ -121,20 +133,34 @@ let compare_family ~threshold_pct ~key_of ~metrics old_list new_list =
 
 exception Incompatible of string
 
+(* Every schema version this comparator understands.  Comparing two
+   known-but-different versions is allowed (fields absent in one side
+   are skipped) and reported as a warning; an unknown version is still a
+   hard error — guessing at a future schema would gate on garbage. *)
+let known_schema_versions = [ 1; 2 ]
+
 let check_schema doc =
   match Json.int_field doc "schema_version" with
-  | Some v when v = Bench_artifact.schema_version -> ()
+  | Some v when List.mem v known_schema_versions -> v
   | Some v ->
       raise
         (Incompatible
-           (Printf.sprintf "artifact schema_version %d, expected %d" v
-              Bench_artifact.schema_version))
+           (Printf.sprintf "artifact schema_version %d, known versions %s" v
+              (String.concat ", "
+                 (List.map string_of_int known_schema_versions))))
   | None -> raise (Incompatible "not a BENCH artifact (no schema_version)")
 
 let compare_docs ~threshold_pct old_doc new_doc =
-  check_schema old_doc;
-  check_schema new_doc;
-  let family field key_of metrics =
+  let old_v = check_schema old_doc and new_v = check_schema new_doc in
+  let warnings = ref [] in
+  if old_v <> new_v then
+    warnings :=
+      Printf.sprintf
+        "comparing schema v%d against v%d: metrics absent in either \
+         version are skipped"
+        old_v new_v
+      :: !warnings;
+  let family ?(threshold_pct = threshold_pct) field key_of metrics =
     compare_family ~threshold_pct ~key_of ~metrics
       (Option.value ~default:[] (Json.arr_field old_doc field))
       (Option.value ~default:[] (Json.arr_field new_doc field))
@@ -142,12 +168,36 @@ let compare_docs ~threshold_pct old_doc new_doc =
   let r1, m1, a1 = family "rows" row_key row_metrics in
   let r2, m2, a2 = family "overload" overload_key overload_metrics in
   let r3, m3, a3 = family "latency_rows" latency_key latency_metrics in
-  let entries = r1 @ r2 @ r3 in
+  (* Conflict sections only exist from v2 on; when exactly one side has
+     one, skip the family entirely (rather than flooding missing/added)
+     and say so. *)
+  let has_conflicts doc =
+    match Json.arr_field doc "conflicts" with
+    | Some (_ :: _) -> true
+    | Some [] | None -> false
+  in
+  let r4, m4, a4 =
+    match (has_conflicts old_doc, has_conflicts new_doc) with
+    | true, true ->
+        family ~threshold_pct:infinity "conflicts" conflict_key
+          conflict_metrics
+    | false, false -> ([], [], [])
+    | old_has, _ ->
+        warnings :=
+          Printf.sprintf
+            "conflict cartography present only in the %s artifact \
+             (schema v1, or --conflict-map off): deltas skipped"
+            (if old_has then "old" else "new")
+          :: !warnings;
+        ([], [], [])
+  in
+  let entries = r1 @ r2 @ r3 @ r4 in
   {
     entries;
     breaches = List.length (List.filter (fun e -> e.breach) entries);
-    missing = m1 @ m2 @ m3;
-    added = a1 @ a2 @ a3;
+    missing = m1 @ m2 @ m3 @ m4;
+    added = a1 @ a2 @ a3 @ a4;
+    warnings = List.rev !warnings;
   }
 
 let compare_files ~threshold_pct old_path new_path =
@@ -158,6 +208,7 @@ let compare_files ~threshold_pct old_path new_path =
 
 let print_report ?(out = stdout) ~threshold_pct r =
   let p fmt = Printf.fprintf out fmt in
+  List.iter (fun w -> p "warning: %s\n" w) r.warnings;
   p "%-52s %-12s %14s %14s %9s\n" "row" "metric" "old" "new" "delta";
   List.iter
     (fun e ->

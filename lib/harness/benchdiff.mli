@@ -20,10 +20,15 @@ type result = {
   breaches : int;
   missing : string list;  (** row keys present in old, absent in new *)
   added : string list;
+  warnings : string list;
+      (** non-fatal compatibility notes: cross-schema comparison,
+          conflict section present on only one side *)
 }
 
 exception Incompatible of string
-(** Schema-version mismatch, or not a BENCH artifact. *)
+(** Unknown schema version, or not a BENCH artifact.  Comparing two
+    {e known} but different versions (v1 vs v2) is not an error: absent
+    metrics are skipped and a warning is recorded instead. *)
 
 val regression_pct : direction -> old_v:float -> new_v:float -> float
 

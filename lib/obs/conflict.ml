@@ -1,0 +1,288 @@
+(* Conflict cartography (DESIGN.md §13): per-lock hotspot attribution and
+   abort provenance for one concurrency control instance.
+
+   Two data structures, both with strictly per-thread writers so the
+   recording paths need no atomics:
+
+   - A Space-Saving top-K heavy-hitter sketch (Metwally, Agrawal, El
+     Abbadi, ICDT'05) per thread, keyed by lock/orec id.  The ranking
+     weight is "attributed nanoseconds": completed lock-wait durations
+     plus the duration of aborted attempts whose abort was pinned on the
+     lock.  Each tracked key also carries exact side-channels (wait
+     episodes, read/write wait split, abort count) valid since the key
+     was last admitted.  Per-thread sketches are merged at read time.
+
+   - A victim×aborter conflict matrix.  Every abort records one edge
+     (victim tid, aborter tid, lock id, reason); the victim thread owns
+     its matrix row, so rows are plain int arrays.  Aborter column
+     [Util.Tid.max_threads] collects edges whose aborter is unknown
+     (e.g. TicToc lock words carry no owner tid).
+
+   Sums read while writers run may lag (same racy-but-safe contract as
+   {!Padded}); sums after joining the workers are exact. *)
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+
+let default_k = 32
+let max_threads = Util.Tid.max_threads
+
+(* ---- Space-Saving sketch, one per thread ---- *)
+
+type entry = {
+  mutable key : int; (* lock/orec id *)
+  mutable weight : int; (* Space-Saving counter: attributed ns *)
+  mutable err : int; (* overestimation bound inherited at eviction *)
+  mutable hits : int; (* completed wait episodes since admission *)
+  mutable read_wait_ns : int;
+  mutable write_wait_ns : int;
+  mutable aborts : int; (* provenance edges pinned on this lock *)
+}
+
+type sketch = {
+  entries : entry array;
+  mutable used : int;
+  mutable total_weight : int; (* exact, includes evicted mass *)
+  mutable total_wait : int; (* exact wait-ns fed, includes evicted mass *)
+}
+
+let make_sketch k =
+  {
+    entries =
+      Array.init k (fun _ ->
+          {
+            key = -1;
+            weight = 0;
+            err = 0;
+            hits = 0;
+            read_wait_ns = 0;
+            write_wait_ns = 0;
+            aborts = 0;
+          });
+    used = 0;
+    total_weight = 0;
+    total_wait = 0;
+  }
+
+(* Find the tracked entry for [key], admit it, or evict the minimum.
+   Space-Saving invariant: the estimate [weight] never underestimates the
+   key's true attributed weight, and overestimates by at most [err]
+   (bounded by total_weight / K). *)
+let touch sk key =
+  let n = sk.used in
+  let entries = sk.entries in
+  let rec find i = if i >= n then -1 else if entries.(i).key = key then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then entries.(i)
+  else if n < Array.length entries then begin
+    let e = entries.(n) in
+    sk.used <- n + 1;
+    e.key <- key;
+    e.weight <- 0;
+    e.err <- 0;
+    e.hits <- 0;
+    e.read_wait_ns <- 0;
+    e.write_wait_ns <- 0;
+    e.aborts <- 0;
+    e
+  end
+  else begin
+    let min_i = ref 0 in
+    for j = 1 to n - 1 do
+      if entries.(j).weight < entries.(!min_i).weight then min_i := j
+    done;
+    let e = entries.(!min_i) in
+    e.key <- key;
+    e.err <- e.weight;
+    (* side-channels restart: exact only since (re-)admission *)
+    e.hits <- 0;
+    e.read_wait_ns <- 0;
+    e.write_wait_ns <- 0;
+    e.aborts <- 0;
+    e
+  end
+
+(* ---- the per-scope state ---- *)
+
+type t = {
+  name : string;
+  k : int;
+  sketches : sketch option array; (* slot [tid] written only by thread tid *)
+  matrix : int array array; (* [victim].(aborter); last column = unknown *)
+  edge_reasons : Padded.t array; (* indexed by Events.abort_reason_index *)
+  trace_edges : int array; (* interned "name:edge:<reason>" *)
+}
+
+let create ?(k = default_k) name =
+  {
+    name;
+    k;
+    sketches = Array.make max_threads None;
+    matrix = Array.init max_threads (fun _ -> Array.make (max_threads + 1) 0);
+    edge_reasons = Array.init Events.num_abort_reasons (fun _ -> Padded.create ());
+    trace_edges =
+      Array.of_list
+        (List.map
+           (fun r -> Tracer.intern (name ^ ":edge:" ^ Events.abort_reason_label r))
+           Events.all_abort_reasons);
+  }
+
+let name t = t.name
+
+let sketch_of t ~tid =
+  match t.sketches.(tid) with
+  | Some sk -> sk
+  | None ->
+      let sk = make_sketch t.k in
+      t.sketches.(tid) <- Some sk;
+      sk
+
+(* ---- recording (call sites gate on !on) ---- *)
+
+let record_wait t ~tid ~lock ~write ~ns =
+  if lock >= 0 && ns >= 0 then begin
+    let sk = sketch_of t ~tid in
+    let e = touch sk lock in
+    e.weight <- e.weight + ns;
+    e.hits <- e.hits + 1;
+    if write then e.write_wait_ns <- e.write_wait_ns + ns
+    else e.read_wait_ns <- e.read_wait_ns + ns;
+    sk.total_weight <- sk.total_weight + ns;
+    sk.total_wait <- sk.total_wait + ns
+  end
+
+let edge t ~victim ~aborter ~lock ~wasted_ns reason =
+  let col = if aborter >= 0 && aborter < max_threads then aborter else max_threads in
+  let row = t.matrix.(victim) in
+  row.(col) <- row.(col) + 1;
+  Padded.incr t.edge_reasons.(Events.abort_reason_index reason) ~tid:victim;
+  if lock >= 0 then begin
+    let sk = sketch_of t ~tid:victim in
+    let e = touch sk lock in
+    let ns = Stdlib.max 0 wasted_ns in
+    e.weight <- e.weight + ns;
+    e.aborts <- e.aborts + 1;
+    sk.total_weight <- sk.total_weight + ns
+  end;
+  if !Telemetry.trace_on then
+    Tracer.instant ~tid:victim
+      ~name:t.trace_edges.(Events.abort_reason_index reason)
+      ~ts_ns:(Telemetry.now_ns ())
+
+(* ---- reading (racy while writers run; exact in quiescence) ---- *)
+
+type hot = {
+  lock : int;
+  weight_ns : int;
+  err_ns : int;
+  hits : int;
+  read_wait_ns : int;
+  write_wait_ns : int;
+  aborts : int;
+}
+
+(* Merge the per-thread sketches: sum estimates and error bounds per key.
+   The merged estimate keeps the no-underestimate property; the merged
+   error bound is the sum of the per-thread bounds (conservative). *)
+let top ?n t =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some sk ->
+          for i = 0 to sk.used - 1 do
+            let e = sk.entries.(i) in
+            let cur =
+              match Hashtbl.find_opt tbl e.key with
+              | Some h -> h
+              | None ->
+                  {
+                    lock = e.key;
+                    weight_ns = 0;
+                    err_ns = 0;
+                    hits = 0;
+                    read_wait_ns = 0;
+                    write_wait_ns = 0;
+                    aborts = 0;
+                  }
+            in
+            Hashtbl.replace tbl e.key
+              {
+                cur with
+                weight_ns = cur.weight_ns + e.weight;
+                err_ns = cur.err_ns + e.err;
+                hits = cur.hits + e.hits;
+                read_wait_ns = cur.read_wait_ns + e.read_wait_ns;
+                write_wait_ns = cur.write_wait_ns + e.write_wait_ns;
+                aborts = cur.aborts + e.aborts;
+              }
+          done)
+    t.sketches;
+  let all = Hashtbl.fold (fun _ h acc -> h :: acc) tbl [] in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = compare b.weight_ns a.weight_ns in
+        if c <> 0 then c else compare a.lock b.lock)
+      all
+  in
+  match n with
+  | None -> sorted
+  | Some n ->
+      let rec take i = function
+        | [] -> []
+        | _ when i >= n -> []
+        | h :: tl -> h :: take (i + 1) tl
+      in
+      take 0 sorted
+
+let total_weight_ns t =
+  Array.fold_left
+    (fun acc -> function None -> acc | Some sk -> acc + sk.total_weight)
+    0 t.sketches
+
+let total_wait_ns t =
+  Array.fold_left
+    (fun acc -> function None -> acc | Some sk -> acc + sk.total_wait)
+    0 t.sketches
+
+let matrix t = Array.map Array.copy t.matrix
+
+let row_total t ~victim = Array.fold_left ( + ) 0 t.matrix.(victim)
+
+let edges_total t =
+  Array.fold_left (fun acc row -> acc + Array.fold_left ( + ) 0 row) 0 t.matrix
+
+let edges_by_reason t =
+  List.map
+    (fun r ->
+      ( Events.abort_reason_label r,
+        Padded.sum t.edge_reasons.(Events.abort_reason_index r) ))
+    Events.all_abort_reasons
+
+(* Directedness of the known-aborter square submatrix:
+   sum_{i<j} |A_ij - A_ji| / sum_{i<>j} A_ij, in [0,1].  0 = every pair of
+   threads aborts each other equally often; 1 = fully one-sided. *)
+let asymmetry t =
+  let num = ref 0 and den = ref 0 in
+  let a = t.matrix in
+  for i = 0 to max_threads - 1 do
+    for j = 0 to max_threads - 1 do
+      if i <> j then den := !den + a.(i).(j);
+      if i < j then num := !num + abs (a.(i).(j) - a.(j).(i))
+    done
+  done;
+  if !den = 0 then 0.0 else float_of_int !num /. float_of_int !den
+
+let reset t =
+  Array.iter
+    (function
+      | None -> ()
+      | Some sk ->
+          sk.used <- 0;
+          sk.total_weight <- 0;
+          sk.total_wait <- 0)
+    t.sketches;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.matrix;
+  Array.iter Padded.reset t.edge_reasons

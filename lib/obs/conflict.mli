@@ -1,0 +1,100 @@
+(** Conflict cartography (DESIGN.md §13): per-lock hotspot attribution
+    and abort provenance for one concurrency control instance.
+
+    All recording is per-thread (no atomics): each thread owns one
+    Space-Saving top-K sketch and one row of the victim×aborter matrix.
+    Reads merge/sum on demand and are racy while writers run, exact in
+    quiescence — the {!Padded} contract.
+
+    Sketch semantics.  The ranking weight of a lock is "attributed
+    nanoseconds": every completed lock-wait slow path adds its duration
+    (split into read/write wait), and every abort pinned on the lock adds
+    the aborted attempt's duration.  The Space-Saving guarantee holds per
+    thread: a key's estimate never underestimates its true attributed
+    weight and overestimates by at most [err_ns <= total_weight / K];
+    merged estimates keep the no-underestimate property with the summed
+    bound.  The side-channel fields (hits, read/write split, aborts) are
+    exact since the key was last admitted to the sketch. *)
+
+val on : bool ref
+(** Global gate, [false] by default.  Recording call sites check this
+    (usually in addition to [!Telemetry.on]); flipping it mid-run is
+    safe.  Enabled by the bench [--conflict-map] flag. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val default_k : int
+(** Sketch capacity per thread (32). *)
+
+type t
+
+val create : ?k:int -> string -> t
+(** One cartography instance, usually owned by the {!Scope} of the same
+    name.  Interns its trace-event names, so create at setup time. *)
+
+val name : t -> string
+
+(** {2 Recording} — call sites gate on [!on]. *)
+
+val record_wait : t -> tid:int -> lock:int -> write:bool -> ns:int -> unit
+(** One completed lock-wait slow path on [lock] (negative ids are
+    ignored, so un-attributed call sites can pass -1). *)
+
+val edge :
+  t -> victim:int -> aborter:int -> lock:int -> wasted_ns:int ->
+  Events.abort_reason -> unit
+(** One abort-provenance edge, recorded by the victim thread: increments
+    matrix cell (victim, aborter) — aborter outside [0, max_threads) goes
+    to the unknown column — and the per-reason edge counter; when
+    [lock >= 0] also charges [wasted_ns] (the aborted attempt's duration)
+    and one abort to the lock's sketch entry.  When tracing, emits an
+    instant event named ["<name>:edge:<reason>"]. *)
+
+(** {2 Reading} *)
+
+type hot = {
+  lock : int;  (** lock/orec id *)
+  weight_ns : int;  (** Space-Saving estimate of attributed ns *)
+  err_ns : int;  (** overestimation bound on [weight_ns] *)
+  hits : int;  (** wait episodes since admission *)
+  read_wait_ns : int;
+  write_wait_ns : int;
+  aborts : int;  (** edges pinned on this lock since admission *)
+}
+
+val top : ?n:int -> t -> hot list
+(** Per-thread sketches merged and ranked by [weight_ns] descending
+    (ties by lock id); at most [n] entries when given. *)
+
+val total_weight_ns : t -> int
+(** Exact total attributed ns, including mass on evicted keys — the
+    denominator for shares and for the per-thread error bound. *)
+
+val total_wait_ns : t -> int
+(** Exact total lock-wait ns fed to the sketches (excludes the
+    wasted-attempt component of the weight). *)
+
+val matrix : t -> int array array
+(** Copy of the conflict matrix: [max_threads] victim rows of
+    [max_threads + 1] aborter columns, last column = unknown aborter. *)
+
+val row_total : t -> victim:int -> int
+(** Edge total of one victim row — equals the victim's abort count in
+    the owning scope's window taxonomy when no reset intervened. *)
+
+val edges_total : t -> int
+
+val edges_by_reason : t -> (string * int) list
+(** Every reason in taxonomy order (zeros included). *)
+
+val asymmetry : t -> float
+(** Directedness of the known-aborter square submatrix, in [0, 1]:
+    [sum_{i<j} |A_ij - A_ji| / sum_{i<>j} A_ij]; 0 when there are no
+    known-aborter edges. *)
+
+val reset : t -> unit
+(** Zero sketches, matrix and edge counters.  Call only while writers
+    are quiescent.  Deliberately {e not} chained to {!Scope.reset}: the
+    cartography accumulates for the whole run so the end-of-run artifact
+    sees every benchmark (tests reset it explicitly). *)

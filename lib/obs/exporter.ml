@@ -151,6 +151,68 @@ let render () =
              Scope.hist_txn sc,
              Some (Scope.cumulative_txn_total_ns sc) ))
          scopes);
+  (* Conflict cartography (DESIGN.md §13): per-lock hotspot families,
+     one sample per hot (sketch-resident) lock.  Lock ids are label
+     values: the cardinality is bounded by K per scope. *)
+  (if !Conflict.on then begin
+     let hot_rows =
+       List.filter_map
+         (fun sc ->
+           let c = Scope.conflict sc in
+           match Conflict.top c with
+           | [] -> None
+           | hots -> Some (escape_label (Scope.name sc), c, hots))
+         scopes
+     in
+     if hot_rows <> [] then begin
+       let lock_family ~name ~help sample =
+         Printf.bprintf b "# TYPE %s_%s counter\n" metric_prefix name;
+         Printf.bprintf b "# HELP %s_%s %s\n" metric_prefix name help;
+         List.iter
+           (fun (scope, _, hots) ->
+             List.iter (fun h -> sample scope h) hots)
+           hot_rows
+       in
+       lock_family ~name:"lock_attributed_ns"
+         ~help:
+           "Attributed (wait + wasted-attempt) nanoseconds per hot lock, \
+            Space-Saving estimate" (fun scope h ->
+           Printf.bprintf b
+             "%s_lock_attributed_ns_total{scope=\"%s\",lock=\"%d\"} %d\n"
+             metric_prefix scope h.Conflict.lock h.Conflict.weight_ns);
+       lock_family ~name:"lock_wait_mode_ns"
+         ~help:"Lock-wait nanoseconds per hot lock, split by mode"
+         (fun scope h ->
+           Printf.bprintf b
+             "%s_lock_wait_mode_ns_total{scope=\"%s\",lock=\"%d\",mode=\"read\"} \
+              %d\n"
+             metric_prefix scope h.Conflict.lock h.Conflict.read_wait_ns;
+           Printf.bprintf b
+             "%s_lock_wait_mode_ns_total{scope=\"%s\",lock=\"%d\",mode=\"write\"} \
+              %d\n"
+             metric_prefix scope h.Conflict.lock h.Conflict.write_wait_ns);
+       lock_family ~name:"lock_wait_episodes"
+         ~help:"Lock-wait slow-path episodes per hot lock" (fun scope h ->
+           Printf.bprintf b
+             "%s_lock_wait_episodes_total{scope=\"%s\",lock=\"%d\"} %d\n"
+             metric_prefix scope h.Conflict.lock h.Conflict.hits);
+       lock_family ~name:"lock_aborts"
+         ~help:"Aborts pinned on each hot lock" (fun scope h ->
+           Printf.bprintf b
+             "%s_lock_aborts_total{scope=\"%s\",lock=\"%d\"} %d\n"
+             metric_prefix scope h.Conflict.lock h.Conflict.aborts)
+     end;
+     counter_family b ~name:"conflict_edges"
+       ~help:"Abort-provenance edges by reason" ~label_key:"reason"
+       ~rows:
+         (List.map
+            (fun sc ->
+              let c = Scope.conflict sc in
+              ( Scope.name sc,
+                List.filter (fun (_, v) -> v > 0) (Conflict.edges_by_reason c)
+              ))
+            scopes)
+   end);
   (* Watchdog verdict counters. *)
   Printf.bprintf b "# TYPE %s_watchdog_ticks counter\n" metric_prefix;
   Printf.bprintf b "%s_watchdog_ticks_total %d\n" metric_prefix

@@ -20,6 +20,7 @@
 
 type t = {
   name : string;
+  conflict : Conflict.t; (* conflict cartography, gated on !Conflict.on *)
   abort_reasons : Padded.t array; (* indexed by Events.abort_reason_index *)
   events : Padded.t array; (* indexed by Events.event_index *)
   phases : Padded.t array; (* ns, indexed by Phase.index *)
@@ -51,6 +52,7 @@ let create name =
   let sc =
     {
       name;
+      conflict = Conflict.create name;
       abort_reasons =
         Array.init Events.num_abort_reasons (fun _ -> Padded.create ());
       events = Array.init Events.num_events (fun _ -> Padded.create ());
@@ -87,6 +89,7 @@ let create name =
 let all () = !registry
 let name sc = sc.name
 let find n = List.find_opt (fun sc -> String.equal sc.name n) !registry
+let conflict sc = sc.conflict
 
 (* ---- recording (call sites gate on !Telemetry.on) ---- *)
 
@@ -102,8 +105,9 @@ let att_wait_take sc ~tid =
   if v <> 0 then Padded.add sc.att_wait ~tid (-v);
   v
 
-let lock_wait sc ~tid ~write ~t0_ns ~spins ~acquired =
+let lock_wait sc ~lock ~tid ~write ~t0_ns ~spins ~acquired =
   let dur = Telemetry.now_ns () - t0_ns in
+  if !Conflict.on then Conflict.record_wait sc.conflict ~tid ~lock ~write ~ns:dur;
   Histogram.record sc.lock_wait_ns ~tid dur;
   Histogram.record sc.spin_iters ~tid spins;
   phase_add sc ~tid
@@ -131,10 +135,12 @@ let txn_commit sc ~tid ~txn_t0_ns ~att_t0_ns ?commit_t0_ns () =
     Tracer.span ~tid ~name:sc.trace_commit ~ts_ns:att_t0_ns
       ~dur_ns:(now - att_t0_ns)
 
-let txn_abort sc ~tid ~att_t0_ns reason =
+let txn_abort sc ?(aborter = -1) ?(lock = -1) ~tid ~att_t0_ns reason =
   abort sc ~tid reason;
   let now = Telemetry.now_ns () in
   let dur = now - att_t0_ns in
+  if !Conflict.on then
+    Conflict.edge sc.conflict ~victim:tid ~aborter ~lock ~wasted_ns:dur reason;
   let waits = att_wait_take sc ~tid in
   phase_add sc ~tid Phase.Body (dur - waits);
   phase_add sc ~tid Phase.Wasted_retry dur;
@@ -174,6 +180,33 @@ let txn_total_ns sc = Padded.sum sc.txn_ns_sum
 
 let aborts_total sc =
   Array.fold_left (fun acc p -> acc + Padded.sum p) 0 sc.abort_reasons
+
+(* Current-window abort count of one thread — the reconciliation target
+   for the conflict matrix's per-victim edge totals (DESIGN.md §13). *)
+let aborts_of_tid sc ~tid =
+  Array.fold_left (fun acc p -> acc + Padded.get p ~tid) 0 sc.abort_reasons
+
+(* Gauges for the live monitor: per active scope, the hottest lock, its
+   share of attributed ns (percent) and the edge total. *)
+let conflict_gauges () =
+  List.concat_map
+    (fun sc ->
+      let c = sc.conflict in
+      let total = Conflict.total_weight_ns c in
+      let edges = Conflict.edges_total c in
+      if total = 0 && edges = 0 then []
+      else
+        let hot =
+          match Conflict.top ~n:1 c with
+          | h :: _ when total > 0 ->
+              [
+                (sc.name ^ ".hot_lock", h.Conflict.lock);
+                (sc.name ^ ".hot_lock_pct", 100 * h.Conflict.weight_ns / total);
+              ]
+          | _ -> []
+        in
+        hot @ [ (sc.name ^ ".conflict_edges", edges) ])
+    (all ())
 
 let add_window l r = List.map2 (fun (k, v) (_, v') -> (k, v + v')) l r
 

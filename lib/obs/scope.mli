@@ -27,6 +27,12 @@ val all : unit -> t list
 
 val find : string -> t option
 
+val conflict : t -> Conflict.t
+(** The scope's conflict-cartography instance (DESIGN.md §13).  Created
+    with the scope; recording into it is gated on [!Conflict.on] and
+    happens inside {!lock_wait} (when the call site attributes a lock)
+    and {!txn_abort}.  Not cleared by {!reset} — see {!Conflict.reset}. *)
+
 (** {2 Recording} — call sites must check [!Telemetry.on] first. *)
 
 val event : t -> tid:int -> Events.event -> unit
@@ -40,11 +46,14 @@ val phase_add : t -> tid:int -> Phase.t -> int -> unit
     baselines' native inter-attempt waits. *)
 
 val lock_wait :
-  t -> tid:int -> write:bool -> t0_ns:int -> spins:int -> acquired:bool -> unit
+  t -> lock:int -> tid:int -> write:bool -> t0_ns:int -> spins:int ->
+  acquired:bool -> unit
 (** One completed lock-wait slow path: records the wait duration and spin
     count histograms, the waited-lock counter (when [acquired]), the
     read/write wait phase and the per-attempt wait scratch and, when
-    tracing, a lock-wait span starting at [t0_ns]. *)
+    tracing, a lock-wait span starting at [t0_ns].  When [lock >= 0] and
+    conflict cartography is on, also attributes the wait to that lock in
+    the scope's {!Conflict} sketch (-1 = unattributed). *)
 
 val txn_commit :
   t -> tid:int -> txn_t0_ns:int -> att_t0_ns:int -> ?commit_t0_ns:int ->
@@ -55,10 +64,16 @@ val txn_commit :
     lock waits is [Body].  When tracing, also a commit span covering the
     final attempt. *)
 
-val txn_abort : t -> tid:int -> att_t0_ns:int -> Events.abort_reason -> unit
+val txn_abort :
+  t -> ?aborter:int -> ?lock:int -> tid:int -> att_t0_ns:int ->
+  Events.abort_reason -> unit
 (** One aborted attempt: abort-reason counter, [Body] phase for the
     attempt minus its lock waits, the whole attempt re-counted into
-    {!Phase.Wasted_retry} and, when tracing, an abort span. *)
+    {!Phase.Wasted_retry} and, when tracing, an abort span.  When
+    conflict cartography is on, additionally records one provenance edge
+    (victim = [tid], [aborter] tid or -1 = unknown, [lock] id or -1)
+    charging the attempt's duration to [lock] — so per-victim edge totals
+    always reconcile with the abort taxonomy. *)
 
 val conflictor_wait : t -> tid:int -> t0_ns:int -> unit
 (** One post-abort wait-for-conflictor episode (event, phase, span). *)
@@ -78,6 +93,17 @@ val txn_total_ns : t -> int
     denominator the partition phases are measured against. *)
 
 val aborts_total : t -> int
+
+val aborts_of_tid : t -> tid:int -> int
+(** Current-window abort count of one thread, summed over the taxonomy —
+    what the conflict matrix's {!Conflict.row_total} for that victim must
+    equal when no reset intervened. *)
+
+val conflict_gauges : unit -> (string * int) list
+(** Monitor gauge provider: for every scope with conflict data, the
+    hottest lock id, its percent share of attributed ns and the edge
+    total.  Install with
+    [Monitor.add_gauges ~name:"conflict" Scope.conflict_gauges]. *)
 
 val cumulative_abort_counts : t -> (string * int) list
 (** Window plus everything folded in by earlier {!reset}s. *)

@@ -1,0 +1,32 @@
+(** Signature of a table of reader-writer locks with no-wait (trylock)
+    acquisition.
+
+    The 2PL no-wait family of Figure 2 — 2PL-RW, 2PL-RW-Dist, TLRW — is one
+    STM algorithm parameterized by the lock implementation; this is the
+    parameter's signature.  All locks identify threads by dense
+    {!Util.Tid} ids so upgrades (read → write by the same thread) can be
+    detected. *)
+
+module type S = sig
+  val name : string
+
+  type t
+
+  val create : num_locks:int -> t
+  (** [num_locks] must be a power of two (lock index = id mask). *)
+
+  val lock_index : t -> int -> int
+
+  val try_read_lock : t -> tid:int -> int -> bool
+  (** Acquire the read side of lock [w] or fail immediately.  Idempotent
+      when already held by [tid] (read-after-read). *)
+
+  val try_write_lock : t -> tid:int -> int -> bool
+  (** Acquire the write side, upgrading [tid]'s read lock if it is the only
+      reader.  Idempotent when the write side is already held by [tid]. *)
+
+  val read_unlock : t -> tid:int -> int -> unit
+  val write_unlock : t -> tid:int -> int -> unit
+  val holds_read : t -> tid:int -> int -> bool
+  val holds_write : t -> tid:int -> int -> bool
+end

@@ -119,10 +119,65 @@ let test_schema_mismatch_refused () =
      B.compare_docs ~threshold_pct:10. (doc ~schema:999 rows) (doc rows)
    with
   | exception B.Incompatible _ -> ()
-  | _ -> Alcotest.fail "accepted mismatched schema_version");
+  | _ -> Alcotest.fail "accepted unknown schema_version");
   match B.compare_docs ~threshold_pct:10. (J.Obj []) (doc rows) with
   | exception B.Incompatible _ -> ()
   | _ -> Alcotest.fail "accepted a non-artifact document"
+
+(* v1 baselines must stay comparable after the v2 (conflicts) bump:
+   shared metrics are gated as before, the version skew and the one-sided
+   conflict section only produce warnings. *)
+let conflict_scope ?(top_share = 0.5) ?(asymmetry = 0.2) name =
+  J.Obj
+    [
+      ("scope", J.Str name);
+      ("total_attributed_ns", J.Num 1e6);
+      ("edges_total", J.Num 10.);
+      ("top_lock", J.Num 3.);
+      ("top_lock_share", J.Num top_share);
+      ("asymmetry", J.Num asymmetry);
+    ]
+
+let doc_v2 ?(conflicts = []) rows =
+  J.Obj
+    [
+      ("schema_version", J.Num 2.);
+      ("rows", J.Arr rows);
+      ("latency_rows", J.Arr []);
+      ("overload", J.Arr []);
+      ("conflicts", J.Arr conflicts);
+    ]
+
+let test_cross_schema_warns () =
+  let old_doc = doc ~schema:1 [ row ~throughput:1000. () ] in
+  let new_doc =
+    doc_v2
+      ~conflicts:[ conflict_scope "2PLSF" ]
+      [ row ~throughput:800. () ]
+  in
+  let r = B.compare_docs ~threshold_pct:10. old_doc new_doc in
+  check Alcotest.int "shared metrics still gate across versions" 1 r.B.breaches;
+  if r.B.warnings = [] then Alcotest.fail "no warning for v1-vs-v2 compare";
+  check Alcotest.int "one-sided conflicts skipped, both skews warned" 2
+    (List.length r.B.warnings);
+  check Alcotest.int "no phantom missing rows" 0 (List.length r.B.missing);
+  (* same-version compare of identical docs stays warning-free *)
+  let clean = B.compare_docs ~threshold_pct:10. old_doc old_doc in
+  check (Alcotest.list Alcotest.string) "no warnings same-version" []
+    clean.B.warnings
+
+let test_conflict_deltas_never_gate () =
+  let rows = [ row ~throughput:1000. () ] in
+  let old_doc = doc_v2 ~conflicts:[ conflict_scope ~top_share:0.2 "2PLSF" ] rows in
+  let new_doc = doc_v2 ~conflicts:[ conflict_scope ~top_share:0.9 "2PLSF" ] rows in
+  let r = B.compare_docs ~threshold_pct:10. old_doc new_doc in
+  let conflict_entries =
+    List.filter (fun e -> e.B.key = "conflicts/2PLSF") r.B.entries
+  in
+  check Alcotest.int "conflict metrics compared" 2
+    (List.length conflict_entries);
+  check Alcotest.int "a 4.5x hotspot concentration jump never breaches" 0
+    r.B.breaches
 
 (* ---- end-to-end through the artifact writer ---- *)
 
@@ -203,6 +258,10 @@ let () =
           Alcotest.test_case "row identity" `Quick test_row_identity;
           Alcotest.test_case "schema mismatch refused" `Quick
             test_schema_mismatch_refused;
+          Alcotest.test_case "cross-schema compare warns" `Quick
+            test_cross_schema_warns;
+          Alcotest.test_case "conflict deltas never gate" `Quick
+            test_conflict_deltas_never_gate;
         ] );
       ( "artifact",
         [

@@ -616,6 +616,188 @@ let test_trace_export () =
   if !commit_spans = 0 then Alcotest.fail "no 2PLSF:commit span";
   Hashtbl.iter (fun _ spans -> check_spans_nest !spans) spans_by_tid
 
+(* ---- Conflict cartography: Space-Saving sketch ---- *)
+
+module C = Obs.Conflict
+
+(* Fewer distinct keys than K: estimates are exact and err is 0. *)
+let test_sketch_exact_under_k () =
+  let c = C.create ~k:8 "sketch-exact" in
+  for i = 0 to 5 do
+    C.record_wait c ~tid:0 ~lock:i ~write:(i land 1 = 1) ~ns:(100 * (i + 1))
+  done;
+  C.record_wait c ~tid:0 ~lock:3 ~write:false ~ns:1000;
+  let hots = C.top c in
+  check Alcotest.int "6 keys resident" 6 (List.length hots);
+  let h = List.hd hots in
+  check Alcotest.int "lock 3 ranks first" 3 h.C.lock;
+  check Alcotest.int "exact weight" 1400 h.C.weight_ns;
+  check Alcotest.int "zero err below K keys" 0 h.C.err_ns;
+  check Alcotest.int "hits" 2 h.C.hits;
+  check Alcotest.int "read split" 1000 h.C.read_wait_ns;
+  check Alcotest.int "write split" 400 h.C.write_wait_ns;
+  check Alcotest.int "total = sum of waits"
+    (100 + 200 + 300 + 400 + 500 + 600 + 1000)
+    (C.total_weight_ns c);
+  (* negative lock ids are dropped, not misfiled *)
+  C.record_wait c ~tid:0 ~lock:(-1) ~write:false ~ns:999;
+  check Alcotest.int "lock -1 ignored"
+    (100 + 200 + 300 + 400 + 500 + 600 + 1000)
+    (C.total_weight_ns c)
+
+(* Adversarial interleaving: a churn of fresh tail keys between every
+   heavy-hitter touch forces constant eviction.  The Space-Saving
+   guarantees must survive: heavy hitters (true weight > total/K) stay
+   resident, estimates never underestimate, the overestimate is within
+   the entry's err, and err stays within total/K. *)
+let test_sketch_adversarial () =
+  let k = 4 in
+  let c = C.create ~k "sketch-adv" in
+  let true_w = Hashtbl.create 64 in
+  let feed lock ns =
+    Hashtbl.replace true_w lock
+      (ns + Option.value ~default:0 (Hashtbl.find_opt true_w lock));
+    C.record_wait c ~tid:0 ~lock ~write:false ~ns
+  in
+  for round = 0 to 49 do
+    feed 0 1000;
+    feed 1 800;
+    for j = 0 to 5 do
+      feed (100 + (round * 6) + j) 10
+    done
+  done;
+  let true_total = Hashtbl.fold (fun _ v a -> v + a) true_w 0 in
+  let total = C.total_weight_ns c in
+  check Alcotest.int "total weight is exact despite evictions" true_total
+    total;
+  let hots = C.top c in
+  if List.length hots > k then
+    Alcotest.failf "sketch holds %d > K=%d entries" (List.length hots) k;
+  List.iter
+    (fun lock ->
+      match List.find_opt (fun h -> h.C.lock = lock) hots with
+      | None -> Alcotest.failf "heavy hitter %d evicted" lock
+      | Some h ->
+          let tw = Hashtbl.find true_w lock in
+          if h.C.weight_ns < tw then
+            Alcotest.failf "lock %d: estimate %d underestimates true %d" lock
+              h.C.weight_ns tw;
+          if h.C.weight_ns - tw > h.C.err_ns then
+            Alcotest.failf "lock %d: overestimate %d exceeds err %d" lock
+              (h.C.weight_ns - tw) h.C.err_ns)
+    [ 0; 1 ];
+  (match List.map (fun h -> h.C.lock) hots with
+  | 0 :: 1 :: _ | 1 :: 0 :: _ ->
+      (* defensive: 0 outweighs 1, so really 0 then 1 *)
+      check Alcotest.int "heaviest first" 0 (List.hd hots).C.lock
+  | order ->
+      Alcotest.failf "heavy hitters not ranked first: %s"
+        (String.concat "," (List.map string_of_int order)));
+  List.iter
+    (fun h ->
+      if h.C.err_ns > total / k then
+        Alcotest.failf "lock %d: err %d > total/K = %d" h.C.lock h.C.err_ns
+          (total / k))
+    hots
+
+(* Per-thread sketches merge by summing weights, errs and splits. *)
+let test_sketch_merge () =
+  let c = C.create ~k:4 "sketch-merge" in
+  C.record_wait c ~tid:0 ~lock:7 ~write:false ~ns:100;
+  C.record_wait c ~tid:1 ~lock:7 ~write:true ~ns:200;
+  C.record_wait c ~tid:2 ~lock:7 ~write:false ~ns:300;
+  C.record_wait c ~tid:1 ~lock:9 ~write:false ~ns:50;
+  (match C.top c with
+  | [ h7; h9 ] ->
+      check Alcotest.int "merged heaviest" 7 h7.C.lock;
+      check Alcotest.int "merged weight sums threads" 600 h7.C.weight_ns;
+      check Alcotest.int "merged hits" 3 h7.C.hits;
+      check Alcotest.int "merged read split" 400 h7.C.read_wait_ns;
+      check Alcotest.int "merged write split" 200 h7.C.write_wait_ns;
+      check Alcotest.int "second key" 9 h9.C.lock;
+      check Alcotest.int "second weight" 50 h9.C.weight_ns
+  | hots -> Alcotest.failf "expected 2 merged keys, got %d" (List.length hots));
+  check Alcotest.int "total_wait sums threads" 650 (C.total_wait_ns c);
+  C.reset c;
+  check Alcotest.int "reset clears totals" 0 (C.total_weight_ns c);
+  check Alcotest.bool "reset clears sketches" true (C.top c = [])
+
+(* ---- Conflict cartography: provenance matrix ---- *)
+
+let test_matrix_unit () =
+  let c = C.create "matrix-unit" in
+  C.edge c ~victim:1 ~aborter:2 ~lock:5 ~wasted_ns:100
+    Obs.Events.Write_lock_conflict;
+  C.edge c ~victim:1 ~aborter:2 ~lock:5 ~wasted_ns:100
+    Obs.Events.Write_lock_conflict;
+  C.edge c ~victim:2 ~aborter:1 ~lock:5 ~wasted_ns:50
+    Obs.Events.Read_lock_conflict;
+  (* unknown aborter and unattributed lock: matrix-only edge *)
+  C.edge c ~victim:3 ~aborter:(-1) ~lock:(-1) ~wasted_ns:10
+    Obs.Events.Read_validation;
+  check Alcotest.int "victim 1 row" 2 (C.row_total c ~victim:1);
+  check Alcotest.int "victim 2 row" 1 (C.row_total c ~victim:2);
+  check Alcotest.int "victim 3 row" 1 (C.row_total c ~victim:3);
+  check Alcotest.int "edges total" 4 (C.edges_total c);
+  let m = C.matrix c in
+  check Alcotest.int "cell (1,2)" 2 m.(1).(2);
+  check Alcotest.int "cell (2,1)" 1 m.(2).(1);
+  check Alcotest.int "unknown column" 1 m.(3).(Array.length m.(3) - 1);
+  check counts "edges by reason keep taxonomy order"
+    (List.map
+       (fun r ->
+         ( Obs.Events.abort_reason_label r,
+           match r with
+           | Obs.Events.Write_lock_conflict -> 2
+           | Obs.Events.Read_lock_conflict | Obs.Events.Read_validation -> 1
+           | _ -> 0 ))
+       Obs.Events.all_abort_reasons)
+    (C.edges_by_reason c);
+  (* known-aborter asymmetry: |2 - 1| / 3 *)
+  let asym = C.asymmetry c in
+  if Float.abs (asym -. (1. /. 3.)) > 1e-9 then
+    Alcotest.failf "asymmetry %.4f, expected 1/3" asym;
+  (* the lock sketch absorbed the pinned aborts *)
+  (match C.top c with
+  | [ h ] ->
+      check Alcotest.int "pinned lock" 5 h.C.lock;
+      check Alcotest.int "pinned aborts" 3 h.C.aborts;
+      check Alcotest.int "wasted ns charged" 250 h.C.weight_ns
+  | hots -> Alcotest.failf "expected 1 pinned lock, got %d" (List.length hots))
+
+(* End-to-end provenance invariant (the ISSUE acceptance criterion):
+   after a contended 2PLSF run with the cartography on, each victim's
+   matrix row total equals that thread's abort count in the scope's
+   taxonomy — edges are recorded exactly where aborts are counted. *)
+let test_matrix_matches_taxonomy () =
+  Obs.Telemetry.enable ();
+  C.enable ();
+  Fun.protect ~finally:C.disable (fun () ->
+      S.reset_stats ();
+      let sc =
+        match Obs.Scope.find "2PLSF" with
+        | Some sc -> sc
+        | None -> Alcotest.fail "no 2PLSF scope"
+      in
+      let c = Obs.Scope.conflict sc in
+      C.reset c;
+      ignore (contended_run ());
+      check Alcotest.int "edges total equals scope aborts"
+        (Obs.Scope.aborts_total sc) (C.edges_total c);
+      for tid = 0 to Util.Tid.max_threads - 1 do
+        let row = C.row_total c ~victim:tid in
+        let ab = Obs.Scope.aborts_of_tid sc ~tid in
+        if row <> ab then
+          Alcotest.failf "tid %d: %d provenance edges, %d taxonomy aborts"
+            tid row ab
+      done;
+      if S.aborts () > 0 then begin
+        if C.top c = [] then
+          Alcotest.fail "aborts occurred but no lock was attributed";
+        if C.total_weight_ns c <= 0 then
+          Alcotest.fail "aborts occurred but no weight attributed"
+      end)
+
 let () =
   Alcotest.run "obs"
     [
@@ -655,4 +837,17 @@ let () =
         ] );
       ( "trace",
         [ Alcotest.test_case "chrome JSON export" `Quick test_trace_export ] );
+      ( "conflict-sketch",
+        [
+          Alcotest.test_case "exact below K" `Quick test_sketch_exact_under_k;
+          Alcotest.test_case "adversarial heavy hitters" `Quick
+            test_sketch_adversarial;
+          Alcotest.test_case "per-thread merge" `Quick test_sketch_merge;
+        ] );
+      ( "conflict-matrix",
+        [
+          Alcotest.test_case "unit accounting" `Quick test_matrix_unit;
+          Alcotest.test_case "rows match abort taxonomy" `Quick
+            test_matrix_matches_taxonomy;
+        ] );
     ]
