@@ -51,6 +51,7 @@ let () =
   let no_bench_out = ref false in
   let metrics_port = ref (-1) in
   let conflict_map = ref false in
+  let explore = ref 0 in
   let spec =
     [
       ("--figure", Arg.Set_int figure, "N  run only figure N (2-8, 10-12)");
@@ -166,6 +167,11 @@ let () =
         " record per-lock hotspot attribution and abort provenance \
          (DESIGN.md §13) into the benchmark artifact; render with \
          bin/conflictmap.exe (implies --telemetry)" );
+      ( "--explore",
+        Arg.Set_int explore,
+        "K  deterministic-schedule smoke: K PCT schedules per schedulable \
+         STM on the account-transfer workload (DESIGN.md §14); any checker \
+         violation fails the run" );
     ]
   in
   Arg.parse spec
@@ -231,7 +237,36 @@ let () =
   end;
   let soak_failures = ref 0 in
   let overload_failures = ref 0 in
-  if !overload > 0.0 then begin
+  let explore_failures = ref 0 in
+  if !explore > 0 then begin
+    let module Sc = Twoplsf_sched.Scenario in
+    let module Ex = Twoplsf_sched.Explore in
+    let module Tr = Twoplsf_sched.Trace in
+    Printf.printf "Schedule exploration smoke: %d PCT schedules per STM\n%!"
+      !explore;
+    List.iter
+      (fun stm ->
+        let params =
+          {
+            Ex.default_params with
+            Ex.scenario = { Tr.default_scenario with Tr.stm };
+            iters = !explore;
+            do_shrink = false;
+          }
+        in
+        let r = Ex.search params in
+        match r.Ex.found with
+        | None ->
+            Printf.printf "  %-14s ok (%d schedules, %d decisions)\n%!" stm
+              r.Ex.iterations r.Ex.total_decisions
+        | Some f ->
+            incr explore_failures;
+            Printf.printf "  %-14s VIOLATION at iteration %d: %s\n%!" stm
+              f.Ex.iteration
+              (Sc.failure_to_string f.Ex.failure))
+      Sc.supported
+  end
+  else if !overload > 0.0 then begin
     let stms =
       if !overload_stms = "" then Baselines.Registry.all
       else
@@ -335,6 +370,11 @@ let () =
   if !overload_failures > 0 then begin
     Printf.eprintf "overload: %d STM(s) failed an invariant\n"
       !overload_failures;
+    exit 1
+  end;
+  if !explore_failures > 0 then begin
+    Printf.eprintf "explore: %d STM(s) failed a scheduled-run check\n"
+      !explore_failures;
     exit 1
   end;
   print_endline "\nDone. See EXPERIMENTS.md for paper-vs-measured notes."

@@ -1,0 +1,156 @@
+(* explore — deterministic schedule exploration (DESIGN.md §14).
+
+     dune exec bin/explore.exe -- --stm TinySTM --strategy pct --iters 200
+     dune exec bin/explore.exe -- --stm TinySTM --bug lock-toctou \
+       --strategy pct --iters 500 --shrink --out trace.json
+
+   Exit status: 0 = no violation found, 1 = violation found (trace
+   written when --out is given), 124 = bad usage. *)
+
+open Cmdliner
+module Sched = Twoplsf_sched.Sched
+module Scenario = Twoplsf_sched.Scenario
+module Explore = Twoplsf_sched.Explore
+module Trace = Twoplsf_sched.Trace
+
+let stm =
+  Arg.(
+    value
+    & opt string "2PLSF"
+    & info [ "stm" ]
+        ~doc:
+          (Printf.sprintf "STM under test (one of: %s)."
+             (String.concat ", " Scenario.supported)))
+
+let strategy =
+  Arg.(
+    value
+    & opt string "pct"
+    & info [ "strategy" ] ~doc:"Search strategy: pct, random, round-robin.")
+
+let iters =
+  Arg.(value & opt int 200 & info [ "iters" ] ~doc:"Schedules to explore.")
+
+let depth =
+  Arg.(
+    value & opt int 3
+    & info [ "depth-bound" ] ~doc:"PCT priority-change points (bug depth).")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base search seed.")
+
+let threads =
+  Arg.(value & opt int 2 & info [ "threads" ] ~doc:"Worker domains.")
+
+let accounts =
+  Arg.(value & opt int 4 & info [ "accounts" ] ~doc:"Accounts in the workload.")
+
+let txns =
+  Arg.(
+    value & opt int 6
+    & info [ "txns" ] ~doc:"Transfers per thread per schedule.")
+
+let abort_every =
+  Arg.(
+    value & opt int 3
+    & info [ "abort-every" ]
+        ~doc:"Induce a user abort every Nth transaction (0 = never).")
+
+let audit_every =
+  Arg.(
+    value & opt int 4
+    & info [ "audit-every" ]
+        ~doc:"Replace every Nth transaction with a read-only audit (0 = never).")
+
+let max_steps =
+  Arg.(
+    value
+    & opt int 20_000
+    & info [ "max-steps" ] ~doc:"Scheduler decision budget per run.")
+
+let shrink =
+  Arg.(value & flag & info [ "shrink" ] ~doc:"Delta-debug the failing schedule.")
+
+let bug =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bug" ]
+        ~doc:
+          (Printf.sprintf
+             "Reintroduce a TinySTM bug variant (one of: %s); implies --stm \
+              TinySTM."
+             (String.concat ", " Baselines.Tinystm.bug_names)))
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~doc:"Write the (shrunk) failing trace to this file.")
+
+let run stm strategy iters depth seed threads accounts txns abort_every
+    audit_every max_steps shrink bug out =
+  ignore (Util.Tid.register ());
+  let stm = if Option.is_some bug then "TinySTM" else stm in
+  let scenario =
+    {
+      Trace.stm;
+      threads;
+      accounts;
+      txns_per_thread = txns;
+      init_balance = Trace.default_scenario.Trace.init_balance;
+      abort_every;
+      audit_every;
+      wseed = seed;
+      bug;
+    }
+  in
+  let params =
+    {
+      Explore.default_params with
+      Explore.scenario;
+      kind = Explore.kind_of_string strategy;
+      iters;
+      depth;
+      seed;
+      max_steps;
+      do_shrink = shrink;
+    }
+  in
+  Printf.printf "exploring %s (%d threads, %d accounts, %d txns/thread)%s\n%!"
+    stm threads accounts txns
+    (match bug with Some b -> " with bug " ^ b | None -> "");
+  let r = Explore.search ~log:(Printf.printf "  %s\n%!") params in
+  match r.Explore.found with
+  | None ->
+      Printf.printf "no violation in %d schedules (%d decisions total)\n"
+        r.Explore.iterations r.Explore.total_decisions;
+      0
+  | Some f ->
+      Printf.printf "VIOLATION at iteration %d (%s):\n  %s\n" f.Explore.iteration
+        f.Explore.strategy
+        (Scenario.failure_to_string f.Explore.failure);
+      (match f.Explore.shrink with
+      | Some s ->
+          Printf.printf "  shrunk %d -> %d decisions in %d replays\n"
+            s.Twoplsf_sched.Shrink.from_len s.Twoplsf_sched.Shrink.to_len
+            s.Twoplsf_sched.Shrink.trials
+      | None ->
+          Printf.printf "  trace: %d decisions (not shrunk)\n"
+            f.Explore.original_len);
+      (match out with
+      | Some path ->
+          Trace.save path f.Explore.trace;
+          Printf.printf "  trace written to %s\n" path
+      | None -> ());
+      1
+
+let () =
+  let doc = "deterministic schedule exploration for the 2PLSF reproduction" in
+  exit
+    (Cmd.eval'
+       (Cmd.v
+          (Cmd.info "explore" ~doc)
+          Term.(
+            const run $ stm $ strategy $ iters $ depth $ seed $ threads
+            $ accounts $ txns $ abort_every $ audit_every $ max_steps $ shrink
+            $ bug $ out)))

@@ -177,10 +177,78 @@ let ycsb_latency_cmd =
        ~doc:"Per-transaction latency percentiles on the YCSB workload (ablation A5).")
     Term.(const run $ cc $ theta $ rows $ threads $ seconds)
 
+let schedule_cmd =
+  let module Sched = Twoplsf_sched.Sched in
+  let module Scenario = Twoplsf_sched.Scenario in
+  let module Trace = Twoplsf_sched.Trace in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Schedule trace (written by explore --out).")
+  in
+  let run file =
+    ignore (Util.Tid.register ());
+    let t = Trace.load file in
+    let replay () =
+      Scenario.run
+        ~strategy:(Sched.Fixed { decisions = t.Trace.decisions })
+        t.Trace.scenario
+    in
+    let o1 = replay () in
+    let o2 = replay () in
+    let show (o : Scenario.outcome) =
+      Printf.printf
+        "  %d commits, %d aborts, %d decisions, %d divergences, hash %x\n  %s\n"
+        o.Scenario.commits o.Scenario.aborts
+        (Array.length o.Scenario.info.Sched.decisions)
+        o.Scenario.info.Sched.divergences o.Scenario.history_hash
+        (match o.Scenario.failure with
+        | Some f -> Scenario.failure_to_string f
+        | None -> "no violation")
+    in
+    Printf.printf "replaying %s on %s (recorded: %s)\n" file t.Trace.scenario.Trace.stm
+      (Option.value t.Trace.failure ~default:"no failure recorded");
+    show o1;
+    show o2;
+    if o1.Scenario.history_hash <> o2.Scenario.history_hash then begin
+      Printf.printf "REPLAY NOT DETERMINISTIC: history hashes differ\n";
+      exit 2
+    end;
+    let cls o =
+      Option.map Scenario.failure_class o.Scenario.failure
+    in
+    match (t.Trace.failure, cls o1) with
+    | Some _, Some _ ->
+        Printf.printf "deterministic replay: failure reproduced\n";
+        exit 1
+    | Some _, None ->
+        Printf.printf "deterministic replay: recorded failure did NOT reproduce\n";
+        exit 3
+    | None, Some _ ->
+        Printf.printf "deterministic replay: unexpected failure on clean trace\n";
+        exit 3
+    | None, None -> Printf.printf "deterministic replay: clean\n"
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:
+         "Replay a recorded schedule trace twice and verify bit-identical \
+          histories (exit 0: clean as recorded, 1: failure reproduced, 2: \
+          nondeterministic, 3: outcome mismatch).")
+    Term.(const run $ file)
+
 let () =
   let doc = "2PLSF reproduction: single-experiment runner" in
   let info = Cmd.info "repro" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ set_cmd; map_cmd; ycsb_cmd; ycsb_latency_cmd; latency_cmd ]))
+          [
+            set_cmd;
+            map_cmd;
+            ycsb_cmd;
+            ycsb_latency_cmd;
+            latency_cmd;
+            schedule_cmd;
+          ]))

@@ -5,6 +5,7 @@ let name = "TicToc-STM"
 module Obs = Twoplsf_obs
 module Cm = Twoplsf_cm.Cm
 module Admission = Twoplsf_cm.Admission
+module Chaos = Twoplsf_chaos.Chaos
 
 exception Restart
 
@@ -91,12 +92,16 @@ let tx_key =
 let get_tx () = Domain.DLS.get tx_key
 
 let stable_word t tx oi =
-  (* Bounded wait for an unlocked word. *)
+  (* Bounded wait for an unlocked word.  The sync point inside the loop
+     keeps this schedulable: under the cooperative scheduler the lock
+     holder is parked, and without a scheduling decision per iteration
+     this spin could never hand it the baton. *)
   let rec go n =
     if n > 1000 then begin
       tx.c_orec <- oi;
       raise Restart
     end;
+    if !Chaos.on then Chaos.point Chaos.Validate;
     let w = Atomic.get t.words.(oi) in
     if is_locked w then begin
       Domain.cpu_relax ();
@@ -124,6 +129,7 @@ let read tx (tv : 'a tvar) : 'a =
         let oi = tv.id land t.mask in
         let w = stable_word t tx oi in
         let v = tv.v in
+        if !Chaos.on then Chaos.point Chaos.Orec_check;
         if Atomic.get t.words.(oi) <> w then begin
           tx.c_orec <- oi;
           raise Restart
@@ -135,6 +141,7 @@ let read tx (tv : 'a tvar) : 'a =
     let oi = tv.id land t.mask in
     let w = stable_word t tx oi in
     let v = tv.v in
+    if !Chaos.on then Chaos.point Chaos.Orec_check;
     if Atomic.get t.words.(oi) <> w then begin
       tx.c_orec <- oi;
       raise Restart
@@ -159,6 +166,7 @@ let lock_write_set t tx =
   (try
      Wset.iter_ids tx.wset (fun id ->
          let oi = id land t.mask in
+         if !Chaos.on then Chaos.point Chaos.Orec_lock;
          if is_self_locked tx oi then ()
          else begin
            let w = Atomic.get t.words.(oi) in
@@ -194,6 +202,7 @@ let commit tx =
     (try
        Util.Vec.iter
          (fun (oi, observed) ->
+           if !Chaos.on then Chaos.point Chaos.Validate;
            if rts_of observed < ct then begin
              let cur = Atomic.get t.words.(oi) in
              if wts_of cur <> wts_of observed then begin

@@ -3,8 +3,38 @@ let name = "TinySTM"
 module Obs = Twoplsf_obs
 module Cm = Twoplsf_cm.Cm
 module Admission = Twoplsf_cm.Admission
+module Chaos = Twoplsf_chaos.Chaos
 
 exception Restart
+
+(* Reintroducible bugs: each variant undoes one of the latent-race fixes
+   this STM shipped with, so the schedule-exploration regression corpus
+   (test/schedules/) can prove the scheduler still finds them.  The
+   default ([None]) path is bit-identical to the fixed protocol. *)
+type bug = Extend_stale_read | Rollback_old_version | Lock_toctou
+
+let bug_name = function
+  | Extend_stale_read -> "extend-stale-read"
+  | Rollback_old_version -> "rollback-old-version"
+  | Lock_toctou -> "lock-toctou"
+
+let bug_names =
+  List.map bug_name [ Extend_stale_read; Rollback_old_version; Lock_toctou ]
+
+let bug_of_string s =
+  match
+    List.find_opt
+      (fun b -> String.equal (bug_name b) s)
+      [ Extend_stale_read; Rollback_old_version; Lock_toctou ]
+  with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Tinystm.bug_of_string: %S (expected one of %s)" s
+           (String.concat ", " bug_names))
+
+let active_bug = ref None
+let set_bug b = active_bug := b
 
 open Tvar (* brings the { id; v } field labels into scope *)
 
@@ -88,17 +118,22 @@ let wlock_old_version tx oi =
    word, and accepting it unconditionally would let a commit that slid
    in between the read and our lock acquisition go undetected. *)
 let check_read o tx (oi, observed) =
+  if !Chaos.on then Chaos.point Chaos.Validate;
   let w = Orec.get o oi in
   if Orec.is_locked w then begin
     if Orec.owner w <> tx.tid then begin
       pin tx oi w;
       raise Exit
     end;
-    match wlock_old_version tx oi with
-    | Some old_version when old_version = observed -> ()
-    | Some _ | None ->
-        pin tx oi w;
-        raise Exit
+    (* [Lock_toctou] drops the pre-lock-version comparison: any
+       self-locked orec validates, hiding commits that slid in between
+       the read and our own lock acquisition. *)
+    if !active_bug <> Some Lock_toctou then
+      match wlock_old_version tx oi with
+      | Some old_version when old_version = observed -> ()
+      | Some _ | None ->
+          pin tx oi w;
+          raise Exit
   end
   else if Orec.version w <> observed then begin
     pin tx oi w;
@@ -109,6 +144,10 @@ let check_read o tx (oi, observed) =
    read is still valid at its observed version. *)
 let extend tx =
   let o = Util.Once.get orecs in
+  (* Window of interest: a commit can land between the caller's version
+     check and the clock read below, and the extension then moves [rv]
+     past it. *)
+  if !Chaos.on then Chaos.point Chaos.Validate;
   let now = Atomic.get clock in
   let ok = ref true in
   (try Util.Vec.iter (check_read o tx) tx.rset with Exit -> ok := false);
@@ -124,6 +163,11 @@ let rec read tx (tv : 'a tvar) : 'a =
   let o = Util.Once.get orecs in
   let oi = Orec.index o tv.id in
   let w = Orec.get o oi in
+  (* Two sync points bracket the unlocked fast path: orec load -> value
+     fetch (a writer can lock and install a dirty value here) and value
+     fetch -> recheck (a writer can roll back here — the recheck only
+     catches it because rollback releases at a fresh version). *)
+  if !Chaos.on then Chaos.point Chaos.Orec_check;
   if Orec.is_locked w then begin
     if Orec.owner w = tx.tid then tv.v (* own encounter-time lock *)
     else begin
@@ -133,6 +177,7 @@ let rec read tx (tv : 'a tvar) : 'a =
   end
   else begin
     let v = tv.v in
+    if !Chaos.on then Chaos.point Chaos.Orec_check;
     let w2 = Orec.get o oi in
     if w2 <> w then begin
       pin tx oi w2;
@@ -145,8 +190,17 @@ let rec read tx (tv : 'a tvar) : 'a =
          extension moves [rv] past that commit — returning the value
          fetched above would pair a stale value with an extended
          snapshot (a lost update once commit skips validation on
-         [wv = rv + 1]). *)
-      if extend tx then read tx tv
+         [wv = rv + 1]).  [Extend_stale_read] reintroduces exactly that:
+         it keeps the pre-extension value and logs it at its pre-extension
+         version. *)
+      if !active_bug = Some Extend_stale_read then begin
+        if extend tx then begin
+          Util.Vec.push tx.rset (oi, ver);
+          v
+        end
+        else restart tx Obs.Events.Read_validation
+      end
+      else if extend tx then read tx tv
       else restart tx Obs.Events.Read_validation
     else begin
       (* Read-only transactions must log reads too: the snapshot extension
@@ -173,6 +227,7 @@ let write tx tv nv =
     let ver = Orec.version w in
     if ver > tx.rv && not (extend tx) then
       restart tx Obs.Events.Read_validation;
+    if !Chaos.on then Chaos.point Chaos.Orec_lock;
     match Orec.try_lock o ~tid:tx.tid oi with
     | None ->
         pin tx oi (Orec.get o oi);
@@ -183,9 +238,15 @@ let write tx tv nv =
            CAS: [old_version] is the authoritative pre-lock version.  If
            it passed [rv], revalidate the snapshot before trusting any
            earlier read of this orec (the push above lets a failed
-           extension release the lock through the normal rollback). *)
-        if old_version > tx.rv && not (extend tx) then
-          restart tx Obs.Events.Read_validation;
+           extension release the lock through the normal rollback).
+           [Lock_toctou] skips this recheck, re-opening the TOCTOU the
+           recheck closed — together with its [check_read] half, a commit
+           between the version check and the CAS goes unnoticed. *)
+        if
+          !active_bug <> Some Lock_toctou
+          && old_version > tx.rv
+          && not (extend tx)
+        then restart tx Obs.Events.Read_validation;
         Wset.log_old_once tx.undo tv tv.v;
         tv.v <- nv
   end
@@ -212,11 +273,25 @@ let release_wlocks_to tx version =
    restored values with a new version makes the abort look like a
    committed no-op write, which every optimistic reader revalidates. *)
 let rollback tx =
+  (* Dirty values are still published here: a scheduling decision at this
+     point lets a reader race the restore below. *)
+  if !Chaos.on then Chaos.point Chaos.Mid_rollback;
   Wset.rollback tx.undo;
   if not (Util.Vec.is_empty tx.wlocks) then begin
-    let wv = 1 + Atomic.fetch_and_add clock 1 in
-    Stm_intf.Stats.clock_op stats ~tid:tx.tid;
-    release_wlocks_to tx wv
+    match !active_bug with
+    | Some Rollback_old_version ->
+        (* BUG variant: release at the pre-lock versions, making the
+           abort invisible to a reader that fetched the in-flight value
+           between its two lock-word loads (the dirty-read ABA the fresh
+           version below closes). *)
+        let o = Util.Once.get orecs in
+        Util.Vec.iter
+          (fun (oi, old_version) -> Orec.unlock_to o oi ~version:old_version)
+          tx.wlocks
+    | _ ->
+        let wv = 1 + Atomic.fetch_and_add clock 1 in
+        Stm_intf.Stats.clock_op stats ~tid:tx.tid;
+        release_wlocks_to tx wv
   end;
   Wset.clear tx.undo;
   Util.Vec.clear tx.wlocks

@@ -11,3 +11,34 @@
 include Stm_intf.STM
 
 val configure : ?num_orecs:int -> unit -> unit
+
+(** {1 Reintroducible bugs}
+
+    Each variant re-opens one of the latent races this STM shipped fixes
+    for, so the deterministic-schedule regression corpus
+    ([test/schedules/]) can prove the explorer still finds them.  With
+    [set_bug None] (the default) the protocol is bit-identical to the
+    fixed implementation. *)
+
+type bug =
+  | Extend_stale_read
+      (** a successful snapshot extension returns the pre-extension value
+          instead of re-executing the load — a lost update once commit
+          skips validation on [wv = rv + 1] *)
+  | Rollback_old_version
+      (** rollback releases write locks at their pre-lock versions
+          instead of a fresh clock value — the dirty-read ABA *)
+  | Lock_toctou
+      (** write skips the post-CAS pre-lock-version recheck AND
+          validation accepts any self-locked orec — a commit sliding in
+          between version check and lock CAS goes unnoticed *)
+
+val bug_name : bug -> string
+val bug_names : string list
+
+val bug_of_string : string -> bug
+(** @raise Invalid_argument on an unknown name. *)
+
+val set_bug : bug option -> unit
+(** Process-global; callers must reset to [None] after a run.  Only
+    consulted on TinySTM's own slow paths — other STMs ignore it. *)

@@ -3,6 +3,7 @@ let name = "TL2"
 module Obs = Twoplsf_obs
 module Cm = Twoplsf_cm.Cm
 module Admission = Twoplsf_cm.Admission
+module Chaos = Twoplsf_chaos.Chaos
 
 exception Restart
 
@@ -81,12 +82,16 @@ let read tx (tv : 'a tvar) : 'a =
     | None ->
         let oi = Orec.index o tv.id in
         let pre = Orec.get o oi in
+        (* Sync points bracket the sampled-read window: orec load ->
+           value fetch and value fetch -> recheck. *)
+        if !Chaos.on then Chaos.point Chaos.Orec_check;
         if Orec.is_locked pre || Orec.version pre > tx.rv then begin
           pin tx oi pre;
           tx.abort_reason <- Obs.Events.Read_validation;
           raise Restart
         end;
         let v = tv.v in
+        if !Chaos.on then Chaos.point Chaos.Orec_check;
         if Orec.get o oi <> pre then begin
           pin tx oi (Orec.get o oi);
           tx.abort_reason <- Obs.Events.Read_validation;
@@ -97,12 +102,14 @@ let read tx (tv : 'a tvar) : 'a =
   else begin
     let oi = Orec.index o tv.id in
     let pre = Orec.get o oi in
+    if !Chaos.on then Chaos.point Chaos.Orec_check;
     if Orec.is_locked pre || Orec.version pre > tx.rv then begin
       pin tx oi pre;
       tx.abort_reason <- Obs.Events.Read_validation;
       raise Restart
     end;
     let v = tv.v in
+    if !Chaos.on then Chaos.point Chaos.Orec_check;
     if Orec.get o oi <> pre then begin
       pin tx oi (Orec.get o oi);
       tx.abort_reason <- Obs.Events.Read_validation;
@@ -127,6 +134,7 @@ let lock_write_set tx =
   (try
      Wset.iter_ids tx.wset (fun id ->
          let oi = Orec.index o id in
+         if !Chaos.on then Chaos.point Chaos.Orec_lock;
          let w = Orec.get o oi in
          if Orec.is_locked w && Orec.owner w = tx.tid then ()
            (* another tvar hashing onto an orec we already own *)
@@ -157,6 +165,7 @@ let validate_read_set tx =
   (try
      Util.Vec.iter
        (fun oi ->
+         if !Chaos.on then Chaos.point Chaos.Validate;
          let w = Orec.get o oi in
          if Orec.is_locked w then begin
            if Orec.owner w <> tx.tid then begin

@@ -5,6 +5,7 @@ let name = "2PL-WoundWait"
 module Obs = Twoplsf_obs
 module Cm = Twoplsf_cm.Cm
 module Admission = Twoplsf_cm.Admission
+module Chaos = Twoplsf_chaos.Chaos
 
 exception Restart
 
@@ -131,6 +132,10 @@ let acquire_read t ctx w =
     acquired
   in
   let rec loop () =
+    (* Sync point per wait iteration: under the cooperative scheduler
+       this is the only way the parked lock holder (or our wounder) ever
+       gets to run. *)
+    if !Chaos.on then Chaos.point Chaos.Wound_check;
     if am_wounded t ctx then begin
       ctx.o_lock <- w;
       finish false
@@ -175,6 +180,7 @@ let acquire_write t ctx w =
       acquired
     in
     let rec loop () =
+      if !Chaos.on then Chaos.point Chaos.Wound_check;
       if am_wounded t ctx then begin
         if Atomic.get t.wlocks.(w) = me then Atomic.set t.wlocks.(w) 0;
         ctx.o_lock <- w;

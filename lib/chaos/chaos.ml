@@ -1,12 +1,102 @@
-(* Seeded per-thread fault injector (DESIGN.md §10).
+(* Seeded per-thread fault injector (DESIGN.md §10) and the sync-point
+   substrate for the deterministic scheduler (DESIGN.md §14).
 
-   Decision discipline: every hook draws exactly one PRNG number and
-   classifies it against cumulative ppm thresholds; extra draws happen
-   only inside a fired branch (delay length).  A thread's decision
-   stream is therefore a pure function of (seed, tid, sites visited),
-   which is what makes a failing schedule reproducible by seed. *)
+   Decision discipline: every hook draw is a *stateless* hash of
+   (seed, tid, site, step, salt), where [step] is the calling thread's
+   visit ordinal for that site.  A decision therefore depends only on
+   how many times this thread has reached this site — never on what
+   happened at other sites — so replaying a truncated or shrunk
+   schedule perturbs fault decisions only at sites whose visit counts
+   actually changed. *)
 
-type site =
+module Site = struct
+  type t =
+    | Read_lock_arrive
+    | Read_lock_check
+    | Read_lock_wait
+    | Write_lock_acquire
+    | Write_lock_wait
+    | Clock_announce
+    | Conflictor_wait
+    | Pre_commit
+    | Mid_rollback
+    | Mid_writeback
+    | Txn_body
+    | Dbx_txn
+    | Harness_op
+    | Orec_check
+    | Orec_lock
+    | Validate
+    | Wound_check
+
+  let code = function
+    | Read_lock_arrive -> 0
+    | Read_lock_check -> 1
+    | Read_lock_wait -> 2
+    | Write_lock_acquire -> 3
+    | Write_lock_wait -> 4
+    | Clock_announce -> 5
+    | Conflictor_wait -> 6
+    | Pre_commit -> 7
+    | Mid_rollback -> 8
+    | Mid_writeback -> 9
+    | Txn_body -> 10
+    | Dbx_txn -> 11
+    | Harness_op -> 12
+    | Orec_check -> 13
+    | Orec_lock -> 14
+    | Validate -> 15
+    | Wound_check -> 16
+
+  let name = function
+    | Read_lock_arrive -> "read-lock-arrive"
+    | Read_lock_check -> "read-lock-check"
+    | Read_lock_wait -> "read-lock-wait"
+    | Write_lock_acquire -> "write-lock-acquire"
+    | Write_lock_wait -> "write-lock-wait"
+    | Clock_announce -> "clock-announce"
+    | Conflictor_wait -> "conflictor-wait"
+    | Pre_commit -> "pre-commit"
+    | Mid_rollback -> "mid-rollback"
+    | Mid_writeback -> "mid-writeback"
+    | Txn_body -> "txn-body"
+    | Dbx_txn -> "dbx-txn"
+    | Harness_op -> "harness-op"
+    | Orec_check -> "orec-check"
+    | Orec_lock -> "orec-lock"
+    | Validate -> "validate"
+    | Wound_check -> "wound-check"
+
+  let all =
+    [
+      Read_lock_arrive;
+      Read_lock_check;
+      Read_lock_wait;
+      Write_lock_acquire;
+      Write_lock_wait;
+      Clock_announce;
+      Conflictor_wait;
+      Pre_commit;
+      Mid_rollback;
+      Mid_writeback;
+      Txn_body;
+      Dbx_txn;
+      Harness_op;
+      Orec_check;
+      Orec_lock;
+      Validate;
+      Wound_check;
+    ]
+
+  let count = List.length all
+
+  let of_code c =
+    match List.find_opt (fun s -> code s = c) all with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Chaos.Site.of_code %d" c)
+end
+
+type site = Site.t =
   | Read_lock_arrive
   | Read_lock_check
   | Read_lock_wait
@@ -20,36 +110,13 @@ type site =
   | Txn_body
   | Dbx_txn
   | Harness_op
+  | Orec_check
+  | Orec_lock
+  | Validate
+  | Wound_check
 
-let site_code = function
-  | Read_lock_arrive -> 0
-  | Read_lock_check -> 1
-  | Read_lock_wait -> 2
-  | Write_lock_acquire -> 3
-  | Write_lock_wait -> 4
-  | Clock_announce -> 5
-  | Conflictor_wait -> 6
-  | Pre_commit -> 7
-  | Mid_rollback -> 8
-  | Mid_writeback -> 9
-  | Txn_body -> 10
-  | Dbx_txn -> 11
-  | Harness_op -> 12
-
-let site_name = function
-  | Read_lock_arrive -> "read-lock-arrive"
-  | Read_lock_check -> "read-lock-check"
-  | Read_lock_wait -> "read-lock-wait"
-  | Write_lock_acquire -> "write-lock-acquire"
-  | Write_lock_wait -> "write-lock-wait"
-  | Clock_announce -> "clock-announce"
-  | Conflictor_wait -> "conflictor-wait"
-  | Pre_commit -> "pre-commit"
-  | Mid_rollback -> "mid-rollback"
-  | Mid_writeback -> "mid-writeback"
-  | Txn_body -> "txn-body"
-  | Dbx_txn -> "dbx-txn"
-  | Harness_op -> "harness-op"
+let site_code = Site.code
+let site_name = Site.name
 
 exception Injected_fault of site
 
@@ -78,8 +145,30 @@ let default =
     victim = -1;
   }
 
+(* All fault classes off: sync points become pure scheduling decisions.
+   The cooperative scheduler runs under this unless the caller layers
+   deterministic faults on top. *)
+let quiet =
+  {
+    default with
+    delay_ppm = 0;
+    yield_ppm = 0;
+    spurious_ppm = 0;
+    exn_ppm = 0;
+    stall_ppm = 0;
+  }
+
 let on = ref false
 let cfg = ref default
+
+(* Cooperative-scheduler hook (lib/sched).  When installed, every sync
+   point is a potential context switch: the hook parks the calling
+   thread until the scheduler hands the baton back.  It runs before the
+   fault draw, so fault decisions land at the moment the thread is
+   scheduled back in. *)
+let hook : (Site.t -> unit) option ref = ref None
+
+let run_hook s = match !hook with None -> () | Some f -> f s
 
 (* Decision classes, also the packed trace encoding. *)
 let class_none = 0
@@ -94,17 +183,24 @@ let counters = Array.init class_count (fun _ -> Atomic.make 0)
 
 let count c = Atomic.incr counters.(c)
 
-(* Per-thread PRNG streams, reseeded on every [enable] so two runs with
-   the same seed see identical streams regardless of earlier history.
-   SplitMix mixing of (seed, tid) keeps the streams uncorrelated. *)
-let rngs =
-  Array.init Util.Tid.max_threads (fun tid ->
-      Util.Sprng.create (tid + 1))
+(* Per-(tid, site) visit ordinals, zeroed on every [enable] so two runs
+   with the same seed see identical decisions regardless of earlier
+   history.  Each slot is written only by its own thread. *)
+let steps = Array.make_matrix Util.Tid.max_threads Site.count 0
 
-let reseed seed =
-  for tid = 0 to Util.Tid.max_threads - 1 do
-    rngs.(tid) <- Util.Sprng.create (seed lxor ((tid + 1) * 0x9E3779B9))
-  done
+let reset_steps () =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) steps
+
+(* Distinct salts keep the decision classes independent draws; salt 1 is
+   the delay-length draw, taken at the *same* step as the decision that
+   fired it so it consumes no ordinal of its own. *)
+let salt_point = 0
+let salt_delay_len = 1
+let salt_spurious = 2
+let salt_exn = 3
+
+let draw ~seed ~tid ~site_code ~step ~salt =
+  Util.Sprng.hash4 seed ((tid lsl 8) lor site_code) step salt
 
 (* Reproducibility traces: per-thread bounded decision logs. *)
 let trace_cap = ref 0
@@ -131,7 +227,7 @@ let reset_counts () = Array.iter (fun c -> Atomic.set c 0) counters
 
 let enable ?(config = default) () =
   cfg := config;
-  reseed config.seed;
+  reset_steps ();
   reset_counts ();
   clear_trace ();
   on := true
@@ -148,13 +244,16 @@ let spin n =
     Domain.cpu_relax ()
   done
 
-(* One draw, classified against cumulative thresholds:
+(* One decision draw, classified against cumulative thresholds:
    [0, stall) -> stall; [stall, stall+delay) -> delay; then yield. *)
 let point s =
+  run_hook s;
   let c = !cfg in
   let tid = Util.Tid.get () in
-  let rng = rngs.(tid) in
-  let r = Util.Sprng.int rng ppm in
+  let sc = Site.code s in
+  let step = steps.(tid).(sc) in
+  steps.(tid).(sc) <- step + 1;
+  let r = draw ~seed:c.seed ~tid ~site_code:sc ~step ~salt:salt_point mod ppm in
   let stall_hi = c.stall_ppm in
   let delay_hi = stall_hi + c.delay_ppm in
   let yield_hi = delay_hi + c.yield_ppm in
@@ -168,7 +267,10 @@ let point s =
   else if r < delay_hi then begin
     record tid ~site:s ~cls:class_delay;
     count class_delay;
-    spin (1 + Util.Sprng.int rng c.delay_max_spins)
+    spin
+      (1
+      + draw ~seed:c.seed ~tid ~site_code:sc ~step ~salt:salt_delay_len
+        mod c.delay_max_spins)
   end
   else if r < yield_hi then begin
     record tid ~site:s ~cls:class_yield;
@@ -178,17 +280,31 @@ let point s =
   else record tid ~site:s ~cls:class_none
 
 let spurious s =
+  run_hook s;
   let c = !cfg in
   let tid = Util.Tid.get () in
-  let fire = Util.Sprng.int rngs.(tid) ppm < c.spurious_ppm in
+  let sc = Site.code s in
+  let step = steps.(tid).(sc) in
+  steps.(tid).(sc) <- step + 1;
+  let fire =
+    draw ~seed:c.seed ~tid ~site_code:sc ~step ~salt:salt_spurious mod ppm
+    < c.spurious_ppm
+  in
   record tid ~site:s ~cls:(if fire then class_spurious else class_none);
   if fire then count class_spurious;
   fire
 
 let inject_exn s =
+  run_hook s;
   let c = !cfg in
   let tid = Util.Tid.get () in
-  let fire = Util.Sprng.int rngs.(tid) ppm < c.exn_ppm in
+  let sc = Site.code s in
+  let step = steps.(tid).(sc) in
+  steps.(tid).(sc) <- step + 1;
+  let fire =
+    draw ~seed:c.seed ~tid ~site_code:sc ~step ~salt:salt_exn mod ppm
+    < c.exn_ppm
+  in
   record tid ~site:s ~cls:(if fire then class_exn else class_none);
   if fire then begin
     count class_exn;

@@ -1,38 +1,98 @@
-(** Seeded fault injection (DESIGN.md §10).
+(** Seeded fault injection (DESIGN.md §10) and the sync-point substrate
+    for deterministic schedule exploration (DESIGN.md §14).
 
     A per-thread, deterministic chaos layer: lock/STM/harness code is
     instrumented with sync points ({!point}, {!spurious}, {!inject_exn})
-    that consult a per-thread SplitMix PRNG and — with configured
-    probabilities — inject bounded delays, OS yields, spurious lock
-    acquisition failures, user-visible exceptions, and multi-millisecond
-    victim stalls (preemption emulation, the delay-at-arbitrary-points
-    adversary of "Lock-Free Locks Revisited").
+    that — with configured probabilities — inject bounded delays, OS
+    yields, spurious lock acquisition failures, user-visible exceptions,
+    and multi-millisecond victim stalls (preemption emulation, the
+    delay-at-arbitrary-points adversary of "Lock-Free Locks Revisited").
+
+    The same sync points double as the context-switch vocabulary of the
+    cooperative scheduler in [lib/sched]: when {!hook} is installed,
+    every sync point first offers the scheduler a chance to park the
+    calling thread and run another.
 
     Disabled cost is one load and a predicted branch: every call site is
     written [if !Chaos.on then Chaos.point S] — the same discipline as
     [Obs.Telemetry.on].
 
-    Determinism: thread [tid]'s decision stream is a pure function of
-    [(seed, tid)] and the sequence of sites that thread visits.  Under a
-    fixed workload interleaving this makes failures reproducible by seed;
-    the per-thread decision {!trace} lets tests assert schedule equality
-    across runs. *)
+    Determinism: every fault decision is a stateless hash of
+    [(seed, tid, site, step)] where [step] counts the calling thread's
+    visits to that site since {!enable}.  A decision never depends on
+    what happened at {e other} sites, so replaying a truncated or shrunk
+    schedule perturbs fault decisions only at sites whose visit counts
+    changed — the property that makes chaos-active replays bit-stable. *)
 
-type site =
-  | Read_lock_arrive  (** before a reader sets its read-indicator bit *)
-  | Read_lock_check  (** between arrive and the write-lock check *)
-  | Read_lock_wait  (** each read-lock wait-loop iteration *)
-  | Write_lock_acquire  (** entry to the write-lock slow path *)
-  | Write_lock_wait  (** each write-lock wait-loop iteration *)
-  | Clock_announce  (** between conflict-clock draw and announcement *)
-  | Conflictor_wait  (** each wait-for-conflictor iteration *)
-  | Pre_commit  (** after the body, before commit processing *)
-  | Mid_rollback  (** between undo-log restore and lock release *)
-  | Mid_writeback  (** redo-log install, all write locks held *)
-  | Txn_body  (** inside a transaction body (user-code faults) *)
-  | Dbx_txn  (** DBx runner, between transactions *)
-  | Harness_op  (** harness driver, between operations *)
+(** Stable sync-point identities.  Codes are the wire format of schedule
+    traces ([test/schedules/*.json]) — append new sites at the end and
+    never renumber. *)
+module Site : sig
+  type t =
+    | Read_lock_arrive  (** before a reader sets its read-indicator bit *)
+    | Read_lock_check  (** between arrive and the write-lock check *)
+    | Read_lock_wait  (** each read-lock wait-loop iteration *)
+    | Write_lock_acquire  (** entry to the write-lock slow path *)
+    | Write_lock_wait  (** each write-lock wait-loop iteration *)
+    | Clock_announce  (** between conflict-clock draw and announcement *)
+    | Conflictor_wait  (** each wait-for-conflictor iteration *)
+    | Pre_commit  (** after the body, before commit processing *)
+    | Mid_rollback  (** between undo-log restore and lock release *)
+    | Mid_writeback  (** redo-log install, all write locks held *)
+    | Txn_body  (** inside a transaction body (user-code faults) *)
+    | Dbx_txn  (** DBx runner, between transactions *)
+    | Harness_op  (** harness driver, between operations *)
+    | Orec_check
+        (** ownership-record/value-consistency windows in optimistic
+            read paths (TL2, TinySTM, TicToc): between the orec pre-load
+            and the value fetch, and between the fetch and the re-check *)
+    | Orec_lock
+        (** immediately before an orec lock CAS (the check-then-lock
+            TOCTOU window of encounter-time and commit-time locking) *)
+    | Validate
+        (** each read-set validation / snapshot-extension step, and each
+            iteration of TicToc's bounded [stable_word] wait loop *)
+    | Wound_check
+        (** wound-wait acquire-loop iterations, immediately before the
+            am-I-wounded check *)
 
+  val code : t -> int
+  (** Stable wire code, [0..count-1].  Never renumbered. *)
+
+  val name : t -> string
+  (** Stable kebab-case name, e.g. ["read-lock-wait"]. *)
+
+  val of_code : int -> t
+  (** Inverse of {!code}.  @raise Invalid_argument on unknown codes. *)
+
+  val all : t list
+  (** Every site, in code order. *)
+
+  val count : int
+end
+
+type site = Site.t =
+  | Read_lock_arrive
+  | Read_lock_check
+  | Read_lock_wait
+  | Write_lock_acquire
+  | Write_lock_wait
+  | Clock_announce
+  | Conflictor_wait
+  | Pre_commit
+  | Mid_rollback
+  | Mid_writeback
+  | Txn_body
+  | Dbx_txn
+  | Harness_op
+  | Orec_check
+  | Orec_lock
+  | Validate
+  | Wound_check
+(** Re-export so instrumentation sites keep writing
+    [Chaos.point Chaos.Pre_commit] without opening {!Site}. *)
+
+val site_code : site -> int
 val site_name : site -> string
 
 exception Injected_fault of site
@@ -40,7 +100,7 @@ exception Injected_fault of site
     body.  Raised only by {!inject_exn}. *)
 
 type config = {
-  seed : int;  (** base seed; thread [tid] uses a [seed]/[tid] mix *)
+  seed : int;  (** base seed; every draw hashes [(seed, tid, site, step)] *)
   delay_ppm : int;  (** P(bounded spin delay) per point, in ppm *)
   delay_max_spins : int;  (** delay length is 1..this many relax spins *)
   yield_ppm : int;  (** P(OS yield) per point *)
@@ -56,20 +116,35 @@ val default : config
     DESIGN.md §10 for the values) — the configuration the bench soak and
     CI chaos-smoke run. *)
 
+val quiet : config
+(** {!default} with every fault class at probability zero.  Sync points
+    still fire (and still drive the scheduler {!hook}) but never delay,
+    yield, fail, or raise — the configuration deterministic exploration
+    runs under unless faults are explicitly layered on. *)
+
 val on : bool ref
-(** The single global on/off flag.  Flip via {!enable}/{!disable} (which
-    also reset per-thread PRNGs); instrumentation sites read it raw. *)
+(** The single global on/off flag.  Flip via {!enable}/{!disable};
+    instrumentation sites read it raw. *)
 
 val enable : ?config:config -> unit -> unit
-(** Turn injection on.  Reseeds every per-thread PRNG from
-    [config.seed], clears counters and traces.  Not meant to be toggled
-    while worker domains are mid-transaction. *)
+(** Turn injection on.  Zeroes every per-(tid, site) step counter,
+    clears counters and traces.  Not meant to be toggled while worker
+    domains are mid-transaction. *)
 
 val disable : unit -> unit
 
 val enabled : unit -> bool
 val config : unit -> config
 val seed : unit -> int
+
+val hook : (Site.t -> unit) option ref
+(** Cooperative-scheduler hook.  When [Some f], every {!point},
+    {!spurious}, and {!inject_exn} calls [f site] {e first} — before the
+    fault draw — giving a central scheduler the chance to park the
+    calling thread and schedule another.  The hook must not raise: it
+    runs inside critical sections (rollback, write-back) where an
+    exception would corrupt protocol state.  Install/clear only from
+    [lib/sched] between worker cohorts. *)
 
 val point : site -> unit
 (** Sync-point hook: may delay, yield, or stall the calling thread.

@@ -1,0 +1,156 @@
+(* Offline history checking (DESIGN.md §14.4).
+
+   Under the cooperative scheduler exactly one worker runs between two
+   scheduler decisions, and no STM in this repository has a sync point
+   between its commit linearization (lock release / write-back install)
+   and [atomic]'s return.  The scheduler step sampled right after
+   [atomic] returns therefore orders commits faithfully per location:
+   two installs of the same location are serialized by its lock, and the
+   later install's end step is strictly larger.  Replaying writers in
+   end order thus reconstructs the exact sequence of committed states.
+
+   Read validation must be window-based, not strict: an optimistic STM
+   (TL2/TinySTM/TicToc) may legally commit after another writer has
+   overwritten one of its read-only locations — its serialization point
+   is the validation step, which lies before its end step.  So:
+
+   - a read of a location the transaction also writes must match the
+     state at the transaction's end.  Every STM here holds that
+     location's lock from read-validation to install, so nothing can
+     legally intervene; a mismatch is precisely a lost update.
+   - the full read set must match the committed state at some point in
+     the transaction's real-time window [start, end].  A value that was
+     never part of any committed state (a dirty read of a rolled-back
+     write) matches no boundary and is flagged. *)
+
+type txn = {
+  slot : int;
+  start : int;
+  order : int;
+  reads : (int * int) list;
+  writes : (int * int) list;
+  restarts : int;
+}
+
+type violation =
+  | Stale_rmw of {
+      txn : int;
+      slot : int;
+      loc : int;
+      expected : int;
+      observed : int;
+    }
+  | Inconsistent_snapshot of { txn : int; slot : int }
+  | Restart_bound of { slot : int; restarts : int; bound : int }
+  | Commit_gap of { gap : int; bound : int }
+
+let explain = function
+  | Stale_rmw { txn; slot; loc; expected; observed } ->
+      Printf.sprintf
+        "lost update: txn #%d (slot %d) wrote loc %d from a read of %d, but \
+         the committed state at its commit point held %d"
+        txn slot loc observed expected
+  | Inconsistent_snapshot { txn; slot } ->
+      Printf.sprintf
+        "inconsistent snapshot: txn #%d (slot %d) read values that match no \
+         committed state within its execution window (dirty or mixed-epoch \
+         read)"
+        txn slot
+  | Restart_bound { slot; restarts; bound } ->
+      Printf.sprintf
+        "starvation bound: slot %d committed only after %d restarts (bound \
+         %d) — the conflict-clock priority failed to make the oldest \
+         transaction win"
+        slot restarts bound
+  | Commit_gap { gap; bound } ->
+      Printf.sprintf
+        "progress: %d consecutive scheduler decisions without a commit \
+         (bound %d)"
+        gap bound
+
+let commit_order txns =
+  List.sort
+    (fun a b ->
+      match compare a.order b.order with 0 -> compare a.slot b.slot | c -> c)
+    txns
+
+let check_serializable ~init txns =
+  let state = Array.copy init in
+  let in_range loc = loc >= 0 && loc < Array.length state in
+  (* Committed boundary states, newest first: (step, snapshot).  A
+     snapshot at step [w] is in effect on [w, next_w). *)
+  let boundaries = ref [ (0, Array.copy init) ] in
+  let matches snap reads =
+    List.for_all (fun (loc, v) -> (not (in_range loc)) || snap.(loc) = v) reads
+  in
+  let rec go i = function
+    | [] -> None
+    | t :: rest -> (
+        let writes_to loc = List.mem_assoc loc t.writes in
+        let rmw_bad =
+          List.find_opt
+            (fun (loc, v) -> in_range loc && writes_to loc && state.(loc) <> v)
+            t.reads
+        in
+        match rmw_bad with
+        | Some (loc, v) ->
+            Some
+              (Stale_rmw
+                 {
+                   txn = i;
+                   slot = t.slot;
+                   loc;
+                   expected = state.(loc);
+                   observed = v;
+                 })
+        | None ->
+            (* Candidate states: every boundary whose effect interval
+               intersects [t.start, t.order].  Newest-first, so stop at
+               the first boundary already in effect at t.start. *)
+            let ok =
+              let rec scan = function
+                | [] -> false
+                | (w, snap) :: older ->
+                    if matches snap t.reads then true
+                    else if w <= t.start then false
+                    else scan older
+              in
+              scan !boundaries
+            in
+            if not ok then
+              Some (Inconsistent_snapshot { txn = i; slot = t.slot })
+            else begin
+              if t.writes <> [] then begin
+                List.iter
+                  (fun (loc, v) -> if in_range loc then state.(loc) <- v)
+                  t.writes;
+                boundaries := (t.order, Array.copy state) :: !boundaries
+              end;
+              go (i + 1) rest
+            end)
+  in
+  go 0 (commit_order txns)
+
+(* The starvation-freedom clock condition, offline: with timestamps
+   retained across restarts, a 2PLSF transaction loses only to
+   already-announced lower-timestamp competitors, of which there are at
+   most [threads - 1].  Only meaningful for the 2PLSF family under pure
+   scheduling (no injected spurious failures). *)
+let check_restart_bound ~bound txns =
+  List.find_map
+    (fun t ->
+      if t.restarts > bound then
+        Some (Restart_bound { slot = t.slot; restarts = t.restarts; bound })
+      else None)
+    txns
+
+(* Offline analog of the watchdog's clock-advance condition: within a
+   schedule-controlled run, long decision spans in which nothing commits
+   indicate livelock.  [total] is the run's decision count. *)
+let check_commit_gap ~bound ~total txns =
+  let orders = List.map (fun t -> t.order) (commit_order txns) in
+  let max_gap, last =
+    List.fold_left (fun (mx, last) o -> (max mx (o - last), o)) (0, 0) orders
+  in
+  let max_gap = max max_gap (total - last) in
+  if max_gap > bound then Some (Commit_gap { gap = max_gap; bound }) else None

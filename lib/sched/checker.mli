@@ -1,0 +1,59 @@
+(** Offline checks over a recorded committed history (DESIGN.md §14.4).
+
+    The scheduler serializes workers, and no STM here has a sync point
+    between commit linearization and [atomic]'s return — so the
+    scheduler step sampled right after [atomic] returns orders commits
+    faithfully per location, and replaying writers in that order
+    reconstructs the exact sequence of committed states.
+
+    Read validation is window-based: an optimistic STM may legally
+    commit after a writer has overwritten one of its read-only
+    locations (its serialization point is its validation step, earlier
+    than its end step), so reads of read-only locations need only match
+    {e some} committed state within the transaction's real-time window.
+    Reads of locations the transaction {e also writes} must match the
+    state at its end exactly — the location's lock is held from
+    validation to install, so a mismatch is precisely a lost update. *)
+
+type txn = {
+  slot : int;  (** committing worker's slot *)
+  start : int;  (** scheduler step before the transaction began *)
+  order : int;  (** scheduler step right after [atomic] returned *)
+  reads : (int * int) list;  (** (location, value observed) *)
+  writes : (int * int) list;  (** (location, value installed) *)
+  restarts : int;  (** attempts aborted before this commit *)
+}
+
+type violation =
+  | Stale_rmw of {
+      txn : int;  (** index in commit order *)
+      slot : int;
+      loc : int;
+      expected : int;  (** committed state at the commit point *)
+      observed : int;  (** what the transaction read and acted on *)
+    }  (** lost update on a read-modify-write location *)
+  | Inconsistent_snapshot of { txn : int; slot : int }
+      (** the read set matches no committed state in the transaction's
+          window — a dirty or mixed-epoch read *)
+  | Restart_bound of { slot : int; restarts : int; bound : int }
+      (** starvation-freedom clock condition violated *)
+  | Commit_gap of { gap : int; bound : int }
+      (** a long decision span with no commit — livelock indicator *)
+
+val explain : violation -> string
+
+val commit_order : txn list -> txn list
+(** Sorted by [(order, slot)] — the recovered commit order. *)
+
+val check_serializable : init:int array -> txn list -> violation option
+(** The window-based strict-serializability check described above.
+    [None] = the committed history is strictly serializable. *)
+
+val check_restart_bound : bound:int -> txn list -> violation option
+(** 2PLSF's bounded-overtaking claim: no committed transaction needed
+    more than [bound] ([threads - 1]) restarts.  Apply only to the
+    2PLSF family under pure scheduling (no injected faults). *)
+
+val check_commit_gap : bound:int -> total:int -> txn list -> violation option
+(** No span of more than [bound] scheduler decisions (out of [total])
+    without a commit. *)

@@ -1,0 +1,134 @@
+(* The exploration driver: iterate seeded strategies over a scenario
+   until a checker violation appears, then shrink and package the
+   failing schedule as a Trace.t. *)
+
+type kind = Round_robin | Random | Pct
+
+let kind_to_string = function
+  | Round_robin -> "round-robin"
+  | Random -> "random"
+  | Pct -> "pct"
+
+let kind_of_string = function
+  | "round-robin" | "rr" -> Round_robin
+  | "random" -> Random
+  | "pct" -> Pct
+  | s -> invalid_arg (Printf.sprintf "unknown strategy %S" s)
+
+type params = {
+  scenario : Trace.scenario;
+  kind : kind;
+  iters : int;
+  depth : int;
+  seed : int;
+  max_steps : int;
+  do_shrink : bool;
+  max_shrink_trials : int;
+}
+
+let default_params =
+  {
+    scenario = Trace.default_scenario;
+    kind = Pct;
+    iters = 200;
+    depth = 3;
+    seed = 1;
+    max_steps = 20_000;
+    do_shrink = true;
+    max_shrink_trials = 300;
+  }
+
+type found = {
+  iteration : int;
+  strategy : string;
+  failure : Scenario.failure;
+  trace : Trace.t;
+  original_len : int;
+  shrink : Shrink.stats option;
+}
+
+type result = { found : found option; iterations : int; total_decisions : int }
+
+let search ?(log = fun (_ : string) -> ()) (p : params) =
+  let total = ref 0 in
+  let found = ref None in
+  let iterations = ref 0 in
+  (* PCT change points are sampled over an expected schedule length;
+     calibrate it from a round-robin probe rather than guessing. *)
+  let horizon = ref 512 in
+  (try
+     for i = 0 to p.iters - 1 do
+       let strat, label =
+         match p.kind with
+         | Round_robin -> (Sched.Round_robin, "round-robin")
+         | Random ->
+             let s = Util.Sprng.hash4 p.seed i 0xA11 1 in
+             (Sched.Random_walk { seed = s }, Printf.sprintf "random iter=%d seed=%d" i p.seed)
+         | Pct ->
+             if i = 0 then (Sched.Round_robin, "round-robin probe")
+             else
+               let s = Util.Sprng.hash4 p.seed i 0x9C7 2 in
+               ( Sched.Pct { seed = s; depth = p.depth; horizon = !horizon },
+                 Printf.sprintf "pct iter=%d seed=%d depth=%d" i p.seed p.depth
+               )
+       in
+       let o = Scenario.run ~strategy:strat ~max_steps:p.max_steps p.scenario in
+       incr iterations;
+       total := !total + o.Scenario.info.Sched.steps;
+       if p.kind = Pct && i = 0 then
+         horizon := max 64 o.Scenario.info.Sched.steps;
+       match o.Scenario.failure with
+       | None -> ()
+       | Some failure ->
+           log
+             (Printf.sprintf "iter %d (%s): %s" i label
+                (Scenario.failure_to_string failure));
+           let decisions = o.Scenario.info.Sched.decisions in
+           let fclass = Scenario.failure_class failure in
+           let oracle d =
+             match
+               Scenario.run
+                 ~strategy:(Sched.Fixed { decisions = d })
+                 ~max_steps:p.max_steps p.scenario
+             with
+             | o2 -> (
+                 match o2.Scenario.failure with
+                 | Some f2 -> String.equal (Scenario.failure_class f2) fclass
+                 | None -> false)
+             | exception _ -> false
+           in
+           let shrunk, stats =
+             if p.do_shrink then
+               let d, s =
+                 Shrink.shrink ~oracle ~max_trials:p.max_shrink_trials
+                   decisions
+               in
+               (d, Some s)
+             else (decisions, None)
+           in
+           let trace =
+             {
+               Trace.version = Trace.version;
+               strategy = label;
+               (* The class, not the rendered message: replays compare
+                  failure classes, and messages embed run-specific
+                  values (sums, txn ids). *)
+               failure = Some fclass;
+               scenario = p.scenario;
+               decisions = shrunk;
+             }
+           in
+           found :=
+             Some
+               {
+                 iteration = i;
+                 strategy = label;
+                 failure;
+                 trace;
+                 original_len = Array.length decisions;
+                 shrink = stats;
+               };
+           raise Exit
+     done
+   with Exit -> ());
+  { found = !found; iterations = !iterations; total_decisions = !total }

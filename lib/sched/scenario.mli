@@ -1,0 +1,60 @@
+(** The exploration workload (DESIGN.md §14.2): a conserved-sum account
+    transfer over a schedulable registry STM, run under the cooperative
+    scheduler with full history recording and post-run checking.
+
+    Determinism contract: with a fixed {!Trace.scenario} and a fixed
+    [strategy], two runs produce identical decision sequences,
+    identical committed histories, and identical {!outcome.history_hash}
+    values.  Worker registration is serialized (slot i claims the i-th
+    tid), op streams are stateless functions of [(wseed, slot)], and
+    every other interleaving choice belongs to [Sched]. *)
+
+exception Induced_abort
+(** Raised by the workload itself ([abort_every]) to exercise rollback
+    with a dirty value in place; always caught by the worker. *)
+
+type failure =
+  | Worker_exn of string  (** a worker escaped with an exception *)
+  | Leaked_locks of int  (** post-quiescence lock sweep found holders *)
+  | Conservation of { expected : int; actual : int }
+      (** the transfer-conserved sum drifted — a lost or phantom update *)
+  | Serializability of Checker.violation
+  | Starvation of Checker.violation
+  | No_progress of string
+      (** step budget exhausted, or a commit-free decision span *)
+
+val failure_class : failure -> string
+(** Short stable tag ("conservation", "serializability", ...) — the
+    equivalence used when shrinking ("still fails the same way"). *)
+
+val failure_to_string : failure -> string
+
+type outcome = {
+  failure : failure option;
+  info : Sched.run_info;
+  history_hash : int;
+      (** hash of (decisions, committed history, final balances) — the
+          bit-identity witness replay tests compare *)
+  commits : int;
+  aborts : int;  (** total restarts across committed transactions *)
+  txns : Checker.txn list;  (** committed history, in commit order *)
+  finals : int array;  (** final per-account balances *)
+}
+
+val supported : string list
+(** Registry STMs whose every potentially-unbounded loop passes a sync
+    point, and which are therefore safe to run under the scheduler. *)
+
+val run :
+  ?strategy:Sched.strategy ->
+  ?max_steps:int ->
+  ?chaos:Twoplsf_chaos.Chaos.config ->
+  Trace.scenario ->
+  outcome
+(** One scheduled run.  [chaos] layers deterministic fault injection on
+    top of scheduling (default: {!Twoplsf_chaos.Chaos.quiet} — pure
+    scheduling).  Installs the default overload policy for the run
+    (deadlines and backoff CMs consult wall-clock time and would break
+    determinism) and restores the caller's policy after.
+    @raise Invalid_argument for unschedulable STMs, bad parameters, or
+    an unknown [bug] name. *)

@@ -1,0 +1,343 @@
+(* Cooperative deterministic scheduler (DESIGN.md §14).
+
+   Worker domains are serialized through the chaos sync points: exactly
+   one worker — the baton holder — runs at any time.  At every sync
+   point the holder consults the strategy; if another slot is picked,
+   the holder wakes it and parks on its own condition variable.
+   Parking blocks (mutex + condvar) rather than spins: the bench hosts
+   are single-core, and a spinning parked thread would starve the
+   holder.
+
+   Every strategy decision is appended to the decision log as
+   (slot, site-code); the log is the schedule trace that [Trace]
+   serializes and [Fixed] replays. *)
+
+module Chaos = Twoplsf_chaos.Chaos
+
+type strategy =
+  | Round_robin
+  | Random_walk of { seed : int }
+  | Pct of { seed : int; depth : int; horizon : int }
+  | Fixed of { decisions : (int * int) array }
+
+type run_info = {
+  decisions : (int * int) array;
+  steps : int;
+  divergences : int;
+  budget_exhausted : bool;
+}
+
+(* Pseudo-site codes for decisions not triggered by a chaos sync point:
+   cohort-complete (first decision) and worker exit.  Chaos site codes
+   are small; these sit far above them and are never renumbered. *)
+let register_code = 98
+let exit_code = 99
+
+let max_slots = Util.Tid.max_threads
+let m = Mutex.create ()
+let conds = Array.init max_slots (fun _ -> Condition.create ())
+let granted = Array.make max_slots false
+let present = Array.make max_slots false
+let tid_slot = Array.make Util.Tid.max_threads (-1)
+
+type state = {
+  mutable active : bool;
+  mutable expected : int;
+  mutable registered : int;
+  mutable live : int;
+  mutable running : int;
+  mutable step : int;
+  mutable max_steps : int;
+  mutable budget_exhausted : bool;
+  mutable divergences : int;
+  mutable decisions_rev : (int * int) list;
+  mutable strat : strategy;
+  mutable rng : Util.Sprng.t;
+  mutable rr_cursor : int;
+  prio : int array;
+  mutable change_points : int array;
+  mutable cp_idx : int;
+  mutable last_choice : int;
+  mutable consec : int;
+  mutable demote_floor : int;
+  mutable fixed : (int * int) array;
+  mutable fixed_pos : int;
+}
+
+let st =
+  {
+    active = false;
+    expected = 0;
+    registered = 0;
+    live = 0;
+    running = -1;
+    step = 0;
+    max_steps = 0;
+    budget_exhausted = false;
+    divergences = 0;
+    decisions_rev = [];
+    strat = Round_robin;
+    rng = Util.Sprng.create 0;
+    rr_cursor = 0;
+    prio = Array.make max_slots 0;
+    change_points = [||];
+    cp_idx = 0;
+    last_choice = -1;
+    consec = 0;
+    demote_floor = 0;
+    fixed = [||];
+    fixed_pos = 0;
+  }
+
+(* ---- strategy decisions (scheduler mutex held) -------------------- *)
+
+let next_present_from k =
+  let rec go i =
+    let s = (k + i) mod max_slots in
+    if present.(s) then s else go (i + 1)
+  in
+  go 0
+
+let pick_round_robin () =
+  let s = next_present_from st.rr_cursor in
+  st.rr_cursor <- (s + 1) mod max_slots;
+  s
+
+let pick_random () =
+  let n = Array.fold_left (fun a p -> if p then a + 1 else a) 0 present in
+  let k = ref (Util.Sprng.int st.rng n) in
+  let chosen = ref (-1) in
+  for s = 0 to max_slots - 1 do
+    if present.(s) && !chosen < 0 then
+      if !k = 0 then chosen := s else decr k
+  done;
+  !chosen
+
+(* PCT (Burckhardt et al.): strict priority scheduling with [depth]
+   priority-change points.  When the global step counter crosses the
+   i-th change point, the thread being descheduled drops to priority i —
+   below every initial priority — so a bug of depth d is found with
+   probability >= 1/(n * k^(d-1)). *)
+(* Strict priority livelocks when the top-priority thread spins in a
+   wait or retry loop that can only progress once a parked thread runs
+   (every such loop passes a sync point, so the spinner is re-picked
+   forever).  Coyote-style fairness fallback: after this many
+   consecutive decisions for one slot, demote it below every other
+   priority so its partners get to run. *)
+let fairness_bound = 128
+
+let pick_pct ~yielder =
+  while
+    st.cp_idx < Array.length st.change_points
+    && st.change_points.(st.cp_idx) <= st.step
+  do
+    if yielder >= 0 then st.prio.(yielder) <- st.cp_idx;
+    st.cp_idx <- st.cp_idx + 1
+  done;
+  if st.consec >= fairness_bound && st.last_choice >= 0 then begin
+    (* The floor only ever decreases, staying below every change-point
+       priority (>= 0) and every initial priority (> depth). *)
+    st.demote_floor <- st.demote_floor - 1;
+    st.prio.(st.last_choice) <- st.demote_floor;
+    st.consec <- 0
+  end;
+  let best = ref (-1) in
+  for s = 0 to max_slots - 1 do
+    if present.(s) && (!best < 0 || st.prio.(s) > st.prio.(!best)) then
+      best := s
+  done;
+  !best
+
+(* Replay: follow the recorded decisions while they apply.  A decision
+   naming an absent slot, or arriving at a different site than recorded,
+   is a divergence (counted, then tolerated); an exhausted schedule
+   falls back to round-robin so truncated/shrunk prefixes still run the
+   workload to completion. *)
+let pick_fixed ~site =
+  if st.fixed_pos < Array.length st.fixed then begin
+    let want, rec_site = st.fixed.(st.fixed_pos) in
+    st.fixed_pos <- st.fixed_pos + 1;
+    if present.(want) then begin
+      if rec_site <> site then st.divergences <- st.divergences + 1;
+      want
+    end
+    else begin
+      st.divergences <- st.divergences + 1;
+      pick_round_robin ()
+    end
+  end
+  else pick_round_robin ()
+
+let choose site =
+  let chosen =
+    match st.strat with
+    | Round_robin -> pick_round_robin ()
+    | Random_walk _ -> pick_random ()
+    | Pct _ -> pick_pct ~yielder:st.running
+    | Fixed _ -> pick_fixed ~site
+  in
+  if chosen = st.last_choice then st.consec <- st.consec + 1
+  else begin
+    st.last_choice <- chosen;
+    st.consec <- 1
+  end;
+  st.decisions_rev <- (chosen, site) :: st.decisions_rev;
+  st.step <- st.step + 1;
+  chosen
+
+(* ---- parking ------------------------------------------------------ *)
+
+let grant slot =
+  granted.(slot) <- true;
+  Condition.signal conds.(slot)
+
+let park slot =
+  while not granted.(slot) do
+    Condition.wait conds.(slot) m
+  done;
+  granted.(slot) <- false
+
+(* Step budget blown: stop making decisions and free every parked
+   worker so the run finishes under real concurrency.  Never raise —
+   sync points sit inside rollback/write-back critical sections. *)
+let exhaust () =
+  st.budget_exhausted <- true;
+  st.active <- false;
+  for s = 0 to max_slots - 1 do
+    if present.(s) && s <> st.running then grant s
+  done
+
+let yield_hook site =
+  let tid = Util.Tid.get () in
+  let slot = tid_slot.(tid) in
+  if slot >= 0 then begin
+    Mutex.lock m;
+    if st.active && st.running = slot then begin
+      if st.step >= st.max_steps then exhaust ()
+      else
+        let next = choose (Chaos.Site.code site) in
+        if next <> slot then begin
+          st.running <- next;
+          grant next;
+          park slot
+        end
+    end;
+    Mutex.unlock m
+  end
+
+(* ---- lifecycle ---------------------------------------------------- *)
+
+let setup ?(max_steps = 200_000) ~threads strat =
+  if threads < 1 || threads > max_slots then
+    invalid_arg "Sched.setup: bad thread count";
+  Mutex.lock m;
+  st.active <- true;
+  st.expected <- threads;
+  st.registered <- 0;
+  st.live <- 0;
+  st.running <- -1;
+  st.step <- 0;
+  st.max_steps <- max_steps;
+  st.budget_exhausted <- false;
+  st.divergences <- 0;
+  st.decisions_rev <- [];
+  st.strat <- strat;
+  st.rr_cursor <- 0;
+  st.cp_idx <- 0;
+  st.last_choice <- -1;
+  st.consec <- 0;
+  st.demote_floor <- 0;
+  Array.fill granted 0 max_slots false;
+  Array.fill present 0 max_slots false;
+  Array.fill tid_slot 0 (Array.length tid_slot) (-1);
+  (match strat with
+  | Round_robin -> ()
+  | Random_walk { seed } -> st.rng <- Util.Sprng.create seed
+  | Pct { seed; depth; horizon } ->
+      st.rng <- Util.Sprng.create seed;
+      let order = Array.init threads Fun.id in
+      for i = threads - 1 downto 1 do
+        let j = Util.Sprng.int st.rng (i + 1) in
+        let t = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- t
+      done;
+      Array.fill st.prio 0 max_slots 0;
+      Array.iteri (fun pos slot -> st.prio.(slot) <- depth + 1 + pos) order;
+      let h = max 1 horizon in
+      st.change_points <-
+        Array.init (max 0 depth) (fun _ -> 1 + Util.Sprng.int st.rng h);
+      Array.sort compare st.change_points
+  | Fixed { decisions } ->
+      st.fixed <- decisions;
+      st.fixed_pos <- 0);
+  Chaos.hook := Some yield_hook;
+  Mutex.unlock m
+
+let register ~slot =
+  if slot < 0 || slot >= max_slots then invalid_arg "Sched.register";
+  let tid = Util.Tid.get () in
+  Mutex.lock m;
+  if st.active then begin
+    tid_slot.(tid) <- slot;
+    present.(slot) <- true;
+    st.registered <- st.registered + 1;
+    st.live <- st.live + 1;
+    if st.registered = st.expected then begin
+      (* Cohort complete: the first strategy decision. *)
+      let next = choose register_code in
+      st.running <- next;
+      if next <> slot then begin
+        grant next;
+        park slot
+      end
+    end
+    else park slot
+  end;
+  Mutex.unlock m
+
+let unregister () =
+  let tid = Util.Tid.get () in
+  Mutex.lock m;
+  let slot = tid_slot.(tid) in
+  if slot >= 0 then begin
+    tid_slot.(tid) <- -1;
+    if present.(slot) then begin
+      present.(slot) <- false;
+      st.live <- st.live - 1
+    end;
+    if st.active && st.running = slot then begin
+      if st.live > 0 then begin
+        if st.step >= st.max_steps then exhaust ()
+        else begin
+          let next = choose exit_code in
+          st.running <- next;
+          grant next
+        end
+      end
+      else st.running <- -1
+    end
+  end;
+  Mutex.unlock m
+
+let finish () =
+  Mutex.lock m;
+  Chaos.hook := None;
+  st.active <- false;
+  let info =
+    {
+      decisions = Array.of_list (List.rev st.decisions_rev);
+      steps = st.step;
+      divergences = st.divergences;
+      budget_exhausted = st.budget_exhausted;
+    }
+  in
+  Mutex.unlock m;
+  info
+
+(* Read by the baton holder between sync points: while the scheduler is
+   active every other worker is parked, so the unlocked read is
+   effectively sequential.  After budget exhaustion the value is only
+   advisory. *)
+let step () = st.step
+let active () = st.active

@@ -1,0 +1,81 @@
+(** Deterministic cooperative scheduler over chaos sync points
+    (DESIGN.md §14.1–.2).
+
+    Installed as the {!Twoplsf_chaos.Chaos.hook}, the scheduler
+    serializes a cohort of worker domains: exactly one — the baton
+    holder — runs at any time, and every chaos sync point is a
+    potential context switch decided by a pluggable strategy.  Each
+    decision is logged as [(slot, site-code)]; the resulting decision
+    sequence {e is} the schedule, replayable via {!strategy.Fixed}.
+
+    Lifecycle (driven by [Scenario.run]): {!setup} before spawning;
+    each worker calls {!register} as its first act (it parks until the
+    cohort is complete) and {!unregister} as its last (from a
+    [Fun.protect] finalizer, so exceptional exits still hand the baton
+    on); the coordinator joins all workers and calls {!finish}.
+
+    Workers must park without spinning (the bench hosts are
+    single-core), so parking uses one mutex and per-slot condition
+    variables.  One cohort at a time: the scheduler is a process-global
+    singleton, like the chaos layer it rides on. *)
+
+type strategy =
+  | Round_robin  (** deterministic rotation — the calibration baseline *)
+  | Random_walk of { seed : int }
+      (** uniform choice among runnable slots at every sync point *)
+  | Pct of { seed : int; depth : int; horizon : int }
+      (** probabilistic concurrency testing: random initial priorities,
+          strict priority scheduling, and [depth] priority-change points
+          sampled uniformly over the first [horizon] steps; finds any
+          bug of depth [d <= depth] with known probability *)
+  | Fixed of { decisions : (int * int) array }
+      (** replay a recorded decision sequence; divergences are counted
+          and tolerated, and an exhausted schedule falls back to
+          round-robin so shrunk prefixes run to completion *)
+
+type run_info = {
+  decisions : (int * int) array;  (** the schedule actually taken *)
+  steps : int;  (** total decisions made *)
+  divergences : int;
+      (** replay decisions that did not apply (absent slot or site
+          mismatch); 0 for non-[Fixed] strategies *)
+  budget_exhausted : bool;
+      (** the step budget was hit; remaining workers were released to
+          free-run and the tail of the run is not schedule-controlled *)
+}
+
+val register_code : int
+(** Pseudo-site code of the cohort-complete (first) decision. *)
+
+val exit_code : int
+(** Pseudo-site code of a worker-exit decision. *)
+
+val setup : ?max_steps:int -> threads:int -> strategy -> unit
+(** Arm the scheduler for a cohort of [threads] workers and install the
+    chaos hook.  Call from the coordinator before spawning; requires
+    chaos to be enabled ([Chaos.enable ~config:Chaos.quiet ()] for pure
+    scheduling).  [max_steps] (default 200_000) bounds the decision
+    count; past it the cohort free-runs (see {!run_info}). *)
+
+val register : slot:int -> unit
+(** Join the cohort as worker [slot].  Parks the caller until every
+    expected worker has registered and the strategy picks it to run.
+    Workers must already hold a dense tid ([Util.Tid.register]). *)
+
+val unregister : unit -> unit
+(** Leave the cohort, handing the baton to the next pick.  Safe to call
+    when not registered (no-op), so finalizers can call it
+    unconditionally. *)
+
+val finish : unit -> run_info
+(** Uninstall the hook and return the run's schedule.  Call after every
+    worker has been joined. *)
+
+val step : unit -> int
+(** The current decision count.  Read by the baton holder (e.g. right
+    after a commit, as the commit-order proxy the checker sorts by);
+    between two sync points no other worker runs, so the value is
+    stable.  Advisory only after budget exhaustion. *)
+
+val active : unit -> bool
+(** True between {!setup} and {!finish} while the budget holds. *)

@@ -1,0 +1,54 @@
+(* Schedule shrinking (DESIGN.md §14.3): prefix bisection, then
+   ddmin-style span removal.  The oracle replays a candidate decision
+   sequence and reports whether the same failure class reproduces;
+   [Sched.Fixed]'s round-robin fallback past the end of a schedule is
+   what makes truncated candidates runnable at all. *)
+
+type stats = { trials : int; from_len : int; to_len : int }
+
+let shrink ~oracle ?(max_trials = 400) decisions =
+  let trials = ref 0 in
+  let try_ d =
+    if !trials >= max_trials then false
+    else begin
+      incr trials;
+      oracle d
+    end
+  in
+  (* Phase 1: shortest failing prefix by bisection.  Invariant: the
+     prefix of length [hi] fails (the full sequence does, by the
+     caller's contract). *)
+  let lo = ref 0 and hi = ref (Array.length decisions) in
+  while !hi - !lo > 1 && !trials < max_trials do
+    let mid = (!lo + !hi) / 2 in
+    if try_ (Array.sub decisions 0 mid) then hi := mid else lo := mid
+  done;
+  let cur = ref (Array.sub decisions 0 !hi) in
+  (* Phase 2: ddmin span removal with granularity doubling.  Only
+     candidates the oracle confirms are adopted, so the result always
+     reproduces the failure. *)
+  let rec ddmin n =
+    let len = Array.length !cur in
+    if len < 2 || n > len || !trials >= max_trials then ()
+    else begin
+      let chunk = (len + n - 1) / n in
+      let rec try_spans i =
+        if i >= len || !trials >= max_trials then None
+        else
+          let e = min len (i + chunk) in
+          let cand =
+            Array.append (Array.sub !cur 0 i) (Array.sub !cur e (len - e))
+          in
+          if Array.length cand < len && try_ cand then Some cand
+          else try_spans (i + chunk)
+      in
+      match try_spans 0 with
+      | Some cand ->
+          cur := cand;
+          ddmin (max 2 (n - 1))
+      | None -> if n < len then ddmin (min len (n * 2))
+    end
+  in
+  ddmin 2;
+  (!cur, { trials = !trials; from_len = Array.length decisions;
+           to_len = Array.length !cur })

@@ -1,0 +1,19 @@
+(** Delta-debugging for schedule traces (DESIGN.md §14.3).
+
+    Two phases: bisect to the shortest failing prefix, then ddmin span
+    removal (try dropping each of [n] chunks; on success restart at
+    coarser granularity, otherwise halve the chunk size).  Every adopted
+    candidate was confirmed by the oracle, so the returned sequence
+    always reproduces the failure. *)
+
+type stats = { trials : int; from_len : int; to_len : int }
+
+val shrink :
+  oracle:((int * int) array -> bool) ->
+  ?max_trials:int ->
+  (int * int) array ->
+  (int * int) array * stats
+(** [shrink ~oracle decisions] minimizes a failing decision sequence.
+    [oracle d] must replay [d] and return whether the {e same class} of
+    failure reproduces; it is called at most [max_trials] (default 400)
+    times.  The caller guarantees the full input fails. *)

@@ -9,6 +9,21 @@ let next t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash4 a b c d =
+  let absorb z x = mix64 (Int64.add (Int64.logxor z (Int64.of_int x)) golden) in
+  let z = mix64 (Int64.add (Int64.of_int a) golden) in
+  let z = absorb z b in
+  let z = absorb z c in
+  let z = absorb z d in
+  Int64.to_int (mix64 z) land max_int
+
 let int t n =
   assert (n > 0);
   let v = Int64.to_int (next t) land max_int in

@@ -22,3 +22,10 @@ val float : t -> float
 
 val bool : t -> bool
 (** Fair coin. *)
+
+val hash4 : int -> int -> int -> int -> int
+(** Stateless SplitMix64-finalizer hash of four integers to a
+    non-negative [int].  Unlike {!next}, the result depends only on the
+    arguments — no stream state — so callers can derive draws that are a
+    pure function of a key tuple (e.g. the chaos layer's
+    [(seed, tid, site, step)] fault decisions). *)
