@@ -52,6 +52,16 @@ let () =
   let metrics_port = ref (-1) in
   let conflict_map = ref false in
   let explore = ref 0 in
+  let crash_soak = ref 0 in
+  let crash_dir = ref "wal-crash-soak" in
+  let crash_rows = ref 64 in
+  let crash_threads = ref 4 in
+  let crash_seconds = ref 1.0 in
+  (* Hidden flags of the re-exec'd crash-soak child. *)
+  let crash_child = ref "" in
+  let crash_site = ref (-1) in
+  let crash_after = ref 0 in
+  let crash_seed = ref 0 in
   let spec =
     [
       ("--figure", Arg.Set_int figure, "N  run only figure N (2-8, 10-12)");
@@ -172,6 +182,30 @@ let () =
         "K  deterministic-schedule smoke: K PCT schedules per schedulable \
          STM on the account-transfer workload (DESIGN.md §14); any checker \
          violation fails the run" );
+      ( "--crash-soak",
+        Arg.Set_int crash_soak,
+        "N  crash-recovery soak: N cycles of durable transfer workload in \
+         a child process killed at a seeded WAL chaos site, then recover + \
+         verify conservation, replay idempotence and LSN order (DESIGN.md \
+         §15; skips figures and bechamel)" );
+      ( "--crash-dir",
+        Arg.Set_string crash_dir,
+        "DIR  WAL directory for --crash-soak (default wal-crash-soak)" );
+      ( "--crash-rows",
+        Arg.Set_int crash_rows,
+        "N  table rows for --crash-soak (default 64)" );
+      ( "--crash-threads",
+        Arg.Set_int crash_threads,
+        "N  worker domains per crash-soak child (default 4)" );
+      ( "--crash-seconds",
+        Arg.Set_float crash_seconds,
+        "S  per-cycle child time budget (default 1.0; the kill usually \
+         fires far earlier)" );
+      (* Internal: the crash-soak child re-exec (not for direct use). *)
+      ("--crash-child", Arg.Set_string crash_child, "DIR  (internal)");
+      ("--crash-site", Arg.Set_int crash_site, "CODE  (internal)");
+      ("--crash-after", Arg.Set_int crash_after, "K  (internal)");
+      ("--crash-seed", Arg.Set_int crash_seed, "N  (internal)");
     ]
   in
   Arg.parse spec
@@ -182,6 +216,15 @@ let () =
     seconds := 0.15
   end;
   ignore (Util.Tid.register ());
+  (* Crash-soak child: run the durable workload until the armed kill
+     fires ([Unix._exit], no cleanup) and touch nothing else — no
+     telemetry, watchdog or artifacts in the throwaway process. *)
+  if !crash_child <> "" then begin
+    Crash_soak.child ~dir:!crash_child ~site_code:!crash_site
+      ~after:!crash_after ~seed:!crash_seed ~threads:!crash_threads
+      ~rows:!crash_rows ~seconds:!crash_seconds;
+    exit 0
+  end;
   let monitoring = !monitor_out <> "" || !monitor_console in
   if !watchdog || monitoring || !metrics_port >= 0 || !conflict_map then
     telemetry := true;
@@ -238,7 +281,14 @@ let () =
   let soak_failures = ref 0 in
   let overload_failures = ref 0 in
   let explore_failures = ref 0 in
-  if !explore > 0 then begin
+  let crash_failures = ref 0 in
+  if !crash_soak > 0 then
+    crash_failures :=
+      Crash_soak.run ~cycles:!crash_soak ~threads:!crash_threads
+        ~rows:!crash_rows ~seconds:!crash_seconds
+        ~seed:(if !chaos_seed <> 0 then !chaos_seed else 0xC4A05)
+        ~dir:!crash_dir
+  else if !explore > 0 then begin
     let module Sc = Twoplsf_sched.Scenario in
     let module Ex = Twoplsf_sched.Explore in
     let module Tr = Twoplsf_sched.Trace in
@@ -375,6 +425,12 @@ let () =
   if !explore_failures > 0 then begin
     Printf.eprintf "explore: %d STM(s) failed a scheduled-run check\n"
       !explore_failures;
+    exit 1
+  end;
+  if !crash_failures > 0 then begin
+    Printf.eprintf
+      "crash soak: %d cycle(s) violated a durability invariant\n"
+      !crash_failures;
     exit 1
   end;
   print_endline "\nDone. See EXPERIMENTS.md for paper-vs-measured notes."

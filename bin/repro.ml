@@ -88,11 +88,9 @@ let map_cmd =
 
 let cc_conv =
   let parse s =
-    match List.assoc_opt s Dbx.Runner.ccs with
-    | Some m -> Ok (s, m)
-    | None ->
-        Error (`Msg (Printf.sprintf "unknown cc %s (one of: %s)" s
-                       (String.concat ", " (List.map fst Dbx.Runner.ccs))))
+    match Dbx.Runner.find_cc s with
+    | Ok m -> Ok (s, m)
+    | Error e -> Error (`Msg (Dbx.Runner.error_message e))
   in
   Arg.conv (parse, fun fmt (s, _) -> Format.pp_print_string fmt s)
 

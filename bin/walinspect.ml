@@ -1,0 +1,177 @@
+(* walinspect — dump and validate a WAL directory (DESIGN.md §15).
+
+     dune exec bin/walinspect.exe -- wal-dir
+     dune exec bin/walinspect.exe -- --verbose wal-dir
+     dune exec bin/walinspect.exe -- --allow-torn wal-dir
+
+   Walks the checkpoint image header and every log segment in order,
+   CRC-checking each record, and reports LSN ranges, per-table record
+   counts and the write/byte volume.  A malformed record is diagnosed
+   exactly as recovery would: a structurally valid record further on
+   means interior corruption; none means a torn tail (the expected
+   signature of a crash mid-append).
+
+   Exit codes: 0 = clean; 1 = torn tail (suppressed by --allow-torn,
+   for validating a log that survived a crash soak); 2 = corruption /
+   invalid image / LSN order violation; 3 = usage or I/O error. *)
+
+open Cmdliner
+module Wal = Twoplsf_wal.Wal
+module Record = Twoplsf_wal.Record
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let buf = Bytes.create len in
+  really_input ic buf 0 len;
+  close_in ic;
+  buf
+
+type scan = {
+  mutable records : int;
+  mutable writes : int;
+  mutable bytes : int;
+  mutable min_lsn : int;
+  mutable max_lsn : int;
+  mutable order_ok : bool;
+  mutable torn : (string * int) option;  (* segment, offset *)
+  mutable corrupt : (string * int * string) option;
+  (* (table_id, count) histogram; tiny domain, assoc list suffices *)
+  mutable tables : (int * int) list;
+}
+
+let bump_table s tid =
+  let n = try List.assoc tid s.tables with Not_found -> 0 in
+  s.tables <- (tid, n + 1) :: List.remove_assoc tid s.tables
+
+let scan_segments ~dir ~verbose =
+  let s =
+    {
+      records = 0;
+      writes = 0;
+      bytes = 0;
+      min_lsn = max_int;
+      max_lsn = 0;
+      order_ok = true;
+      torn = None;
+      corrupt = None;
+      tables = [];
+    }
+  in
+  let segs = Wal.segments ~dir in
+  let nsegs = List.length segs in
+  List.iteri
+    (fun i (seq, path) ->
+      if s.corrupt = None && s.torn = None then begin
+        let data = read_file path in
+        let len = Bytes.length data in
+        let name = Filename.basename path in
+        if verbose then Printf.printf "segment %08d  %d bytes\n" seq len;
+        let pos = ref 0 in
+        let stop = ref false in
+        while (not !stop) && !pos < len do
+          match Record.decode data ~pos:!pos ~avail:(len - !pos) with
+          | Ok (r, size) ->
+              if r.Record.r_lsn <= s.max_lsn then s.order_ok <- false;
+              s.records <- s.records + 1;
+              s.writes <- s.writes + Array.length r.Record.r_writes;
+              s.bytes <- s.bytes + size;
+              if r.Record.r_lsn < s.min_lsn then s.min_lsn <- r.Record.r_lsn;
+              if r.Record.r_lsn > s.max_lsn then s.max_lsn <- r.Record.r_lsn;
+              bump_table s r.Record.r_table_id;
+              if verbose then
+                Printf.printf "  lsn=%-8d writes=%-3d bytes=%d\n"
+                  r.Record.r_lsn
+                  (Array.length r.Record.r_writes)
+                  size;
+              pos := !pos + size
+          | Error diag ->
+              (* Same discrimination as recovery: only the last segment
+                 may legitimately end in a tear, and only when nothing
+                 structurally valid follows the bad bytes. *)
+              let last_segment = i = nsegs - 1 in
+              if
+                last_segment
+                && Record.find_valid data ~pos:(!pos + 1) ~len
+                     ~after_lsn:s.max_lsn
+                   = None
+              then s.torn <- Some (name, !pos)
+              else s.corrupt <- Some (name, !pos, diag);
+              stop := true
+        done
+      end)
+    segs;
+  (nsegs, s)
+
+let run dir allow_torn verbose =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "walinspect: %s: not a directory\n" dir;
+    exit 3
+  end;
+  (match Wal.read_image_info ~dir with
+  | Some i ->
+      Printf.printf
+        "checkpoint image: table=%d rows=%d row_len=%d lsn=[%d, %d]\n"
+        i.Wal.i_table_id i.Wal.i_num_rows i.Wal.i_row_len i.Wal.i_start_lsn
+        i.Wal.i_end_lsn
+  | None ->
+      if Sys.file_exists (Filename.concat dir "checkpoint.img") then begin
+        Printf.printf "checkpoint image: INVALID (bad magic, length or CRC)\n";
+        exit 2
+      end
+      else Printf.printf "checkpoint image: none\n");
+  let nsegs, s = scan_segments ~dir ~verbose in
+  Printf.printf "segments: %d\n" nsegs;
+  if s.records = 0 then Printf.printf "records: 0\n"
+  else begin
+    Printf.printf "records: %d (lsn %d..%d, %d row writes, %d bytes)\n"
+      s.records s.min_lsn s.max_lsn s.writes s.bytes;
+    List.iter
+      (fun (tid, n) -> Printf.printf "  table %d: %d records\n" tid n)
+      (List.sort compare s.tables)
+  end;
+  match (s.corrupt, s.torn) with
+  | Some (seg, off, diag), _ ->
+      Printf.printf "CORRUPT: %s at offset %d: %s (valid records follow or \
+                     segment is not last)\n"
+        seg off diag;
+      exit 2
+  | None, Some (seg, off) ->
+      Printf.printf "torn tail: %s at offset %d (recovery would truncate)\n"
+        seg off;
+      if allow_torn then begin
+        Printf.printf "ok (torn tail allowed)\n";
+        exit 0
+      end
+      else exit 1
+  | None, None ->
+      if not s.order_ok then begin
+        Printf.printf "CORRUPT: LSN order violated across segments\n";
+        exit 2
+      end;
+      Printf.printf "ok\n";
+      exit 0
+
+let () =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"WAL directory (segments + checkpoint image).")
+  in
+  let allow_torn =
+    Arg.(
+      value & flag
+      & info [ "allow-torn" ]
+          ~doc:
+            "Exit 0 on a torn tail (the expected state of a log that \
+             survived a crash); corruption still fails.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Dump every record.")
+  in
+  let doc = "validate and summarize a 2PLSF write-ahead log directory" in
+  exit
+    (Cmd.eval
+       (Cmd.v (Cmd.info "walinspect" ~doc)
+          Term.(const run $ dir $ allow_torn $ verbose)))

@@ -28,6 +28,12 @@ module Site = struct
     | Orec_lock
     | Validate
     | Wound_check
+    | Wal_append
+    | Wal_fsync
+    | Wal_checkpoint
+    | Commit_durable_pre
+    | Commit_durable_mid
+    | Commit_durable_post
 
   let code = function
     | Read_lock_arrive -> 0
@@ -47,6 +53,12 @@ module Site = struct
     | Orec_lock -> 14
     | Validate -> 15
     | Wound_check -> 16
+    | Wal_append -> 17
+    | Wal_fsync -> 18
+    | Wal_checkpoint -> 19
+    | Commit_durable_pre -> 20
+    | Commit_durable_mid -> 21
+    | Commit_durable_post -> 22
 
   let name = function
     | Read_lock_arrive -> "read-lock-arrive"
@@ -66,6 +78,12 @@ module Site = struct
     | Orec_lock -> "orec-lock"
     | Validate -> "validate"
     | Wound_check -> "wound-check"
+    | Wal_append -> "wal-append"
+    | Wal_fsync -> "wal-fsync"
+    | Wal_checkpoint -> "wal-checkpoint"
+    | Commit_durable_pre -> "commit-durable-pre"
+    | Commit_durable_mid -> "commit-durable-mid"
+    | Commit_durable_post -> "commit-durable-post"
 
   let all =
     [
@@ -86,6 +104,12 @@ module Site = struct
       Orec_lock;
       Validate;
       Wound_check;
+      Wal_append;
+      Wal_fsync;
+      Wal_checkpoint;
+      Commit_durable_pre;
+      Commit_durable_mid;
+      Commit_durable_post;
     ]
 
   let count = List.length all
@@ -114,6 +138,12 @@ type site = Site.t =
   | Orec_lock
   | Validate
   | Wound_check
+  | Wal_append
+  | Wal_fsync
+  | Wal_checkpoint
+  | Commit_durable_pre
+  | Commit_durable_mid
+  | Commit_durable_post
 
 let site_code = Site.code
 let site_name = Site.name
@@ -237,6 +267,32 @@ let enabled () = !on
 let config () = !cfg
 let seed () = !cfg.seed
 
+(* Process-abort injection for crash–recovery testing (DESIGN.md §15).
+   [arm_kill ~site ~after:k] makes the k-th process-wide arrival at
+   [site] terminate the process with [Unix._exit kill_exit_code]: no
+   at_exit handlers, no channel flush, no domain teardown — the closest
+   portable stand-in for SIGKILL mid-commit.  Checked at the top of
+   every sync-point entry, before the scheduler hook and the fault
+   draw, so a kill cannot be deflected by another chaos class.  The
+   counter is process-wide (not per-thread): "the k-th time *anyone*
+   reaches this site" is what a seeded crash schedule needs. *)
+let kill_exit_code = 137
+
+let kill_site = ref (-1)
+let kill_left = Atomic.make 0
+
+let arm_kill ~site ~after =
+  if after < 1 then invalid_arg "Chaos.arm_kill: after < 1";
+  Atomic.set kill_left after;
+  kill_site := Site.code site
+
+let disarm_kill () = kill_site := -1
+
+let maybe_kill s =
+  if !kill_site = Site.code s then begin
+    if Atomic.fetch_and_add kill_left (-1) = 1 then Unix._exit kill_exit_code
+  end
+
 let ppm = 1_000_000
 
 let spin n =
@@ -247,6 +303,7 @@ let spin n =
 (* One decision draw, classified against cumulative thresholds:
    [0, stall) -> stall; [stall, stall+delay) -> delay; then yield. *)
 let point s =
+  maybe_kill s;
   run_hook s;
   let c = !cfg in
   let tid = Util.Tid.get () in
@@ -280,6 +337,7 @@ let point s =
   else record tid ~site:s ~cls:class_none
 
 let spurious s =
+  maybe_kill s;
   run_hook s;
   let c = !cfg in
   let tid = Util.Tid.get () in
@@ -295,6 +353,7 @@ let spurious s =
   fire
 
 let inject_exn s =
+  maybe_kill s;
   run_hook s;
   let c = !cfg in
   let tid = Util.Tid.get () in

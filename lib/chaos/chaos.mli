@@ -55,6 +55,20 @@ module Site : sig
     | Wound_check
         (** wound-wait acquire-loop iterations, immediately before the
             am-I-wounded check *)
+    | Wal_append
+        (** inside the WAL commit record build/publish, LSN drawn but
+            record possibly not yet visible to the log writer *)
+    | Wal_fsync  (** log-writer domain, immediately before fsync *)
+    | Wal_checkpoint
+        (** checkpoint writer, between image write and the atomic
+            rename (a kill here leaves only the old checkpoint) *)
+    | Commit_durable_pre
+        (** commit window: write-locks held, before the WAL append *)
+    | Commit_durable_mid
+        (** commit window: WAL record published, locks not yet
+            released *)
+    | Commit_durable_post
+        (** locks released, before the durability wait completes *)
 
   val code : t -> int
   (** Stable wire code, [0..count-1].  Never renumbered. *)
@@ -89,6 +103,12 @@ type site = Site.t =
   | Orec_lock
   | Validate
   | Wound_check
+  | Wal_append
+  | Wal_fsync
+  | Wal_checkpoint
+  | Commit_durable_pre
+  | Commit_durable_mid
+  | Commit_durable_post
 (** Re-export so instrumentation sites keep writing
     [Chaos.point Chaos.Pre_commit] without opening {!Site}. *)
 
@@ -162,6 +182,22 @@ val inject_exn : site -> unit
 (** Raise {!Injected_fault} with probability [exn_ppm].  Only called
     from transaction *bodies* (and other user-code positions) — never
     while protocol-internal invariants are suspended. *)
+
+(** {2 Process-abort injection (crash–recovery testing)} *)
+
+val kill_exit_code : int
+(** 137, i.e. 128+SIGKILL — what a crash-soak parent looks for. *)
+
+val arm_kill : site:site -> after:int -> unit
+(** Arm a one-shot process abort: the [after]-th process-wide arrival at
+    [site] calls [Unix._exit kill_exit_code] — no at_exit handlers, no
+    buffer flush, no domain teardown; the closest portable stand-in for
+    SIGKILL mid-commit.  Fires even when the armed site's fault rates
+    are zero; checked before the scheduler hook and the fault draw.
+    Arm before starting the workload, not concurrently with it.
+    @raise Invalid_argument if [after < 1]. *)
+
+val disarm_kill : unit -> unit
 
 (** {2 Introspection} *)
 

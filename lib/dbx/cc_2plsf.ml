@@ -1,5 +1,7 @@
 module Rwl_sf = Twoplsf.Rwl_sf
 module Obs = Twoplsf_obs
+module Chaos = Twoplsf_chaos.Chaos
+module Wal = Twoplsf_wal.Wal
 
 let name = "2PLSF"
 
@@ -15,7 +17,12 @@ type per_thread = {
   mutable abort_reason : Obs.Events.abort_reason;
 }
 
-type t = { table : Table.t; locks : Rwl_sf.t; threads : per_thread array }
+type t = {
+  table : Table.t;
+  locks : Rwl_sf.t;
+  threads : per_thread array;
+  mutable wal : Wal.t option;  (* durability hook; None = in-memory only *)
+}
 
 let next_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
@@ -36,7 +43,11 @@ let create table =
             undo = Util.Vec.create ~dummy:(-1, Bytes.empty) ();
             abort_reason = Obs.Events.User_restart;
           });
+    wal = None;
   }
+
+let set_wal t w = t.wal <- w
+let wal t = t.wal
 
 let release t p =
   Util.Vec.iter (fun w -> Rwl_sf.write_unlock t.locks p.ctx w) p.wlocks;
@@ -46,7 +57,40 @@ let rollback t p =
   Util.Vec.iter_rev
     (fun (rid, image) -> Bytes.blit image 0 (Table.payload t.table rid) 0 Table.tuple_size)
     p.undo;
+  (* Close every row's checkpoint seqlock window only after the whole
+     pre-image is back in place (a duplicate rid's mark is already even
+     after the first pass — [mark_undo] is parity-guarded). *)
+  (match t.wal with
+  | Some w -> Util.Vec.iter (fun (rid, _) -> Wal.mark_undo w ~rid) p.undo
+  | None -> ());
   release t p
+
+(* Commit finalization under the full write-lock set.  With a WAL
+   attached and at least one write, the commit window is where the LSN
+   is drawn ([Wal.log_commit] under the locks aligns LSN order with the
+   serialization order) — the durability *wait* happens after release,
+   so holding the locks never spans an fsync. *)
+let commit_locked t p =
+  match t.wal with
+  | Some w when not (Util.Vec.is_empty p.undo) ->
+      if !Chaos.on then Chaos.point Chaos.Commit_durable_pre;
+      let lsn =
+        Wal.log_commit w ~tid:p.ctx.tid ~n:(Util.Vec.length p.undo)
+          ~rid:(fun i -> fst (Util.Vec.get p.undo i))
+      in
+      if !Chaos.on then Chaos.point Chaos.Commit_durable_mid;
+      release t p;
+      Rwl_sf.clear_announcement t.locks p.ctx;
+      if !Chaos.on then Chaos.point Chaos.Commit_durable_post;
+      if !Obs.Telemetry.on then begin
+        let t0 = Obs.Telemetry.now_ns () in
+        Wal.wait_durable w ~lsn;
+        Obs.Scope.fsync_wait obs ~tid:p.ctx.tid ~t0_ns:t0
+      end
+      else Wal.wait_durable w ~lsn
+  | _ ->
+      release t p;
+      Rwl_sf.clear_announcement t.locks p.ctx
 
 let attempt t p (txn : Ycsb.txn) =
   Util.Vec.clear p.rlocks;
@@ -79,6 +123,7 @@ let attempt t p (txn : Ycsb.txn) =
           if not held then Util.Vec.push p.wlocks w;
           let payload = Table.payload t.table rid in
           Util.Vec.push p.undo (rid, Bytes.copy payload);
+          (match t.wal with Some w -> Wal.mark_dirty w ~rid | None -> ());
           Cc_intf.write_work payload
         end
         else begin
@@ -90,8 +135,7 @@ let attempt t p (txn : Ycsb.txn) =
     incr i
   done;
   if !ok then begin
-    release t p;
-    Rwl_sf.clear_announcement t.locks p.ctx;
+    commit_locked t p;
     true
   end
   else begin
@@ -127,3 +171,80 @@ let execute t ~tid txn =
     Obs.Scope.txn_commit obs ~tid ~txn_t0_ns:txn_t0 ~att_t0_ns:!att_t0 ();
     !aborts
   end
+
+(* Conserved-transfer transaction for the crash soak (DESIGN.md §15):
+   move [amount] from one row's balance to another's under the same
+   lock/undo/commit machinery as the YCSB path, so the WAL hooks cover
+   it identically and the row-balance sum is a recovery invariant. *)
+
+let attempt_transfer t p ~src_rid ~dst_rid ~amount =
+  Util.Vec.clear p.rlocks;
+  Util.Vec.clear p.wlocks;
+  Util.Vec.clear p.undo;
+  let write rid =
+    let w = Rwl_sf.lock_index t.locks rid in
+    let held = Rwl_sf.holds_write t.locks p.ctx w in
+    if held || Rwl_sf.try_or_wait_write_lock t.locks p.ctx w then begin
+      if not held then Util.Vec.push p.wlocks w;
+      Util.Vec.push p.undo (rid, Bytes.copy (Table.payload t.table rid));
+      (match t.wal with Some wal -> Wal.mark_dirty wal ~rid | None -> ());
+      true
+    end
+    else begin
+      p.abort_reason <-
+        (if p.ctx.preempted then Obs.Events.Priority_preemption
+         else Obs.Events.Write_lock_conflict);
+      false
+    end
+  in
+  if write src_rid && (src_rid = dst_rid || write dst_rid) then begin
+    Table.set_balance t.table src_rid (Table.balance t.table src_rid - amount);
+    Table.set_balance t.table dst_rid (Table.balance t.table dst_rid + amount);
+    commit_locked t p;
+    true
+  end
+  else begin
+    rollback t p;
+    false
+  end
+
+let execute_transfer t ~tid ~src ~dst ~amount =
+  let p = t.threads.(tid) in
+  let src_rid = Table.lookup t.table src and dst_rid = Table.lookup t.table dst in
+  let aborts = ref 0 in
+  if not !Obs.Telemetry.on then begin
+    while not (attempt_transfer t p ~src_rid ~dst_rid ~amount) do
+      incr aborts;
+      Rwl_sf.wait_for_conflictor t.locks p.ctx
+    done;
+    !aborts
+  end
+  else begin
+    let txn_t0 = Obs.Telemetry.now_ns () in
+    let att_t0 = ref txn_t0 in
+    while
+      not
+        (let ok = attempt_transfer t p ~src_rid ~dst_rid ~amount in
+         if not ok then
+           Obs.Scope.txn_abort obs ~tid ~att_t0_ns:!att_t0 p.abort_reason;
+         ok)
+    do
+      incr aborts;
+      Rwl_sf.wait_for_conflictor t.locks p.ctx;
+      att_t0 := Obs.Telemetry.now_ns ()
+    done;
+    Obs.Scope.txn_commit obs ~tid ~txn_t0_ns:txn_t0 ~att_t0_ns:!att_t0 ();
+    !aborts
+  end
+
+(* The table as a WAL store: rows are the live payload bytes, so the
+   commit record's after-images need no extra copy. *)
+let wal_store table =
+  {
+    Wal.table_id = 0;
+    num_rows = Table.num_rows table;
+    row_len = Table.tuple_size;
+    read_row = (fun rid -> Table.payload table rid);
+    write_row =
+      (fun rid b -> Bytes.blit b 0 (Table.payload table rid) 0 Table.tuple_size);
+  }

@@ -4,3 +4,24 @@
     tuple images. *)
 
 include Cc_intf.CC
+
+(** {2 Durability (DESIGN.md §15)} *)
+
+val set_wal : t -> Twoplsf_wal.Wal.t option -> unit
+(** Attach a write-ahead log: commits draw an LSN and publish redo
+    records inside the commit window (write-locks held), then wait for
+    the group-commit ack after releasing.  [None] detaches (in-memory
+    mode, the default).  Set while no transactions are in flight. *)
+
+val wal : t -> Twoplsf_wal.Wal.t option
+
+val wal_store : Table.t -> Twoplsf_wal.Wal.store
+(** The table viewed as a WAL store (live payload bytes, no copies) —
+    pass to [Wal.create] / [Wal.recover]. *)
+
+val execute_transfer : t -> tid:int -> src:int -> dst:int -> amount:int -> int
+(** Run a conserved-transfer transaction (move [amount] between the
+    balances of rows keyed [src] and [dst]) to commit; returns the
+    aborted-attempt count.  The crash-soak workload: the sum of all
+    balances is invariant under any serial order, so it must survive
+    recovery exactly. *)

@@ -57,6 +57,16 @@ let ccs : (string * (module Cc_intf.CC)) list =
     ("DL_DETECT", (module Dl_detect));
   ]
 
+type error = Unknown_cc of { requested : string; known : string list }
+
+let error_message (Unknown_cc { requested; known }) =
+  Printf.sprintf "unknown cc %s (one of: %s)" requested (String.concat ", " known)
+
+let find_cc name =
+  match List.assoc_opt name ccs with
+  | Some cc -> Ok cc
+  | None -> Error (Unknown_cc { requested = name; known = List.map fst ccs })
+
 let set_phase name ~theta ~threads =
   Twoplsf_obs.Monitor.set_phase
     (Printf.sprintf "DBx-%s/theta=%.2f/t=%d" name theta threads)

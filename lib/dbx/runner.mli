@@ -19,6 +19,15 @@ val ccs : (string * (module Cc_intf.CC)) list
 (** The Figure 11 concurrency controls: 2PLSF, TicToc, NO_WAIT, WAIT_DIE,
     DL_DETECT. *)
 
+type error = Unknown_cc of { requested : string; known : string list }
+(** Typed lookup failure — carries the misspelled name and the valid
+    names, so callers render errors without string-matching. *)
+
+val error_message : error -> string
+
+val find_cc : string -> ((module Cc_intf.CC), error) result
+(** Look a concurrency control up by its {!ccs} name. *)
+
 val run :
   cc:(module Cc_intf.CC) ->
   table:Table.t ->

@@ -45,3 +45,8 @@ let lookup t key =
   probe (hash_key key land t.bucket_mask)
 
 let payload t rid = t.payloads.(rid)
+
+(* The conserved-transfer workload (crash soak, DESIGN.md §15) treats
+   bytes 0..7 of each tuple as a signed 64-bit little-endian balance. *)
+let balance t rid = Int64.to_int (Bytes.get_int64_le t.payloads.(rid) 0)
+let set_balance t rid v = Bytes.set_int64_le t.payloads.(rid) 0 (Int64.of_int v)

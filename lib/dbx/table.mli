@@ -22,3 +22,9 @@ val lookup : t -> int -> int
 val payload : t -> int -> Bytes.t
 (** The mutable 100-byte tuple of a row id.  Concurrency control is the
     caller's job. *)
+
+val balance : t -> int -> int
+(** Bytes 0..7 of the tuple as a signed 64-bit little-endian balance —
+    the conserved quantity of the crash-soak transfer workload. *)
+
+val set_balance : t -> int -> int -> unit

@@ -1,0 +1,32 @@
+(* Bridge between the WAL and the observability exporter.  lib/wal must
+   not depend on lib/obs (the log is usable without telemetry), and the
+   exporter cannot depend on the WAL — so the dbx layer, which already
+   sees both, renders [Wal.metrics] as OpenMetrics families and hooks
+   them into every scrape via [Exporter.register_extra]. *)
+
+module Wal = Twoplsf_wal.Wal
+module Exporter = Twoplsf_obs.Exporter
+
+let provider_name = "twoplsf_wal"
+
+(* Monotone counters vs point-in-time gauges: the LSN watermarks and
+   checkpoint position move forward but are positions, not event counts;
+   everything else Wal.metrics reports is a cumulative count. *)
+let metric_type key =
+  let is_suffix suf =
+    let ls = String.length suf and lk = String.length key in
+    lk >= ls && String.sub key (lk - ls) ls = suf
+  in
+  if is_suffix "_lsn" then "gauge" else "counter"
+
+let render_into w b =
+  List.iter
+    (fun (key, v) ->
+      let family = "twoplsf_wal_" ^ key in
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n%s %d\n" family (metric_type key)
+           family v))
+    (Wal.metrics w)
+
+let register w = Exporter.register_extra ~name:provider_name (render_into w)
+let unregister () = Exporter.unregister_extra ~name:provider_name

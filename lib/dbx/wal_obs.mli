@@ -1,0 +1,17 @@
+(** WAL → OpenMetrics bridge (DESIGN.md §15).
+
+    Renders {!Twoplsf_wal.Wal.metrics} as [twoplsf_wal_*] families and
+    registers them as an extra provider on the {!Twoplsf_obs.Exporter},
+    so a scrape of a durable run reports appended records, group-commit
+    batches, fsyncs, bytes, checkpoints and the LSN watermarks alongside
+    the engine's own telemetry.  Lives in dbx because the WAL must not
+    depend on obs and vice versa. *)
+
+val register : Twoplsf_wal.Wal.t -> unit
+(** Hook [twoplsf_wal_*] families for this log into every scrape
+    (replaces any previously registered WAL provider). *)
+
+val unregister : unit -> unit
+
+val render_into : Twoplsf_wal.Wal.t -> Buffer.t -> unit
+(** The raw provider (exposed for tests). *)

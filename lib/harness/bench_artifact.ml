@@ -10,9 +10,12 @@
 
    v1 -> v2: added the "conflicts" section (per-scope conflict
    cartography: hot-lock sketch, abort-provenance matrix, DESIGN.md
-   §13). *)
+   §13).
 
-let schema_version = 2
+   v2 -> v3: added the "wal" section (durability counters — crash-soak
+   cycle/kill/torn-tail/replay summary, DESIGN.md §15). *)
+
+let schema_version = 3
 
 type latency_entry = {
   l_figure : string;
@@ -41,13 +44,17 @@ type overload_entry = {
 let rows : (string * Driver.row) list ref = ref []
 let latency_rows : latency_entry list ref = ref []
 let overload_rows : overload_entry list ref = ref []
+let wal_counters : (string * int) list ref = ref []
 
 let reset () =
   rows := [];
   latency_rows := [];
-  overload_rows := []
+  overload_rows := [];
+  wal_counters := []
 
-let any () = !rows <> [] || !latency_rows <> [] || !overload_rows <> []
+let any () =
+  !rows <> [] || !latency_rows <> [] || !overload_rows <> []
+  || !wal_counters <> []
 
 let record_row ~figure (r : Driver.row) = rows := (figure, r) :: !rows
 
@@ -82,6 +89,8 @@ let record_overload ~stm ~ops ~starved ~deadline_raises ~fallbacks ~leaked
       o_p999_ms = p999_ms;
     }
     :: !overload_rows
+
+let record_wal counters = wal_counters := counters
 
 (* Best-effort commit id: .git/HEAD, following one level of symref. *)
 let commit_id () =
@@ -270,7 +279,7 @@ let host_json () =
 let write ~path ~flags =
   let doc =
     Json.Obj
-      [
+      ([
         ("schema_version", Json.Num (float_of_int schema_version));
         ("created_at_unix", Json.Num (Unix.time ()));
         ("commit", Json.Str (commit_id ()));
@@ -282,6 +291,18 @@ let write ~path ~flags =
         ("overload", Json.Arr (List.rev_map json_of_overload !overload_rows));
         ("conflicts", Json.Arr (json_of_conflicts ()));
       ]
+      @
+      (* Absent (not empty) when the run had no WAL: benchdiff treats a
+         one-sided wal section as a warning-and-skip, like conflicts. *)
+      if !wal_counters = [] then []
+      else
+        [
+          ( "wal",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Json.Num (float_of_int v)))
+                 !wal_counters) );
+        ])
   in
   let oc = open_out path in
   output_string oc (Json.to_string doc);

@@ -41,6 +41,13 @@ val record_overload :
   p999_ms:float ->
   unit
 
+val record_wal : (string * int) list -> unit
+(** Record the durability counters for the "wal" section (schema v3):
+    crash-soak cycle/kill/torn-tail/replay summary or a live run's
+    {!Twoplsf_wal.Wal.metrics}-style counters.  Replaces any previous
+    recording; the section is omitted from the artifact when nothing
+    was recorded. *)
+
 val default_path : unit -> string
 (** First free [BENCH_<n>.json] in the working directory. *)
 

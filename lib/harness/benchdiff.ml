@@ -89,6 +89,20 @@ let latency_metrics =
 let conflict_metrics =
   [ ("top_lock_share", Lower_better); ("asymmetry", Lower_better) ]
 
+(* Durability counters (schema v3): also informational-only.  Crash
+   counts and replay volumes vary with kill timing run to run; a delta
+   explains behaviour, it never gates.  "violations" is deliberately
+   excluded — the crash soak itself already exits non-zero on one. *)
+let wal_metrics =
+  [
+    ("crash_cycles", Higher_better);
+    ("killed", Higher_better);
+    ("clean", Higher_better);
+    ("torn_tails", Lower_better);
+    ("records_seen", Higher_better);
+    ("records_replayed", Higher_better);
+  ]
+
 let index key_of docs =
   List.filter_map
     (fun o ->
@@ -137,7 +151,7 @@ exception Incompatible of string
    known-but-different versions is allowed (fields absent in one side
    are skipped) and reported as a warning; an unknown version is still a
    hard error — guessing at a future schema would gate on garbage. *)
-let known_schema_versions = [ 1; 2 ]
+let known_schema_versions = [ 1; 2; 3 ]
 
 let check_schema doc =
   match Json.int_field doc "schema_version" with
@@ -191,7 +205,34 @@ let compare_docs ~threshold_pct old_doc new_doc =
           :: !warnings;
         ([], [], [])
   in
-  let entries = r1 @ r2 @ r3 @ r4 in
+  (* The wal section (v3) is a single object, not an array: wrap it as
+     a one-row family under the fixed key "wal".  Same one-sided rule as
+     conflicts — warn and skip rather than flooding missing/added. *)
+  let wal_obj doc =
+    match Json.mem doc "wal" with
+    | Some (Json.Obj _ as o) -> Some o
+    | _ -> None
+  in
+  let r5 =
+    match (wal_obj old_doc, wal_obj new_doc) with
+    | Some o, Some n ->
+        let e, _, _ =
+          compare_family ~threshold_pct:infinity
+            ~key_of:(fun _ -> "wal")
+            ~metrics:wal_metrics [ o ] [ n ]
+        in
+        e
+    | None, None -> []
+    | old_has, _ ->
+        warnings :=
+          Printf.sprintf
+            "wal section present only in the %s artifact (schema < 3, or \
+             no durable run): deltas skipped"
+            (if old_has <> None then "old" else "new")
+          :: !warnings;
+        []
+  in
+  let entries = r1 @ r2 @ r3 @ r4 @ r5 in
   {
     entries;
     breaches = List.length (List.filter (fun e -> e.breach) entries);

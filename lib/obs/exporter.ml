@@ -96,6 +96,23 @@ let histogram_family b ~name ~help ~rows =
       rows
   end
 
+(* Extra metric families from layers the exporter must not depend on
+   (the WAL renders twoplsf_wal_* through this).  Keyed by name so
+   re-registration replaces rather than duplicates; a provider that
+   raises is dropped from that scrape only. *)
+let extras_mutex = Mutex.create ()
+let extras : (string * (Buffer.t -> unit)) list ref = ref []
+
+let register_extra ~name f =
+  Mutex.lock extras_mutex;
+  extras := (name, f) :: List.remove_assoc name !extras;
+  Mutex.unlock extras_mutex
+
+let unregister_extra ~name =
+  Mutex.lock extras_mutex;
+  extras := List.remove_assoc name !extras;
+  Mutex.unlock extras_mutex
+
 let render () =
   let b = Buffer.create 8192 in
   let scopes = Scope.all () in
@@ -235,6 +252,10 @@ let render () =
             (escape_label (sanitize_name k))
             v)
         gs);
+  Mutex.lock extras_mutex;
+  let providers = !extras in
+  Mutex.unlock extras_mutex;
+  List.iter (fun (_, f) -> try f b with _ -> ()) (List.rev providers);
   Buffer.add_string b "# EOF\n";
   Buffer.contents b
 
@@ -293,13 +314,21 @@ let port () = match !server with Some s -> Some s.srv_port | None -> None
 let start ~port () =
   if !server = None then begin
     let sock = Unix.socket PF_INET SOCK_STREAM 0 in
-    Unix.setsockopt sock SO_REUSEADDR true;
-    Unix.bind sock (ADDR_INET (Unix.inet_addr_loopback, port));
-    Unix.listen sock 16;
+    (* Reuse-addr so a listener restarted within TIME_WAIT of the last
+       run's connections binds cleanly; close the socket if bind/listen
+       fails (EADDRINUSE must not leak the fd into a long-lived bench
+       process that will retry). *)
     let actual_port =
-      match Unix.getsockname sock with
-      | ADDR_INET (_, p) -> p
-      | _ -> port
+      try
+        Unix.setsockopt sock SO_REUSEADDR true;
+        Unix.bind sock (ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen sock 16;
+        match Unix.getsockname sock with
+        | ADDR_INET (_, p) -> p
+        | _ -> port
+      with e ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        raise e
     in
     let stop_flag = Atomic.make false in
     let dom =

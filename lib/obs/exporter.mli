@@ -30,3 +30,12 @@ val port : unit -> int option
 val render : unit -> string
 (** The OpenMetrics payload a scrape would receive right now (exposed for
     tests and for dumping to a [metrics-*.prom] file). *)
+
+val register_extra : name:string -> (Buffer.t -> unit) -> unit
+(** Register an extra metric-family provider, appended to every render
+    before the [# EOF] terminator.  Layers the exporter must not depend
+    on (the WAL's [twoplsf_wal_*] families) hook in here.  Registering
+    under an existing [name] replaces the provider; one that raises is
+    skipped for that scrape. *)
+
+val unregister_extra : name:string -> unit

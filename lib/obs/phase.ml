@@ -11,6 +11,7 @@
      conflictor-wait post-abort waiting for the conflicting txn to finish
      backoff         contention-management sleeps between attempts
      commit          the commit step of the winning attempt
+     fsync-wait      post-release wait for the WAL group-commit ack
 
    [Wasted_retry] is *not* part of the partition: it re-counts the full
    duration of every attempt that ended in an abort (the work BRAVO-style
@@ -25,9 +26,12 @@ type t =
   | Backoff
   | Commit
   | Wasted_retry
+  | Fsync_wait
 
-let num_phases = 7
+let num_phases = 8
 
+(* Indices are part of the telemetry wire format ordering; new phases
+   append ([Fsync_wait] postdates [Wasted_retry]) and never renumber. *)
 let index = function
   | Body -> 0
   | Read_lock_wait -> 1
@@ -36,6 +40,7 @@ let index = function
   | Backoff -> 4
   | Commit -> 5
   | Wasted_retry -> 6
+  | Fsync_wait -> 7
 
 let label = function
   | Body -> "body"
@@ -45,6 +50,7 @@ let label = function
   | Backoff -> "backoff"
   | Commit -> "commit"
   | Wasted_retry -> "wasted-retry"
+  | Fsync_wait -> "fsync-wait"
 
 let all =
   [
@@ -55,7 +61,16 @@ let all =
     Backoff;
     Commit;
     Wasted_retry;
+    Fsync_wait;
   ]
 
 let partition =
-  [ Body; Read_lock_wait; Write_lock_wait; Conflictor_wait; Backoff; Commit ]
+  [
+    Body;
+    Read_lock_wait;
+    Write_lock_wait;
+    Conflictor_wait;
+    Backoff;
+    Commit;
+    Fsync_wait;
+  ]

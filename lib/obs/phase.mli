@@ -14,6 +14,7 @@ type t =
   | Backoff  (** contention-management sleeps between attempts *)
   | Commit  (** commit step of the winning attempt *)
   | Wasted_retry  (** full duration of attempts that aborted (overlaps) *)
+  | Fsync_wait  (** post-release wait for the WAL group-commit ack *)
 
 val num_phases : int
 val index : t -> int

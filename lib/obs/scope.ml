@@ -43,6 +43,7 @@ type t = {
   trace_lockwait_r : int;
   trace_lockwait_w : int;
   trace_conflictor : int;
+  trace_fsync : int;
 }
 
 let registry_mutex = Mutex.create ()
@@ -79,6 +80,7 @@ let create name =
       trace_lockwait_r = Tracer.intern (name ^ ":lock-wait:r");
       trace_lockwait_w = Tracer.intern (name ^ ":lock-wait:w");
       trace_conflictor = Tracer.intern (name ^ ":conflictor-wait");
+      trace_fsync = Tracer.intern (name ^ ":fsync-wait");
     }
   in
   Mutex.lock registry_mutex;
@@ -148,6 +150,17 @@ let txn_abort sc ?(aborter = -1) ?(lock = -1) ~tid ~att_t0_ns reason =
     Tracer.span ~tid
       ~name:sc.trace_aborts.(Events.abort_reason_index reason)
       ~ts_ns:att_t0_ns ~dur_ns:dur
+
+(* One completed WAL durability wait.  Feeds the phase *and* the
+   per-attempt scratch: the wait happens inside the attempt window (in
+   DBx, between lock release and the commit ack), so [txn_commit]'s
+   Body-by-subtraction must exclude it just like lock waits. *)
+let fsync_wait sc ~tid ~t0_ns =
+  let dur = Telemetry.now_ns () - t0_ns in
+  phase_add sc ~tid Phase.Fsync_wait dur;
+  if dur > 0 then Padded.add sc.att_wait ~tid dur;
+  if !Telemetry.trace_on then
+    Tracer.span ~tid ~name:sc.trace_fsync ~ts_ns:t0_ns ~dur_ns:dur
 
 let conflictor_wait sc ~tid ~t0_ns =
   event sc ~tid Events.Conflictor_wait;

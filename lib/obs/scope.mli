@@ -78,6 +78,12 @@ val txn_abort :
 val conflictor_wait : t -> tid:int -> t0_ns:int -> unit
 (** One post-abort wait-for-conflictor episode (event, phase, span). *)
 
+val fsync_wait : t -> tid:int -> t0_ns:int -> unit
+(** One completed WAL durability wait ({!Phase.Fsync_wait}).  Also feeds
+    the per-attempt wait scratch, so call it only for waits that happen
+    inside the attempt window (before {!txn_commit}); the Body phase
+    then excludes the wait by subtraction, exactly like lock waits. *)
+
 (** {2 Reading} *)
 
 val abort_counts : t -> (string * int) list

@@ -1,0 +1,29 @@
+(* CRC-32 (ISO 3309 / zlib polynomial 0xEDB88320), table-driven.  The
+   build deliberately has no compression/checksum dependency, so the WAL
+   record format (DESIGN.md §15) carries its own implementation.  One
+   256-entry table computed at module init; [update] streams, [bytes]
+   one-shots.  Values are the standard reflected CRC-32, i.e. identical
+   to zlib's crc32() — a record written here can be checked with any
+   off-the-shelf tool. *)
+
+let table =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+let update crc b ~pos ~len =
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let bytes ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  update 0 b ~pos ~len
+
+let string s = bytes (Bytes.unsafe_of_string s)

@@ -1,0 +1,10 @@
+(** CRC-32 (zlib polynomial, reflected) for the WAL record format
+    (DESIGN.md §15).  Matches zlib's [crc32()] bit-for-bit. *)
+
+val update : int -> Bytes.t -> pos:int -> len:int -> int
+(** [update crc b ~pos ~len] extends a running checksum (start from 0). *)
+
+val bytes : ?pos:int -> ?len:int -> Bytes.t -> int
+(** One-shot checksum of a byte range (defaults: the whole buffer). *)
+
+val string : string -> int

@@ -1,0 +1,24 @@
+(** SPSC ring of encoded commit records: worker (producer, inside its
+    commit window) → log-writer domain (consumer).  Plain cell fields
+    published/retired through atomic [tail]/[head] stores, per the OCaml
+    memory model. *)
+
+type t
+
+val create : capacity:int -> t
+(** Capacity is rounded up to a power of two. *)
+
+val capacity : t -> int
+
+val push : t -> lsn:int -> Bytes.t -> unit
+(** Producer: publish one record.  Spins while the ring is full (the
+    consumer drains unconditionally, so the wait is bounded). *)
+
+val peek_lsn : t -> int
+(** Consumer: LSN of the head record, or [-1] when empty.  Lets the
+    writer merge rings in LSN order without consuming. *)
+
+val pop : t -> (int * Bytes.t) option
+(** Consumer: take the head record. *)
+
+val is_empty : t -> bool

@@ -1,0 +1,645 @@
+(* Per-table write-ahead redo log with group commit, fuzzy checkpoints
+   and crash recovery (DESIGN.md §15).
+
+   Shape of the protocol:
+
+   - Workers call [log_commit] inside the 2PLSF commit window (all
+     write-locks held), which draws an LSN with one fetch-and-add,
+     seals a CRC-32 commit record holding full after-images, and
+     publishes it to the worker's SPSC ring.  Because the draw happens
+     while the locks serialize conflicting transactions, LSN order is
+     consistent with the per-row serialization order — the property
+     that makes redo-by-ascending-LSN reconstruct a serializable state.
+
+   - A dedicated log-writer domain merges the rings into a reorder
+     buffer (min-heap on LSN) and flushes only the *contiguous* LSN
+     prefix: one write(2) and one fsync per batch (group commit).
+     Strict LSN-ordered flushing is a correctness requirement, not an
+     optimisation: if transaction B read A's write, B's record must not
+     reach disk while A's is lost, or the recovered image exposes a
+     read from a transaction that never happened.  Flushing the gap-free
+     prefix makes [flushed >= my_lsn] a sound durability ack.  A gap can
+     only stall the writer briefly — draw-to-publish is a handful of
+     instructions inside the commit window, interruptible only by
+     process death (which is the crash being simulated).
+
+   - Fuzzy checkpoints use a per-row seqlock: [marks.(rid)] is a
+     monotone counter, odd while the row has an uncommitted in-place
+     write, bumped even at commit (after [row_lsn.(rid)] is set) or at
+     rollback (after the undo blit).  The counter never returns to a
+     previous value, so the copier's read-mark / copy / re-read-mark
+     protocol cannot accept a torn or dirty row.  The checkpoint image
+     carries each row's committed LSN; recovery loads it as the per-row
+     replay high-water mark, which is what makes replay idempotent and
+     lets the checkpoint truncate every older segment.
+
+   What is durable: effects of transactions whose [wait_durable]
+   returned.  What is not: transactions still in rings or unflushed
+   batches at the kill — they were never acknowledged.  The log carries
+   redo only; there is no undo on disk because in-place writes are only
+   published (marked even / LSN-stamped) at commit. *)
+
+module Chaos = Twoplsf_chaos.Chaos
+
+type sync_mode = Sync_fsync | Sync_none
+
+type config = {
+  dir : string;
+  sync : sync_mode;
+  ring_cap : int;
+  ckpt_every_bytes : int;  (* 0 = manual checkpoints only *)
+}
+
+let config ?(sync = Sync_fsync) ?(ring_cap = 256) ?(ckpt_every_bytes = 0) ~dir () =
+  { dir; sync; ring_cap; ckpt_every_bytes }
+
+type store = {
+  table_id : int;
+  num_rows : int;
+  row_len : int;
+  read_row : int -> Bytes.t;  (* backing bytes of a row, >= row_len long *)
+  write_row : int -> Bytes.t -> unit;
+}
+
+type t = {
+  cfg : config;
+  store : store;
+  next_lsn : int Atomic.t;
+  marks : int Atomic.t array;  (* per-row seqlock counters *)
+  row_lsn : int array;  (* committed LSN per row; written in the odd window *)
+  rings : Ring.t array;  (* one per worker tid *)
+  flushed : int Atomic.t;  (* highest LSN durable on disk *)
+  mu : Mutex.t;
+  cond : Condition.t;
+  stopping : bool Atomic.t;
+  ckpt_req : bool Atomic.t;
+  mutable ckpt_done : int;  (* completed checkpoints; guarded by [mu] *)
+  mutable writer : unit Domain.t option;
+  (* Writer-domain-owned state below (no concurrent access). *)
+  mutable fd : Unix.file_descr;
+  mutable seg_seq : int;
+  mutable seg_bytes : int;
+  mutable bytes_since_ckpt : int;
+  (* Metrics, exported as twoplsf_wal_* families. *)
+  m_records : int Atomic.t;
+  m_batches : int Atomic.t;
+  m_fsyncs : int Atomic.t;
+  m_bytes : int Atomic.t;
+  m_checkpoints : int Atomic.t;
+  m_ckpt_lsn : int Atomic.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* File layout helpers                                                *)
+
+let seg_name seq = Printf.sprintf "%08d.seg" seq
+let seg_path dir seq = Filename.concat dir (seg_name seq)
+let image_path dir = Filename.concat dir "checkpoint.img"
+let image_tmp_path dir = Filename.concat dir "checkpoint.tmp"
+
+let parse_seg name =
+  if String.length name = 12 && Filename.check_suffix name ".seg" then
+    int_of_string_opt (String.sub name 0 8)
+  else None
+
+let segments ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun n ->
+             match parse_seg n with
+             | Some seq -> Some (seq, Filename.concat dir n)
+             | None -> None)
+      |> List.sort compare
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let read_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let len = (Unix.fstat fd).Unix.st_size in
+      let buf = Bytes.create len in
+      let off = ref 0 in
+      while !off < len do
+        let n = Unix.read fd buf !off (len - !off) in
+        if n = 0 then failwith "unexpected EOF";
+        off := !off + n
+      done;
+      buf)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint image codec                                             *)
+
+let image_magic = "2PLSFCKP"
+let image_version = 1
+let image_header_size = 40
+
+let image_size st = image_header_size + (st.num_rows * (8 + st.row_len)) + 4
+let image_row_off st rid = image_header_size + (rid * (8 + st.row_len))
+
+let set_u32 b pos v = Bytes.set_int32_le b pos (Int32.of_int v)
+let get_u32 b pos = Int32.to_int (Bytes.get_int32_le b pos) land 0xFFFFFFFF
+let set_i64 b pos v = Bytes.set_int64_le b pos (Int64.of_int v)
+let get_i64 b pos = Int64.to_int (Bytes.get_int64_le b pos)
+
+type image_info = {
+  i_table_id : int;
+  i_num_rows : int;
+  i_row_len : int;
+  i_start_lsn : int;
+  i_end_lsn : int;
+}
+
+exception Corrupt of string
+
+let corruptf fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* Validate an image buffer: magic, version, geometry, whole-file CRC.
+   Returns the header. *)
+let check_image buf =
+  let len = Bytes.length buf in
+  if len < image_header_size + 4 then corruptf "checkpoint image too short (%d bytes)" len;
+  if Bytes.sub_string buf 0 8 <> image_magic then corruptf "checkpoint image: bad magic";
+  let version = get_u32 buf 8 in
+  if version <> image_version then corruptf "checkpoint image: unknown version %d" version;
+  let info =
+    {
+      i_table_id = get_u32 buf 12;
+      i_num_rows = get_u32 buf 16;
+      i_row_len = get_u32 buf 20;
+      i_start_lsn = get_i64 buf 24;
+      i_end_lsn = get_i64 buf 32;
+    }
+  in
+  let expect = image_header_size + (info.i_num_rows * (8 + info.i_row_len)) + 4 in
+  if len <> expect then
+    corruptf "checkpoint image: size %d does not match geometry (expected %d)" len expect;
+  let stored = get_u32 buf (len - 4) in
+  let crc = Util.Crc32.bytes ~len:(len - 4) buf in
+  if stored <> crc then
+    corruptf "checkpoint image: CRC mismatch (stored 0x%08X, computed 0x%08X)" stored crc;
+  info
+
+let read_image_info ~dir =
+  match read_file (image_path dir) with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
+  | buf -> Some (check_image buf)
+
+(* ------------------------------------------------------------------ *)
+(* Reorder buffer: min-heap on LSN, writer-domain local                *)
+
+module Heap = struct
+  type h = { mutable lsns : int array; mutable bufs : Bytes.t array; mutable len : int }
+
+  let create () = { lsns = Array.make 64 0; bufs = Array.make 64 Bytes.empty; len = 0 }
+
+  let grow h =
+    let cap = Array.length h.lsns * 2 in
+    let lsns = Array.make cap 0 and bufs = Array.make cap Bytes.empty in
+    Array.blit h.lsns 0 lsns 0 h.len;
+    Array.blit h.bufs 0 bufs 0 h.len;
+    h.lsns <- lsns;
+    h.bufs <- bufs
+
+  let swap h i j =
+    let l = h.lsns.(i) and b = h.bufs.(i) in
+    h.lsns.(i) <- h.lsns.(j);
+    h.bufs.(i) <- h.bufs.(j);
+    h.lsns.(j) <- l;
+    h.bufs.(j) <- b
+
+  let add h lsn buf =
+    if h.len = Array.length h.lsns then grow h;
+    h.lsns.(h.len) <- lsn;
+    h.bufs.(h.len) <- buf;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    while !i > 0 && h.lsns.((!i - 1) / 2) > h.lsns.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let min_lsn h = if h.len = 0 then -1 else h.lsns.(0)
+
+  let pop_min h =
+    let buf = h.bufs.(0) in
+    h.len <- h.len - 1;
+    h.lsns.(0) <- h.lsns.(h.len);
+    h.bufs.(0) <- h.bufs.(h.len);
+    h.bufs.(h.len) <- Bytes.empty;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < h.len && h.lsns.(l) < h.lsns.(!s) then s := l;
+      if r < h.len && h.lsns.(r) < h.lsns.(!s) then s := r;
+      if !s = !i then continue := false
+      else begin
+        swap h !i !s;
+        i := !s
+      end
+    done;
+    buf
+
+  let is_empty h = h.len = 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Commit-window API (caller holds the row's write locks)             *)
+
+let mark_dirty t ~rid =
+  let m = Atomic.get t.marks.(rid) in
+  if m land 1 = 0 then Atomic.set t.marks.(rid) (m + 1)
+
+let mark_undo t ~rid =
+  let m = Atomic.get t.marks.(rid) in
+  if m land 1 = 1 then Atomic.set t.marks.(rid) (m + 1)
+
+let log_commit t ~tid ~n ~rid =
+  let st = t.store in
+  let lsn = Atomic.fetch_and_add t.next_lsn 1 in
+  (* Stamp every written row's committed LSN and close its seqlock
+     window.  Duplicate rids in the write list are parity-guarded. *)
+  for i = 0 to n - 1 do
+    let r = rid i in
+    let m = Atomic.get t.marks.(r) in
+    if m land 1 = 1 then begin
+      t.row_lsn.(r) <- lsn;
+      Atomic.set t.marks.(r) (m + 1)
+    end
+  done;
+  let sz = Record.size ~nwrites:n ~row_len:st.row_len in
+  let buf = Bytes.create sz in
+  ignore
+    (Record.encode buf ~pos:0 ~lsn ~table_id:st.table_id ~row_len:st.row_len ~n ~rid
+       ~row:(fun i -> st.read_row (rid i)));
+  (* LSN drawn but not yet published: a kill here leaves a gap that
+     recovery never sees (nothing after it can be contiguous-flushed). *)
+  if !Chaos.on then Chaos.point Chaos.Wal_append;
+  Ring.push t.rings.(tid) ~lsn buf;
+  Atomic.incr t.m_records;
+  lsn
+
+let flushed_lsn t = Atomic.get t.flushed
+
+let wait_durable t ~lsn =
+  if Atomic.get t.flushed < lsn then begin
+    Mutex.lock t.mu;
+    while Atomic.get t.flushed < lsn do
+      Condition.wait t.cond t.mu
+    done;
+    Mutex.unlock t.mu
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Log-writer domain                                                  *)
+
+let open_segment dir seq =
+  Unix.openfile (seg_path dir seq) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+
+let drain_rings t heap =
+  let n = ref 0 in
+  Array.iter
+    (fun ring ->
+      let continue = ref true in
+      while !continue do
+        match Ring.pop ring with
+        | Some (lsn, buf) ->
+            Heap.add heap lsn buf;
+            incr n
+        | None -> continue := false
+      done)
+    t.rings;
+  !n
+
+let rings_empty t = Array.for_all Ring.is_empty t.rings
+
+(* Flush the contiguous LSN prefix of the reorder buffer: one write,
+   one fsync, one broadcast.  Returns true if anything was flushed. *)
+let flush_batch t heap batch =
+  Buffer.clear batch;
+  let expected = ref (Atomic.get t.flushed + 1) in
+  while Heap.min_lsn heap = !expected do
+    Buffer.add_bytes batch (Heap.pop_min heap);
+    incr expected
+  done;
+  if Buffer.length batch = 0 then false
+  else begin
+    let s = Buffer.contents batch in
+    write_all t.fd s;
+    if !Chaos.on then Chaos.point Chaos.Wal_fsync;
+    (match t.cfg.sync with
+    | Sync_fsync ->
+        Unix.fsync t.fd;
+        Atomic.incr t.m_fsyncs
+    | Sync_none -> ());
+    t.seg_bytes <- t.seg_bytes + String.length s;
+    t.bytes_since_ckpt <- t.bytes_since_ckpt + String.length s;
+    Atomic.incr t.m_batches;
+    ignore (Atomic.fetch_and_add t.m_bytes (String.length s));
+    Mutex.lock t.mu;
+    Atomic.set t.flushed (!expected - 1);
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
+    true
+  end
+
+(* Fuzzy checkpoint, run on the writer domain.
+
+   1. Pin [start_lsn := next_lsn] and flush everything below it.  Every
+      record in the current segments now has lsn < start_lsn (flushed
+      records are always below next_lsn by construction).
+   2. Rotate to a fresh segment.
+   3. Seqlock-copy every row (payload + committed row LSN).  The copy
+      happens after step 1's flush, which happens after those records'
+      payload writes — so the image reflects *at least* every effect in
+      the old segments, each stamped with its committed LSN.
+   4. Write image to a temp file, fsync, atomically rename, fsync dir.
+   5. Delete the old segments: all their records have lsn < start_lsn
+      and are provably reflected in the image (with per-row LSNs that
+      make replaying any surviving duplicate a no-op). *)
+let do_checkpoint t heap batch =
+  if !Chaos.on then Chaos.point Chaos.Wal_checkpoint;
+  let st = t.store in
+  let start_lsn = Atomic.get t.next_lsn in
+  while Atomic.get t.flushed < start_lsn - 1 do
+    ignore (drain_rings t heap);
+    if not (flush_batch t heap batch) then Domain.cpu_relax ()
+  done;
+  (match t.cfg.sync with Sync_fsync -> Unix.fsync t.fd | Sync_none -> ());
+  Unix.close t.fd;
+  let old_seq = t.seg_seq in
+  t.seg_seq <- t.seg_seq + 1;
+  t.fd <- open_segment t.cfg.dir t.seg_seq;
+  t.seg_bytes <- 0;
+  fsync_dir t.cfg.dir;
+  let img = Bytes.create (image_size st) in
+  Bytes.blit_string image_magic 0 img 0 8;
+  set_u32 img 8 image_version;
+  set_u32 img 12 st.table_id;
+  set_u32 img 16 st.num_rows;
+  set_u32 img 20 st.row_len;
+  set_i64 img 24 start_lsn;
+  for rid = 0 to st.num_rows - 1 do
+    let off = image_row_off st rid in
+    let rec copy () =
+      let m1 = Atomic.get t.marks.(rid) in
+      if m1 land 1 = 1 then begin
+        Domain.cpu_relax ();
+        copy ()
+      end
+      else begin
+        let lsn = t.row_lsn.(rid) in
+        Bytes.blit (st.read_row rid) 0 img (off + 8) st.row_len;
+        if Atomic.get t.marks.(rid) <> m1 then copy () else set_i64 img off lsn
+      end
+    in
+    copy ()
+  done;
+  set_i64 img 32 (Atomic.get t.next_lsn - 1);
+  let crc = Util.Crc32.bytes ~len:(Bytes.length img - 4) img in
+  set_u32 img (Bytes.length img - 4) crc;
+  let tmp = image_tmp_path t.cfg.dir in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  write_all fd (Bytes.unsafe_to_string img);
+  (match t.cfg.sync with Sync_fsync -> Unix.fsync fd | Sync_none -> ());
+  Unix.close fd;
+  (* A kill in this window leaves checkpoint.tmp plus the old image and
+     all old segments — recovery ignores the tmp and replays as before. *)
+  if !Chaos.on then Chaos.point Chaos.Wal_checkpoint;
+  Unix.rename tmp (image_path t.cfg.dir);
+  fsync_dir t.cfg.dir;
+  for seq = 0 to old_seq do
+    try Sys.remove (seg_path t.cfg.dir seq) with Sys_error _ -> ()
+  done;
+  t.bytes_since_ckpt <- 0;
+  Atomic.incr t.m_checkpoints;
+  Atomic.set t.m_ckpt_lsn (start_lsn - 1);
+  Mutex.lock t.mu;
+  t.ckpt_done <- t.ckpt_done + 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+let writer_loop t =
+  let heap = Heap.create () in
+  let batch = Buffer.create 65536 in
+  let idle = ref 0 in
+  let running = ref true in
+  while !running do
+    ignore (drain_rings t heap);
+    let progressed = flush_batch t heap batch in
+    if Atomic.compare_and_set t.ckpt_req true false then do_checkpoint t heap batch
+    else if
+      t.cfg.ckpt_every_bytes > 0 && t.bytes_since_ckpt >= t.cfg.ckpt_every_bytes
+    then do_checkpoint t heap batch;
+    if progressed then idle := 0
+    else if Atomic.get t.stopping && Heap.is_empty heap && rings_empty t then
+      running := false
+    else begin
+      (* Idle backoff: spin briefly (latency), then yield, then sleep
+         (CPU) — commit acks tolerate ~100 µs of writer doze. *)
+      incr idle;
+      if !idle < 64 then Domain.cpu_relax ()
+      else if !idle < 128 then Thread.yield ()
+      else Unix.sleepf 0.0001
+    end
+  done;
+  (match t.cfg.sync with Sync_fsync -> (try Unix.fsync t.fd with Unix.Unix_error _ -> ()) | Sync_none -> ());
+  Unix.close t.fd;
+  Util.Tid.release ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+
+let create ?(next_lsn = 1) cfg store =
+  if store.row_len > Record.max_row_len then invalid_arg "Wal.create: row_len > 65535";
+  (try Unix.mkdir cfg.dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let seg_seq =
+    match segments ~dir:cfg.dir with [] -> 0 | segs -> fst (List.hd (List.rev segs)) + 1
+  in
+  let t =
+    {
+      cfg;
+      store;
+      next_lsn = Atomic.make next_lsn;
+      marks = Array.init store.num_rows (fun _ -> Atomic.make 0);
+      row_lsn = Array.make store.num_rows 0;
+      rings = Array.init Util.Tid.max_threads (fun _ -> Ring.create ~capacity:cfg.ring_cap);
+      flushed = Atomic.make (next_lsn - 1);
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      stopping = Atomic.make false;
+      ckpt_req = Atomic.make false;
+      ckpt_done = 0;
+      writer = None;
+      fd = open_segment cfg.dir seg_seq;
+      seg_seq;
+      seg_bytes = 0;
+      bytes_since_ckpt = 0;
+      m_records = Atomic.make 0;
+      m_batches = Atomic.make 0;
+      m_fsyncs = Atomic.make 0;
+      m_bytes = Atomic.make 0;
+      m_checkpoints = Atomic.make 0;
+      m_ckpt_lsn = Atomic.make 0;
+    }
+  in
+  fsync_dir cfg.dir;
+  t.writer <- Some (Domain.spawn (fun () -> writer_loop t));
+  t
+
+let checkpoint t =
+  Mutex.lock t.mu;
+  let before = t.ckpt_done in
+  Atomic.set t.ckpt_req true;
+  while t.ckpt_done = before do
+    Condition.wait t.cond t.mu
+  done;
+  Mutex.unlock t.mu
+
+let stop t =
+  Atomic.set t.stopping true;
+  (match t.writer with Some d -> Domain.join d | None -> ());
+  t.writer <- None
+
+let metrics t =
+  [
+    ("records", Atomic.get t.m_records);
+    ("batches", Atomic.get t.m_batches);
+    ("fsyncs", Atomic.get t.m_fsyncs);
+    ("bytes", Atomic.get t.m_bytes);
+    ("checkpoints", Atomic.get t.m_checkpoints);
+    ("flushed_lsn", Atomic.get t.flushed);
+    ("next_lsn", Atomic.get t.next_lsn);
+    ("last_checkpoint_lsn", Atomic.get t.m_ckpt_lsn);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                           *)
+
+type recovery = {
+  r_image_lsn : int;  (** end LSN of the checkpoint image, 0 if none *)
+  r_max_lsn : int;  (** highest LSN seen in the log *)
+  r_next_lsn : int;  (** resume point for [create ~next_lsn] *)
+  r_records : int;
+  r_replayed : int;  (** row writes applied *)
+  r_skipped : int;  (** row writes below the per-row high-water mark *)
+  r_torn_tail : bool;
+  r_truncated_bytes : int;
+  r_segments : int;
+}
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd len;
+      try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let recover ~dir store =
+  (* A leftover checkpoint.tmp is an interrupted checkpoint: the rename
+     never happened, so it is dead weight. *)
+  (try Sys.remove (image_tmp_path dir) with Sys_error _ -> ());
+  let applied = Array.make store.num_rows 0 in
+  let image_lsn = ref 0 in
+  (match read_file (image_path dir) with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      corruptf "checkpoint image unreadable: %s" (Unix.error_message e)
+  | buf ->
+      let info = check_image buf in
+      if info.i_table_id <> store.table_id then
+        corruptf "checkpoint image: table id %d, expected %d" info.i_table_id store.table_id;
+      if info.i_num_rows <> store.num_rows || info.i_row_len <> store.row_len then
+        corruptf "checkpoint image: geometry %dx%d, expected %dx%d" info.i_num_rows
+          info.i_row_len store.num_rows store.row_len;
+      for rid = 0 to store.num_rows - 1 do
+        let off = image_row_off store rid in
+        store.write_row rid (Bytes.sub buf (off + 8) store.row_len);
+        applied.(rid) <- get_i64 buf off
+      done;
+      image_lsn := info.i_end_lsn);
+  let segs = segments ~dir in
+  let nsegs = List.length segs in
+  let max_lsn = ref (Array.fold_left max !image_lsn applied) in
+  let records = ref 0 and replayed = ref 0 and skipped = ref 0 in
+  let torn = ref false and truncated = ref 0 in
+  List.iteri
+    (fun i (_, path) ->
+      let last = i = nsegs - 1 in
+      let buf = read_file path in
+      let len = Bytes.length buf in
+      let off = ref 0 in
+      let continue = ref true in
+      while !continue do
+        if !off = len then continue := false
+        else
+          match Record.decode buf ~pos:!off ~avail:(len - !off) with
+          | Ok (r, sz) ->
+              if r.r_table_id <> store.table_id then
+                corruptf "%s+%d: table id %d, expected %d" path !off r.r_table_id
+                  store.table_id;
+              if r.r_row_len <> store.row_len then
+                corruptf "%s+%d: row length %d, expected %d" path !off r.r_row_len
+                  store.row_len;
+              incr records;
+              Array.iter
+                (fun (rid, img) ->
+                  if rid < 0 || rid >= store.num_rows then
+                    corruptf "%s+%d: row id %d out of range" path !off rid;
+                  if r.r_lsn > applied.(rid) then begin
+                    store.write_row rid img;
+                    applied.(rid) <- r.r_lsn;
+                    incr replayed
+                  end
+                  else incr skipped)
+                r.r_writes;
+              if r.r_lsn > !max_lsn then max_lsn := r.r_lsn;
+              off := !off + sz
+          | Error reason ->
+              if not last then corruptf "%s+%d: %s (interior segment)" path !off reason
+              else begin
+                (* Torn tail or corruption?  A structurally valid record
+                   *after* the bad bytes means the damage is interior —
+                   the writer appends sequentially, so a genuine tear is
+                   always a missing suffix. *)
+                match Record.find_valid buf ~pos:(!off + 1) ~len ~after_lsn:!max_lsn with
+                | Some p ->
+                    corruptf "%s+%d: %s, but a valid record follows at +%d — interior corruption"
+                      path !off reason p
+                | None ->
+                    torn := true;
+                    truncated := len - !off;
+                    truncate_file path !off;
+                    continue := false
+              end
+      done)
+    segs;
+  {
+    r_image_lsn = !image_lsn;
+    r_max_lsn = !max_lsn;
+    r_next_lsn = !max_lsn + 1;
+    r_records = !records;
+    r_replayed = !replayed;
+    r_skipped = !skipped;
+    r_torn_tail = !torn;
+    r_truncated_bytes = !truncated;
+    r_segments = nsegs;
+  }

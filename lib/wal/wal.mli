@@ -1,0 +1,136 @@
+(** Per-table write-ahead redo log: group commit, fuzzy checkpoints,
+    crash recovery (DESIGN.md §15).
+
+    Workers append CRC-sealed, LSN-stamped commit records from inside
+    the 2PLSF commit window (all write-locks held, so LSN order agrees
+    with per-row serialization order); a dedicated log-writer domain
+    merges per-worker rings and flushes the contiguous LSN prefix with
+    coalesced fsyncs.  [flushed_lsn >= my_lsn] is therefore a sound
+    durability acknowledgement: nothing with a smaller LSN can be
+    missing from the log.
+
+    Durability contract: a transaction is durable iff {!wait_durable}
+    returned for its LSN.  Transactions still buffered at a crash were
+    never acknowledged and may be lost — never partially applied. *)
+
+type sync_mode =
+  | Sync_fsync  (** fsync every batch: the durability ack means disk *)
+  | Sync_none  (** no fsync (tests / measuring the logging overhead alone) *)
+
+type config = {
+  dir : string;
+  sync : sync_mode;
+  ring_cap : int;  (** per-worker ring capacity (rounded up to 2^k) *)
+  ckpt_every_bytes : int;  (** auto-checkpoint threshold; 0 = manual only *)
+}
+
+val config :
+  ?sync:sync_mode -> ?ring_cap:int -> ?ckpt_every_bytes:int -> dir:string -> unit -> config
+
+(** How the WAL reads and writes the table it protects.  [read_row]
+    returns the live backing bytes of a row (no copy); [write_row]
+    overwrites a row (recovery only). *)
+type store = {
+  table_id : int;
+  num_rows : int;
+  row_len : int;
+  read_row : int -> Bytes.t;
+  write_row : int -> Bytes.t -> unit;
+}
+
+type t
+
+val create : ?next_lsn:int -> config -> store -> t
+(** Open the log directory (creating it if needed), start a fresh
+    segment, and spawn the log-writer domain.  After a recovery, pass
+    [~next_lsn:(r.r_next_lsn)] so LSNs keep ascending. *)
+
+val stop : t -> unit
+(** Drain everything, final fsync, join the writer domain.  Call after
+    all workers have finished (a drawn-but-unpublished LSN would stall
+    the drain). *)
+
+(** {2 Commit-window API — caller holds the row's write lock} *)
+
+val mark_dirty : t -> rid:int -> unit
+(** Open the row's seqlock window (before the first in-place write).
+    Idempotent within a transaction. *)
+
+val mark_undo : t -> rid:int -> unit
+(** Close the window after a rollback has restored the pre-image.
+    Idempotent; must run {e after} the undo blit. *)
+
+val log_commit : t -> tid:int -> n:int -> rid:(int -> int) -> int
+(** Draw the commit LSN, stamp every written row ([rid 0..n-1]) with
+    it, seal the redo record (full after-images read through the
+    store), and publish it to worker [tid]'s ring.  Returns the LSN.
+    Must run while all the transaction's write locks are held: the
+    fetch-and-add under the locks is what aligns LSN order with the
+    serialization order. *)
+
+val wait_durable : t -> lsn:int -> unit
+(** Block until the record with [lsn] (and every record below it) is
+    flushed.  Call {e after} releasing locks — holding locks across an
+    fsync would serialize the whole commit pipeline. *)
+
+val flushed_lsn : t -> int
+
+val checkpoint : t -> unit
+(** Request a fuzzy checkpoint and wait for it to complete: rotate the
+    segment, seqlock-copy every row with its committed LSN, atomically
+    install the image, delete the old segments.  Concurrent commits are
+    not blocked.  Must not be called after {!stop}. *)
+
+val metrics : t -> (string * int) list
+(** Monotone counters and gauges for the [twoplsf_wal_*] OpenMetrics
+    families: records, batches, fsyncs, bytes, checkpoints,
+    flushed_lsn, next_lsn, last_checkpoint_lsn. *)
+
+(** {2 Recovery} *)
+
+exception Corrupt of string
+(** Raised (by {!recover} and the image readers) on damage that cannot
+    be a torn tail: checksum or geometry violations in the checkpoint
+    image, a bad record in a non-final segment, or a bad record with
+    valid records after it (interior bit corruption). *)
+
+type recovery = {
+  r_image_lsn : int;  (** end LSN of the checkpoint image, 0 if none *)
+  r_max_lsn : int;  (** highest LSN seen in the log *)
+  r_next_lsn : int;  (** resume point for [create ~next_lsn] *)
+  r_records : int;
+  r_replayed : int;  (** row writes applied *)
+  r_skipped : int;  (** row writes at or below the per-row high-water mark *)
+  r_torn_tail : bool;
+  r_truncated_bytes : int;
+  r_segments : int;
+}
+
+val recover : dir:string -> store -> recovery
+(** Rebuild the table: load the checkpoint image (CRC-validated) as the
+    base and per-row replay high-water marks, then replay every segment
+    in order, applying a row write iff its LSN exceeds the row's mark —
+    replay is idempotent, so recovering twice equals recovering once.
+    A CRC/length mismatch at the tail of the {e final} segment with no
+    valid record after it is a torn tail: the file is truncated at the
+    last good record and recovery succeeds.  Anything else raises
+    {!Corrupt}.  An interrupted checkpoint ([checkpoint.tmp]) is
+    discarded. *)
+
+(** {2 Introspection (walinspect)} *)
+
+val segments : dir:string -> (int * string) list
+(** Segment files in the directory, [(sequence, path)], ascending. *)
+
+type image_info = {
+  i_table_id : int;
+  i_num_rows : int;
+  i_row_len : int;
+  i_start_lsn : int;
+  i_end_lsn : int;
+}
+
+val read_image_info : dir:string -> image_info option
+(** Validate the checkpoint image (magic, version, geometry, CRC) and
+    return its header; [None] if no image exists.
+    @raise Corrupt on a damaged image. *)

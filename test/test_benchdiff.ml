@@ -179,6 +179,56 @@ let test_conflict_deltas_never_gate () =
   check Alcotest.int "a 4.5x hotspot concentration jump never breaches" 0
     r.B.breaches
 
+(* v3: the wal durability counters are warn-only, exactly like the
+   conflict cartography — kill timing makes them vary run to run. *)
+let wal_section ?(replayed = 100.) () =
+  J.Obj
+    [
+      ("crash_cycles", J.Num 50.);
+      ("killed", J.Num 48.);
+      ("clean", J.Num 2.);
+      ("torn_tails", J.Num 1.);
+      ("records_seen", J.Num 1000.);
+      ("records_replayed", J.Num replayed);
+      ("violations", J.Num 0.);
+    ]
+
+let doc_v3 ?wal rows =
+  J.Obj
+    ([
+       ("schema_version", J.Num 3.);
+       ("rows", J.Arr rows);
+       ("latency_rows", J.Arr []);
+       ("overload", J.Arr []);
+       ("conflicts", J.Arr []);
+     ]
+    @ match wal with None -> [] | Some w -> [ ("wal", w) ])
+
+let test_wal_deltas_never_gate () =
+  let rows = [ row ~throughput:1000. () ] in
+  let old_doc = doc_v3 ~wal:(wal_section ~replayed:1000. ()) rows in
+  let new_doc = doc_v3 ~wal:(wal_section ~replayed:10. ()) rows in
+  let r = B.compare_docs ~threshold_pct:10. old_doc new_doc in
+  let wal_entries = List.filter (fun e -> e.B.key = "wal") r.B.entries in
+  check Alcotest.int "wal metrics compared" 6 (List.length wal_entries);
+  check Alcotest.int "a 100x replay-volume drop never breaches" 0 r.B.breaches;
+  check (Alcotest.list Alcotest.string) "no warnings when both sides have wal"
+    [] r.B.warnings
+
+let test_wal_one_sided_warns () =
+  let rows = [ row ~throughput:1000. () ] in
+  (* a v2 baseline against a v3 artifact with a wal section: schema skew
+     and the one-sided section each warn, nothing gates *)
+  let r =
+    B.compare_docs ~threshold_pct:10. (doc_v2 rows)
+      (doc_v3 ~wal:(wal_section ()) rows)
+  in
+  check Alcotest.int "no breach" 0 r.B.breaches;
+  check Alcotest.int "schema skew + one-sided wal warned" 2
+    (List.length r.B.warnings);
+  check Alcotest.int "wal family skipped" 0
+    (List.length (List.filter (fun e -> e.B.key = "wal") r.B.entries))
+
 (* ---- end-to-end through the artifact writer ---- *)
 
 let test_artifact_write_and_selfdiff () =
@@ -216,6 +266,7 @@ let test_artifact_write_and_selfdiff () =
     };
   A.record_overload ~stm:"2PLSF" ~ops:500 ~starved:0 ~deadline_raises:1
     ~fallbacks:2 ~leaked:0 ~sum_ok:true ~p50_ms:0.5 ~p99_ms:2.0 ~p999_ms:8.0;
+  A.record_wal [ ("crash_cycles", 5); ("killed", 4); ("records_replayed", 77) ];
   let path = Filename.temp_file "bench_artifact" ".json" in
   A.write ~path ~flags:"--quick --telemetry";
   Fun.protect
@@ -239,9 +290,16 @@ let test_artifact_write_and_selfdiff () =
       | Some f when Float.abs (f -. 0.05) <= 1e-9 -> ()
       | Some f -> Alcotest.failf "wasted_retry_frac %.4f, expected 0.05" f
       | None -> Alcotest.fail "missing wasted_retry_frac");
+      (match J.mem d "wal" with
+      | Some w ->
+          check (Alcotest.option Alcotest.int) "wal crash_cycles" (Some 5)
+            (J.int_field w "crash_cycles")
+      | None -> Alcotest.fail "missing wal section");
       let self = B.compare_docs ~threshold_pct:10. d d in
       check Alcotest.int "self-diff has no breaches" 0 self.B.breaches;
       if self.B.entries = [] then Alcotest.fail "self-diff compared nothing";
+      if not (List.exists (fun e -> e.B.key = "wal") self.B.entries) then
+        Alcotest.fail "self-diff skipped the wal family";
       A.reset ())
 
 let () =
@@ -262,6 +320,10 @@ let () =
             test_cross_schema_warns;
           Alcotest.test_case "conflict deltas never gate" `Quick
             test_conflict_deltas_never_gate;
+          Alcotest.test_case "wal deltas never gate" `Quick
+            test_wal_deltas_never_gate;
+          Alcotest.test_case "one-sided wal section warns" `Quick
+            test_wal_one_sided_warns;
         ] );
       ( "artifact",
         [

@@ -369,6 +369,62 @@ let test_exporter_http () =
       if not (contains nf "404") then Alcotest.fail "expected 404");
   check Alcotest.bool "stopped" false (Obs.Exporter.running ())
 
+let test_exporter_extras () =
+  Obs.Exporter.register_extra ~name:"t1" (fun b ->
+      Buffer.add_string b "# TYPE extra_one counter\nextra_one 7\n");
+  (* replace-by-name, not append *)
+  Obs.Exporter.register_extra ~name:"t1" (fun b ->
+      Buffer.add_string b "# TYPE extra_one counter\nextra_one 8\n");
+  (* a provider that raises is skipped, never kills the scrape *)
+  Obs.Exporter.register_extra ~name:"t2" (fun _ -> failwith "boom");
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Exporter.unregister_extra ~name:"t1";
+      Obs.Exporter.unregister_extra ~name:"t2")
+    (fun () ->
+      let body = Obs.Exporter.render () in
+      if not (contains body "extra_one 8") then
+        Alcotest.fail "extra provider missing from render";
+      if contains body "extra_one 7" then
+        Alcotest.fail "replaced provider still rendered");
+  let body = Obs.Exporter.render () in
+  if contains body "extra_one" then
+    Alcotest.fail "unregistered provider still rendered"
+
+(* The PR-9 fd-leak fix: a failed bind (port already taken) must close
+   the listener socket so an immediate retry on a free port works. *)
+let test_exporter_bind_failure_no_leak () =
+  let blocker = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close blocker with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind blocker (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen blocker 1;
+      let taken =
+        match Unix.getsockname blocker with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> Alcotest.fail "no port"
+      in
+      (match Obs.Exporter.start ~port:taken () with
+      | _ -> Alcotest.fail "bind on a taken port succeeded"
+      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ());
+      check Alcotest.bool "not running after failed bind" false
+        (Obs.Exporter.running ());
+      (* the real regression check: repeated failed starts must not
+         exhaust fds, and a good port must still come up *)
+      for _ = 1 to 64 do
+        match Obs.Exporter.start ~port:taken () with
+        | _ -> Alcotest.fail "bind on a taken port succeeded"
+        | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ()
+      done;
+      let port = Obs.Exporter.start ~port:0 () in
+      Fun.protect
+        ~finally:(fun () -> Obs.Exporter.stop ())
+        (fun () ->
+          if port = 0 then Alcotest.fail "no ephemeral port";
+          check Alcotest.bool "running after recovery" true
+            (Obs.Exporter.running ())))
+
 (* ---- Chrome trace JSON ---- *)
 
 (* A hand-rolled mini JSON parser (no JSON library in the build
@@ -834,6 +890,9 @@ let () =
         [
           Alcotest.test_case "OpenMetrics render" `Quick test_exporter_render;
           Alcotest.test_case "HTTP scrape" `Quick test_exporter_http;
+          Alcotest.test_case "extra providers" `Quick test_exporter_extras;
+          Alcotest.test_case "failed bind leaks nothing" `Quick
+            test_exporter_bind_failure_no_leak;
         ] );
       ( "trace",
         [ Alcotest.test_case "chrome JSON export" `Quick test_trace_export ] );

@@ -1,0 +1,429 @@
+(* Tests for the durability layer (DESIGN.md §15): the CRC-32 codec,
+   the record format, the SPSC ring, and the WAL end to end through the
+   DBx engine — durable acks, replay idempotence, torn-tail truncation,
+   corruption refusal, and the fuzzy-checkpoint equivalence property
+   (checkpoint + log suffix recovers the same image as the full log)
+   over seeded transfer histories. *)
+
+module Wal = Twoplsf_wal.Wal
+module Record = Twoplsf_wal.Record
+module Ring = Twoplsf_wal.Ring
+module Crc32 = Util.Crc32
+
+let check = Alcotest.check
+let () = ignore (Util.Tid.register ())
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "twoplsf_wal_test_%d_%d" (Unix.getpid ()) !dir_counter)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ---- CRC-32 ---- *)
+
+let test_crc32 () =
+  (* the standard zlib check value *)
+  check Alcotest.int "123456789" 0xCBF43926 (Crc32.string "123456789");
+  check Alcotest.int "empty" 0 (Crc32.string "");
+  let data = Bytes.of_string "the quick brown fox jumps over the lazy dog" in
+  let whole = Crc32.bytes data in
+  let split =
+    let c = Crc32.update 0 data ~pos:0 ~len:17 in
+    Crc32.update c data ~pos:17 ~len:(Bytes.length data - 17)
+  in
+  check Alcotest.int "incremental = one-shot" whole split
+
+(* ---- record codec ---- *)
+
+let encode_one ~lsn ~rids ~rows ~row_len =
+  let n = Array.length rids in
+  let buf = Bytes.create (Record.size ~nwrites:n ~row_len) in
+  let wrote =
+    Record.encode buf ~pos:0 ~lsn ~table_id:3 ~row_len ~n
+      ~rid:(fun i -> rids.(i))
+      ~row:(fun i -> rows.(i))
+  in
+  check Alcotest.int "encode size" (Bytes.length buf) wrote;
+  buf
+
+let test_record_roundtrip () =
+  let row_len = 16 in
+  let rids = [| 7; 42; 7 |] in
+  let rows = Array.init 3 (fun i -> Bytes.make row_len (Char.chr (65 + i))) in
+  let buf = encode_one ~lsn:99 ~rids ~rows ~row_len in
+  match Record.decode buf ~pos:0 ~avail:(Bytes.length buf) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok (r, size) ->
+      check Alcotest.int "size" (Bytes.length buf) size;
+      check Alcotest.int "lsn" 99 r.Record.r_lsn;
+      check Alcotest.int "table" 3 r.Record.r_table_id;
+      check Alcotest.int "row_len" row_len r.Record.r_row_len;
+      check Alcotest.int "writes" 3 (Array.length r.Record.r_writes);
+      Array.iteri
+        (fun i (rid, img) ->
+          check Alcotest.int "rid" rids.(i) rid;
+          check Alcotest.bool "image" true (Bytes.equal img rows.(i)))
+        r.Record.r_writes
+
+let test_record_rejects_damage () =
+  let row_len = 8 in
+  let buf =
+    encode_one ~lsn:5 ~rids:[| 1 |]
+      ~rows:[| Bytes.make row_len 'x' |]
+      ~row_len
+  in
+  (* truncated: every prefix shorter than the record must fail cleanly *)
+  for avail = 0 to Bytes.length buf - 1 do
+    match Record.decode buf ~pos:0 ~avail with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted truncated record (avail=%d)" avail
+  done;
+  (* any single flipped bit must break the CRC (or the structure) *)
+  for byte = 0 to Bytes.length buf - 1 do
+    let copy = Bytes.copy buf in
+    Bytes.set copy byte (Char.chr (Char.code (Bytes.get copy byte) lxor 0x10));
+    match Record.decode copy ~pos:0 ~avail:(Bytes.length copy) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted bit flip at byte %d" byte
+  done;
+  (* find_valid sees through garbage to a later valid record *)
+  let tail =
+    encode_one ~lsn:6 ~rids:[| 2 |] ~rows:[| Bytes.make row_len 'y' |] ~row_len
+  in
+  let glued = Bytes.concat Bytes.empty [ Bytes.make 13 '\xff'; tail ] in
+  (match
+     Record.find_valid glued ~pos:0 ~len:(Bytes.length glued) ~after_lsn:5
+   with
+  | Some 13 -> ()
+  | Some o -> Alcotest.failf "find_valid at %d, expected 13" o
+  | None -> Alcotest.fail "find_valid missed the valid record");
+  (* ... but not to one at or below the LSN high-water mark *)
+  match
+    Record.find_valid glued ~pos:0 ~len:(Bytes.length glued) ~after_lsn:6
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "find_valid accepted a stale LSN"
+
+(* ---- SPSC ring ---- *)
+
+let test_ring () =
+  let r = Ring.create ~capacity:5 in
+  check Alcotest.int "capacity rounded to 2^k" 8 (Ring.capacity r);
+  check Alcotest.bool "fresh ring empty" true (Ring.is_empty r);
+  check Alcotest.int "peek on empty" (-1) (Ring.peek_lsn r);
+  for i = 1 to 8 do
+    Ring.push r ~lsn:i (Bytes.make 4 (Char.chr i))
+  done;
+  check Alcotest.int "peek sees head" 1 (Ring.peek_lsn r);
+  for i = 1 to 8 do
+    match Ring.pop r with
+    | Some (lsn, b) ->
+        check Alcotest.int "fifo lsn" i lsn;
+        check Alcotest.int "payload" i (Char.code (Bytes.get b 0))
+    | None -> Alcotest.fail "pop on non-empty"
+  done;
+  check Alcotest.bool "drained" true (Ring.is_empty r)
+
+(* ---- WAL end to end through the DBx engine ---- *)
+
+let rows = 32
+let init_balance = 1_000
+
+let make_table () =
+  let tbl = Dbx.Table.create ~num_rows:rows in
+  for rid = 0 to rows - 1 do
+    Dbx.Table.set_balance tbl rid init_balance
+  done;
+  tbl
+
+(* Run [n] seeded transfers on a fresh table with a WAL attached; the
+   returned table is the live post-history state. *)
+let run_history ~dir ~seed ~n ~cfg =
+  let tbl = make_table () in
+  let store = Dbx.Cc_2plsf.wal_store tbl in
+  let w = Wal.create (cfg dir) store in
+  let cc = Dbx.Cc_2plsf.create tbl in
+  Dbx.Cc_2plsf.set_wal cc (Some w);
+  let tid = Util.Tid.get () in
+  let rng = Util.Sprng.create seed in
+  for _ = 1 to n do
+    let a = Util.Sprng.int rng rows and b = Util.Sprng.int rng rows in
+    let amt = 1 + Util.Sprng.int rng 16 in
+    ignore (Dbx.Cc_2plsf.execute_transfer cc ~tid ~src:a ~dst:b ~amount:amt)
+  done;
+  Dbx.Cc_2plsf.set_wal cc None;
+  Wal.stop w;
+  tbl
+
+let recover_into_fresh ~dir =
+  let tbl = make_table () in
+  let r = Wal.recover ~dir (Dbx.Cc_2plsf.wal_store tbl) in
+  (tbl, r)
+
+let tables_equal a b =
+  let ok = ref true in
+  for rid = 0 to rows - 1 do
+    if not (Bytes.equal (Dbx.Table.payload a rid) (Dbx.Table.payload b rid))
+    then ok := false
+  done;
+  !ok
+
+let balance_sum t =
+  let s = ref 0 in
+  for rid = 0 to rows - 1 do
+    s := !s + Dbx.Table.balance t rid
+  done;
+  !s
+
+let quick_cfg ?(ckpt = 0) dir =
+  Wal.config ~sync:Wal.Sync_none ~ckpt_every_bytes:ckpt ~dir ()
+
+let test_recover_matches_live () =
+  with_dir @@ fun dir ->
+  let live = run_history ~dir ~seed:11 ~n:300 ~cfg:quick_cfg in
+  let rec1, r = recover_into_fresh ~dir in
+  check Alcotest.bool "recovered = live" true (tables_equal live rec1);
+  check Alcotest.int "conservation" (rows * init_balance) (balance_sum rec1);
+  check Alcotest.bool "no torn tail on clean shutdown" false r.Wal.r_torn_tail;
+  check Alcotest.int "all records replayable" 300 r.Wal.r_records;
+  (* replay twice == replay once *)
+  let rec2, _ = recover_into_fresh ~dir in
+  check Alcotest.bool "idempotent" true (tables_equal rec1 rec2)
+
+let test_durable_ack_and_metrics () =
+  with_dir @@ fun dir ->
+  let tbl = make_table () in
+  let store = Dbx.Cc_2plsf.wal_store tbl in
+  (* real fsyncs on this one: the ack must mean flushed *)
+  let w = Wal.create (Wal.config ~dir ()) store in
+  Dbx.Table.set_balance tbl 0 init_balance;
+  Wal.mark_dirty w ~rid:0;
+  let lsn = Wal.log_commit w ~tid:(Util.Tid.get ()) ~n:1 ~rid:(fun _ -> 0) in
+  Wal.wait_durable w ~lsn;
+  if Wal.flushed_lsn w < lsn then Alcotest.fail "ack before flush";
+  let m = Wal.metrics w in
+  let get k = List.assoc k m in
+  check Alcotest.int "one record" 1 (get "records");
+  if get "fsyncs" < 1 then Alcotest.fail "no fsync behind a durable ack";
+  Wal.stop w
+
+let test_torn_tail_truncated () =
+  with_dir @@ fun dir ->
+  let live = run_history ~dir ~seed:22 ~n:200 ~cfg:quick_cfg in
+  ignore live;
+  let seg =
+    match List.rev (Wal.segments ~dir) with
+    | (_, path) :: _ -> path
+    | [] -> Alcotest.fail "no segments"
+  in
+  (* cut the last record in half: the classic crash-mid-append state *)
+  let size = (Unix.stat seg).Unix.st_size in
+  let fd = Unix.openfile seg [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (size - 30);
+  Unix.close fd;
+  let rec1, r = recover_into_fresh ~dir in
+  check Alcotest.bool "torn tail detected" true r.Wal.r_torn_tail;
+  check Alcotest.int "torn tail truncated" (199) r.Wal.r_records;
+  check Alcotest.int "conservation after truncation" (rows * init_balance)
+    (balance_sum rec1);
+  (* the truncated log is now clean: recover again, no tear reported *)
+  let rec2, r2 = recover_into_fresh ~dir in
+  check Alcotest.bool "second recovery clean" false r2.Wal.r_torn_tail;
+  check Alcotest.bool "idempotent after truncation" true
+    (tables_equal rec1 rec2);
+  (* garbage appended after the good prefix is also just a tear *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 seg in
+  output_string oc "\x00\x01\x02garbage";
+  close_out oc;
+  let _, r3 = recover_into_fresh ~dir in
+  check Alcotest.bool "appended garbage = torn tail" true r3.Wal.r_torn_tail
+
+let test_interior_corruption_refused () =
+  with_dir @@ fun dir ->
+  ignore (run_history ~dir ~seed:33 ~n:200 ~cfg:quick_cfg);
+  let seg =
+    match Wal.segments ~dir with
+    | (_, path) :: _ -> path
+    | [] -> Alcotest.fail "no segments"
+  in
+  (* flip a bit in an early record: valid records follow, so this is
+     corruption, not a tear — recovery must refuse, not silently drop
+     the suffix *)
+  let fd = Unix.openfile seg [ Unix.O_RDWR ] 0 in
+  let b = Bytes.create 1 in
+  ignore (Unix.lseek fd 40 Unix.SEEK_SET);
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x04));
+  ignore (Unix.lseek fd 40 Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  match recover_into_fresh ~dir with
+  | exception Wal.Corrupt _ -> ()
+  | _ -> Alcotest.fail "recovery accepted interior corruption"
+
+(* checkpoint + log suffix == full log: the same seeded history run
+   with aggressive checkpointing and with none must recover to the same
+   image (and the checkpointed side must actually have checkpointed). *)
+let test_checkpoint_equivalence () =
+  List.iter
+    (fun seed ->
+      with_dir @@ fun dir_a ->
+      with_dir @@ fun dir_b ->
+      let live_a =
+        run_history ~dir:dir_a ~seed ~n:400 ~cfg:(quick_cfg ~ckpt:4096)
+      in
+      let live_b =
+        run_history ~dir:dir_b ~seed ~n:400 ~cfg:quick_cfg
+      in
+      check Alcotest.bool "same history, same live state" true
+        (tables_equal live_a live_b);
+      (match Wal.read_image_info ~dir:dir_a with
+      | Some i -> check Alcotest.int "image covers the table" rows i.Wal.i_num_rows
+      | None -> Alcotest.fail "aggressive checkpointing produced no image");
+      let rec_a, ra = recover_into_fresh ~dir:dir_a in
+      let rec_b, rb = recover_into_fresh ~dir:dir_b in
+      if ra.Wal.r_image_lsn = 0 then
+        Alcotest.fail "checkpointed recovery ignored the image";
+      check Alcotest.bool "full-log side saw every record" true
+        (rb.Wal.r_records = 400);
+      check Alcotest.bool "checkpointed side replays a suffix" true
+        (ra.Wal.r_records < 400);
+      check Alcotest.bool "checkpoint+suffix = full log" true
+        (tables_equal rec_a rec_b);
+      check Alcotest.bool "both match the live image" true
+        (tables_equal rec_a live_a))
+    [ 1; 2; 3; 4; 5 ]
+
+(* explicit checkpoint barrier + the mark_undo parity path: a rollback
+   must close the seqlock window so the next checkpoint's copier does
+   not spin forever on an odd mark *)
+let test_manual_checkpoint_and_undo_marks () =
+  with_dir @@ fun dir ->
+  let tbl = make_table () in
+  let store = Dbx.Cc_2plsf.wal_store tbl in
+  let w = Wal.create (quick_cfg dir) store in
+  Wal.mark_dirty w ~rid:3;
+  Wal.mark_undo w ~rid:3;
+  (* duplicate undo is idempotent (parity guard) *)
+  Wal.mark_undo w ~rid:3;
+  Wal.checkpoint w;
+  let m = Wal.metrics w in
+  check Alcotest.int "checkpoint completed" 1 (List.assoc "checkpoints" m);
+  Wal.stop w;
+  match Wal.read_image_info ~dir with
+  | Some i ->
+      check Alcotest.int "image rows" rows i.Wal.i_num_rows;
+      check Alcotest.int "image row_len" Dbx.Table.tuple_size i.Wal.i_row_len
+  | None -> Alcotest.fail "manual checkpoint wrote no image"
+
+(* multi-domain: concurrent committers through the rings and the
+   LSN-merge writer, then recovery of the merged log *)
+let test_concurrent_commits_recover () =
+  with_dir @@ fun dir ->
+  let tbl = make_table () in
+  let store = Dbx.Cc_2plsf.wal_store tbl in
+  let w = Wal.create (quick_cfg ~ckpt:8192 dir) store in
+  let cc = Dbx.Cc_2plsf.create tbl in
+  Dbx.Cc_2plsf.set_wal cc (Some w);
+  let per_worker = 400 in
+  ignore
+    (Harness.Exec.run_each ~threads:4 (fun i ->
+         let rng = Util.Sprng.create (100 + i) in
+         let tid = Util.Tid.get () in
+         for _ = 1 to per_worker do
+           let a = Util.Sprng.int rng rows and b = Util.Sprng.int rng rows in
+           ignore
+             (Dbx.Cc_2plsf.execute_transfer cc ~tid ~src:a ~dst:b ~amount:1)
+         done));
+  Dbx.Cc_2plsf.set_wal cc None;
+  Wal.stop w;
+  let rec1, r = recover_into_fresh ~dir in
+  (* every commit drew a distinct LSN and the drain flushed them all *)
+  check Alcotest.int "lsn watermark = total commits" (4 * per_worker)
+    r.Wal.r_max_lsn;
+  check Alcotest.bool "concurrent recovery matches live" true
+    (tables_equal rec1 tbl);
+  check Alcotest.int "conservation under concurrency" (rows * init_balance)
+    (balance_sum rec1)
+
+(* ---- WAL metric families on the exporter ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_wal_metric_families () =
+  with_dir @@ fun dir ->
+  let tbl = make_table () in
+  let w = Wal.create (quick_cfg dir) (Dbx.Cc_2plsf.wal_store tbl) in
+  Dbx.Wal_obs.register w;
+  Fun.protect
+    ~finally:(fun () ->
+      Dbx.Wal_obs.unregister ();
+      Wal.stop w)
+    (fun () ->
+      let body = Twoplsf_obs.Exporter.render () in
+      List.iter
+        (fun needle ->
+          if not (contains body needle) then
+            Alcotest.failf "render missing %S" needle)
+        [
+          "# TYPE twoplsf_wal_records counter";
+          "# TYPE twoplsf_wal_fsyncs counter";
+          "# TYPE twoplsf_wal_flushed_lsn gauge";
+          "twoplsf_wal_checkpoints 0";
+        ];
+      Dbx.Wal_obs.unregister ();
+      let body' = Twoplsf_obs.Exporter.render () in
+      if contains body' "twoplsf_wal_records" then
+        Alcotest.fail "unregister left the provider installed")
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "crc32 vectors" `Quick test_crc32;
+          Alcotest.test_case "record round-trip" `Quick test_record_roundtrip;
+          Alcotest.test_case "record rejects damage" `Quick
+            test_record_rejects_damage;
+          Alcotest.test_case "spsc ring" `Quick test_ring;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "recover matches live" `Quick
+            test_recover_matches_live;
+          Alcotest.test_case "durable ack implies fsync" `Quick
+            test_durable_ack_and_metrics;
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_torn_tail_truncated;
+          Alcotest.test_case "interior corruption refused" `Quick
+            test_interior_corruption_refused;
+          Alcotest.test_case "checkpoint+suffix = full log" `Quick
+            test_checkpoint_equivalence;
+          Alcotest.test_case "manual checkpoint, undo marks" `Quick
+            test_manual_checkpoint_and_undo_marks;
+          Alcotest.test_case "concurrent commits recover" `Quick
+            test_concurrent_commits_recover;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "exporter families" `Quick
+            test_wal_metric_families;
+        ] );
+    ]
