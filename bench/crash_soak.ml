@@ -56,7 +56,8 @@ let child ~dir ~site_code ~after ~seed ~threads ~rows ~seconds =
   let tbl = make_table ~rows in
   let store = Dbx.Cc_2plsf.wal_store tbl in
   let next_lsn =
-    if Sys.file_exists dir then (Wal.recover ~dir store).Wal.r_next_lsn else 1
+    if Sys.file_exists dir then (Wal.recover ~strict:true ~dir store).Wal.r_next_lsn
+    else 1
   in
   (* Quiet config: sync points fire (so the armed kill can trigger) but
      inject no delays or faults — the only chaos here is death. *)
@@ -123,7 +124,7 @@ let scan_monotonic ~dir =
             ok := false;
             pos := len
       done)
-    (Wal.segments ~dir);
+    (Wal.segments ~dir ());
   !ok
 
 type verified = {
@@ -133,7 +134,11 @@ type verified = {
 
 let verify ~dir ~rows =
   let t1 = make_table ~rows in
-  match Wal.recover ~dir (Dbx.Cc_2plsf.wal_store t1) with
+  (* ~strict: a process kill cannot tear or reorder sectors (the page
+     cache survives _exit), so a valid record after damaged bytes is
+     real corruption here, not a legal crash state — recovery must
+     refuse it rather than truncate (DESIGN.md §16). *)
+  match Wal.recover ~strict:true ~dir (Dbx.Cc_2plsf.wal_store t1) with
   | exception Wal.Corrupt msg -> Error ("recovery refused the log: " ^ msg)
   | recovery ->
       let sum = ref 0 in
@@ -146,7 +151,7 @@ let verify ~dir ~rows =
              (rows * init_balance))
       else begin
         let t2 = make_table ~rows in
-        let _ = Wal.recover ~dir (Dbx.Cc_2plsf.wal_store t2) in
+        let _ = Wal.recover ~strict:true ~dir (Dbx.Cc_2plsf.wal_store t2) in
         let idem = ref true in
         for rid = 0 to rows - 1 do
           if

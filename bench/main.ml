@@ -62,6 +62,12 @@ let () =
   let crash_site = ref (-1) in
   let crash_after = ref 0 in
   let crash_seed = ref 0 in
+  let disk_soak = ref 0 in
+  let disk_rows = ref 48 in
+  let disk_threads = ref 4 in
+  let disk_seconds = ref 0.35 in
+  let disk_mats = ref 5 in
+  let disk_seed = ref 0 in
   let spec =
     [
       ("--figure", Arg.Set_int figure, "N  run only figure N (2-8, 10-12)");
@@ -201,6 +207,31 @@ let () =
         Arg.Set_float crash_seconds,
         "S  per-cycle child time budget (default 1.0; the kill usually \
          fires far earlier)" );
+      ( "--disk-soak",
+        Arg.Set_int disk_soak,
+        "N  storage-fault soak: N in-process cycles of the durable \
+         transfer workload on the simulated block device with seeded \
+         fault injection (EIO / ENOSPC / short writes / fsync failure, \
+         transient and permanent), crash-materializing mid-run snapshots \
+         and verifying conservation, replay determinism, LSN order and \
+         the absence of false durability acks on every one (DESIGN.md \
+         §16; skips figures and bechamel)" );
+      ( "--disk-rows",
+        Arg.Set_int disk_rows,
+        "N  table rows for --disk-soak (default 48)" );
+      ( "--disk-threads",
+        Arg.Set_int disk_threads,
+        "N  worker domains for --disk-soak (default 4)" );
+      ( "--disk-seconds",
+        Arg.Set_float disk_seconds,
+        "S  per-cycle time budget for --disk-soak (default 0.35)" );
+      ( "--disk-mats",
+        Arg.Set_int disk_mats,
+        "M  crash materializations per crash cycle (default 5)" );
+      ( "--disk-seed",
+        Arg.Set_int disk_seed,
+        "N  base seed for --disk-soak fault and crash draws (default \
+         0xD15C)" );
       (* Internal: the crash-soak child re-exec (not for direct use). *)
       ("--crash-child", Arg.Set_string crash_child, "DIR  (internal)");
       ("--crash-site", Arg.Set_int crash_site, "CODE  (internal)");
@@ -282,7 +313,13 @@ let () =
   let overload_failures = ref 0 in
   let explore_failures = ref 0 in
   let crash_failures = ref 0 in
-  if !crash_soak > 0 then
+  let disk_failures = ref 0 in
+  if !disk_soak > 0 then
+    disk_failures :=
+      Disk_soak.run ~cycles:!disk_soak ~threads:!disk_threads
+        ~rows:!disk_rows ~seconds:!disk_seconds ~mats:!disk_mats
+        ~seed:(if !disk_seed <> 0 then !disk_seed else 0xD15C)
+  else if !crash_soak > 0 then
     crash_failures :=
       Crash_soak.run ~cycles:!crash_soak ~threads:!crash_threads
         ~rows:!crash_rows ~seconds:!crash_seconds
@@ -431,6 +468,13 @@ let () =
     Printf.eprintf
       "crash soak: %d cycle(s) violated a durability invariant\n"
       !crash_failures;
+    exit 1
+  end;
+  if !disk_failures > 0 then begin
+    Printf.eprintf
+      "disk soak: %d storage-fault violation(s) (conservation, false ack, \
+       replay divergence or missing degradation)\n"
+      !disk_failures;
     exit 1
   end;
   print_endline "\nDone. See EXPERIMENTS.md for paper-vs-measured notes."

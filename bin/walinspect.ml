@@ -1,23 +1,41 @@
-(* walinspect — dump and validate a WAL directory (DESIGN.md §15).
+(* walinspect — dump and validate a WAL directory (DESIGN.md §15, §16).
 
      dune exec bin/walinspect.exe -- wal-dir
      dune exec bin/walinspect.exe -- --verbose wal-dir
      dune exec bin/walinspect.exe -- --allow-torn wal-dir
+     dune exec bin/walinspect.exe -- --json wal-dir
 
    Walks the checkpoint image header and every log segment in order,
    CRC-checking each record, and reports LSN ranges, per-table record
    counts and the write/byte volume.  A malformed record is diagnosed
-   exactly as recovery would: a structurally valid record further on
-   means interior corruption; none means a torn tail (the expected
-   signature of a crash mid-append).
+   exactly as recovery would (lenient by default, matching the crash
+   model of a reordering device; --strict matches the process-kill
+   model):
+
+   - damage in a non-final segment, an invalid image, or an LSN order
+     violation is corruption;
+   - damage at the tail of the final segment with nothing structurally
+     valid after it is a torn tail (the expected signature of a crash
+     mid-append);
+   - damage in the final segment with valid records after it is a
+     *suspect interior* — legal under sector reordering of the unsynced
+     tail, where recovery truncates and discards the (never-acked)
+     remainder, i.e. "recovered but degraded".  --strict reclassifies
+     it as corruption.
+
+   A leftover checkpoint.tmp (interrupted checkpoint) also marks the
+   log recovered-but-degraded.
 
    Exit codes: 0 = clean; 1 = torn tail (suppressed by --allow-torn,
    for validating a log that survived a crash soak); 2 = corruption /
-   invalid image / LSN order violation; 3 = usage or I/O error. *)
+   invalid image / LSN order violation; 3 = usage or I/O error;
+   4 = recovered but degraded (suspect interior or leftover
+   checkpoint.tmp) — distinct so CI can assert on it. *)
 
 open Cmdliner
 module Wal = Twoplsf_wal.Wal
 module Record = Twoplsf_wal.Record
+module Json = Harness.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -36,6 +54,8 @@ type scan = {
   mutable order_ok : bool;
   mutable torn : (string * int) option;  (* segment, offset *)
   mutable corrupt : (string * int * string) option;
+  mutable suspect : (string * int * string * int) option;
+  (* segment, offset, diag, valid records found beyond the damage *)
   (* (table_id, count) histogram; tiny domain, assoc list suffices *)
   mutable tables : (int * int) list;
 }
@@ -44,7 +64,31 @@ let bump_table s tid =
   let n = try List.assoc tid s.tables with Not_found -> 0 in
   s.tables <- (tid, n + 1) :: List.remove_assoc tid s.tables
 
-let scan_segments ~dir ~verbose =
+(* Count the structurally valid records beyond a damaged region — the
+   same walk recovery uses to size [r_suspect_records]. *)
+let count_valid_after data ~pos ~len ~after_lsn =
+  let n = ref 0 in
+  let pos = ref pos and lsn = ref after_lsn in
+  let continue = ref true in
+  while !continue do
+    match Record.find_valid data ~pos:!pos ~len ~after_lsn:!lsn with
+    | None -> continue := false
+    | Some p ->
+        let q = ref p and run = ref true in
+        while !run && !q < len do
+          match Record.decode data ~pos:!q ~avail:(len - !q) with
+          | Ok (r, sz) ->
+              incr n;
+              if r.Record.r_lsn > !lsn then lsn := r.Record.r_lsn;
+              q := !q + sz
+          | Error _ -> run := false
+        done;
+        pos := !q + 1;
+        if !pos >= len then continue := false
+  done;
+  !n
+
+let scan_segments ~dir ~strict ~verbose =
   let s =
     {
       records = 0;
@@ -55,14 +99,15 @@ let scan_segments ~dir ~verbose =
       order_ok = true;
       torn = None;
       corrupt = None;
+      suspect = None;
       tables = [];
     }
   in
-  let segs = Wal.segments ~dir in
+  let segs = Wal.segments ~dir () in
   let nsegs = List.length segs in
   List.iteri
     (fun i (seq, path) ->
-      if s.corrupt = None && s.torn = None then begin
+      if s.corrupt = None && s.torn = None && s.suspect = None then begin
         let data = read_file path in
         let len = Bytes.length data in
         let name = Filename.basename path in
@@ -87,70 +132,184 @@ let scan_segments ~dir ~verbose =
               pos := !pos + size
           | Error diag ->
               (* Same discrimination as recovery: only the last segment
-                 may legitimately end in a tear, and only when nothing
-                 structurally valid follows the bad bytes. *)
+                 may legitimately end in damage, and anything valid
+                 after the bad bytes is either suspect (lenient: the
+                 reordered-sector crash model) or corrupt (strict). *)
               let last_segment = i = nsegs - 1 in
-              if
-                last_segment
-                && Record.find_valid data ~pos:(!pos + 1) ~len
-                     ~after_lsn:s.max_lsn
-                   = None
-              then s.torn <- Some (name, !pos)
-              else s.corrupt <- Some (name, !pos, diag);
+              if not last_segment then s.corrupt <- Some (name, !pos, diag)
+              else begin
+                match
+                  Record.find_valid data ~pos:(!pos + 1) ~len
+                    ~after_lsn:s.max_lsn
+                with
+                | None -> s.torn <- Some (name, !pos)
+                | Some _ when strict -> s.corrupt <- Some (name, !pos, diag)
+                | Some _ ->
+                    let n =
+                      count_valid_after data ~pos:(!pos + 1) ~len
+                        ~after_lsn:s.max_lsn
+                    in
+                    s.suspect <- Some (name, !pos, diag, n)
+              end;
               stop := true
         done
       end)
     segs;
   (nsegs, s)
 
-let run dir allow_torn verbose =
+type image_state = I_none | I_ok of Wal.image_info | I_invalid of string
+
+let json_report ~dir ~status ~code ~image ~nsegs ~s ~tmp_leftover =
+  let opt f = function None -> Json.Null | Some v -> f v in
+  Json.Obj
+    [
+      ("dir", Json.Str dir);
+      ("status", Json.Str status);
+      ("exit", Json.Num (float_of_int code));
+      ( "image",
+        match image with
+        | I_none -> Json.Null
+        | I_invalid diag -> Json.Obj [ ("invalid", Json.Str diag) ]
+        | I_ok i ->
+            Json.Obj
+              [
+                ("table", Json.Num (float_of_int i.Wal.i_table_id));
+                ("rows", Json.Num (float_of_int i.Wal.i_num_rows));
+                ("row_len", Json.Num (float_of_int i.Wal.i_row_len));
+                ("start_lsn", Json.Num (float_of_int i.Wal.i_start_lsn));
+                ("end_lsn", Json.Num (float_of_int i.Wal.i_end_lsn));
+              ] );
+      ("segments", Json.Num (float_of_int nsegs));
+      ("records", Json.Num (float_of_int s.records));
+      ("row_writes", Json.Num (float_of_int s.writes));
+      ("bytes", Json.Num (float_of_int s.bytes));
+      ( "min_lsn",
+        if s.records = 0 then Json.Null else Json.Num (float_of_int s.min_lsn)
+      );
+      ( "max_lsn",
+        if s.records = 0 then Json.Null else Json.Num (float_of_int s.max_lsn)
+      );
+      ("order_ok", Json.Bool s.order_ok);
+      ( "torn",
+        opt
+          (fun (seg, off) ->
+            Json.Obj
+              [ ("segment", Json.Str seg); ("offset", Json.Num (float_of_int off)) ])
+          s.torn );
+      ( "corrupt",
+        opt
+          (fun (seg, off, diag) ->
+            Json.Obj
+              [
+                ("segment", Json.Str seg);
+                ("offset", Json.Num (float_of_int off));
+                ("diag", Json.Str diag);
+              ])
+          s.corrupt );
+      ( "suspect",
+        opt
+          (fun (seg, off, diag, n) ->
+            Json.Obj
+              [
+                ("segment", Json.Str seg);
+                ("offset", Json.Num (float_of_int off));
+                ("diag", Json.Str diag);
+                ("valid_after", Json.Num (float_of_int n));
+              ])
+          s.suspect );
+      ("checkpoint_tmp", Json.Bool tmp_leftover);
+      ( "tables",
+        Json.Obj
+          (List.map
+             (fun (tid, n) -> (string_of_int tid, Json.Num (float_of_int n)))
+             (List.sort compare s.tables)) );
+    ]
+
+let run dir allow_torn strict json verbose =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Printf.eprintf "walinspect: %s: not a directory\n" dir;
     exit 3
   end;
-  (match Wal.read_image_info ~dir with
-  | Some i ->
-      Printf.printf
-        "checkpoint image: table=%d rows=%d row_len=%d lsn=[%d, %d]\n"
-        i.Wal.i_table_id i.Wal.i_num_rows i.Wal.i_row_len i.Wal.i_start_lsn
-        i.Wal.i_end_lsn
-  | None ->
-      if Sys.file_exists (Filename.concat dir "checkpoint.img") then begin
-        Printf.printf "checkpoint image: INVALID (bad magic, length or CRC)\n";
-        exit 2
-      end
-      else Printf.printf "checkpoint image: none\n");
-  let nsegs, s = scan_segments ~dir ~verbose in
-  Printf.printf "segments: %d\n" nsegs;
-  if s.records = 0 then Printf.printf "records: 0\n"
+  let verbose = verbose && not json in
+  let image =
+    match Wal.read_image_info ~dir () with
+    | Some i -> I_ok i
+    | None -> I_none
+    | exception Wal.Corrupt diag -> I_invalid diag
+  in
+  let tmp_leftover = Sys.file_exists (Filename.concat dir "checkpoint.tmp") in
+  let nsegs, s = scan_segments ~dir ~strict ~verbose in
+  (* Severity order: corruption beats everything; then suspect (exit 4);
+     then torn; a clean scan with a leftover checkpoint.tmp is still
+     "recovered but degraded". *)
+  let status, code, line =
+    match (image, s.corrupt, s.suspect, s.torn) with
+    | I_invalid diag, _, _, _ ->
+        ("corrupt", 2, Printf.sprintf "CORRUPT: checkpoint image: %s" diag)
+    | _, Some (seg, off, diag), _, _ ->
+        ( "corrupt",
+          2,
+          Printf.sprintf
+            "CORRUPT: %s at offset %d: %s (non-final segment, or valid \
+             records follow under --strict)"
+            seg off diag )
+    | _, None, _, _ when not s.order_ok ->
+        ("corrupt", 2, "CORRUPT: LSN order violated across segments")
+    | _, None, Some (seg, off, diag, n), _ ->
+        ( "suspect",
+          4,
+          Printf.sprintf
+            "DEGRADED: %s at offset %d: %s — %d valid record(s) beyond the \
+             damage (legal under sector reordering; recovery truncates \
+             and discards them, none were acked)"
+            seg off diag n )
+    | _, None, None, Some (seg, off) ->
+        if allow_torn then
+          ( "torn",
+            0,
+            Printf.sprintf
+              "torn tail: %s at offset %d (recovery would truncate) — ok \
+               (torn tail allowed)"
+              seg off )
+        else
+          ( "torn",
+            1,
+            Printf.sprintf "torn tail: %s at offset %d (recovery would truncate)"
+              seg off )
+    | _, None, None, None ->
+        if tmp_leftover then
+          ( "clean",
+            4,
+            "DEGRADED: leftover checkpoint.tmp (interrupted checkpoint; \
+             recovery discards it)" )
+        else ("clean", 0, "ok")
+  in
+  if json then
+    print_endline
+      (Json.to_string (json_report ~dir ~status ~code ~image ~nsegs ~s ~tmp_leftover))
   else begin
-    Printf.printf "records: %d (lsn %d..%d, %d row writes, %d bytes)\n"
-      s.records s.min_lsn s.max_lsn s.writes s.bytes;
-    List.iter
-      (fun (tid, n) -> Printf.printf "  table %d: %d records\n" tid n)
-      (List.sort compare s.tables)
+    (match image with
+    | I_ok i ->
+        Printf.printf
+          "checkpoint image: table=%d rows=%d row_len=%d lsn=[%d, %d]\n"
+          i.Wal.i_table_id i.Wal.i_num_rows i.Wal.i_row_len i.Wal.i_start_lsn
+          i.Wal.i_end_lsn
+    | I_invalid _ ->
+        Printf.printf "checkpoint image: INVALID (bad magic, length or CRC)\n"
+    | I_none -> Printf.printf "checkpoint image: none\n");
+    if tmp_leftover then Printf.printf "checkpoint.tmp: leftover (interrupted checkpoint)\n";
+    Printf.printf "segments: %d\n" nsegs;
+    if s.records = 0 then Printf.printf "records: 0\n"
+    else begin
+      Printf.printf "records: %d (lsn %d..%d, %d row writes, %d bytes)\n"
+        s.records s.min_lsn s.max_lsn s.writes s.bytes;
+      List.iter
+        (fun (tid, n) -> Printf.printf "  table %d: %d records\n" tid n)
+        (List.sort compare s.tables)
+    end;
+    print_endline line
   end;
-  match (s.corrupt, s.torn) with
-  | Some (seg, off, diag), _ ->
-      Printf.printf "CORRUPT: %s at offset %d: %s (valid records follow or \
-                     segment is not last)\n"
-        seg off diag;
-      exit 2
-  | None, Some (seg, off) ->
-      Printf.printf "torn tail: %s at offset %d (recovery would truncate)\n"
-        seg off;
-      if allow_torn then begin
-        Printf.printf "ok (torn tail allowed)\n";
-        exit 0
-      end
-      else exit 1
-  | None, None ->
-      if not s.order_ok then begin
-        Printf.printf "CORRUPT: LSN order violated across segments\n";
-        exit 2
-      end;
-      Printf.printf "ok\n";
-      exit 0
+  exit code
 
 let () =
   let dir =
@@ -167,6 +326,21 @@ let () =
             "Exit 0 on a torn tail (the expected state of a log that \
              survived a crash); corruption still fails.")
   in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Process-kill crash model: valid records after damaged bytes \
+             cannot be sector reordering, so classify them as corruption \
+             (exit 2) instead of recovered-but-degraded (exit 4).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one machine-readable JSON object instead of text.")
+  in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Dump every record.")
   in
@@ -174,4 +348,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.v (Cmd.info "walinspect" ~doc)
-          Term.(const run $ dir $ allow_torn $ verbose)))
+          Term.(const run $ dir $ allow_torn $ strict $ json $ verbose)))

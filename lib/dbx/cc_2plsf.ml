@@ -22,6 +22,10 @@ type t = {
   locks : Rwl_sf.t;
   threads : per_thread array;
   mutable wal : Wal.t option;  (* durability hook; None = in-memory only *)
+  degraded : string option Atomic.t;
+      (* once set, the engine is read-only: writes raise
+         [Stm_intf.Degraded_read_only], reads keep serving (§16) *)
+  m_readonly_rejects : int Atomic.t;
 }
 
 let next_pow2 n =
@@ -44,10 +48,21 @@ let create table =
             abort_reason = Obs.Events.User_restart;
           });
     wal = None;
+    degraded = Atomic.make None;
+    m_readonly_rejects = Atomic.make 0;
   }
 
 let set_wal t w = t.wal <- w
 let wal t = t.wal
+let degraded_reason t = Atomic.get t.degraded
+let readonly_rejects t = Atomic.get t.m_readonly_rejects
+
+let enter_degraded t reason =
+  ignore (Atomic.compare_and_set t.degraded None (Some reason))
+
+let readonly_fail t reason =
+  Atomic.incr t.m_readonly_rejects;
+  raise (Stm_intf.Degraded_read_only { engine = "DBx-2PLSF"; reason })
 
 let release t p =
   Util.Vec.iter (fun w -> Rwl_sf.write_unlock t.locks p.ctx w) p.wlocks;
@@ -72,22 +87,48 @@ let rollback t p =
    so holding the locks never spans an fsync. *)
 let commit_locked t p =
   match t.wal with
-  | Some w when not (Util.Vec.is_empty p.undo) ->
+  | Some w when not (Util.Vec.is_empty p.undo) -> begin
       if !Chaos.on then Chaos.point Chaos.Commit_durable_pre;
-      let lsn =
+      match
         Wal.log_commit w ~tid:p.ctx.tid ~n:(Util.Vec.length p.undo)
           ~rid:(fun i -> fst (Util.Vec.get p.undo i))
-      in
-      if !Chaos.on then Chaos.point Chaos.Commit_durable_mid;
-      release t p;
-      Rwl_sf.clear_announcement t.locks p.ctx;
-      if !Chaos.on then Chaos.point Chaos.Commit_durable_post;
-      if !Obs.Telemetry.on then begin
-        let t0 = Obs.Telemetry.now_ns () in
-        Wal.wait_durable w ~lsn;
-        Obs.Scope.fsync_wait obs ~tid:p.ctx.tid ~t0_ns:t0
-      end
-      else Wal.wait_durable w ~lsn
+      with
+      | exception Wal.Degraded reason ->
+          (* The log refused before drawing an LSN: locks are still held
+             and the undo images intact, so the transaction rolls back
+             cleanly and the engine flips read-only. *)
+          p.abort_reason <- Obs.Events.Wal_degraded;
+          enter_degraded t reason;
+          rollback t p;
+          Rwl_sf.clear_announcement t.locks p.ctx;
+          readonly_fail t reason
+      | lsn -> (
+          if !Chaos.on then Chaos.point Chaos.Commit_durable_mid;
+          release t p;
+          Rwl_sf.clear_announcement t.locks p.ctx;
+          if !Chaos.on then Chaos.point Chaos.Commit_durable_post;
+          let wait () =
+            match Wal.wait_durable w ~lsn with
+            | () -> ()
+            | exception Wal.Degraded reason ->
+                (* Locks are gone and the in-memory effect stands, but
+                   the record never reached disk: the commit must NOT be
+                   acknowledged.  Flip read-only and report the failure
+                   to the caller — this is the one divergence between
+                   memory and log that recovery resolves by dropping the
+                   unacked suffix. *)
+                p.abort_reason <- Obs.Events.Wal_degraded;
+                enter_degraded t reason;
+                readonly_fail t reason
+          in
+          if !Obs.Telemetry.on then begin
+            let t0 = Obs.Telemetry.now_ns () in
+            Fun.protect
+              ~finally:(fun () -> Obs.Scope.fsync_wait obs ~tid:p.ctx.tid ~t0_ns:t0)
+              wait
+          end
+          else wait ())
+    end
   | _ ->
       release t p;
       Rwl_sf.clear_announcement t.locks p.ctx
@@ -144,6 +185,12 @@ let attempt t p (txn : Ycsb.txn) =
   end
 
 let execute t ~tid txn =
+  (* Read-only degradation gate: refuse write transactions before any
+     lock is taken; pure reads keep serving on a degraded engine. *)
+  (match Atomic.get t.degraded with
+  | Some reason when Array.exists (fun o -> o = Ycsb.Write) txn.Ycsb.ops ->
+      readonly_fail t reason
+  | _ -> ());
   let p = t.threads.(tid) in
   let aborts = ref 0 in
   let telemetry = !Obs.Telemetry.on in
@@ -159,7 +206,13 @@ let execute t ~tid txn =
     let att_t0 = ref txn_t0 in
     while
       not
-        (let ok = attempt t p txn in
+        (let ok =
+           try attempt t p txn
+           with Stm_intf.Degraded_read_only _ as e ->
+             (* terminal abort: count it before the raise escapes *)
+             Obs.Scope.txn_abort obs ~tid ~att_t0_ns:!att_t0 p.abort_reason;
+             raise e
+         in
          if not ok then
            Obs.Scope.txn_abort obs ~tid ~att_t0_ns:!att_t0 p.abort_reason;
          ok)
@@ -209,6 +262,9 @@ let attempt_transfer t p ~src_rid ~dst_rid ~amount =
   end
 
 let execute_transfer t ~tid ~src ~dst ~amount =
+  (match Atomic.get t.degraded with
+  | Some reason -> readonly_fail t reason
+  | None -> ());
   let p = t.threads.(tid) in
   let src_rid = Table.lookup t.table src and dst_rid = Table.lookup t.table dst in
   let aborts = ref 0 in
@@ -224,7 +280,12 @@ let execute_transfer t ~tid ~src ~dst ~amount =
     let att_t0 = ref txn_t0 in
     while
       not
-        (let ok = attempt_transfer t p ~src_rid ~dst_rid ~amount in
+        (let ok =
+           try attempt_transfer t p ~src_rid ~dst_rid ~amount
+           with Stm_intf.Degraded_read_only _ as e ->
+             Obs.Scope.txn_abort obs ~tid ~att_t0_ns:!att_t0 p.abort_reason;
+             raise e
+         in
          if not ok then
            Obs.Scope.txn_abort obs ~tid ~att_t0_ns:!att_t0 p.abort_reason;
          ok)

@@ -15,6 +15,22 @@ val set_wal : t -> Twoplsf_wal.Wal.t option -> unit
 
 val wal : t -> Twoplsf_wal.Wal.t option
 
+(** {2 Read-only degradation (DESIGN.md §16)}
+
+    When the attached WAL's device fails permanently, the engine flips
+    into typed read-only mode: write transactions (and transfers) raise
+    [Stm_intf.Degraded_read_only] — after a full rollback when the
+    failure surfaced mid-commit — while read-only transactions keep
+    serving from the in-memory table.  The flip is one-way for the
+    engine's lifetime; service resumes by recovering into a fresh
+    engine on a healthy device. *)
+
+val degraded_reason : t -> string option
+(** [Some reason] once the engine is read-only. *)
+
+val readonly_rejects : t -> int
+(** Write transactions refused (or failed over) since degradation. *)
+
 val wal_store : Table.t -> Twoplsf_wal.Wal.store
 (** The table viewed as a WAL store (live payload bytes, no copies) —
     pass to [Wal.create] / [Wal.recover]. *)

@@ -6,18 +6,25 @@
 
 module Wal = Twoplsf_wal.Wal
 module Exporter = Twoplsf_obs.Exporter
+module Monitor = Twoplsf_obs.Monitor
 
 let provider_name = "twoplsf_wal"
 
 (* Monotone counters vs point-in-time gauges: the LSN watermarks and
    checkpoint position move forward but are positions, not event counts;
-   everything else Wal.metrics reports is a cumulative count. *)
+   the degradation and device-state flags are booleans; everything else
+   Wal.metrics reports is a cumulative count.  Io-layer keys arrive with
+   an "io_" prefix (the twoplsf_wal_io_* families). *)
 let metric_type key =
   let is_suffix suf =
     let ls = String.length suf and lk = String.length key in
     lk >= ls && String.sub key (lk - ls) ls = suf
   in
-  if is_suffix "_lsn" then "gauge" else "counter"
+  if
+    is_suffix "_lsn" || key = "degraded" || key = "io_device_dead"
+    || key = "io_device_full"
+  then "gauge"
+  else "counter"
 
 let render_into w b =
   List.iter
@@ -28,5 +35,22 @@ let render_into w b =
            family v))
     (Wal.metrics w)
 
-let register w = Exporter.register_extra ~name:provider_name (render_into w)
-let unregister () = Exporter.unregister_extra ~name:provider_name
+(* Live-monitor gauges: the watermark pair shows commit progress, the
+   degraded flag makes a dying log visible at a glance. *)
+let monitor_gauges w () =
+  List.filter
+    (fun (key, _) ->
+      match key with
+      | "flushed_lsn" | "next_lsn" | "degraded" | "io_retries"
+      | "io_fsync_failures" ->
+          true
+      | _ -> false)
+    (Wal.metrics w)
+
+let register w =
+  Exporter.register_extra ~name:provider_name (render_into w);
+  Monitor.add_gauges ~name:provider_name (monitor_gauges w)
+
+let unregister () =
+  Exporter.unregister_extra ~name:provider_name;
+  Monitor.remove_gauges ~name:provider_name

@@ -8,10 +8,16 @@
     depend on obs and vice versa. *)
 
 val register : Twoplsf_wal.Wal.t -> unit
-(** Hook [twoplsf_wal_*] families for this log into every scrape
-    (replaces any previously registered WAL provider). *)
+(** Hook [twoplsf_wal_*] families (including the [twoplsf_wal_io_*]
+    fault-injection counters and the [degraded] gauge, DESIGN.md §16)
+    for this log into every scrape, and the headline watermarks /
+    degradation flag into the live monitor (replaces any previously
+    registered WAL provider). *)
 
 val unregister : unit -> unit
 
 val render_into : Twoplsf_wal.Wal.t -> Buffer.t -> unit
 (** The raw provider (exposed for tests). *)
+
+val monitor_gauges : Twoplsf_wal.Wal.t -> unit -> (string * int) list
+(** The live-monitor gauge subset (exposed for tests). *)

@@ -18,8 +18,11 @@ type abort_reason =
       (* a lock wait was abandoned because the transaction's deadline
          budget expired (overload protection, DESIGN.md §11) *)
   | User_restart (* explicit restart / any reason outside the taxonomy *)
+  | Wal_degraded
+      (* the write-ahead log's device failed: the engine is read-only and
+         the write transaction was rolled back (DESIGN.md §16) *)
 
-let num_abort_reasons = 8
+let num_abort_reasons = 9
 
 let abort_reason_index = function
   | Read_lock_conflict -> 0
@@ -30,6 +33,7 @@ let abort_reason_index = function
   | Commit_validation -> 5
   | Deadline -> 6
   | User_restart -> 7
+  | Wal_degraded -> 8
 
 let abort_reason_label = function
   | Read_lock_conflict -> "read-lock-conflict"
@@ -40,6 +44,7 @@ let abort_reason_label = function
   | Commit_validation -> "commit-validation"
   | Deadline -> "deadline"
   | User_restart -> "user-restart"
+  | Wal_degraded -> "wal-degraded"
 
 let all_abort_reasons =
   [
@@ -51,6 +56,7 @@ let all_abort_reasons =
     Commit_validation;
     Deadline;
     User_restart;
+    Wal_degraded;
   ]
 
 type event =

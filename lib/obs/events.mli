@@ -22,6 +22,9 @@ type abort_reason =
       (** a lock wait was abandoned because the transaction's deadline
           budget expired (overload protection, DESIGN.md §11) *)
   | User_restart  (** explicit restart / outside the taxonomy *)
+  | Wal_degraded
+      (** the write-ahead log's device failed: the engine is read-only
+          and the write transaction was rolled back (DESIGN.md §16) *)
 
 val num_abort_reasons : int
 val abort_reason_index : abort_reason -> int

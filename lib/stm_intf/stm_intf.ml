@@ -38,6 +38,18 @@ exception
     off.  Same cleanliness contract as {!Starved}: full rollback, all
     locks released, any priority announcement cleared. *)
 
+exception
+  Degraded_read_only of {
+    engine : string;  (** which engine flipped read-only ("DBx-2PLSF", ...) *)
+    reason : string;  (** the first log-device failure, verbatim *)
+  }
+(** Raised instead of committing when the engine's write-ahead log
+    device has failed permanently (DESIGN.md §16): the write transaction
+    has been fully rolled back (or was refused before acquiring locks),
+    every lock is released, and the engine keeps serving reads.  Writes
+    keep raising this until the operator replaces the device and
+    restarts; reads never do. *)
+
 type cm_choice =
   | Cm_paper  (** each STM's native inter-attempt behaviour (the default) *)
   | Cm_backoff  (** capped exponential backoff with per-thread jitter *)

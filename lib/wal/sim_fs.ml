@@ -1,0 +1,286 @@
+(* Simulated block device with pending-write buffering and seeded crash
+   materialization — see sim_fs.mli and DESIGN.md §16. *)
+
+let sector = 512
+
+type sfile = {
+  mutable synced : Bytes.t;  (* durable content, survives any crash *)
+  mutable pending : (int * Bytes.t) list;  (* newest first: (offset, data) *)
+}
+
+(* Namespace operations buffered until io_fsync_dir. *)
+type dop = D_create of string * sfile | D_rename of string * string | D_unlink of string
+
+type t = {
+  mu : Mutex.t;
+  live : (string, sfile) Hashtbl.t;  (* what the application sees *)
+  mutable synced_ns : (string * sfile) list;  (* namespace at last dir fsync *)
+  mutable dops : dop list;  (* newest first *)
+  mutable dirs : string list;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    live = Hashtbl.create 16;
+    synced_ns = [];
+    dops = [];
+    dirs = [];
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let file_size sf =
+  List.fold_left
+    (fun acc (off, d) -> max acc (off + Bytes.length d))
+    (Bytes.length sf.synced) sf.pending
+
+(* Durable content with every pending write applied, oldest first. *)
+let live_content sf =
+  let size = file_size sf in
+  let buf = Bytes.make size '\000' in
+  Bytes.blit sf.synced 0 buf 0 (Bytes.length sf.synced);
+  List.iter
+    (fun (off, d) -> Bytes.blit d 0 buf off (Bytes.length d))
+    (List.rev sf.pending);
+  buf
+
+let fsync_file sf =
+  if sf.pending <> [] then begin
+    sf.synced <- live_content sf;
+    sf.pending <- []
+  end
+
+let enoent op path = raise (Unix.Unix_error (Unix.ENOENT, op, path))
+
+let find t op path =
+  match Hashtbl.find_opt t.live path with
+  | Some sf -> sf
+  | None -> enoent op path
+
+let mk_file t path sf ~writable =
+  let rpos = ref 0 in
+  {
+    Wal_io.f_path = path;
+    f_write =
+      (fun b ~pos ~len ->
+        if not writable then
+          raise (Unix.Unix_error (Unix.EBADF, "write", path));
+        locked t (fun () ->
+            sf.pending <- (file_size sf, Bytes.sub b pos len) :: sf.pending);
+        len);
+    f_read =
+      (fun b ~pos ~len ->
+        locked t (fun () ->
+            let content = live_content sf in
+            let avail = Bytes.length content - !rpos in
+            let n = max 0 (min len avail) in
+            Bytes.blit content !rpos b pos n;
+            rpos := !rpos + n;
+            n));
+    f_size = (fun () -> locked t (fun () -> file_size sf));
+    f_truncate =
+      (fun n ->
+        (* Recovery truncates then fsyncs; model the pair as settled. *)
+        locked t (fun () ->
+            let content = live_content sf in
+            let clipped = Bytes.make n '\000' in
+            Bytes.blit content 0 clipped 0 (min n (Bytes.length content));
+            sf.synced <- clipped;
+            sf.pending <- []));
+    f_fsync = (fun () -> locked t (fun () -> fsync_file sf));
+    f_close = (fun () -> ());
+  }
+
+let io t =
+  {
+    Wal_io.io_name = "sim";
+    io_mkdir =
+      (fun dir ->
+        locked t (fun () ->
+            if not (List.mem dir t.dirs) then t.dirs <- dir :: t.dirs));
+    io_readdir =
+      (fun dir ->
+        locked t (fun () ->
+            Hashtbl.fold
+              (fun path _ acc ->
+                if Filename.dirname path = dir then
+                  Filename.basename path :: acc
+                else acc)
+              t.live []
+            |> Array.of_list));
+    io_exists =
+      (fun path ->
+        locked t (fun () -> Hashtbl.mem t.live path || List.mem path t.dirs));
+    io_create =
+      (fun path ->
+        locked t (fun () ->
+            (* O_TRUNC: a fresh object.  The synced namespace may still
+               bind the old one — a dropped create reveals it. *)
+            let sf = { synced = Bytes.create 0; pending = [] } in
+            Hashtbl.replace t.live path sf;
+            t.dops <- D_create (path, sf) :: t.dops;
+            mk_file t path sf ~writable:true));
+    io_open_ro =
+      (fun path ->
+        locked t (fun () -> mk_file t path (find t "open" path) ~writable:false));
+    io_open_rw =
+      (fun path ->
+        locked t (fun () -> mk_file t path (find t "open" path) ~writable:true));
+    io_rename =
+      (fun a b ->
+        locked t (fun () ->
+            let sf = find t "rename" a in
+            Hashtbl.remove t.live a;
+            Hashtbl.replace t.live b sf;
+            t.dops <- D_rename (a, b) :: t.dops));
+    io_unlink =
+      (fun path ->
+        locked t (fun () ->
+            if Hashtbl.mem t.live path then begin
+              Hashtbl.remove t.live path;
+              t.dops <- D_unlink path :: t.dops
+            end));
+    io_fsync_dir =
+      (fun _dir ->
+        locked t (fun () ->
+            t.synced_ns <-
+              Hashtbl.fold (fun p sf acc -> (p, sf) :: acc) t.live [];
+            t.dops <- []));
+    io_metrics = (fun () -> []);
+  }
+
+(* Identity-preserving deep copy: the same sfile reachable from both the
+   live table and the synced namespace (or a dop) must map to the same
+   copy. *)
+let copy_with_map () =
+  let map = ref [] in
+  fun sf ->
+    match List.assq_opt sf !map with
+    | Some c -> c
+    | None ->
+        let c = { synced = Bytes.copy sf.synced; pending = sf.pending } in
+        (* pending pairs are immutable once consed; sharing the list is
+           safe because only the head field mutates *)
+        map := (sf, c) :: !map;
+        c
+
+let snapshot t =
+  locked t (fun () ->
+      let cp = copy_with_map () in
+      let live = Hashtbl.create (Hashtbl.length t.live) in
+      Hashtbl.iter (fun p sf -> Hashtbl.replace live p (cp sf)) t.live;
+      {
+        mu = Mutex.create ();
+        live;
+        synced_ns = List.map (fun (p, sf) -> (p, cp sf)) t.synced_ns;
+        dops =
+          List.map
+            (function
+              | D_create (p, sf) -> D_create (p, cp sf)
+              | (D_rename _ | D_unlink _) as d -> d)
+            t.dops;
+        dirs = t.dirs;
+      })
+
+let coin ~seed ~salt ~a ~b = Util.Sprng.hash4 seed salt a b land 1 = 1
+
+(* Materialize one post-crash file: durable content plus an arbitrary
+   seeded subset of the pending sectors.  Sector decisions are keyed by
+   (seed, path, absolute sector index), so they do not depend on how the
+   pending writes were batched. *)
+let materialize_file ~seed path sf =
+  if sf.pending = [] then { synced = Bytes.copy sf.synced; pending = [] }
+  else begin
+    let syn = sf.synced in
+    let live = live_content sf in
+    let slen = Bytes.length syn and llen = Bytes.length live in
+    let nsec = (max slen llen + sector - 1) / sector in
+    let phash = Hashtbl.hash path in
+    let sec_at src len s =
+      let b = Bytes.make sector '\000' in
+      let off = s * sector in
+      if off < len then Bytes.blit src off b 0 (min sector (len - off));
+      b
+    in
+    let kept = Array.make (max nsec 1) false in
+    let final_len = ref slen in
+    for s = 0 to nsec - 1 do
+      let old_sec = sec_at syn slen s and new_sec = sec_at live llen s in
+      if not (Bytes.equal old_sec new_sec) && coin ~seed ~salt:phash ~a:s ~b:2
+      then begin
+        kept.(s) <- true;
+        (* kept sector pins the size out to its live extent *)
+        final_len := max !final_len (min llen ((s + 1) * sector))
+      end
+    done;
+    let buf = Bytes.make !final_len '\000' in
+    Bytes.blit syn 0 buf 0 (min slen !final_len);
+    for s = 0 to nsec - 1 do
+      if kept.(s) then begin
+        let off = s * sector in
+        let n = min sector (!final_len - off) in
+        if n > 0 then Bytes.blit live off buf off n
+      end
+    done;
+    { synced = buf; pending = [] }
+  end
+
+let crash t ~seed =
+  let src = snapshot t in
+  (* Replay the namespace from the last barrier, keeping or dropping
+     each buffered op in issue order. *)
+  let ns = Hashtbl.create 16 in
+  List.iter (fun (p, sf) -> Hashtbl.replace ns p sf) src.synced_ns;
+  List.iteri
+    (fun i d ->
+      if coin ~seed ~salt:0x0D09 ~a:i ~b:1 then
+        match d with
+        | D_create (p, sf) -> Hashtbl.replace ns p sf
+        | D_rename (a, b) -> (
+            match Hashtbl.find_opt ns a with
+            | Some sf ->
+                Hashtbl.remove ns a;
+                Hashtbl.replace ns b sf
+            | None -> ())
+        | D_unlink p -> Hashtbl.remove ns p)
+    (List.rev src.dops);
+  let names =
+    List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) ns [])
+  in
+  let cp = copy_with_map () in
+  let live = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      (* share materializations across aliases via the identity map *)
+      let sf = cp (Hashtbl.find ns p) in
+      Hashtbl.replace live p sf)
+    names;
+  Hashtbl.iter
+    (fun p sf ->
+      let m = materialize_file ~seed p sf in
+      sf.synced <- m.synced;
+      sf.pending <- [])
+    live;
+  {
+    mu = Mutex.create ();
+    live;
+    synced_ns = Hashtbl.fold (fun p sf acc -> (p, sf) :: acc) live [];
+    dops = [];
+    dirs = src.dirs;
+  }
+
+let files t =
+  locked t (fun () ->
+      Hashtbl.fold (fun p sf acc -> (p, file_size sf) :: acc) t.live []
+      |> List.sort compare)
+
+let pending_bytes t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ sf acc ->
+          acc
+          + List.fold_left (fun a (_, d) -> a + Bytes.length d) 0 sf.pending)
+        t.live 0)

@@ -1,0 +1,50 @@
+(** ALICE/CrashMonkey-style simulated block device (DESIGN.md §16).
+
+    A single-directory in-memory filesystem exposed as a {!Wal_io.t}.
+    Every write and every namespace operation (create / rename / unlink)
+    is buffered as {e pending} until the corresponding barrier —
+    [f_fsync] for file contents, [io_fsync_dir] for the namespace —
+    merges it into the durable ("synced") state.
+
+    {!crash} then answers the question a real power loss poses: which of
+    the pending effects made it to the platter?  The materialization
+    keeps an arbitrary seeded subset — per 512-byte {e sector} for file
+    contents (so one buffered append can land torn, and later sectors
+    can survive while earlier ones vanish: reordering), per operation
+    for namespace changes — while everything before the last barrier is
+    inviolable.  Recovery code that survives every such materialization
+    survives the ALICE crash model. *)
+
+type t
+
+val sector : int
+(** Tearing granularity, 512 bytes. *)
+
+val create : unit -> t
+(** Fresh empty filesystem. *)
+
+val io : t -> Wal_io.t
+(** The VFS view.  Thread-safe (a global lock per filesystem); raises
+    [Unix.Unix_error (ENOENT, _, _)] for missing paths, matching the
+    passthrough contract. *)
+
+val snapshot : t -> t
+(** Deep copy under the lock — pending state included.  Take one
+    mid-workload, then {!crash} it repeatedly with different seeds while
+    the original keeps running. *)
+
+val crash : t -> seed:int -> t
+(** Materialize one legal post-crash state, deterministically from
+    [seed]: each pending namespace op is kept or dropped (in issue
+    order, so a kept rename can expose a file whose create was also
+    kept), and for each surviving file each pending {e sector} is
+    independently kept (new content) or dropped (last-synced content,
+    zero-filled holes).  Synced state is never touched.  The result is
+    fully quiesced: no pending state, as if freshly mounted.  The input
+    filesystem is not modified. *)
+
+val files : t -> (string * int) list
+(** Live (name, size) listing, for tests. *)
+
+val pending_bytes : t -> int
+(** Total buffered-but-unsynced content bytes, for tests. *)

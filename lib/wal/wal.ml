@@ -1,5 +1,6 @@
 (* Per-table write-ahead redo log with group commit, fuzzy checkpoints
-   and crash recovery (DESIGN.md §15).
+   and crash recovery (DESIGN.md §15), running entirely through the
+   storage-fault VFS (Wal_io, DESIGN.md §16).
 
    Shape of the protocol:
 
@@ -13,7 +14,7 @@
 
    - A dedicated log-writer domain merges the rings into a reorder
      buffer (min-heap on LSN) and flushes only the *contiguous* LSN
-     prefix: one write(2) and one fsync per batch (group commit).
+     prefix: one write and one fsync per batch (group commit).
      Strict LSN-ordered flushing is a correctness requirement, not an
      optimisation: if transaction B read A's write, B's record must not
      reach disk while A's is lost, or the recovered image exposes a
@@ -33,6 +34,16 @@
      replay high-water mark, which is what makes replay idempotent and
      lets the checkpoint truncate every older segment.
 
+   Failure model (DESIGN.md §16): transient I/O errors are retried with
+   capped backoff; a permanent error — and *any* fsync failure, per the
+   fsyncgate semantics — poisons the log: [failed] is set, the
+   durability watermark freezes, every blocked [wait_durable] and
+   [checkpoint] waiter is woken to raise [Degraded], and new
+   [log_commit] calls refuse immediately.  The writer keeps draining
+   rings (discarding records — they can never be acked) so workers
+   never block against a full ring, then exits on [stop].  Nothing is
+   ever acked that did not survive an fsync.
+
    What is durable: effects of transactions whose [wait_durable]
    returned.  What is not: transactions still in rings or unflushed
    batches at the kill — they were never acknowledged.  The log carries
@@ -48,10 +59,12 @@ type config = {
   sync : sync_mode;
   ring_cap : int;
   ckpt_every_bytes : int;  (* 0 = manual checkpoints only *)
+  io : Wal_io.t;
 }
 
-let config ?(sync = Sync_fsync) ?(ring_cap = 256) ?(ckpt_every_bytes = 0) ~dir () =
-  { dir; sync; ring_cap; ckpt_every_bytes }
+let config ?(sync = Sync_fsync) ?(ring_cap = 256) ?(ckpt_every_bytes = 0)
+    ?(io = Wal_io.passthrough) ~dir () =
+  { dir; sync; ring_cap; ckpt_every_bytes; io }
 
 type store = {
   table_id : int;
@@ -61,6 +74,8 @@ type store = {
   write_row : int -> Bytes.t -> unit;
 }
 
+exception Degraded of string
+
 type t = {
   cfg : config;
   store : store;
@@ -69,6 +84,7 @@ type t = {
   row_lsn : int array;  (* committed LSN per row; written in the odd window *)
   rings : Ring.t array;  (* one per worker tid *)
   flushed : int Atomic.t;  (* highest LSN durable on disk *)
+  failed : string option Atomic.t;  (* poison: permanent log-device failure *)
   mu : Mutex.t;
   cond : Condition.t;
   stopping : bool Atomic.t;
@@ -76,7 +92,7 @@ type t = {
   mutable ckpt_done : int;  (* completed checkpoints; guarded by [mu] *)
   mutable writer : unit Domain.t option;
   (* Writer-domain-owned state below (no concurrent access). *)
-  mutable fd : Unix.file_descr;
+  mutable fd : Wal_io.file;
   mutable seg_seq : int;
   mutable seg_bytes : int;
   mutable bytes_since_ckpt : int;
@@ -87,6 +103,8 @@ type t = {
   m_bytes : int Atomic.t;
   m_checkpoints : int Atomic.t;
   m_ckpt_lsn : int Atomic.t;
+  m_io_retries : int Atomic.t;
+  m_fsync_failures : int Atomic.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -102,45 +120,13 @@ let parse_seg name =
     int_of_string_opt (String.sub name 0 8)
   else None
 
-let segments ~dir =
-  match Sys.readdir dir with
-  | exception Sys_error _ -> []
-  | names ->
-      Array.to_list names
-      |> List.filter_map (fun n ->
-             match parse_seg n with
-             | Some seq -> Some (seq, Filename.concat dir n)
-             | None -> None)
-      |> List.sort compare
-
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()
-  | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      Unix.close fd
-
-let write_all fd s =
-  let len = String.length s in
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write_substring fd s !off (len - !off)
-  done
-
-let read_file path =
-  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let len = (Unix.fstat fd).Unix.st_size in
-      let buf = Bytes.create len in
-      let off = ref 0 in
-      while !off < len do
-        let n = Unix.read fd buf !off (len - !off) in
-        if n = 0 then failwith "unexpected EOF";
-        off := !off + n
-      done;
-      buf)
+let segments ?(io = Wal_io.passthrough) ~dir () =
+  io.Wal_io.io_readdir dir |> Array.to_list
+  |> List.filter_map (fun n ->
+         match parse_seg n with
+         | Some seq -> Some (seq, Filename.concat dir n)
+         | None -> None)
+  |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint image codec                                             *)
@@ -195,8 +181,8 @@ let check_image buf =
     corruptf "checkpoint image: CRC mismatch (stored 0x%08X, computed 0x%08X)" stored crc;
   info
 
-let read_image_info ~dir =
-  match read_file (image_path dir) with
+let read_image_info ?(io = Wal_io.passthrough) ~dir () =
+  match Wal_io.read_file io (image_path dir) with
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
   | buf -> Some (check_image buf)
 
@@ -258,7 +244,78 @@ module Heap = struct
     buf
 
   let is_empty h = h.len = 0
+
+  let clear h =
+    for i = 0 to h.len - 1 do
+      h.bufs.(i) <- Bytes.empty
+    done;
+    h.len <- 0
 end
+
+(* ------------------------------------------------------------------ *)
+(* Failure handling                                                   *)
+
+let poison t reason =
+  if Atomic.compare_and_set t.failed None (Some reason) then begin
+    Mutex.lock t.mu;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu
+  end
+
+let degraded t = Atomic.get t.failed
+
+let describe_exn = function
+  | Wal_io.Io_error e ->
+      Printf.sprintf "%s %s: %s" e.op e.path (Unix.error_message e.error)
+  | Unix.Unix_error (err, op, path) ->
+      Printf.sprintf "%s %s: %s" op path (Unix.error_message err)
+  | e -> Printexc.to_string e
+
+let transient_exn = function Wal_io.Io_error e -> e.transient | _ -> false
+
+let max_retries = 5
+let backoff attempt = Unix.sleepf (0.0005 *. float (1 lsl min attempt 4))
+
+(* Run a writer-domain io thunk with capped-backoff retries on transient
+   failures.  Permanent failures and an exhausted budget propagate. *)
+let retrying t f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception ((Wal_io.Io_error _ | Unix.Unix_error _) as e)
+      when transient_exn e && attempt < max_retries ->
+        Atomic.incr t.m_io_retries;
+        backoff attempt;
+        go (attempt + 1)
+  in
+  go 0
+
+(* Same, but poison instead of propagating: returns false on failure. *)
+let guarded t ~what f =
+  match retrying t f with
+  | () -> true
+  | exception ((Wal_io.Io_error _ | Unix.Unix_error _) as e) ->
+      poison t (Printf.sprintf "%s: %s" what (describe_exn e));
+      false
+
+(* A failed fsync is never retried: the unflushed pages may already be
+   gone from the cache, so "fsync again and see it succeed" would
+   acknowledge data that was lost (the fsyncgate bug).  Poison. *)
+let guarded_fsync t (file : Wal_io.file) ~what =
+  match file.f_fsync () with
+  | () -> true
+  | exception ((Wal_io.Io_error _ | Unix.Unix_error _) as e) ->
+      Atomic.incr t.m_fsync_failures;
+      poison t (Printf.sprintf "%s: %s" what (describe_exn e));
+      false
+
+let guarded_fsync_dir t ~what =
+  match t.cfg.io.Wal_io.io_fsync_dir t.cfg.dir with
+  | () -> true
+  | exception ((Wal_io.Io_error _ | Unix.Unix_error _) as e) ->
+      Atomic.incr t.m_fsync_failures;
+      poison t (Printf.sprintf "%s: %s" what (describe_exn e));
+      false
 
 (* ------------------------------------------------------------------ *)
 (* Commit-window API (caller holds the row's write locks)             *)
@@ -272,6 +329,12 @@ let mark_undo t ~rid =
   if m land 1 = 1 then Atomic.set t.marks.(rid) (m + 1)
 
 let log_commit t ~tid ~n ~rid =
+  (* Refuse before mutating anything: the caller still holds its locks
+     and undo images, so it can roll back cleanly and turn this into a
+     typed read-only abort. *)
+  (match Atomic.get t.failed with
+  | Some reason -> raise (Degraded reason)
+  | None -> ());
   let st = t.store in
   let lsn = Atomic.fetch_and_add t.next_lsn 1 in
   (* Stamp every written row's committed LSN and close its seqlock
@@ -301,17 +364,20 @@ let flushed_lsn t = Atomic.get t.flushed
 let wait_durable t ~lsn =
   if Atomic.get t.flushed < lsn then begin
     Mutex.lock t.mu;
-    while Atomic.get t.flushed < lsn do
+    while Atomic.get t.flushed < lsn && Atomic.get t.failed = None do
       Condition.wait t.cond t.mu
     done;
-    Mutex.unlock t.mu
+    Mutex.unlock t.mu;
+    if Atomic.get t.flushed < lsn then
+      match Atomic.get t.failed with
+      | Some reason -> raise (Degraded reason)
+      | None -> ()
   end
 
 (* ------------------------------------------------------------------ *)
 (* Log-writer domain                                                  *)
 
-let open_segment dir seq =
-  Unix.openfile (seg_path dir seq) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+let open_segment io dir seq = io.Wal_io.io_create (seg_path dir seq)
 
 let drain_rings t heap =
   let n = ref 0 in
@@ -331,7 +397,8 @@ let drain_rings t heap =
 let rings_empty t = Array.for_all Ring.is_empty t.rings
 
 (* Flush the contiguous LSN prefix of the reorder buffer: one write,
-   one fsync, one broadcast.  Returns true if anything was flushed. *)
+   one fsync, one broadcast.  Returns true if anything was flushed;
+   false also covers "the log just got poisoned". *)
 let flush_batch t heap batch =
   Buffer.clear batch;
   let expected = ref (Atomic.get t.flushed + 1) in
@@ -342,23 +409,47 @@ let flush_batch t heap batch =
   if Buffer.length batch = 0 then false
   else begin
     let s = Buffer.contents batch in
-    write_all t.fd s;
-    if !Chaos.on then Chaos.point Chaos.Wal_fsync;
-    (match t.cfg.sync with
-    | Sync_fsync ->
-        Unix.fsync t.fd;
-        Atomic.incr t.m_fsyncs
-    | Sync_none -> ());
-    t.seg_bytes <- t.seg_bytes + String.length s;
-    t.bytes_since_ckpt <- t.bytes_since_ckpt + String.length s;
-    Atomic.incr t.m_batches;
-    ignore (Atomic.fetch_and_add t.m_bytes (String.length s));
-    Mutex.lock t.mu;
-    Atomic.set t.flushed (!expected - 1);
-    Condition.broadcast t.cond;
-    Mutex.unlock t.mu;
-    true
+    let b = Bytes.unsafe_of_string s in
+    let len = Bytes.length b in
+    let pos = ref 0 in
+    (* Resume from [pos] across transient-retry rounds: the injector
+       and Unix both fail without a partial transfer, so no byte is
+       ever written twice. *)
+    let wrote =
+      guarded t ~what:"segment append" (fun () ->
+          while !pos < len do
+            pos := !pos + t.fd.Wal_io.f_write b ~pos:!pos ~len:(len - !pos)
+          done)
+    in
+    if not wrote then false
+    else begin
+      if !Chaos.on then Chaos.point Chaos.Wal_fsync;
+      let synced =
+        match t.cfg.sync with
+        | Sync_fsync ->
+            if guarded_fsync t t.fd ~what:"segment fsync" then begin
+              Atomic.incr t.m_fsyncs;
+              true
+            end
+            else false
+        | Sync_none -> true
+      in
+      if not synced then false
+      else begin
+        t.seg_bytes <- t.seg_bytes + len;
+        t.bytes_since_ckpt <- t.bytes_since_ckpt + len;
+        Atomic.incr t.m_batches;
+        ignore (Atomic.fetch_and_add t.m_bytes len);
+        Mutex.lock t.mu;
+        Atomic.set t.flushed (!expected - 1);
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mu;
+        true
+      end
+    end
   end
+
+exception Bail
 
 (* Fuzzy checkpoint, run on the writer domain.
 
@@ -373,95 +464,155 @@ let flush_batch t heap batch =
    4. Write image to a temp file, fsync, atomically rename, fsync dir.
    5. Delete the old segments: all their records have lsn < start_lsn
       and are provably reflected in the image (with per-row LSNs that
-      make replaying any surviving duplicate a no-op). *)
+      make replaying any surviving duplicate a no-op).
+
+   Any I/O failure along the way poisons the log and abandons the
+   checkpoint; the previous image and segments stay authoritative (the
+   tmp file and a fresh empty segment are the only possible litter, and
+   recovery discards both). *)
 let do_checkpoint t heap batch =
   if !Chaos.on then Chaos.point Chaos.Wal_checkpoint;
+  let io = t.cfg.io in
   let st = t.store in
   let start_lsn = Atomic.get t.next_lsn in
-  while Atomic.get t.flushed < start_lsn - 1 do
+  let ok = ref true in
+  while !ok && Atomic.get t.flushed < start_lsn - 1 do
     ignore (drain_rings t heap);
-    if not (flush_batch t heap batch) then Domain.cpu_relax ()
+    if Atomic.get t.failed <> None then ok := false
+    else if not (flush_batch t heap batch) then Domain.cpu_relax ()
   done;
-  (match t.cfg.sync with Sync_fsync -> Unix.fsync t.fd | Sync_none -> ());
-  Unix.close t.fd;
-  let old_seq = t.seg_seq in
-  t.seg_seq <- t.seg_seq + 1;
-  t.fd <- open_segment t.cfg.dir t.seg_seq;
-  t.seg_bytes <- 0;
-  fsync_dir t.cfg.dir;
-  let img = Bytes.create (image_size st) in
-  Bytes.blit_string image_magic 0 img 0 8;
-  set_u32 img 8 image_version;
-  set_u32 img 12 st.table_id;
-  set_u32 img 16 st.num_rows;
-  set_u32 img 20 st.row_len;
-  set_i64 img 24 start_lsn;
-  for rid = 0 to st.num_rows - 1 do
-    let off = image_row_off st rid in
-    let rec copy () =
-      let m1 = Atomic.get t.marks.(rid) in
-      if m1 land 1 = 1 then begin
-        Domain.cpu_relax ();
+  if !ok && Atomic.get t.failed = None then begin
+    let require b = if not b then raise Bail in
+    try
+      (match t.cfg.sync with
+      | Sync_fsync -> require (guarded_fsync t t.fd ~what:"checkpoint rotate fsync")
+      | Sync_none -> ());
+      t.fd.Wal_io.f_close ();
+      let old_seq = t.seg_seq in
+      t.seg_seq <- t.seg_seq + 1;
+      t.fd <- retrying t (fun () -> open_segment io t.cfg.dir t.seg_seq);
+      t.seg_bytes <- 0;
+      require (guarded_fsync_dir t ~what:"checkpoint rotate dir fsync");
+      let img = Bytes.create (image_size st) in
+      Bytes.blit_string image_magic 0 img 0 8;
+      set_u32 img 8 image_version;
+      set_u32 img 12 st.table_id;
+      set_u32 img 16 st.num_rows;
+      set_u32 img 20 st.row_len;
+      set_i64 img 24 start_lsn;
+      for rid = 0 to st.num_rows - 1 do
+        let off = image_row_off st rid in
+        let rec copy () =
+          let m1 = Atomic.get t.marks.(rid) in
+          if m1 land 1 = 1 then begin
+            Domain.cpu_relax ();
+            copy ()
+          end
+          else begin
+            let lsn = t.row_lsn.(rid) in
+            Bytes.blit (st.read_row rid) 0 img (off + 8) st.row_len;
+            if Atomic.get t.marks.(rid) <> m1 then copy () else set_i64 img off lsn
+          end
+        in
         copy ()
-      end
-      else begin
-        let lsn = t.row_lsn.(rid) in
-        Bytes.blit (st.read_row rid) 0 img (off + 8) st.row_len;
-        if Atomic.get t.marks.(rid) <> m1 then copy () else set_i64 img off lsn
-      end
-    in
-    copy ()
-  done;
-  set_i64 img 32 (Atomic.get t.next_lsn - 1);
-  let crc = Util.Crc32.bytes ~len:(Bytes.length img - 4) img in
-  set_u32 img (Bytes.length img - 4) crc;
-  let tmp = image_tmp_path t.cfg.dir in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  write_all fd (Bytes.unsafe_to_string img);
-  (match t.cfg.sync with Sync_fsync -> Unix.fsync fd | Sync_none -> ());
-  Unix.close fd;
-  (* A kill in this window leaves checkpoint.tmp plus the old image and
-     all old segments — recovery ignores the tmp and replays as before. *)
-  if !Chaos.on then Chaos.point Chaos.Wal_checkpoint;
-  Unix.rename tmp (image_path t.cfg.dir);
-  fsync_dir t.cfg.dir;
-  for seq = 0 to old_seq do
-    try Sys.remove (seg_path t.cfg.dir seq) with Sys_error _ -> ()
-  done;
-  t.bytes_since_ckpt <- 0;
-  Atomic.incr t.m_checkpoints;
-  Atomic.set t.m_ckpt_lsn (start_lsn - 1);
-  Mutex.lock t.mu;
-  t.ckpt_done <- t.ckpt_done + 1;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.mu
+      done;
+      set_i64 img 32 (Atomic.get t.next_lsn - 1);
+      let crc = Util.Crc32.bytes ~len:(Bytes.length img - 4) img in
+      set_u32 img (Bytes.length img - 4) crc;
+      let tmp = image_tmp_path t.cfg.dir in
+      (* A transient failure mid-image restarts the tmp file from
+         scratch (O_TRUNC recreate) — a resumed write could otherwise
+         duplicate bytes. *)
+      let tmp_fd =
+        retrying t (fun () ->
+            let fd = io.Wal_io.io_create tmp in
+            match Wal_io.write_string fd (Bytes.unsafe_to_string img) with
+            | () -> fd
+            | exception e ->
+                fd.Wal_io.f_close ();
+                raise e)
+      in
+      (match t.cfg.sync with
+      | Sync_fsync ->
+          if not (guarded_fsync t tmp_fd ~what:"checkpoint image fsync") then begin
+            tmp_fd.Wal_io.f_close ();
+            raise Bail
+          end
+      | Sync_none -> ());
+      tmp_fd.Wal_io.f_close ();
+      (* A kill in this window leaves checkpoint.tmp plus the old image
+         and all old segments — recovery ignores the tmp and replays as
+         before. *)
+      if !Chaos.on then Chaos.point Chaos.Wal_checkpoint;
+      retrying t (fun () -> io.Wal_io.io_rename tmp (image_path t.cfg.dir));
+      require (guarded_fsync_dir t ~what:"checkpoint install dir fsync");
+      for seq = 0 to old_seq do
+        (* Leftover segments are harmless (replay is idempotent); an
+           unlink failure is not worth poisoning over. *)
+        try io.Wal_io.io_unlink (seg_path t.cfg.dir seq)
+        with Wal_io.Io_error _ | Unix.Unix_error _ -> ()
+      done;
+      t.bytes_since_ckpt <- 0;
+      Atomic.incr t.m_checkpoints;
+      Atomic.set t.m_ckpt_lsn (start_lsn - 1);
+      Mutex.lock t.mu;
+      t.ckpt_done <- t.ckpt_done + 1;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu
+    with
+    | Bail -> ()
+    | (Wal_io.Io_error _ | Unix.Unix_error _) as e ->
+        poison t (Printf.sprintf "checkpoint: %s" (describe_exn e))
+  end
 
 let writer_loop t =
   let heap = Heap.create () in
   let batch = Buffer.create 65536 in
   let idle = ref 0 in
   let running = ref true in
-  while !running do
-    ignore (drain_rings t heap);
-    let progressed = flush_batch t heap batch in
-    if Atomic.compare_and_set t.ckpt_req true false then do_checkpoint t heap batch
-    else if
-      t.cfg.ckpt_every_bytes > 0 && t.bytes_since_ckpt >= t.cfg.ckpt_every_bytes
-    then do_checkpoint t heap batch;
-    if progressed then idle := 0
-    else if Atomic.get t.stopping && Heap.is_empty heap && rings_empty t then
-      running := false
-    else begin
-      (* Idle backoff: spin briefly (latency), then yield, then sleep
-         (CPU) — commit acks tolerate ~100 µs of writer doze. *)
-      incr idle;
-      if !idle < 64 then Domain.cpu_relax ()
-      else if !idle < 128 then Thread.yield ()
-      else Unix.sleepf 0.0001
-    end
-  done;
-  (match t.cfg.sync with Sync_fsync -> (try Unix.fsync t.fd with Unix.Unix_error _ -> ()) | Sync_none -> ());
-  Unix.close t.fd;
+  (try
+     while !running do
+       ignore (drain_rings t heap);
+       if Atomic.get t.failed <> None then begin
+         (* Poisoned: keep draining so no worker ever blocks on a full
+            ring, discard the records (they can never be acked), ignore
+            checkpoint requests (their waiters raise [Degraded]). *)
+         Heap.clear heap;
+         ignore (Atomic.compare_and_set t.ckpt_req true false);
+         if Atomic.get t.stopping then running := false else Unix.sleepf 0.0002
+       end
+       else begin
+         let progressed = flush_batch t heap batch in
+         if Atomic.compare_and_set t.ckpt_req true false then do_checkpoint t heap batch
+         else if
+           t.cfg.ckpt_every_bytes > 0 && t.bytes_since_ckpt >= t.cfg.ckpt_every_bytes
+         then do_checkpoint t heap batch;
+         if progressed then idle := 0
+         else if Atomic.get t.stopping && Heap.is_empty heap && rings_empty t then
+           running := false
+         else begin
+           (* Idle backoff: spin briefly (latency), then yield, then sleep
+              (CPU) — commit acks tolerate ~100 µs of writer doze. *)
+           incr idle;
+           if !idle < 64 then Domain.cpu_relax ()
+           else if !idle < 128 then Thread.yield ()
+           else Unix.sleepf 0.0001
+         end
+       end
+     done;
+     (* Final fsync.  A failure here used to be swallowed — the classic
+        fsyncgate lie, since [stop] then looked like a clean shutdown.
+        Now it poisons the watermark like any other fsync failure. *)
+     if Atomic.get t.failed = None then
+       match t.cfg.sync with
+       | Sync_fsync ->
+           if guarded_fsync t t.fd ~what:"final fsync" then Atomic.incr t.m_fsyncs
+       | Sync_none -> ()
+   with e ->
+     (* Nothing may escape the domain: [stop]'s join must not re-raise,
+        and waiters need the poison broadcast to wake up. *)
+     poison t (Printf.sprintf "log writer died: %s" (describe_exn e)));
+  (try t.fd.Wal_io.f_close () with _ -> ());
   Util.Tid.release ()
 
 (* ------------------------------------------------------------------ *)
@@ -469,9 +620,12 @@ let writer_loop t =
 
 let create ?(next_lsn = 1) cfg store =
   if store.row_len > Record.max_row_len then invalid_arg "Wal.create: row_len > 65535";
-  (try Unix.mkdir cfg.dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let io = cfg.io in
+  io.Wal_io.io_mkdir cfg.dir;
   let seg_seq =
-    match segments ~dir:cfg.dir with [] -> 0 | segs -> fst (List.hd (List.rev segs)) + 1
+    match segments ~io ~dir:cfg.dir () with
+    | [] -> 0
+    | segs -> fst (List.hd (List.rev segs)) + 1
   in
   let t =
     {
@@ -482,13 +636,14 @@ let create ?(next_lsn = 1) cfg store =
       row_lsn = Array.make store.num_rows 0;
       rings = Array.init Util.Tid.max_threads (fun _ -> Ring.create ~capacity:cfg.ring_cap);
       flushed = Atomic.make (next_lsn - 1);
+      failed = Atomic.make None;
       mu = Mutex.create ();
       cond = Condition.create ();
       stopping = Atomic.make false;
       ckpt_req = Atomic.make false;
       ckpt_done = 0;
       writer = None;
-      fd = open_segment cfg.dir seg_seq;
+      fd = open_segment io cfg.dir seg_seq;
       seg_seq;
       seg_bytes = 0;
       bytes_since_ckpt = 0;
@@ -498,20 +653,29 @@ let create ?(next_lsn = 1) cfg store =
       m_bytes = Atomic.make 0;
       m_checkpoints = Atomic.make 0;
       m_ckpt_lsn = Atomic.make 0;
+      m_io_retries = Atomic.make 0;
+      m_fsync_failures = Atomic.make 0;
     }
   in
-  fsync_dir cfg.dir;
+  (* The new segment's directory entry must be durable before anything
+     is logged into it; a failure propagates to the caller (the log
+     never opened). *)
+  io.Wal_io.io_fsync_dir cfg.dir;
   t.writer <- Some (Domain.spawn (fun () -> writer_loop t));
   t
 
 let checkpoint t =
+  (match Atomic.get t.failed with Some r -> raise (Degraded r) | None -> ());
   Mutex.lock t.mu;
   let before = t.ckpt_done in
   Atomic.set t.ckpt_req true;
-  while t.ckpt_done = before do
+  while t.ckpt_done = before && Atomic.get t.failed = None do
     Condition.wait t.cond t.mu
   done;
-  Mutex.unlock t.mu
+  let completed = t.ckpt_done <> before in
+  Mutex.unlock t.mu;
+  if not completed then
+    match Atomic.get t.failed with Some r -> raise (Degraded r) | None -> ()
 
 let stop t =
   Atomic.set t.stopping true;
@@ -528,7 +692,11 @@ let metrics t =
     ("flushed_lsn", Atomic.get t.flushed);
     ("next_lsn", Atomic.get t.next_lsn);
     ("last_checkpoint_lsn", Atomic.get t.m_ckpt_lsn);
+    ("io_retries", Atomic.get t.m_io_retries);
+    ("io_fsync_failures", Atomic.get t.m_fsync_failures);
+    ("degraded", match Atomic.get t.failed with Some _ -> 1 | None -> 0);
   ]
+  @ List.map (fun (k, v) -> ("io_" ^ k, v)) (t.cfg.io.Wal_io.io_metrics ())
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                           *)
@@ -542,24 +710,57 @@ type recovery = {
   r_skipped : int;  (** row writes below the per-row high-water mark *)
   r_torn_tail : bool;
   r_truncated_bytes : int;
+  r_suspect_records : int;
+  r_tmp_discarded : bool;
   r_segments : int;
 }
 
-let truncate_file path len =
-  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+let truncate_file io path len =
+  let fd = io.Wal_io.io_open_rw path in
   Fun.protect
-    ~finally:(fun () -> Unix.close fd)
+    ~finally:(fun () -> fd.Wal_io.f_close ())
     (fun () ->
-      Unix.ftruncate fd len;
-      try Unix.fsync fd with Unix.Unix_error _ -> ())
+      fd.Wal_io.f_truncate len;
+      fd.Wal_io.f_fsync ())
 
-let recover ~dir store =
+(* Structurally valid records found after a damaged region of the final
+   segment: under the crash model these are legal (a dropped interior
+   sector of an unsynced batch leaves later sectors intact), but they
+   are evidence of reordering, so recovery counts them as "suspect" and
+   reports a degraded recovery rather than silently losing them. *)
+let count_suspect buf ~pos ~len ~after_lsn =
+  let n = ref 0 in
+  let pos = ref pos and lsn = ref after_lsn in
+  let continue = ref true in
+  while !continue do
+    match Record.find_valid buf ~pos:!pos ~len ~after_lsn:!lsn with
+    | None -> continue := false
+    | Some p ->
+        let q = ref p and run = ref true in
+        while !run && !q < len do
+          match Record.decode buf ~pos:!q ~avail:(len - !q) with
+          | Ok (r, sz) ->
+              incr n;
+              if r.Record.r_lsn > !lsn then lsn := r.Record.r_lsn;
+              q := !q + sz
+          | Error _ -> run := false
+        done;
+        pos := !q + 1;
+        if !pos >= len then continue := false
+  done;
+  !n
+
+let recover ?(io = Wal_io.passthrough) ?(strict = false) ~dir store =
   (* A leftover checkpoint.tmp is an interrupted checkpoint: the rename
-     never happened, so it is dead weight. *)
-  (try Sys.remove (image_tmp_path dir) with Sys_error _ -> ());
+     never happened, so it is dead weight — but its presence means the
+     shutdown was not clean, which the caller may want to surface. *)
+  let tmp_discarded = io.Wal_io.io_exists (image_tmp_path dir) in
+  if tmp_discarded then (
+    try io.Wal_io.io_unlink (image_tmp_path dir)
+    with Wal_io.Io_error _ | Unix.Unix_error _ -> ());
   let applied = Array.make store.num_rows 0 in
   let image_lsn = ref 0 in
-  (match read_file (image_path dir) with
+  (match Wal_io.read_file io (image_path dir) with
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
   | exception Unix.Unix_error (e, _, _) ->
       corruptf "checkpoint image unreadable: %s" (Unix.error_message e)
@@ -576,15 +777,15 @@ let recover ~dir store =
         applied.(rid) <- get_i64 buf off
       done;
       image_lsn := info.i_end_lsn);
-  let segs = segments ~dir in
+  let segs = segments ~io ~dir () in
   let nsegs = List.length segs in
   let max_lsn = ref (Array.fold_left max !image_lsn applied) in
   let records = ref 0 and replayed = ref 0 and skipped = ref 0 in
-  let torn = ref false and truncated = ref 0 in
+  let torn = ref false and truncated = ref 0 and suspect = ref 0 in
   List.iteri
     (fun i (_, path) ->
       let last = i = nsegs - 1 in
-      let buf = read_file path in
+      let buf = Wal_io.read_file io path in
       let len = Bytes.length buf in
       let off = ref 0 in
       let continue = ref true in
@@ -616,18 +817,28 @@ let recover ~dir store =
           | Error reason ->
               if not last then corruptf "%s+%d: %s (interior segment)" path !off reason
               else begin
-                (* Torn tail or corruption?  A structurally valid record
-                   *after* the bad bytes means the damage is interior —
-                   the writer appends sequentially, so a genuine tear is
-                   always a missing suffix. *)
+                (* Damage in the final segment.  A structurally valid
+                   record *after* the bad bytes is interior damage; on a
+                   log written through a reordering device that is a
+                   legal crash state (a dropped sector of the unsynced
+                   tail), so by default recovery truncates at the first
+                   damage and reports the salvageable-looking remainder
+                   as suspect.  [~strict] keeps the process-kill-model
+                   reading: valid-after-bad cannot happen when the page
+                   cache survives the crash, so refuse as corruption. *)
                 match Record.find_valid buf ~pos:(!off + 1) ~len ~after_lsn:!max_lsn with
-                | Some p ->
-                    corruptf "%s+%d: %s, but a valid record follows at +%d — interior corruption"
+                | Some p when strict ->
+                    corruptf
+                      "%s+%d: %s, but a valid record follows at +%d — interior corruption"
                       path !off reason p
-                | None ->
+                | fv ->
+                    (match fv with
+                    | Some _ ->
+                        suspect := count_suspect buf ~pos:(!off + 1) ~len ~after_lsn:!max_lsn
+                    | None -> ());
                     torn := true;
                     truncated := len - !off;
-                    truncate_file path !off;
+                    truncate_file io path !off;
                     continue := false
               end
       done)
@@ -641,5 +852,7 @@ let recover ~dir store =
     r_skipped = !skipped;
     r_torn_tail = !torn;
     r_truncated_bytes = !truncated;
+    r_suspect_records = !suspect;
+    r_tmp_discarded = tmp_discarded;
     r_segments = nsegs;
   }

@@ -1,5 +1,5 @@
 (** Per-table write-ahead redo log: group commit, fuzzy checkpoints,
-    crash recovery (DESIGN.md §15).
+    crash recovery (DESIGN.md §15), storage-fault tolerance (§16).
 
     Workers append CRC-sealed, LSN-stamped commit records from inside
     the 2PLSF commit window (all write-locks held, so LSN order agrees
@@ -11,7 +11,16 @@
 
     Durability contract: a transaction is durable iff {!wait_durable}
     returned for its LSN.  Transactions still buffered at a crash were
-    never acknowledged and may be lost — never partially applied. *)
+    never acknowledged and may be lost — never partially applied.
+
+    Failure contract: every byte moves through the {!Wal_io.t} given at
+    {!config} time.  Transient errors are retried with capped backoff;
+    a permanent error or {e any} fsync failure (fsyncgate: the unflushed
+    pages may be gone, retrying would lie) poisons the log — the
+    durability watermark freezes, {!wait_durable}, {!log_commit} and
+    {!checkpoint} raise {!Degraded}, and no unsynced commit is ever
+    acknowledged.  Reads are unaffected; the engine above is expected
+    to degrade to read-only service. *)
 
 type sync_mode =
   | Sync_fsync  (** fsync every batch: the durability ack means disk *)
@@ -22,10 +31,17 @@ type config = {
   sync : sync_mode;
   ring_cap : int;  (** per-worker ring capacity (rounded up to 2^k) *)
   ckpt_every_bytes : int;  (** auto-checkpoint threshold; 0 = manual only *)
+  io : Wal_io.t;  (** the storage stack; {!Wal_io.passthrough} by default *)
 }
 
 val config :
-  ?sync:sync_mode -> ?ring_cap:int -> ?ckpt_every_bytes:int -> dir:string -> unit -> config
+  ?sync:sync_mode ->
+  ?ring_cap:int ->
+  ?ckpt_every_bytes:int ->
+  ?io:Wal_io.t ->
+  dir:string ->
+  unit ->
+  config
 
 (** How the WAL reads and writes the table it protects.  [read_row]
     returns the live backing bytes of a row (no copy); [write_row]
@@ -40,15 +56,30 @@ type store = {
 
 type t
 
+exception Degraded of string
+(** The log device has failed permanently (or an fsync failed, which is
+    treated the same).  Raised by {!log_commit}, {!wait_durable} and
+    {!checkpoint}; the payload is the first failure's description.
+    {!log_commit} raises it {e before} drawing an LSN or touching any
+    mark, so the caller can roll back and abort the transaction with a
+    typed read-only reason. *)
+
 val create : ?next_lsn:int -> config -> store -> t
 (** Open the log directory (creating it if needed), start a fresh
     segment, and spawn the log-writer domain.  After a recovery, pass
-    [~next_lsn:(r.r_next_lsn)] so LSNs keep ascending. *)
+    [~next_lsn:(r.r_next_lsn)] so LSNs keep ascending.  Raises
+    {!Wal_io.Io_error} / [Unix.Unix_error] if the device refuses the
+    initial open — the log never starts. *)
 
 val stop : t -> unit
 (** Drain everything, final fsync, join the writer domain.  Call after
     all workers have finished (a drawn-but-unpublished LSN would stall
-    the drain). *)
+    the drain).  Never raises on a poisoned log: the failure is already
+    recorded in {!degraded} / {!metrics}. *)
+
+val degraded : t -> string option
+(** [Some reason] once the log is poisoned.  Monotone: never returns to
+    [None]. *)
 
 (** {2 Commit-window API — caller holds the row's write lock} *)
 
@@ -66,12 +97,16 @@ val log_commit : t -> tid:int -> n:int -> rid:(int -> int) -> int
     store), and publish it to worker [tid]'s ring.  Returns the LSN.
     Must run while all the transaction's write locks are held: the
     fetch-and-add under the locks is what aligns LSN order with the
-    serialization order. *)
+    serialization order.
+    @raise Degraded on a poisoned log, before any mutation. *)
 
 val wait_durable : t -> lsn:int -> unit
 (** Block until the record with [lsn] (and every record below it) is
     flushed.  Call {e after} releasing locks — holding locks across an
-    fsync would serialize the whole commit pipeline. *)
+    fsync would serialize the whole commit pipeline.
+    @raise Degraded if the log is poisoned before [lsn] became durable
+    (returns normally if [lsn] was already flushed — durability
+    established before the failure still stands). *)
 
 val flushed_lsn : t -> int
 
@@ -79,20 +114,25 @@ val checkpoint : t -> unit
 (** Request a fuzzy checkpoint and wait for it to complete: rotate the
     segment, seqlock-copy every row with its committed LSN, atomically
     install the image, delete the old segments.  Concurrent commits are
-    not blocked.  Must not be called after {!stop}. *)
+    not blocked.  Must not be called after {!stop}.
+    @raise Degraded if the log is (or becomes) poisoned. *)
 
 val metrics : t -> (string * int) list
 (** Monotone counters and gauges for the [twoplsf_wal_*] OpenMetrics
     families: records, batches, fsyncs, bytes, checkpoints,
-    flushed_lsn, next_lsn, last_checkpoint_lsn. *)
+    flushed_lsn, next_lsn, last_checkpoint_lsn, io_retries,
+    io_fsync_failures, degraded — plus every counter the configured
+    {!Wal_io.t} reports, prefixed [io_] (the [twoplsf_wal_io_*]
+    families). *)
 
 (** {2 Recovery} *)
 
 exception Corrupt of string
 (** Raised (by {!recover} and the image readers) on damage that cannot
-    be a torn tail: checksum or geometry violations in the checkpoint
-    image, a bad record in a non-final segment, or a bad record with
-    valid records after it (interior bit corruption). *)
+    be a legal crash state: checksum or geometry violations in the
+    checkpoint image, a bad record in a non-final segment — or, under
+    [~strict:true], a bad record in the final segment with valid
+    records after it. *)
 
 type recovery = {
   r_image_lsn : int;  (** end LSN of the checkpoint image, 0 if none *)
@@ -103,23 +143,38 @@ type recovery = {
   r_skipped : int;  (** row writes at or below the per-row high-water mark *)
   r_torn_tail : bool;
   r_truncated_bytes : int;
+  r_suspect_records : int;
+      (** structurally valid records found {e after} the first damage in
+          the final segment and discarded by the truncation — evidence
+          of sector reordering in the unsynced tail (0 under a pure
+          tear).  None of them were ever acknowledged (the contiguous
+          prefix ends at the damage), so dropping them is safe; a
+          nonzero count still marks the recovery as degraded. *)
+  r_tmp_discarded : bool;
+      (** a leftover [checkpoint.tmp] (interrupted checkpoint) was
+          discarded *)
   r_segments : int;
 }
 
-val recover : dir:string -> store -> recovery
+val recover : ?io:Wal_io.t -> ?strict:bool -> dir:string -> store -> recovery
 (** Rebuild the table: load the checkpoint image (CRC-validated) as the
     base and per-row replay high-water marks, then replay every segment
     in order, applying a row write iff its LSN exceeds the row's mark —
     replay is idempotent, so recovering twice equals recovering once.
-    A CRC/length mismatch at the tail of the {e final} segment with no
-    valid record after it is a torn tail: the file is truncated at the
-    last good record and recovery succeeds.  Anything else raises
-    {!Corrupt}.  An interrupted checkpoint ([checkpoint.tmp]) is
-    discarded. *)
+
+    Damage in the {e final} segment truncates the file at the last good
+    record and recovery succeeds; valid records found beyond the damage
+    are counted in [r_suspect_records] (legal under sector reordering
+    of the unsynced tail, since nothing past the contiguous flushed
+    prefix was ever acknowledged).  With [~strict:true] — appropriate
+    when the log was written on a device whose page cache survived the
+    crash, e.g. a process kill — valid-after-damage raises {!Corrupt}
+    instead.  Damage anywhere else always raises {!Corrupt}.  An
+    interrupted checkpoint ([checkpoint.tmp]) is discarded and flagged. *)
 
 (** {2 Introspection (walinspect)} *)
 
-val segments : dir:string -> (int * string) list
+val segments : ?io:Wal_io.t -> dir:string -> unit -> (int * string) list
 (** Segment files in the directory, [(sequence, path)], ascending. *)
 
 type image_info = {
@@ -130,7 +185,7 @@ type image_info = {
   i_end_lsn : int;
 }
 
-val read_image_info : dir:string -> image_info option
+val read_image_info : ?io:Wal_io.t -> dir:string -> unit -> image_info option
 (** Validate the checkpoint image (magic, version, geometry, CRC) and
     return its header; [None] if no image exists.
     @raise Corrupt on a damaged image. *)

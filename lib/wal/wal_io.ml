@@ -1,0 +1,334 @@
+(* Storage-fault VFS — see wal_io.mli and DESIGN.md §16. *)
+
+exception
+  Io_error of {
+    op : string;
+    path : string;
+    error : Unix.error;
+    transient : bool;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Io_error e ->
+        Some
+          (Printf.sprintf "Wal_io.Io_error(%s %s: %s%s)" e.op e.path
+             (Unix.error_message e.error)
+             (if e.transient then ", transient" else ""))
+    | _ -> None)
+
+type file = {
+  f_path : string;
+  f_write : Bytes.t -> pos:int -> len:int -> int;
+  f_read : Bytes.t -> pos:int -> len:int -> int;
+  f_size : unit -> int;
+  f_truncate : int -> unit;
+  f_fsync : unit -> unit;
+  f_close : unit -> unit;
+}
+
+type t = {
+  io_name : string;
+  io_mkdir : string -> unit;
+  io_readdir : string -> string array;
+  io_exists : string -> bool;
+  io_create : string -> file;
+  io_open_ro : string -> file;
+  io_open_rw : string -> file;
+  io_rename : string -> string -> unit;
+  io_unlink : string -> unit;
+  io_fsync_dir : string -> unit;
+  io_metrics : unit -> (string * int) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Passthrough                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let unix_file path fd =
+  {
+    f_path = path;
+    f_write = (fun b ~pos ~len -> Unix.write fd b pos len);
+    f_read = (fun b ~pos ~len -> Unix.read fd b pos len);
+    f_size = (fun () -> (Unix.fstat fd).st_size);
+    f_truncate = (fun n -> Unix.ftruncate fd n);
+    f_fsync = (fun () -> Unix.fsync fd);
+    f_close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+  }
+
+let passthrough =
+  {
+    io_name = "passthrough";
+    io_mkdir =
+      (fun dir ->
+        try Unix.mkdir dir 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    io_readdir =
+      (fun dir ->
+        try Sys.readdir dir with Sys_error _ -> [||]);
+    io_exists = (fun path -> Sys.file_exists path);
+    io_create =
+      (fun path ->
+        unix_file path
+          (Unix.openfile path [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644));
+    io_open_ro = (fun path -> unix_file path (Unix.openfile path [ Unix.O_RDONLY ] 0));
+    io_open_rw = (fun path -> unix_file path (Unix.openfile path [ Unix.O_RDWR ] 0o644));
+    io_rename = (fun a b -> Unix.rename a b);
+    io_unlink =
+      (fun path ->
+        try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    io_fsync_dir =
+      (fun dir ->
+        match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+        | fd ->
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with _ -> ())
+              (fun () ->
+                try Unix.fsync fd
+                with
+                | Unix.Unix_error
+                    ((Unix.EINVAL | Unix.EOPNOTSUPP | Unix.ENOSYS), _, _) ->
+                  (* filesystem cannot sync a directory handle: nothing
+                     better is possible.  Anything else — notably EIO —
+                     propagates. *)
+                  ()));
+    io_metrics = (fun () -> []);
+  }
+
+let write_string file s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = file.f_write b ~pos:!pos ~len:(len - !pos) in
+    pos := !pos + n
+  done
+
+let read_file io path =
+  let f = io.io_open_ro path in
+  Fun.protect
+    ~finally:(fun () -> f.f_close ())
+    (fun () ->
+      let size = f.f_size () in
+      let buf = Bytes.create size in
+      let pos = ref 0 in
+      let eof = ref false in
+      while (not !eof) && !pos < size do
+        let n = f.f_read buf ~pos:!pos ~len:(size - !pos) in
+        if n = 0 then eof := true else pos := !pos + n
+      done;
+      if !pos = size then buf else Bytes.sub buf 0 !pos)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded fault injection                                              *)
+(* ------------------------------------------------------------------ *)
+
+type fault_config = {
+  fseed : int;
+  write_eio_ppm : int;
+  write_enospc_ppm : int;
+  write_short_ppm : int;
+  fsync_fail_ppm : int;
+  meta_eio_ppm : int;
+  permanent_ppm : int;
+  enospc_after_bytes : int;
+}
+
+let fault_config ?(write_eio_ppm = 0) ?(write_enospc_ppm = 0)
+    ?(write_short_ppm = 0) ?(fsync_fail_ppm = 0) ?(meta_eio_ppm = 0)
+    ?(permanent_ppm = 0) ?(enospc_after_bytes = 0) ~seed () =
+  {
+    fseed = seed;
+    write_eio_ppm;
+    write_enospc_ppm;
+    write_short_ppm;
+    fsync_fail_ppm;
+    meta_eio_ppm;
+    permanent_ppm;
+    enospc_after_bytes;
+  }
+
+(* Fault classes: each has its own step counter so decisions are
+   reproducible per (seed, class, step) regardless of interleaving with
+   other classes. *)
+let c_eio = 1
+and c_enospc = 2
+and c_short = 3
+and c_fsync = 4
+and c_meta = 5
+and c_perm = 6
+and c_shortlen = 7
+
+type inj = {
+  cfg : fault_config;
+  steps : int Atomic.t array;  (* per-class draw counters *)
+  hits : int Atomic.t array;  (* per-class injection counters *)
+  dead : bool Atomic.t;  (* permanent device failure *)
+  full : bool Atomic.t;  (* capacity exhausted (persistent ENOSPC) *)
+  written : int Atomic.t;  (* cumulative bytes for the capacity model *)
+  ops_write : int Atomic.t;
+  ops_fsync : int Atomic.t;
+}
+
+let draw inj cls ppm =
+  if ppm <= 0 then false
+  else begin
+    let step = Atomic.fetch_and_add inj.steps.(cls) 1 in
+    let h = Util.Sprng.hash4 inj.cfg.fseed cls step 0 in
+    (h land max_int) mod 1_000_000 < ppm
+  end
+
+let hit inj cls = Atomic.incr inj.hits.(cls)
+
+let fail ~op ~path ~error ~transient =
+  raise (Io_error { op; path; error; transient })
+
+let check_dead inj ~op ~path =
+  if Atomic.get inj.dead then fail ~op ~path ~error:Unix.EIO ~transient:false
+
+(* An injected EIO is permanent with probability permanent_ppm; a
+   permanent hit kills the device for every later mutating op. *)
+let inject_eio inj ~op ~path =
+  hit inj c_eio;
+  if draw inj c_perm inj.cfg.permanent_ppm then begin
+    hit inj c_perm;
+    Atomic.set inj.dead true;
+    fail ~op ~path ~error:Unix.EIO ~transient:false
+  end
+  else fail ~op ~path ~error:Unix.EIO ~transient:true
+
+let meta_gate inj ~op ~path =
+  check_dead inj ~op ~path;
+  if draw inj c_meta inj.cfg.meta_eio_ppm then begin
+    hit inj c_meta;
+    inject_eio inj ~op ~path
+  end
+
+let faulty_file inj base =
+  (* Track the sequential append position and the length at the last
+     successful fsync, so an injected fsync failure can physically drop
+     the unflushed suffix (fsyncgate: the pages are gone, not pending). *)
+  let logical = ref (base.f_size ()) in
+  let synced = ref !logical in
+  let path = base.f_path in
+  {
+    base with
+    f_write =
+      (fun b ~pos ~len ->
+        Atomic.incr inj.ops_write;
+        check_dead inj ~op:"write" ~path;
+        if Atomic.get inj.full then
+          fail ~op:"write" ~path ~error:Unix.ENOSPC ~transient:false;
+        if draw inj c_eio inj.cfg.write_eio_ppm then
+          inject_eio inj ~op:"write" ~path;
+        if draw inj c_enospc inj.cfg.write_enospc_ppm then begin
+          hit inj c_enospc;
+          fail ~op:"write" ~path ~error:Unix.ENOSPC ~transient:true
+        end;
+        let len =
+          if len > 1 && draw inj c_short inj.cfg.write_short_ppm then begin
+            hit inj c_short;
+            let h =
+              Util.Sprng.hash4 inj.cfg.fseed c_shortlen
+                (Atomic.fetch_and_add inj.steps.(c_shortlen) 1)
+                0
+            in
+            1 + ((h land max_int) mod (len - 1))
+          end
+          else len
+        in
+        let cap = inj.cfg.enospc_after_bytes in
+        if cap > 0 && Atomic.get inj.written >= cap then begin
+          Atomic.set inj.full true;
+          hit inj c_enospc;
+          fail ~op:"write" ~path ~error:Unix.ENOSPC ~transient:false
+        end;
+        let n = base.f_write b ~pos ~len in
+        ignore (Atomic.fetch_and_add inj.written n);
+        logical := !logical + n;
+        n);
+    f_fsync =
+      (fun () ->
+        Atomic.incr inj.ops_fsync;
+        check_dead inj ~op:"fsync" ~path;
+        if draw inj c_fsync inj.cfg.fsync_fail_ppm then begin
+          hit inj c_fsync;
+          (* The unflushed pages are lost, not retriable.  Truncate the
+             underlying file back to its last durable length so no later
+             call can quietly resurrect them. *)
+          (try
+             base.f_truncate !synced;
+             logical := !synced
+           with _ -> ());
+          fail ~op:"fsync" ~path ~error:Unix.EIO ~transient:false
+        end;
+        base.f_fsync ();
+        synced := !logical);
+    f_truncate =
+      (fun n ->
+        check_dead inj ~op:"truncate" ~path;
+        base.f_truncate n;
+        logical := n;
+        if !synced > n then synced := n);
+  }
+
+let faulty cfg base =
+  let inj =
+    {
+      cfg;
+      steps = Array.init 8 (fun _ -> Atomic.make 0);
+      hits = Array.init 8 (fun _ -> Atomic.make 0);
+      dead = Atomic.make false;
+      full = Atomic.make false;
+      written = Atomic.make 0;
+      ops_write = Atomic.make 0;
+      ops_fsync = Atomic.make 0;
+    }
+  in
+  {
+    io_name = Printf.sprintf "faulty(seed=%d, %s)" cfg.fseed base.io_name;
+    io_mkdir = base.io_mkdir;
+    io_readdir = base.io_readdir;
+    io_exists = base.io_exists;
+    io_create =
+      (fun path ->
+        meta_gate inj ~op:"create" ~path;
+        faulty_file inj (base.io_create path));
+    io_open_ro = base.io_open_ro;  (* reads keep serving on a dead device *)
+    io_open_rw =
+      (fun path ->
+        meta_gate inj ~op:"open" ~path;
+        faulty_file inj (base.io_open_rw path));
+    io_rename =
+      (fun a b ->
+        meta_gate inj ~op:"rename" ~path:a;
+        base.io_rename a b);
+    io_unlink =
+      (fun path ->
+        meta_gate inj ~op:"unlink" ~path;
+        base.io_unlink path);
+    io_fsync_dir =
+      (fun dir ->
+        Atomic.incr inj.ops_fsync;
+        check_dead inj ~op:"fsync_dir" ~path:dir;
+        if draw inj c_fsync inj.cfg.fsync_fail_ppm then begin
+          hit inj c_fsync;
+          fail ~op:"fsync_dir" ~path:dir ~error:Unix.EIO ~transient:false
+        end;
+        base.io_fsync_dir dir);
+    io_metrics =
+      (fun () ->
+        [
+          ("ops_write", Atomic.get inj.ops_write);
+          ("ops_fsync", Atomic.get inj.ops_fsync);
+          ("injected_eio", Atomic.get inj.hits.(c_eio));
+          ("injected_enospc", Atomic.get inj.hits.(c_enospc));
+          ("injected_short_write", Atomic.get inj.hits.(c_short));
+          ("injected_fsync_fail", Atomic.get inj.hits.(c_fsync));
+          ("injected_meta_eio", Atomic.get inj.hits.(c_meta));
+          ("device_dead", if Atomic.get inj.dead then 1 else 0);
+          ("device_full", if Atomic.get inj.full then 1 else 0);
+        ]
+        @ base.io_metrics ());
+  }

@@ -226,7 +226,7 @@ let test_torn_tail_truncated () =
   let live = run_history ~dir ~seed:22 ~n:200 ~cfg:quick_cfg in
   ignore live;
   let seg =
-    match List.rev (Wal.segments ~dir) with
+    match List.rev (Wal.segments ~dir ()) with
     | (_, path) :: _ -> path
     | [] -> Alcotest.fail "no segments"
   in
@@ -252,28 +252,58 @@ let test_torn_tail_truncated () =
   let _, r3 = recover_into_fresh ~dir in
   check Alcotest.bool "appended garbage = torn tail" true r3.Wal.r_torn_tail
 
+let flip_bit_at seg off =
+  let fd = Unix.openfile seg [ Unix.O_RDWR ] 0 in
+  let b = Bytes.create 1 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x04));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
 let test_interior_corruption_refused () =
   with_dir @@ fun dir ->
   ignore (run_history ~dir ~seed:33 ~n:200 ~cfg:quick_cfg);
   let seg =
-    match Wal.segments ~dir with
+    match Wal.segments ~dir () with
     | (_, path) :: _ -> path
     | [] -> Alcotest.fail "no segments"
   in
-  (* flip a bit in an early record: valid records follow, so this is
-     corruption, not a tear — recovery must refuse, not silently drop
-     the suffix *)
-  let fd = Unix.openfile seg [ Unix.O_RDWR ] 0 in
-  let b = Bytes.create 1 in
-  ignore (Unix.lseek fd 40 Unix.SEEK_SET);
-  ignore (Unix.read fd b 0 1);
-  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x04));
-  ignore (Unix.lseek fd 40 Unix.SEEK_SET);
-  ignore (Unix.write fd b 0 1);
-  Unix.close fd;
-  match recover_into_fresh ~dir with
+  (* flip a bit in an early record: valid records follow, so under the
+     process-kill crash model (strict — the page cache survives _exit)
+     this is corruption, not a tear — recovery must refuse, not
+     silently drop the suffix *)
+  flip_bit_at seg 40;
+  let tbl = make_table () in
+  match Wal.recover ~strict:true ~dir (Dbx.Cc_2plsf.wal_store tbl) with
   | exception Wal.Corrupt _ -> ()
-  | _ -> Alcotest.fail "recovery accepted interior corruption"
+  | _ -> Alcotest.fail "strict recovery accepted interior corruption"
+
+let test_suspect_tail_truncated_lenient () =
+  with_dir @@ fun dir ->
+  ignore (run_history ~dir ~seed:34 ~n:200 ~cfg:quick_cfg);
+  let seg =
+    match List.rev (Wal.segments ~dir ()) with
+    | (_, path) :: _ -> path
+    | [] -> Alcotest.fail "no segments"
+  in
+  (* same damage, lenient (default) model: on a real power loss the
+     final segment's sectors can land out of order, so a valid record
+     after damaged bytes is a legal crash state — recovery truncates at
+     the damage and counts the discarded suffix as suspect *)
+  flip_bit_at seg 40;
+  let rec1, r = recover_into_fresh ~dir in
+  if r.Wal.r_suspect_records = 0 then
+    Alcotest.fail "lenient recovery counted no suspect records";
+  check Alcotest.bool "tail truncated" true (r.Wal.r_truncated_bytes > 0);
+  check Alcotest.int "conservation on the surviving prefix"
+    (rows * init_balance) (balance_sum rec1);
+  (* the truncated log is now clean and stable *)
+  let rec2, r2 = recover_into_fresh ~dir in
+  check Alcotest.int "second recovery clean" 0 r2.Wal.r_suspect_records;
+  check Alcotest.bool "idempotent after truncation" true
+    (tables_equal rec1 rec2)
 
 (* checkpoint + log suffix == full log: the same seeded history run
    with aggressive checkpointing and with none must recover to the same
@@ -291,7 +321,7 @@ let test_checkpoint_equivalence () =
       in
       check Alcotest.bool "same history, same live state" true
         (tables_equal live_a live_b);
-      (match Wal.read_image_info ~dir:dir_a with
+      (match Wal.read_image_info ~dir:dir_a () with
       | Some i -> check Alcotest.int "image covers the table" rows i.Wal.i_num_rows
       | None -> Alcotest.fail "aggressive checkpointing produced no image");
       let rec_a, ra = recover_into_fresh ~dir:dir_a in
@@ -324,7 +354,7 @@ let test_manual_checkpoint_and_undo_marks () =
   let m = Wal.metrics w in
   check Alcotest.int "checkpoint completed" 1 (List.assoc "checkpoints" m);
   Wal.stop w;
-  match Wal.read_image_info ~dir with
+  match Wal.read_image_info ~dir () with
   | Some i ->
       check Alcotest.int "image rows" rows i.Wal.i_num_rows;
       check Alcotest.int "image row_len" Dbx.Table.tuple_size i.Wal.i_row_len
@@ -412,8 +442,10 @@ let () =
             test_durable_ack_and_metrics;
           Alcotest.test_case "torn tail truncated" `Quick
             test_torn_tail_truncated;
-          Alcotest.test_case "interior corruption refused" `Quick
+          Alcotest.test_case "interior corruption refused (strict)" `Quick
             test_interior_corruption_refused;
+          Alcotest.test_case "suspect tail truncated (lenient)" `Quick
+            test_suspect_tail_truncated_lenient;
           Alcotest.test_case "checkpoint+suffix = full log" `Quick
             test_checkpoint_equivalence;
           Alcotest.test_case "manual checkpoint, undo marks" `Quick
